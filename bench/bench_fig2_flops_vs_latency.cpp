@@ -1,0 +1,91 @@
+// Fig. 2 reproduction: runtime latency vs FLOPs (left) and vs parameter
+// count (right). The paper's point: architectures with identical FLOPs or
+// Params differ widely in latency, so hardware-agnostic proxies are
+// inadequate — motivating the hardware performance model of §III-A.
+//
+// Prints the correlation table and the within-FLOPs-bin latency spread,
+// and dumps every sample to fig2.csv for external plotting.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/lowering.h"
+#include "core/search_space.h"
+#include "hwsim/registry.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace hsconas;
+
+int main(int argc, char** argv) {
+  util::Cli cli("Fig. 2: latency vs FLOPs / Params scatter");
+  cli.add_option("samples", "300", "architectures sampled uniformly from A");
+  cli.add_option("device", "gv100", "target device (gv100|xeon6136|xavier)");
+  cli.add_option("seed", "2", "sampling seed");
+  cli.add_option("csv", "fig2.csv", "output CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::SearchSpace space(core::SearchSpaceConfig::imagenet_layout_a());
+  const hwsim::DeviceSimulator device(hwsim::device_by_name(cli.get("device")));
+  const int batch = device.profile().default_batch;
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  const int n = static_cast<int>(cli.get_int("samples"));
+  std::vector<double> gflops, mparams, latency;
+  util::CsvWriter csv(cli.get("csv"));
+  csv.row(std::vector<std::string>{"gflops", "mparams", "latency_ms"});
+  for (int i = 0; i < n; ++i) {
+    const core::Arch arch = core::Arch::random(space, rng);
+    const auto net = core::lower_network(arch, space);
+    const double fl = 2.0 * hwsim::network_macs(net) / 1e9;
+    const double pa = hwsim::network_params(net) / 1e6;
+    const double lat = device.network_latency_ms(net, batch);
+    gflops.push_back(fl);
+    mparams.push_back(pa);
+    latency.push_back(lat);
+    csv.row(std::vector<double>{fl, pa, lat});
+  }
+
+  util::Table table({"proxy", "pearson", "spearman", "kendall"});
+  table.add_row({"FLOPs", util::format("%.3f", util::pearson(gflops, latency)),
+                 util::format("%.3f", util::spearman(gflops, latency)),
+                 util::format("%.3f", util::kendall_tau(gflops, latency))});
+  table.add_row({"Params",
+                 util::format("%.3f", util::pearson(mparams, latency)),
+                 util::format("%.3f", util::spearman(mparams, latency)),
+                 util::format("%.3f", util::kendall_tau(mparams, latency))});
+  std::printf(
+      "FIG 2: FLOPs/Params are weak latency proxies on %s (batch %d)\n%s\n",
+      device.profile().name.c_str(), batch, table.render().c_str());
+
+  // Within-bin latency spread: group archs into FLOPs deciles and report
+  // the latency range inside each — "same FLOPs, very different latency".
+  std::vector<std::size_t> order(gflops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return gflops[a] < gflops[b];
+  });
+  std::printf("latency spread within equal-FLOPs deciles:\n");
+  std::printf("%8s %10s %12s %12s %9s\n", "decile", "GFLOPs", "lat min(ms)",
+              "lat max(ms)", "spread");
+  const std::size_t per = order.size() / 10;
+  for (int d = 0; d < 10 && per > 1; ++d) {
+    std::vector<double> bin;
+    double fsum = 0.0;
+    for (std::size_t i = d * per; i < (d + 1) * per; ++i) {
+      bin.push_back(latency[order[i]]);
+      fsum += gflops[order[i]];
+    }
+    const double lo = util::min_of(bin), hi = util::max_of(bin);
+    std::printf("%8d %10.3f %12.2f %12.2f %8.1f%%\n", d,
+                fsum / static_cast<double>(per), lo, hi,
+                (hi / lo - 1.0) * 100.0);
+  }
+  std::printf("\nraw samples written to %s\n", cli.get("csv").c_str());
+  return 0;
+}

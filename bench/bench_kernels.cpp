@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the compute substrate: GEMM,
+// im2col convolutions (fwd/bwd), choice blocks, one supernet training step
+// and the latency model's prediction path. These guard against performance
+// regressions in the kernels everything else sits on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/latency_model.h"
+#include "core/supernet.h"
+#include "core/trainer.h"
+#include "hwsim/registry.h"
+#include "nn/blocks.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace hsconas;
+using tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const Tensor a = Tensor::uniform({static_cast<long>(n), static_cast<long>(n)}, -1, 1, rng);
+  const Tensor b = Tensor::uniform({static_cast<long>(n), static_cast<long>(n)}, -1, 1, rng);
+  Tensor c({static_cast<long>(n), static_cast<long>(n)});
+  for (auto _ : state) {
+    tensor::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Conv2d conv(16, 32, 3, 1, 1, 1, false, rng);
+  const Tensor x = Tensor::uniform({4, 16, 16, 16}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Conv2d conv(16, 32, 3, 1, 1, 1, false, rng);
+  const Tensor x = Tensor::uniform({4, 16, 16, 16}, -1, 1, rng);
+  const Tensor y = conv.forward(x);
+  const Tensor dy = Tensor::uniform(y.shape(), -1, 1, rng);
+  for (auto _ : state) {
+    Tensor dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_DepthwiseConvForward(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Conv2d conv(32, 32, 5, 1, 2, 32, false, rng);
+  const Tensor x = Tensor::uniform({4, 32, 16, 16}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_DepthwiseConvForward);
+
+void BM_ChoiceBlockForward(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto kind = static_cast<nn::BlockKind>(state.range(0));
+  nn::ShuffleChoiceBlock block(kind, 32, 32, 1, rng);
+  const Tensor x = Tensor::uniform({4, 32, 12, 12}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor y = block.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ChoiceBlockForward)->Arg(0)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SupernetTrainStep(benchmark::State& state) {
+  const core::SearchSpace space(core::SearchSpaceConfig::proxy(10, 16, 1));
+  core::Supernet net(space, 6);
+  data::SyntheticConfig dc;
+  dc.num_classes = 10;
+  dc.train_size = 64;
+  dc.val_size = 16;
+  dc.image_size = 16;
+  const data::SyntheticDataset dataset(dc);
+  core::TrainConfig tc;
+  tc.batch_size = 32;
+  core::SupernetTrainer trainer(net, dataset, tc);
+  data::DataLoader loader(dataset, 32, true, 1);
+  const data::Batch batch = loader.batch(0);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const core::Arch arch = core::Arch::random(space, rng);
+    benchmark::DoNotOptimize(trainer.step(batch, arch, 0.05));
+  }
+}
+BENCHMARK(BM_SupernetTrainStep);
+
+void BM_LatencyModelBuild(benchmark::State& state) {
+  const core::SearchSpace space(
+      core::SearchSpaceConfig::imagenet_layout_a());
+  const hwsim::DeviceSimulator device(hwsim::device_by_name("xavier"));
+  for (auto _ : state) {
+    core::LatencyModel model(space, device,
+                             core::LatencyModel::Config{16, 20, 1, true});
+    benchmark::DoNotOptimize(model.bias_ms());
+  }
+}
+BENCHMARK(BM_LatencyModelBuild);
+
+void BM_LatencyPredict(benchmark::State& state) {
+  const core::SearchSpace space(
+      core::SearchSpaceConfig::imagenet_layout_a());
+  const hwsim::DeviceSimulator device(hwsim::device_by_name("xavier"));
+  core::LatencyModel model(space, device,
+                           core::LatencyModel::Config{16, 20, 1, true});
+  util::Rng rng(8);
+  const core::Arch arch = core::Arch::random(space, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_ms(arch));
+  }
+}
+BENCHMARK(BM_LatencyPredict);
+
+void BM_DeviceSimulatorNetwork(benchmark::State& state) {
+  const core::SearchSpace space(
+      core::SearchSpaceConfig::imagenet_layout_a());
+  const hwsim::DeviceSimulator device(hwsim::device_by_name("gv100"));
+  util::Rng rng(9);
+  const auto net =
+      core::lower_network(core::Arch::random(space, rng), space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.network_latency_ms(net, 32));
+  }
+}
+BENCHMARK(BM_DeviceSimulatorNetwork);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// Table I reproduction: HSCoNets (searched by the full HSCoNAS pipeline in
+// surrogate mode at paper scale) vs the 11 published baselines, with
+// latency on all three simulated devices and ImageNet error from the
+// published values (baselines) / calibrated surrogate (HSCoNets).
+//
+// Output: the paper-style table with our measured values next to the
+// paper's, plus table1.csv with the raw rows.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/zoo.h"
+#include "core/accuracy_surrogate.h"
+#include "core/lowering.h"
+#include "core/pipeline.h"
+#include "hwsim/registry.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hsconas;
+
+struct Row {
+  std::string name;
+  std::string section;
+  double top1 = 0, top5 = -1;
+  double gpu = 0, cpu = 0, edge = 0;                   // ours
+  double p_top1 = -1, p_top5 = -1;                     // paper
+  double p_gpu = -1, p_cpu = -1, p_edge = -1;
+  double gmacs = 0;
+};
+
+std::string fmt(double v, const char* f = "%.1f") {
+  return v < 0 ? "-" : util::format(f, v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(
+      "Table I: comparison with state-of-the-art approaches "
+      "(paper values in parentheses)");
+  cli.add_option("generations", "20", "EA generations per search");
+  cli.add_option("population", "50", "EA population size");
+  cli.add_option("shrink-samples", "100", "N per subspace (Definition 1)");
+  cli.add_option("seed", "7", "global seed");
+  cli.add_option("csv", "table1.csv", "output CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  util::set_log_level(util::LogLevel::kWarn);
+
+  // ---- device simulators ---------------------------------------------------
+  struct Device {
+    std::string name;
+    hwsim::DeviceSimulator sim;
+    int batch;
+  };
+  std::vector<Device> devices;
+  for (const std::string& name : hwsim::device_names()) {
+    const auto profile = hwsim::device_by_name(name);
+    devices.push_back({name, hwsim::DeviceSimulator(profile),
+                       profile.default_batch});
+  }
+  const auto measure_all = [&](const hwsim::NetworkDesc& net, Row& row) {
+    row.gpu = devices[0].sim.network_latency_ms(net, devices[0].batch);
+    row.cpu = devices[1].sim.network_latency_ms(net, devices[1].batch);
+    row.edge = devices[2].sim.network_latency_ms(net, devices[2].batch);
+  };
+
+  std::vector<Row> rows;
+
+  // ---- baselines -----------------------------------------------------------
+  for (const auto& baseline : baselines::baseline_zoo()) {
+    Row row;
+    row.name = baseline.name;
+    row.section = baseline.group == "manual"
+                      ? "Manually-Designed Models"
+                      : "State-of-the-art NAS Models";
+    row.top1 = baseline.paper_top1_err;  // published ImageNet results
+    row.top5 = baseline.paper_top5_err;
+    row.p_top1 = baseline.paper_top1_err;
+    row.p_top5 = baseline.paper_top5_err;
+    row.p_gpu = baseline.paper_gpu_ms;
+    row.p_cpu = baseline.paper_cpu_ms;
+    row.p_edge = baseline.paper_edge_ms;
+    row.gmacs = hwsim::network_macs(baseline.network) / 1e9;
+    measure_all(baseline.network, row);
+    rows.push_back(row);
+  }
+
+  // ---- HSCoNets: search per device × layout --------------------------------
+  // Paper HSCoNet results for side-by-side comparison.
+  const std::map<std::string, std::vector<double>> paper_hsconets = {
+      {"HSCoNet-GPU-A", {25.1, 7.7, 9.0, 26.5, 43.4}},
+      {"HSCoNet-CPU-A", {25.3, 7.6, 10.1, 22.8, 43.1}},
+      {"HSCoNet-Edge-A", {25.7, 8.1, 9.9, 25.8, 34.9}},
+      {"HSCoNet-GPU-B", {23.6, 6.9, 12.0, 31.6, 76.9}},
+      {"HSCoNet-CPU-B", {23.5, 6.8, 13.4, 26.4, 69.1}},
+      {"HSCoNet-Edge-B", {23.8, 6.9, 12.9, 31.8, 52.7}}};
+  const std::map<std::string, std::string> device_tag = {
+      {"gv100", "GPU"}, {"xeon6136", "CPU"}, {"xavier", "Edge"}};
+
+  // The B-layout HSCoNets in Table I exceed the stated 9/24/34 ms
+  // constraints on their own target devices (12.0/26.4/52.7 ms), so the
+  // paper's B runs clearly used relaxed targets; we search layout B under
+  // those measured operating points.
+  const std::map<std::string, double> constraint_b = {
+      {"gv100", 12.0}, {"xeon6136", 26.0}, {"xavier", 52.0}};
+
+  for (const char layout : {'A', 'B'}) {
+    for (const auto& device : devices) {
+      core::PipelineConfig cfg;
+      cfg.space = layout == 'A'
+                      ? core::SearchSpaceConfig::imagenet_layout_a()
+                      : core::SearchSpaceConfig::imagenet_layout_b();
+      cfg.device = device.name;
+      if (layout == 'B') cfg.constraint_ms = constraint_b.at(device.name);
+      cfg.use_surrogate = true;
+      cfg.evolution.generations = static_cast<int>(cli.get_int("generations"));
+      cfg.evolution.population = static_cast<int>(cli.get_int("population"));
+      cfg.shrink.samples_per_subspace =
+          static_cast<int>(cli.get_int("shrink-samples"));
+      cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^
+                 (layout == 'A' ? 0xA : 0xB);
+      core::Pipeline pipeline(cfg);
+      const core::PipelineResult result = pipeline.run();
+
+      Row row;
+      row.name = util::format("HSCoNet-%s-%c",
+                              device_tag.at(device.name).c_str(), layout);
+      row.section = "Hardware-Aware Models Discovered by HSCoNAS (ours)";
+      const core::AccuracySurrogate surrogate(pipeline.space());
+      row.top1 = surrogate.top1_error(result.best_arch);
+      row.top5 = core::AccuracySurrogate::top5_from_top1(row.top1);
+      row.gmacs =
+          core::arch_macs(result.best_arch, pipeline.space()) / 1e9;
+      measure_all(core::lower_network(result.best_arch, pipeline.space()),
+                  row);
+      if (const auto it = paper_hsconets.find(row.name);
+          it != paper_hsconets.end()) {
+        row.p_top1 = it->second[0];
+        row.p_top5 = it->second[1];
+        row.p_gpu = it->second[2];
+        row.p_cpu = it->second[3];
+        row.p_edge = it->second[4];
+      }
+      rows.push_back(row);
+      std::fprintf(stderr, "searched %s: T=%.0fms predicted=%.1fms\n",
+                   row.name.c_str(), result.constraint_ms,
+                   result.predicted_latency_ms);
+    }
+  }
+
+  // ---- render ----------------------------------------------------------------
+  util::Table table({"Model", "Top-1 (paper)", "Top-5 (paper)",
+                     "GPU ms (paper)", "CPU ms (paper)", "Edge ms (paper)",
+                     "GMacs"});
+  std::string section;
+  for (const Row& row : rows) {
+    if (row.section != section) {
+      section = row.section;
+      table.add_section(section);
+    }
+    table.add_row({row.name,
+                   fmt(row.top1) + " (" + fmt(row.p_top1) + ")",
+                   fmt(row.top5) + " (" + fmt(row.p_top5) + ")",
+                   fmt(row.gpu) + " (" + fmt(row.p_gpu) + ")",
+                   fmt(row.cpu) + " (" + fmt(row.p_cpu) + ")",
+                   fmt(row.edge) + " (" + fmt(row.p_edge) + ")",
+                   util::format("%.2f", row.gmacs)});
+  }
+  std::printf("TABLE I: Comparisons with state-of-the-art approaches\n%s\n",
+              table.render().c_str());
+
+  util::CsvWriter csv(cli.get("csv"));
+  csv.row(std::vector<std::string>{
+      "model", "top1", "top5", "gpu_ms", "cpu_ms", "edge_ms", "gmacs",
+      "paper_top1", "paper_top5", "paper_gpu_ms", "paper_cpu_ms",
+      "paper_edge_ms"});
+  for (const Row& row : rows) {
+    csv.row(std::vector<std::string>{
+        row.name, fmt(row.top1, "%.2f"), fmt(row.top5, "%.2f"),
+        fmt(row.gpu, "%.2f"), fmt(row.cpu, "%.2f"), fmt(row.edge, "%.2f"),
+        util::format("%.3f", row.gmacs), fmt(row.p_top1, "%.2f"),
+        fmt(row.p_top5, "%.2f"), fmt(row.p_gpu, "%.2f"),
+        fmt(row.p_cpu, "%.2f"), fmt(row.p_edge, "%.2f")});
+  }
+  std::printf("raw rows written to %s\n", cli.get("csv").c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Multi-device example: the core claim of hardware-software co-design is
+// that the *same* pipeline specializes differently per target. Search one
+// architecture per device, then cross-evaluate every winner on every
+// device (a miniature Table I) — each row should be fastest in its own
+// column, and the operator mix should shift with the hardware.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/accuracy_surrogate.h"
+#include "core/lowering.h"
+#include "core/pipeline.h"
+#include "hwsim/registry.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace hsconas;
+
+int main(int argc, char** argv) {
+  util::Cli cli("One search per device, cross-evaluated");
+  cli.add_option("seed", "23", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  struct Winner {
+    std::string device;
+    core::Arch arch;
+    double top1_err;
+    double gmacs;
+  };
+  std::vector<Winner> winners;
+
+  core::SearchSpace reference_space(
+      core::SearchSpaceConfig::imagenet_layout_a());
+
+  for (const std::string& device : hwsim::device_names()) {
+    core::PipelineConfig cfg;
+    cfg.space = core::SearchSpaceConfig::imagenet_layout_a();
+    cfg.device = device;
+    cfg.use_surrogate = true;
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    core::Pipeline pipeline(cfg);
+    const auto result = pipeline.run();
+    const core::AccuracySurrogate surrogate(pipeline.space());
+    winners.push_back(
+        {device, result.best_arch,
+         surrogate.top1_error(result.best_arch),
+         core::arch_macs(result.best_arch, pipeline.space()) / 1e9});
+    std::printf("searched for %-9s -> T=%.0fms, predicted %.1fms\n",
+                device.c_str(), result.constraint_ms,
+                result.predicted_latency_ms);
+  }
+
+  util::Table table({"winner \\ measured on", "gv100 (ms)", "xeon6136 (ms)",
+                     "xavier (ms)", "top-1 err", "GMacs", "op mix"});
+  for (const Winner& w : winners) {
+    std::vector<std::string> row{"HSCoNet-" + w.device};
+    for (const std::string& device : hwsim::device_names()) {
+      const hwsim::DeviceSimulator sim(hwsim::device_by_name(device));
+      const double ms = sim.network_latency_ms(
+          core::lower_network(w.arch, reference_space),
+          sim.profile().default_batch);
+      const bool is_target = device == w.device;
+      row.push_back(util::format(is_target ? "[%.1f]" : "%.1f", ms));
+    }
+    int kinds[5] = {0, 0, 0, 0, 0};
+    for (int op : w.arch.ops) kinds[op]++;
+    row.push_back(util::format("%.1f", w.top1_err));
+    row.push_back(util::format("%.2f", w.gmacs));
+    row.push_back(util::format("k3:%d k5:%d k7:%d x:%d s:%d", kinds[0],
+                               kinds[1], kinds[2], kinds[3], kinds[4]));
+    table.add_row(row);
+  }
+
+  std::printf(
+      "\ncross-device evaluation ([target] = the device each net was "
+      "searched for; compare with Table I's HSCoNet rows):\n%s\n"
+      "each winner should be at-or-under its constraint in its own "
+      "bracketed column; nets tuned for other devices overshoot or waste "
+      "headroom there — hardware-awareness is not transferable.\n",
+      table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: find a DNN for the Jetson-Xavier-class edge device under a
+// 34 ms latency budget, in a few seconds, using the paper-scale search
+// space and the calibrated ImageNet accuracy surrogate.
+//
+//   $ ./quickstart [--device=edge] [--constraint=34]
+//
+// This walks the whole HSCoNAS flow of Fig. 1: hardware performance model
+// (Eq. 2-3) -> progressive space shrinking (§III-C) -> evolutionary search
+// (§III-D) under the multi-objective score (Eq. 1).
+
+#include <cstdio>
+
+#include "core/accuracy_surrogate.h"
+#include "core/lowering.h"
+#include "core/pipeline.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace hsconas;
+
+int main(int argc, char** argv) {
+  util::Cli cli("HSCoNAS quickstart: hardware-aware NAS in one call");
+  cli.add_option("device", "edge", "target hardware: gpu | cpu | edge");
+  cli.add_option("constraint", "0",
+                 "latency budget T in ms (0 = the paper's default)");
+  cli.add_option("family", "shuffle",
+                 "operator family: shuffle (the paper's ShuffleNetV2 "
+                 "space) or mbconv (ProxylessNAS-style inverted residuals)");
+  cli.add_option("seed", "1", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::PipelineConfig cfg;
+  cfg.space = core::SearchSpaceConfig::imagenet_layout_a();
+  if (cli.get("family") == "mbconv") {
+    cfg.space = cfg.space.with_family(nn::OpFamily::kMbConv);
+  } else if (cli.get("family") != "shuffle") {
+    throw hsconas::InvalidArgument("--family must be shuffle or mbconv");
+  }
+  cfg.device = cli.get("device");
+  cfg.constraint_ms = cli.get_double("constraint");
+  cfg.use_surrogate = true;  // paper-scale: ImageNet surrogate accuracy
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  core::Pipeline pipeline(cfg);
+  std::printf("searching %s under T = %.0f ms over a space of 10^%.0f "
+              "candidates...\n",
+              cfg.device.c_str(),
+              cfg.constraint_ms > 0
+                  ? cfg.constraint_ms
+                  : hwsim::default_constraint_ms(cfg.device),
+              pipeline.space().config().log10_space_size());
+
+  const core::PipelineResult result = pipeline.run();
+
+  std::printf("\ndiscovered architecture (op @ channel factor per layer):\n"
+              "  %s\n\n",
+              result.best_arch.to_string(pipeline.space()).c_str());
+  const double err = (1.0 - result.best_accuracy) * 100.0;
+  std::printf("estimated ImageNet top-1 error : %.1f%%\n", err);
+  std::printf("estimated top-5 error          : %.1f%%\n",
+              core::AccuracySurrogate::top5_from_top1(err));
+  std::printf("predicted latency (Eq. 2-3)    : %.1f ms\n",
+              result.predicted_latency_ms);
+  std::printf("on-device latency (simulated)  : %.1f ms (T = %.0f ms)\n",
+              result.measured_latency_ms, result.constraint_ms);
+  std::printf("compute                        : %.0f MMacs\n",
+              core::arch_macs(result.best_arch, pipeline.space()) / 1e6);
+  std::printf("search-space reduction         : 10^%.1f -> 10^%.1f -> "
+              "10^%.1f candidates\n",
+              result.log10_space_initial, result.log10_space_after_stage1,
+              result.log10_space_after_stage2);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "baselines/mbconv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hsconas::baselines {
+
+using hwsim::LayerDesc;
+using hwsim::OpDescriptor;
+
+namespace {
+void push_eltwise(LayerDesc& layer, long ch, long h, long w) {
+  layer.ops.push_back(OpDescriptor::elementwise(ch, h, w));
+}
+}  // namespace
+
+LayerDesc mbconv_layer(const MbConvSpec& spec, long h, long w,
+                       const std::string& name) {
+  if (spec.in_channels <= 0 || spec.out_channels <= 0 || spec.stride < 1 ||
+      spec.expand <= 0.0) {
+    throw InvalidArgument("mbconv_layer: bad spec for " + name);
+  }
+  LayerDesc layer;
+  layer.name = name;
+  const long mid = std::max<long>(
+      1, static_cast<long>(std::llround(static_cast<double>(spec.in_channels) *
+                                        spec.expand)));
+  const long oh = (spec.stride == 2) ? (h + 1) / 2 : h;
+  const long ow = (spec.stride == 2) ? (w + 1) / 2 : w;
+
+  long cur = spec.in_channels;
+  if (mid != spec.in_channels) {  // t = 1 blocks skip the expansion conv
+    layer.ops.push_back(OpDescriptor::conv(cur, mid, h, w, 1, 1, 1));
+    push_eltwise(layer, mid, h, w);
+    cur = mid;
+  }
+  layer.ops.push_back(
+      OpDescriptor::depthwise(cur, h, w, spec.kernel, spec.stride));
+  push_eltwise(layer, cur, oh, ow);
+
+  if (spec.squeeze_excite) {
+    const long squeezed = std::max<long>(1, cur / 4);
+    OpDescriptor gap = OpDescriptor::pool(cur, oh, ow, oh, oh);
+    gap.pad = 0;
+    layer.ops.push_back(gap);
+    layer.ops.push_back(OpDescriptor::linear(cur, squeezed));
+    layer.ops.push_back(OpDescriptor::linear(squeezed, cur));
+    push_eltwise(layer, cur, oh, ow);  // scale back onto the map
+  }
+
+  layer.ops.push_back(OpDescriptor::conv(cur, spec.out_channels, oh, ow, 1,
+                                         1, 1));
+  push_eltwise(layer, spec.out_channels, oh, ow);
+
+  if (spec.stride == 1 && spec.in_channels == spec.out_channels) {
+    push_eltwise(layer, spec.out_channels, oh, ow);  // residual add
+  }
+
+  layer.out_channels = spec.out_channels;
+  layer.out_h = oh;
+  layer.out_w = ow;
+  return layer;
+}
+
+LayerDesc conv_bn_layer(long in_ch, long out_ch, long h, long w, long kernel,
+                        long stride, const std::string& name) {
+  LayerDesc layer;
+  layer.name = name;
+  layer.ops.push_back(
+      OpDescriptor::conv(in_ch, out_ch, h, w, kernel, stride, 1));
+  const OpDescriptor& conv = layer.ops.back();
+  push_eltwise(layer, out_ch, conv.out_h(), conv.out_w());
+  layer.out_channels = out_ch;
+  layer.out_h = conv.out_h();
+  layer.out_w = conv.out_w();
+  return layer;
+}
+
+LayerDesc sepconv_layer(long in_ch, long out_ch, long h, long w, long kernel,
+                        long stride, const std::string& name) {
+  LayerDesc layer;
+  layer.name = name;
+  layer.ops.push_back(OpDescriptor::depthwise(in_ch, h, w, kernel, stride));
+  const long oh = layer.ops.back().out_h(), ow = layer.ops.back().out_w();
+  push_eltwise(layer, in_ch, oh, ow);
+  layer.ops.push_back(OpDescriptor::conv(in_ch, out_ch, oh, ow, 1, 1, 1));
+  push_eltwise(layer, out_ch, oh, ow);
+  layer.out_channels = out_ch;
+  layer.out_h = oh;
+  layer.out_w = ow;
+  return layer;
+}
+
+LayerDesc head_layer(long in_ch, long head_ch, long classes, long h, long w,
+                     const std::string& name) {
+  LayerDesc layer;
+  layer.name = name;
+  layer.ops.push_back(OpDescriptor::conv(in_ch, head_ch, h, w, 1, 1, 1));
+  push_eltwise(layer, head_ch, h, w);
+  OpDescriptor gap = OpDescriptor::pool(head_ch, h, w, h, h);
+  gap.pad = 0;
+  layer.ops.push_back(gap);
+  layer.ops.push_back(OpDescriptor::linear(head_ch, classes));
+  layer.out_channels = classes;
+  layer.out_h = 1;
+  layer.out_w = 1;
+  return layer;
+}
+
+}  // namespace hsconas::baselines

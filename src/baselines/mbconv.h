@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "hwsim/op_descriptor.h"
+
+namespace hsconas::baselines {
+
+/// MobileNet-style inverted-residual block (MBConv) lowering for the
+/// baseline zoo: 1×1 expand → k×k depthwise → (optional squeeze-excite)
+/// → 1×1 project, BN/activation fused into elementwise ops, residual add
+/// when geometry allows. This is the building block of MobileNetV2/V3,
+/// MnasNet, FBNet and ProxylessNAS.
+struct MbConvSpec {
+  long in_channels = 0;
+  long out_channels = 0;
+  long kernel = 3;
+  long stride = 1;
+  double expand = 6.0;  ///< expansion ratio t
+  bool squeeze_excite = false;
+};
+
+/// Lower one MBConv at input resolution h×w.
+hwsim::LayerDesc mbconv_layer(const MbConvSpec& spec, long h, long w,
+                              const std::string& name);
+
+/// Plain conv + BN/act layer (stems and heads).
+hwsim::LayerDesc conv_bn_layer(long in_ch, long out_ch, long h, long w,
+                               long kernel, long stride,
+                               const std::string& name);
+
+/// Depthwise-separable conv layer (MobileNet stem follow-up, MnasNet SepConv).
+hwsim::LayerDesc sepconv_layer(long in_ch, long out_ch, long h, long w,
+                               long kernel, long stride,
+                               const std::string& name);
+
+/// Classifier head: 1×1 conv to `head_ch`, global pool, FC to classes.
+hwsim::LayerDesc head_layer(long in_ch, long head_ch, long classes, long h,
+                            long w, const std::string& name);
+
+}  // namespace hsconas::baselines

@@ -1,0 +1,365 @@
+#include "baselines/zoo.h"
+
+#include <cmath>
+
+#include "baselines/mbconv.h"
+#include "core/lowering.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace hsconas::baselines {
+
+using hwsim::LayerDesc;
+using hwsim::NetworkDesc;
+using hwsim::OpDescriptor;
+
+namespace {
+
+/// (expansion t, channels c, repeats n, first stride s, kernel k, SE).
+struct StageSpec {
+  double t;
+  long c;
+  int n;
+  long s;
+  long k;
+  bool se = false;
+};
+
+long scale_ch(long ch, double width) {
+  // Round to a multiple of 8, never below 8 — the MobileNet convention.
+  const double scaled = static_cast<double>(ch) * width;
+  long rounded = static_cast<long>(std::llround(scaled / 8.0)) * 8;
+  if (rounded < 8) rounded = 8;
+  return rounded;
+}
+
+/// Append an MBConv stage list after the stem; returns (channels, size).
+void append_stages(NetworkDesc& net, const std::vector<StageSpec>& stages,
+                   long& ch, long& size, const std::string& prefix) {
+  int index = 0;
+  for (const StageSpec& stage : stages) {
+    for (int i = 0; i < stage.n; ++i) {
+      MbConvSpec spec;
+      spec.in_channels = ch;
+      spec.out_channels = stage.c;
+      spec.kernel = stage.k;
+      spec.stride = (i == 0) ? stage.s : 1;
+      spec.expand = stage.t;
+      spec.squeeze_excite = stage.se;
+      net.push_back(mbconv_layer(spec, size, size,
+                                 util::format("%s.mb%d", prefix.c_str(),
+                                              index++)));
+      if (spec.stride == 2) size = (size + 1) / 2;
+      ch = stage.c;
+    }
+  }
+}
+
+}  // namespace
+
+NetworkDesc mobilenet_v2(double width, int classes, long input) {
+  NetworkDesc net;
+  long size = input;
+  long ch = scale_ch(32, width);
+  net.push_back(conv_bn_layer(3, ch, size, size, 3, 2, "stem"));
+  size = (size + 1) / 2;
+
+  const std::vector<StageSpec> stages = {
+      {1, scale_ch(16, width), 1, 1, 3},  {6, scale_ch(24, width), 2, 2, 3},
+      {6, scale_ch(32, width), 3, 2, 3},  {6, scale_ch(64, width), 4, 2, 3},
+      {6, scale_ch(96, width), 3, 1, 3},  {6, scale_ch(160, width), 3, 2, 3},
+      {6, scale_ch(320, width), 1, 1, 3}};
+  append_stages(net, stages, ch, size, "body");
+
+  const long head = width > 1.0 ? scale_ch(1280, width) : 1280;
+  net.push_back(head_layer(ch, head, classes, size, size, "head"));
+  return net;
+}
+
+NetworkDesc shufflenet_v2_15(int classes, long input) {
+  // ShuffleNetV2 1.5×: stages [4, 8, 4], channels [176, 352, 704] — built
+  // by reusing the core lowering with fixed k3 blocks at full width.
+  NetworkDesc net;
+  long size = input;
+  net.push_back(conv_bn_layer(3, 24, size, size, 3, 2, "stem"));
+  size = (size + 1) / 2;
+  {
+    LayerDesc pool;
+    pool.name = "stem.maxpool";
+    pool.ops.push_back(OpDescriptor::pool(24, size, size, 3, 2));
+    size = (size + 1) / 2;
+    pool.out_channels = 24;
+    pool.out_h = size;
+    pool.out_w = size;
+    net.push_back(pool);
+  }
+
+  long ch = 24;
+  const std::vector<std::pair<long, int>> stages = {{176, 4}, {352, 8},
+                                                    {704, 4}};
+  int index = 0;
+  for (const auto& [out_ch, blocks] : stages) {
+    for (int b = 0; b < blocks; ++b) {
+      core::LayerInfo info;
+      info.index = index++;
+      info.stride = (b == 0) ? 2 : 1;
+      info.in_channels = (b == 0) ? ch : out_ch;
+      info.out_channels = out_ch;
+      info.in_h = size;
+      info.in_w = size;
+      net.push_back(
+          core::lower_layer(info, nn::BlockKind::kShuffleK3, 1.0));
+      if (info.stride == 2) size = (size + 1) / 2;
+    }
+    ch = out_ch;
+  }
+  net.push_back(head_layer(ch, 1024, classes, size, size, "head"));
+  return net;
+}
+
+NetworkDesc mobilenet_v3_large(int classes, long input) {
+  NetworkDesc net;
+  long size = input;
+  long ch = 16;
+  net.push_back(conv_bn_layer(3, ch, size, size, 3, 2, "stem"));
+  size = (size + 1) / 2;
+
+  // (kernel, absolute expansion size, out channels, SE, stride) per the
+  // MobileNetV3 paper's Table 1 (large).
+  struct V3Row {
+    long k, exp, out;
+    bool se;
+    long s;
+  };
+  const std::vector<V3Row> rows = {
+      {3, 16, 16, false, 1},  {3, 64, 24, false, 2},  {3, 72, 24, false, 1},
+      {5, 72, 40, true, 2},   {5, 120, 40, true, 1},  {5, 120, 40, true, 1},
+      {3, 240, 80, false, 2}, {3, 200, 80, false, 1}, {3, 184, 80, false, 1},
+      {3, 184, 80, false, 1}, {3, 480, 112, true, 1}, {3, 672, 112, true, 1},
+      {5, 672, 160, true, 2}, {5, 960, 160, true, 1}, {5, 960, 160, true, 1}};
+  int index = 0;
+  for (const V3Row& row : rows) {
+    MbConvSpec spec;
+    spec.in_channels = ch;
+    spec.out_channels = row.out;
+    spec.kernel = row.k;
+    spec.stride = row.s;
+    spec.expand = static_cast<double>(row.exp) / static_cast<double>(ch);
+    spec.squeeze_excite = row.se;
+    net.push_back(
+        mbconv_layer(spec, size, size, util::format("body.mb%d", index++)));
+    if (row.s == 2) size = (size + 1) / 2;
+    ch = row.out;
+  }
+
+  // Head: 1×1 conv to 960, pool, FC 1280, FC classes.
+  LayerDesc head;
+  head.name = "head";
+  head.ops.push_back(OpDescriptor::conv(ch, 960, size, size, 1, 1, 1));
+  head.ops.push_back(OpDescriptor::elementwise(960, size, size));
+  OpDescriptor gap = OpDescriptor::pool(960, size, size, size, size);
+  gap.pad = 0;
+  head.ops.push_back(gap);
+  head.ops.push_back(OpDescriptor::linear(960, 1280));
+  head.ops.push_back(OpDescriptor::linear(1280, classes));
+  head.out_channels = classes;
+  head.out_h = 1;
+  head.out_w = 1;
+  net.push_back(head);
+  return net;
+}
+
+NetworkDesc darts_imagenet(int classes, long input) {
+  // DARTS (2nd-order) ImageNet transfer: a three-conv stride-2 stem
+  // (224 → 28), then 14 cells with reductions at 1/3 and 2/3 of the depth
+  // (C = 48 → 96 → 192). Each cell preprocesses its 4C-wide input down to
+  // C, runs 8 separable convolutions on C channels (each sep conv = two
+  // dw+pw passes), joins 4 nodes and concatenates them back to 4C. The
+  // resulting op-count fragmentation is what makes DARTS slow on CPU
+  // despite moderate FLOPs (~0.57 GMacs).
+  NetworkDesc net;
+  long size = input;
+  net.push_back(conv_bn_layer(3, 48, size, size, 3, 2, "stem0"));
+  size = (size + 1) / 2;
+  net.push_back(conv_bn_layer(48, 48, size, size, 3, 2, "stem1"));
+  size = (size + 1) / 2;
+  net.push_back(conv_bn_layer(48, 96, size, size, 3, 2, "stem2"));
+  size = (size + 1) / 2;  // 28×28
+  long prev_out = 96;     // channels entering the first cell
+
+  const int cells = 14;
+  long c = 48;  // per-op cell width
+  for (int cell = 0; cell < cells; ++cell) {
+    const bool reduction = (cell == cells / 3 || cell == 2 * cells / 3);
+    LayerDesc layer;
+    layer.name = util::format("cell%d%s", cell, reduction ? ".reduce" : "");
+    // Preprocess: 1×1 conv squeezing the previous cell's 4C output to C;
+    // in reduction cells it also carries the stride-2 (as DARTS's
+    // factorized-reduce preprocessing does).
+    const long in_size = size;
+    if (reduction) {
+      size = (size + 1) / 2;
+      c *= 2;
+    }
+    layer.ops.push_back(OpDescriptor::conv(prev_out, c, in_size, in_size, 1,
+                                           reduction ? 2 : 1, 1));
+    layer.ops.push_back(OpDescriptor::elementwise(c, size, size));
+    // 8 ops per cell: 6 sep_conv_3x3 + 2 sep_conv_5x5, each applied twice.
+    for (int op = 0; op < 8; ++op) {
+      const long k = (op < 6) ? 3 : 5;
+      for (int pass = 0; pass < 2; ++pass) {
+        layer.ops.push_back(OpDescriptor::depthwise(c, size, size, k, 1));
+        layer.ops.push_back(OpDescriptor::elementwise(c, size, size));
+        layer.ops.push_back(OpDescriptor::conv(c, c, size, size, 1, 1, 1));
+        layer.ops.push_back(OpDescriptor::elementwise(c, size, size));
+      }
+    }
+    // 4 node joins + the output concat of the 4 nodes (4C channels).
+    for (int j = 0; j < 4; ++j) {
+      layer.ops.push_back(OpDescriptor::elementwise(c, size, size));
+    }
+    layer.ops.push_back(OpDescriptor::shuffle(4 * c, size, size));
+    prev_out = 4 * c;
+    layer.out_channels = prev_out;
+    layer.out_h = size;
+    layer.out_w = size;
+    net.push_back(layer);
+  }
+  net.push_back(head_layer(prev_out, 768, classes, size, size, "head"));
+  return net;
+}
+
+NetworkDesc mnasnet_a1(int classes, long input) {
+  NetworkDesc net;
+  long size = input;
+  long ch = 32;
+  net.push_back(conv_bn_layer(3, ch, size, size, 3, 2, "stem"));
+  size = (size + 1) / 2;
+  net.push_back(sepconv_layer(ch, 16, size, size, 3, 1, "sep"));
+  ch = 16;
+
+  const std::vector<StageSpec> stages = {
+      {6, 24, 2, 2, 3, false}, {3, 40, 3, 2, 5, true},
+      {6, 80, 4, 2, 3, false}, {6, 112, 2, 1, 3, true},
+      {6, 160, 3, 2, 5, true}, {6, 320, 1, 1, 3, false}};
+  append_stages(net, stages, ch, size, "body");
+  net.push_back(head_layer(ch, 1280, classes, size, size, "head"));
+  return net;
+}
+
+NetworkDesc fbnet(char variant, int classes, long input) {
+  NetworkDesc net;
+  long size = input;
+  long ch = 16;
+  net.push_back(conv_bn_layer(3, ch, size, size, 3, 2, "stem"));
+  size = (size + 1) / 2;
+
+  std::vector<StageSpec> stages;
+  long head = 1984;
+  switch (variant) {
+    case 'A':
+      stages = {{1, 16, 1, 1, 3},  {3, 24, 1, 2, 3}, {1, 24, 3, 1, 3},
+                {6, 32, 1, 2, 5},  {3, 32, 3, 1, 3}, {6, 64, 1, 2, 5},
+                {3, 64, 3, 1, 3},  {6, 112, 1, 1, 5}, {3, 112, 3, 1, 3},
+                {6, 184, 1, 2, 5}, {3, 184, 3, 1, 5}, {6, 352, 1, 1, 3}};
+      head = 1504;
+      break;
+    case 'B':
+      stages = {{1, 16, 1, 1, 3},  {6, 24, 1, 2, 3}, {1, 24, 3, 1, 3},
+                {6, 32, 1, 2, 5},  {3, 32, 3, 1, 3}, {6, 64, 1, 2, 5},
+                {3, 64, 3, 1, 5},  {6, 112, 1, 1, 5}, {3, 112, 3, 1, 5},
+                {6, 184, 1, 2, 5}, {3, 184, 3, 1, 5}, {6, 352, 1, 1, 3}};
+      break;
+    case 'C':
+      stages = {{1, 16, 1, 1, 3},  {6, 24, 1, 2, 3}, {1, 24, 3, 1, 3},
+                {6, 32, 1, 2, 5},  {3, 32, 3, 1, 3}, {6, 64, 1, 2, 5},
+                {6, 64, 3, 1, 5},  {6, 112, 1, 1, 5}, {6, 112, 3, 1, 5},
+                {6, 184, 1, 2, 5}, {6, 184, 3, 1, 5}, {6, 352, 1, 1, 3}};
+      break;
+    default:
+      throw InvalidArgument("fbnet: variant must be 'A', 'B' or 'C'");
+  }
+  append_stages(net, stages, ch, size, "body");
+  net.push_back(head_layer(ch, head, classes, size, size, "head"));
+  return net;
+}
+
+NetworkDesc proxylessnas(const std::string& target, int classes,
+                         long input) {
+  NetworkDesc net;
+  long size = input;
+  std::vector<StageSpec> stages;
+  long stem_ch = 32, sep_ch = 16, head = 1280;
+
+  if (target == "mobile") {
+    stages = {{3, 24, 1, 2, 5},  {3, 24, 3, 1, 3},  {3, 40, 1, 2, 7},
+              {3, 40, 3, 1, 3},  {6, 80, 1, 2, 7},  {3, 80, 3, 1, 5},
+              {6, 96, 1, 1, 5},  {3, 96, 3, 1, 5},  {6, 192, 1, 2, 7},
+              {6, 192, 3, 1, 7}, {6, 320, 1, 1, 7}};
+  } else if (target == "gpu") {
+    // Shallow-and-wide with large kernels: fewer, beefier kernels suit the
+    // GPU's launch-overhead/occupancy profile.
+    stem_ch = 40;
+    sep_ch = 24;
+    head = 1728;
+    stages = {{6, 32, 1, 2, 5},  {6, 56, 1, 2, 7},  {6, 112, 1, 2, 7},
+              {6, 112, 1, 1, 5}, {6, 128, 1, 1, 5}, {6, 256, 1, 2, 7},
+              {6, 256, 1, 1, 7}, {6, 432, 1, 1, 7}};
+  } else if (target == "cpu") {
+    // Deep-and-narrow with 3×3 kernels throughout.
+    stem_ch = 40;
+    sep_ch = 24;
+    head = 1432;
+    stages = {{6, 32, 2, 2, 3},  {6, 48, 4, 2, 3}, {6, 88, 4, 2, 3},
+              {6, 104, 4, 1, 3}, {6, 216, 4, 2, 3}, {6, 360, 1, 1, 3}};
+  } else {
+    throw InvalidArgument("proxylessnas: target must be mobile|gpu|cpu");
+  }
+
+  long ch = stem_ch;
+  net.push_back(conv_bn_layer(3, ch, size, size, 3, 2, "stem"));
+  size = (size + 1) / 2;
+  net.push_back(sepconv_layer(ch, sep_ch, size, size, 3, 1, "sep"));
+  ch = sep_ch;
+  append_stages(net, stages, ch, size, "body");
+  net.push_back(head_layer(ch, head, classes, size, size, "head"));
+  return net;
+}
+
+std::vector<Baseline> baseline_zoo(int num_classes, long input_size) {
+  std::vector<Baseline> zoo;
+  const auto add = [&](std::string name, std::string group, double top1,
+                       double top5, double gpu, double cpu, double edge,
+                       NetworkDesc network) {
+    zoo.push_back(Baseline{std::move(name), std::move(group), top1, top5,
+                           gpu, cpu, edge, std::move(network)});
+  };
+
+  add("MobileNetV2 1.0x", "manual", 28.0, -1, 11.5, 25.2, 61.9,
+      mobilenet_v2(1.0, num_classes, input_size));
+  add("ShuffleNetV2 1.5x", "manual", 27.4, -1, 10.5, 34.3, 65.9,
+      shufflenet_v2_15(num_classes, input_size));
+  add("MobileNetV3 (large)", "manual", 24.8, -1, 12.2, 31.8, 61.1,
+      mobilenet_v3_large(num_classes, input_size));
+
+  add("DARTS", "nas", 26.7, 8.7, 17.3, 81.4, 68.7,
+      darts_imagenet(num_classes, input_size));
+  add("MnasNet-A1", "nas", 24.8, 7.5, 10.9, 26.4, 51.8,
+      mnasnet_a1(num_classes, input_size));
+  add("FBNet-A", "nas", 27.0, 9.1, 10.5, 21.6, 48.6,
+      fbnet('A', num_classes, input_size));
+  add("FBNet-B", "nas", 25.9, 8.2, 13.6, 25.5, 57.1,
+      fbnet('B', num_classes, input_size));
+  add("FBNet-C", "nas", 25.1, 7.7, 15.5, 28.7, 66.4,
+      fbnet('C', num_classes, input_size));
+  add("ProxylessNAS-GPU", "nas", 24.9, 7.5, 12.0, 24.5, 57.4,
+      proxylessnas("gpu", num_classes, input_size));
+  add("ProxylessNAS-CPU", "nas", 24.7, -1, 16.1, 29.6, 70.1,
+      proxylessnas("cpu", num_classes, input_size));
+  add("ProxylessNAS-Mobile", "nas", 25.4, 7.8, 11.5, 26.4, 53.5,
+      proxylessnas("mobile", num_classes, input_size));
+
+  return zoo;
+}
+
+}  // namespace hsconas::baselines

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwsim/op_descriptor.h"
+
+namespace hsconas::baselines {
+
+/// A Table I comparison network: its published ImageNet metrics plus an
+/// operator-level descriptor of its architecture for the device simulator.
+///
+/// MobileNetV2/V3, ShuffleNetV2 and MnasNet-A1 follow their published
+/// layer tables exactly. FBNet-A/B/C and the three ProxylessNAS variants
+/// are reconstructed as MBConv chains matching their published
+/// compute/parameter budgets and macro-shape (exact per-layer choices are
+/// in their papers' appendices; the latency-relevant structure — depth,
+/// widths, kernel mix, fragmentation — is preserved). DARTS is lowered
+/// cell-by-cell, which is what makes it slow on CPU despite moderate
+/// FLOPs: ~8 separable convs plus joins per cell, ×14 cells.
+struct Baseline {
+  std::string name;
+  std::string group;  ///< "manual" or "nas"
+  double paper_top1_err = 0.0;
+  double paper_top5_err = -1.0;  ///< -1 when the paper leaves it blank
+  double paper_gpu_ms = 0.0;
+  double paper_cpu_ms = 0.0;
+  double paper_edge_ms = 0.0;
+  hwsim::NetworkDesc network;
+};
+
+/// All 12 Table I baselines, in the paper's row order.
+std::vector<Baseline> baseline_zoo(int num_classes = 1000,
+                                   long input_size = 224);
+
+/// Individual builders (exposed for tests and examples).
+hwsim::NetworkDesc mobilenet_v2(double width = 1.0, int classes = 1000,
+                                long input = 224);
+hwsim::NetworkDesc shufflenet_v2_15(int classes = 1000, long input = 224);
+hwsim::NetworkDesc mobilenet_v3_large(int classes = 1000, long input = 224);
+hwsim::NetworkDesc darts_imagenet(int classes = 1000, long input = 224);
+hwsim::NetworkDesc mnasnet_a1(int classes = 1000, long input = 224);
+hwsim::NetworkDesc fbnet(char variant, int classes = 1000, long input = 224);
+hwsim::NetworkDesc proxylessnas(const std::string& target, int classes = 1000,
+                                long input = 224);
+
+}  // namespace hsconas::baselines

@@ -1,0 +1,58 @@
+#include "core/accuracy_surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/lowering.h"
+#include "nn/blocks.h"
+#include "util/rng.h"
+
+namespace hsconas::core {
+
+AccuracySurrogate::AccuracySurrogate(const SearchSpace& space)
+    : AccuracySurrogate(space, Config()) {}
+
+AccuracySurrogate::AccuracySurrogate(const SearchSpace& space, Config config)
+    : space_(space), config_(config) {}
+
+double AccuracySurrogate::top1_error(const Arch& arch) const {
+  arch.validate(space_);
+
+  const double gmacs = arch_macs(arch, space_) / 1e9;
+  double err = config_.base_err +
+               config_.scale / std::pow(std::max(gmacs, 1e-4),
+                                        config_.exponent);
+
+  // Information-bottleneck penalty: very narrow layers throttle the whole
+  // network regardless of total compute.
+  int skips = 0;
+  for (int l = 0; l < arch.num_layers(); ++l) {
+    if (nn::family_op_is_skip(space_.config().family,
+                              arch.ops[static_cast<std::size_t>(l)])) {
+      ++skips;
+      continue;  // skips carry no width of their own
+    }
+    const double c = space_.config().channel_factors.at(
+        static_cast<std::size_t>(arch.factors[static_cast<std::size_t>(l)]));
+    err += config_.bottleneck_penalty *
+           std::max(0.0, config_.bottleneck_knee - c);
+  }
+
+  // Depth loss: a few skips are benign (the space uses them for latency),
+  // but gutting the network costs accuracy beyond the compute term.
+  err += config_.skip_penalty *
+         std::max(0, skips - config_.skip_budget);
+
+  // Deterministic per-arch residual: same arch, same answer.
+  util::Rng rng(arch.hash());
+  err += config_.noise_sigma * rng.normal();
+
+  return std::clamp(err, 1.0, 95.0);
+}
+
+double AccuracySurrogate::top5_from_top1(double top1_error) {
+  // Linear fit on the paper's published (top-1, top-5) pairs.
+  return std::max(0.5, 0.638 * top1_error - 8.3);
+}
+
+}  // namespace hsconas::core

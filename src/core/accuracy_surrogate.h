@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/arch.h"
+#include "core/search_space.h"
+
+namespace hsconas::core {
+
+/// ImageNet-accuracy surrogate for paper-scale experiments (see DESIGN.md,
+/// substitution table): a capacity model mapping an architecture's compute,
+/// width profile, and depth to an estimated ImageNet top-1 error.
+///
+/// The coefficients are calibrated against the published operating points
+/// of the Table I networks so that (a) full-width layout-A/B candidates
+/// land at the error levels the paper reports for HSCoNets, and (b) the
+/// error degrades smoothly as channel scaling and skip operators remove
+/// capacity — the monotone relationship every search decision relies on.
+///
+/// Determinism: the per-architecture residual "noise" is seeded from the
+/// arch hash, so repeated queries agree (the EA requires a stable fitness).
+class AccuracySurrogate {
+ public:
+  struct Config {
+    double base_err = 20.45;   ///< asymptotic top-1 error offset (%)
+    double scale = 1.54;       ///< compute-term coefficient
+    double exponent = 0.62;    ///< err ~ scale / gmacs^exponent
+    double bottleneck_penalty = 2.0;  ///< per unit of (0.3 − cˡ), summed
+    double bottleneck_knee = 0.3;     ///< factors below this start hurting
+    double skip_penalty = 0.25;       ///< per skip beyond the budget
+    int skip_budget = 4;
+    double noise_sigma = 0.15;  ///< deterministic residual stddev (%)
+  };
+
+  explicit AccuracySurrogate(const SearchSpace& space);
+  AccuracySurrogate(const SearchSpace& space, Config config);
+
+  /// Estimated ImageNet top-1 error, percent.
+  double top1_error(const Arch& arch) const;
+
+  /// Estimated top-1 accuracy fraction in [0, 1] — the ACC(·) of Eq. 1.
+  double accuracy(const Arch& arch) const {
+    return 1.0 - top1_error(arch) / 100.0;
+  }
+
+  /// Companion top-5 error from the empirical top1→top5 line fitted on the
+  /// published Table I points (e.g. 25.1 → 7.7, 23.5 → 6.7).
+  static double top5_from_top1(double top1_error);
+
+ private:
+  const SearchSpace& space_;
+  Config config_;
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,73 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace hsconas::core {
+
+std::vector<LayerStatistics> analyze_population(
+    const std::vector<EvolutionSearch::Candidate>& candidates,
+    const SearchSpace& space, std::size_t top_k) {
+  if (candidates.empty()) {
+    throw InvalidArgument("analyze_population: empty candidate set");
+  }
+  std::vector<const EvolutionSearch::Candidate*> pool;
+  pool.reserve(candidates.size());
+  for (const auto& c : candidates) pool.push_back(&c);
+  std::sort(pool.begin(), pool.end(),
+            [](const auto* a, const auto* b) { return a->score > b->score; });
+  if (top_k > 0 && top_k < pool.size()) pool.resize(top_k);
+
+  const int L = space.num_layers();
+  const int K = space.config().num_ops;
+  std::vector<LayerStatistics> stats(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    LayerStatistics& s = stats[static_cast<std::size_t>(l)];
+    s.layer = l;
+    s.op_frequency.assign(static_cast<std::size_t>(K), 0.0);
+    for (const auto* c : pool) {
+      c->arch.validate(space);
+      s.op_frequency[static_cast<std::size_t>(
+          c->arch.ops[static_cast<std::size_t>(l)])] += 1.0;
+      s.mean_channel_factor += space.config().channel_factors.at(
+          static_cast<std::size_t>(
+              c->arch.factors[static_cast<std::size_t>(l)]));
+    }
+    const double n = static_cast<double>(pool.size());
+    for (double& f : s.op_frequency) f /= n;
+    s.mean_channel_factor /= n;
+    s.dominant_op = static_cast<int>(
+        std::max_element(s.op_frequency.begin(), s.op_frequency.end()) -
+        s.op_frequency.begin());
+  }
+  return stats;
+}
+
+std::string render_layer_statistics(
+    const std::vector<LayerStatistics>& stats, const SearchSpace& space) {
+  std::vector<std::string> header{"layer", "stage", "stride"};
+  for (int k = 0; k < space.config().num_ops; ++k) {
+    header.push_back(space.op_name(k));
+  }
+  header.push_back("mean c");
+  header.push_back("dominant");
+  util::Table table(std::move(header));
+  for (const auto& s : stats) {
+    const LayerInfo& info = space.layer(s.layer);
+    std::vector<std::string> row{util::format("%d", s.layer),
+                                 util::format("%d", info.stage),
+                                 util::format("%ld", info.stride)};
+    for (double f : s.op_frequency) {
+      row.push_back(util::format("%.2f", f));
+    }
+    row.push_back(util::format("%.2f", s.mean_channel_factor));
+    row.push_back(space.op_name(s.dominant_op));
+    table.add_row(row);
+  }
+  return table.render();
+}
+
+}  // namespace hsconas::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evolution.h"
+
+namespace hsconas::core {
+
+/// Post-hoc analysis of a searched population: which operators and channel
+/// factors survive at each layer — the qualitative reading the paper does
+/// on its discovered HSCoNets (e.g. wide late layers, cheap early ones).
+struct LayerStatistics {
+  int layer = 0;
+  /// Operator frequency among the top candidates, index-aligned with
+  /// nn::BlockKind.
+  std::vector<double> op_frequency;
+  double mean_channel_factor = 0.0;
+  int dominant_op = 0;
+};
+
+/// Compute per-layer statistics over the `top_k` best-scoring candidates
+/// (0 = all). Candidates must all belong to `space`.
+std::vector<LayerStatistics> analyze_population(
+    const std::vector<EvolutionSearch::Candidate>& candidates,
+    const SearchSpace& space, std::size_t top_k = 0);
+
+/// Render the statistics as an ASCII table (one row per layer).
+std::string render_layer_statistics(const std::vector<LayerStatistics>& stats,
+                                    const SearchSpace& space);
+
+}  // namespace hsconas::core

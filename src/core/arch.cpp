@@ -1,0 +1,163 @@
+#include "core/arch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace hsconas::core {
+
+std::uint64_t Arch::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the genes
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    mix(static_cast<std::uint64_t>(ops[i]) + 1);
+    mix((static_cast<std::uint64_t>(factors[i]) + 1) << 8);
+  }
+  return h;
+}
+
+std::string Arch::to_string(const SearchSpace& space) const {
+  std::vector<std::string> parts;
+  parts.reserve(ops.size());
+  for (std::size_t l = 0; l < ops.size(); ++l) {
+    const double factor =
+        space.config().channel_factors.at(static_cast<std::size_t>(factors[l]));
+    parts.push_back(util::format("%s@%.1f", space.op_name(ops[l]), factor));
+  }
+  return util::join(parts, " | ");
+}
+
+util::Json Arch::to_json(const SearchSpace& space) const {
+  util::Json layers = util::Json::array();
+  for (std::size_t l = 0; l < ops.size(); ++l) {
+    util::Json entry = util::Json::object();
+    entry["layer"] = static_cast<long long>(l);
+    entry["op"] = space.op_name(ops[l]);
+    entry["channel_factor"] =
+        space.config().channel_factors.at(static_cast<std::size_t>(factors[l]));
+    layers.push_back(std::move(entry));
+  }
+  util::Json out = util::Json::object();
+  out["layers"] = std::move(layers);
+  return out;
+}
+
+Arch Arch::random(const SearchSpace& space, util::Rng& rng) {
+  Arch arch;
+  const int L = space.num_layers();
+  arch.ops.reserve(static_cast<std::size_t>(L));
+  arch.factors.reserve(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    arch.ops.push_back(rng.choice(space.allowed_ops(l)));
+    arch.factors.push_back(rng.choice(space.allowed_factors(l)));
+  }
+  return arch;
+}
+
+Arch Arch::random_with_fixed_op(const SearchSpace& space, util::Rng& rng,
+                                int fixed_layer, int fixed_op) {
+  Arch arch = random(space, rng);
+  HSCONAS_CHECK_MSG(fixed_layer >= 0 && fixed_layer < arch.num_layers(),
+                    "random_with_fixed_op: layer out of range");
+  arch.ops[static_cast<std::size_t>(fixed_layer)] = fixed_op;
+  return arch;
+}
+
+Arch Arch::from_string(const SearchSpace& space, const std::string& s) {
+  Arch arch;
+  for (const std::string& raw : util::split(s, '|')) {
+    const std::string token = util::trim(raw);
+    if (token.empty()) {
+      throw InvalidArgument("Arch::from_string: empty layer token");
+    }
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) {
+      throw InvalidArgument("Arch::from_string: token '" + token +
+                            "' lacks '@factor'");
+    }
+    const std::string op_name = util::trim(token.substr(0, at));
+    const std::string factor_str = util::trim(token.substr(at + 1));
+
+    int op = -1;
+    for (int k = 0; k < space.config().num_ops; ++k) {
+      if (op_name == space.op_name(k)) {
+        op = k;
+        break;
+      }
+    }
+    if (op < 0) {
+      throw InvalidArgument("Arch::from_string: unknown operator '" +
+                            op_name + "'");
+    }
+
+    char* end = nullptr;
+    const double factor = std::strtod(factor_str.c_str(), &end);
+    if (end == factor_str.c_str() || *end != '\0') {
+      throw InvalidArgument("Arch::from_string: bad factor '" + factor_str +
+                            "'");
+    }
+    int factor_idx = -1;
+    const auto& factors = space.config().channel_factors;
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      if (std::abs(factors[i] - factor) < 1e-9) {
+        factor_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (factor_idx < 0) {
+      throw InvalidArgument("Arch::from_string: factor '" + factor_str +
+                            "' is not in the space's factor list");
+    }
+    arch.ops.push_back(op);
+    arch.factors.push_back(factor_idx);
+  }
+  arch.validate(space);
+  return arch;
+}
+
+void Arch::validate(const SearchSpace& space) const {
+  const int L = space.num_layers();
+  if (static_cast<int>(ops.size()) != L ||
+      static_cast<int>(factors.size()) != L) {
+    throw InvalidArgument(util::format(
+        "Arch: expected %d layers, got %zu ops / %zu factors", L, ops.size(),
+        factors.size()));
+  }
+  const int K = space.config().num_ops;
+  const int F = static_cast<int>(space.config().channel_factors.size());
+  for (int l = 0; l < L; ++l) {
+    if (ops[static_cast<std::size_t>(l)] < 0 ||
+        ops[static_cast<std::size_t>(l)] >= K) {
+      throw InvalidArgument("Arch: op index out of range");
+    }
+    if (factors[static_cast<std::size_t>(l)] < 0 ||
+        factors[static_cast<std::size_t>(l)] >= F) {
+      throw InvalidArgument("Arch: channel factor index out of range");
+    }
+  }
+}
+
+bool Arch::in_space(const SearchSpace& space) const {
+  if (num_layers() != space.num_layers()) return false;
+  for (int l = 0; l < num_layers(); ++l) {
+    const auto& ops_l = space.allowed_ops(l);
+    const auto& factors_l = space.allowed_factors(l);
+    if (std::find(ops_l.begin(), ops_l.end(),
+                  ops[static_cast<std::size_t>(l)]) == ops_l.end()) {
+      return false;
+    }
+    if (std::find(factors_l.begin(), factors_l.end(),
+                  factors[static_cast<std::size_t>(l)]) == factors_l.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hsconas::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/search_space.h"
+#include "util/json.h"
+
+namespace hsconas::core {
+
+/// An architecture candidate: arch = {opˡ, cˡ} for l = 1..L (§III-B).
+/// `ops[l]` indexes nn::BlockKind; `factors[l]` indexes
+/// SearchSpaceConfig::channel_factors.
+struct Arch {
+  std::vector<int> ops;
+  std::vector<int> factors;
+
+  int num_layers() const { return static_cast<int>(ops.size()); }
+
+  bool operator==(const Arch& other) const = default;
+
+  /// Stable hash for dedup sets during search.
+  std::uint64_t hash() const;
+
+  /// Compact human-readable form, e.g. "k3@0.5 | skip@1.0 | ...".
+  std::string to_string(const SearchSpace& space) const;
+
+  util::Json to_json(const SearchSpace& space) const;
+
+  /// Uniform sample respecting the space's current (possibly shrunk)
+  /// allowed lists.
+  static Arch random(const SearchSpace& space, util::Rng& rng);
+
+  /// Uniform sample with layer `fixed_layer` forced to `fixed_op`
+  /// (the subspace sampler of Definition 1).
+  static Arch random_with_fixed_op(const SearchSpace& space, util::Rng& rng,
+                                   int fixed_layer, int fixed_op);
+
+  /// Parse the to_string() format back into an Arch:
+  /// "shuffle_k3@0.5 | skip@1.0 | ...". Factors must match one of the
+  /// space's channel factors (within 1e-9). Throws InvalidArgument on any
+  /// malformed or unknown token.
+  static Arch from_string(const SearchSpace& space, const std::string& s);
+
+  /// Throws InvalidArgument unless the arch is well-formed for the space
+  /// (right length, indices in range). Does NOT require it to respect the
+  /// shrunk allowed lists — pre-shrink archs remain representable.
+  void validate(const SearchSpace& space) const;
+
+  /// True if every gene is inside the space's current allowed lists.
+  bool in_space(const SearchSpace& space) const;
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,112 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "util/error.h"
+
+namespace hsconas::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'S', 'C', 'K'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw Error("checkpoint: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(const std::vector<nn::Parameter*>& params,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("checkpoint: cannot open " + path + " for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kCheckpointVersion);
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+
+  for (const nn::Parameter* p : params) {
+    HSCONAS_CHECK_MSG(p != nullptr, "save_parameters: null parameter");
+    write_pod(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    const auto& shape = p->value.shape();
+    write_pod(out, static_cast<std::uint32_t>(shape.size()));
+    for (long d : shape) write_pod(out, static_cast<std::int64_t>(d));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(
+                  static_cast<std::size_t>(p->value.numel()) *
+                  sizeof(float)));
+  }
+  if (!out) throw Error("checkpoint: write failed for " + path);
+}
+
+void load_parameters(const std::vector<nn::Parameter*>& params,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("checkpoint: cannot open " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("checkpoint: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kCheckpointVersion) {
+    throw Error("checkpoint: unsupported version " +
+                std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count != params.size()) {
+    throw Error("checkpoint: file has " + std::to_string(count) +
+                " parameters, model expects " +
+                std::to_string(params.size()));
+  }
+
+  std::map<std::string, nn::Parameter*> by_name;
+  for (nn::Parameter* p : params) {
+    HSCONAS_CHECK_MSG(p != nullptr, "load_parameters: null parameter");
+    if (!by_name.emplace(p->name, p).second) {
+      throw Error("checkpoint: duplicate parameter name '" + p->name + "'");
+    }
+  }
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto ndim = read_pod<std::uint32_t>(in);
+    std::vector<long> shape(ndim);
+    for (auto& d : shape) d = static_cast<long>(read_pod<std::int64_t>(in));
+
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw Error("checkpoint: unexpected parameter '" + name + "'");
+    }
+    nn::Parameter* p = it->second;
+    if (p->value.shape() != shape) {
+      throw Error("checkpoint: shape mismatch for '" + name + "'");
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(
+                static_cast<std::size_t>(p->value.numel()) * sizeof(float)));
+    if (!in) throw Error("checkpoint: truncated data for '" + name + "'");
+    by_name.erase(it);
+  }
+  if (!by_name.empty()) {
+    throw Error("checkpoint: parameter '" + by_name.begin()->first +
+                "' missing from file");
+  }
+}
+
+}  // namespace hsconas::core

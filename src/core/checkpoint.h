@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace hsconas::core {
+
+/// Binary checkpointing for trained parameters (supernet or standalone
+/// networks). Format: "HSCK" magic, u32 version, u64 parameter count, then
+/// per parameter: name (u32 length + bytes), shape (u32 ndim + i64 dims),
+/// raw fp32 data. Little-endian, as every platform this builds on is.
+///
+/// Loading matches strictly by name and shape — a checkpoint from a
+/// different space configuration fails loudly instead of silently
+/// misassigning weights.
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Serialize `params` (values only; gradients are transient) to `path`.
+void save_parameters(const std::vector<nn::Parameter*>& params,
+                     const std::string& path);
+
+/// Restore values into `params` from `path`. Every parameter in `params`
+/// must be present in the file with a matching shape; extra entries in the
+/// file are an error too (the two sets must match exactly).
+void load_parameters(const std::vector<nn::Parameter*>& params,
+                     const std::string& path);
+
+}  // namespace hsconas::core

@@ -1,0 +1,185 @@
+#include "core/evolution.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace hsconas::core {
+
+EvolutionSearch::EvolutionSearch(const SearchSpace& space,
+                                 AccuracyFn accuracy,
+                                 const LatencyModel& latency,
+                                 Objective objective, Config config)
+    : space_(space),
+      accuracy_(std::move(accuracy)),
+      latency_(latency),
+      objective_(objective),
+      config_(config),
+      rng_(config.seed) {
+  HSCONAS_CHECK_MSG(accuracy_ != nullptr, "EvolutionSearch: null accuracy");
+  if (config_.population < 2 || config_.parents < 1 ||
+      config_.parents > config_.population || config_.generations < 1) {
+    throw InvalidArgument("EvolutionSearch: bad population configuration");
+  }
+}
+
+EvolutionSearch::EvolutionSearch(const SearchSpace& space,
+                                 AccuracyFn accuracy,
+                                 const LatencyModel& latency,
+                                 const EnergyModel& energy,
+                                 Objective objective, Config config)
+    : EvolutionSearch(space, std::move(accuracy), latency, objective,
+                      config) {
+  if (!objective.energy_aware()) {
+    throw InvalidArgument(
+        "EvolutionSearch: energy model supplied but Objective has no "
+        "energy term (set gamma < 0 and energy_budget_mj > 0)");
+  }
+  energy_ = &energy;
+}
+
+EvolutionSearch::Candidate EvolutionSearch::evaluate(Arch arch) {
+  Candidate c;
+  c.arch = std::move(arch);
+  c.accuracy = accuracy_(c.arch);
+  c.latency_ms = latency_.predict_ms(c.arch);
+  if (energy_ != nullptr) {
+    c.energy_mj = energy_->predict_mj(c.arch);
+    c.score = objective_.score(c.accuracy, c.latency_ms, c.energy_mj);
+  } else {
+    c.score = objective_.score(c.accuracy, c.latency_ms);
+  }
+  return c;
+}
+
+Arch EvolutionSearch::crossover(const Arch& a, const Arch& b) {
+  // Uniform crossover at layer granularity: each layer inherits its whole
+  // (op, factor) gene from one parent, which keeps op/width combinations
+  // that trained well together.
+  Arch child = a;
+  for (int l = 0; l < child.num_layers(); ++l) {
+    if (rng_.bernoulli(0.5)) {
+      child.ops[static_cast<std::size_t>(l)] =
+          b.ops[static_cast<std::size_t>(l)];
+      child.factors[static_cast<std::size_t>(l)] =
+          b.factors[static_cast<std::size_t>(l)];
+    }
+  }
+  return child;
+}
+
+Arch EvolutionSearch::mutate(Arch arch) {
+  // Resample a few layers' genes — operator level and channel level
+  // independently, so the EA explores both axes (§III-D).
+  bool changed = false;
+  for (int l = 0; l < arch.num_layers(); ++l) {
+    if (rng_.bernoulli(config_.gene_mutation_prob)) {
+      arch.ops[static_cast<std::size_t>(l)] =
+          rng_.choice(space_.allowed_ops(l));
+      changed = true;
+    }
+    if (rng_.bernoulli(config_.gene_mutation_prob)) {
+      arch.factors[static_cast<std::size_t>(l)] =
+          rng_.choice(space_.allowed_factors(l));
+      changed = true;
+    }
+  }
+  if (!changed) {
+    // Guarantee progress: force one gene.
+    const int l = static_cast<int>(rng_.index(
+        static_cast<std::size_t>(arch.num_layers())));
+    arch.ops[static_cast<std::size_t>(l)] =
+        rng_.choice(space_.allowed_ops(l));
+  }
+  return arch;
+}
+
+EvolutionSearch::Result EvolutionSearch::run() {
+  Result result;
+  std::unordered_set<std::uint64_t> seen;
+
+  std::vector<Candidate> population;
+  population.reserve(static_cast<std::size_t>(config_.population));
+  while (static_cast<int>(population.size()) < config_.population) {
+    Arch arch = Arch::random(space_, rng_);
+    if (!seen.insert(arch.hash()).second) continue;
+    population.push_back(evaluate(std::move(arch)));
+    result.evaluated.push_back(population.back());
+  }
+
+  result.best = population.front();
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.score > b.score;
+              });
+    if (population.front().score > result.best.score) {
+      result.best = population.front();
+    }
+
+    std::vector<double> scores;
+    scores.reserve(population.size());
+    for (const Candidate& c : population) scores.push_back(c.score);
+    GenerationStats stats;
+    stats.generation = gen;
+    stats.best_score = population.front().score;
+    stats.mean_score = util::mean(scores);
+    stats.best_latency_ms = population.front().latency_ms;
+    stats.best_accuracy = population.front().accuracy;
+    result.per_generation.push_back(stats);
+
+    // Top-k parents breed the next generation. Elites survive unchanged.
+    const std::vector<Candidate> parents(
+        population.begin(), population.begin() + config_.parents);
+    std::vector<Candidate> next;
+    next.reserve(population.size());
+    const int elites = std::max(1, config_.parents / 10);
+    for (int e = 0; e < elites; ++e) next.push_back(parents[static_cast<std::size_t>(e)]);
+
+    int stagnation_guard = 0;
+    while (static_cast<int>(next.size()) < config_.population) {
+      const Candidate& p1 =
+          parents[rng_.index(parents.size())];
+      Arch child = p1.arch;
+      if (rng_.bernoulli(config_.crossover_prob)) {
+        const Candidate& p2 = parents[rng_.index(parents.size())];
+        child = crossover(p1.arch, p2.arch);
+      }
+      if (rng_.bernoulli(config_.mutation_prob)) {
+        child = mutate(std::move(child));
+      }
+      if (!seen.insert(child.hash()).second) {
+        // Duplicate: force a mutation rather than re-evaluating; bail to a
+        // fresh random arch if the space is tiny or nearly exhausted.
+        if (++stagnation_guard > 20) {
+          child = Arch::random(space_, rng_);
+          if (!seen.insert(child.hash()).second) {
+            // Space saturated — accept re-evaluating a duplicate.
+            next.push_back(evaluate(std::move(child)));
+            stagnation_guard = 0;
+            continue;
+          }
+        } else {
+          child = mutate(std::move(child));
+          if (!seen.insert(child.hash()).second) continue;
+        }
+      }
+      stagnation_guard = 0;
+      next.push_back(evaluate(std::move(child)));
+      result.evaluated.push_back(next.back());
+    }
+    population = std::move(next);
+  }
+
+  // Final bookkeeping over the last generation.
+  for (const Candidate& c : population) {
+    if (c.score > result.best.score) result.best = c;
+  }
+  return result;
+}
+
+}  // namespace hsconas::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "core/arch.h"
+#include "core/energy_model.h"
+#include "core/latency_model.h"
+#include "core/objective.h"
+#include "core/space_shrinking.h"  // AccuracyFn
+
+namespace hsconas::core {
+
+/// Evolutionary architecture search (§III-D, Eq. 5): generational EA over
+/// {opˡ, cˡ} genomes with top-k parent selection, uniform crossover and
+/// per-layer mutation at both the operator and the channel level. Paper
+/// defaults: 20 generations, population 50, 20 parents, pc = pm = 0.25.
+class EvolutionSearch {
+ public:
+  struct Config {
+    int generations = 20;
+    int population = 50;
+    int parents = 20;
+    double crossover_prob = 0.25;
+    double mutation_prob = 0.25;
+    /// Per-layer gene resample probability once an arch is selected for
+    /// mutation (so mutation changes a couple of layers, not all 20).
+    double gene_mutation_prob = 0.1;
+    std::uint64_t seed = 99;
+  };
+
+  struct Candidate {
+    Arch arch;
+    double accuracy = 0.0;
+    double latency_ms = 0.0;
+    double energy_mj = 0.0;  ///< 0 unless an EnergyModel was supplied
+    double score = -1e300;   ///< F(arch, T)
+  };
+
+  struct GenerationStats {
+    int generation = 0;
+    double best_score = 0.0;
+    double mean_score = 0.0;
+    double best_latency_ms = 0.0;  ///< latency of the best candidate
+    double best_accuracy = 0.0;
+  };
+
+  struct Result {
+    Candidate best;
+    std::vector<GenerationStats> per_generation;
+    /// Every distinct candidate evaluated during the search (for the
+    /// Fig. 6 latency histogram).
+    std::vector<Candidate> evaluated;
+  };
+
+  EvolutionSearch(const SearchSpace& space, AccuracyFn accuracy,
+                  const LatencyModel& latency, Objective objective,
+                  Config config);
+
+  /// Energy-aware variant (§V extension): candidates are additionally
+  /// priced by the energy model and scored with the γ term of Objective.
+  EvolutionSearch(const SearchSpace& space, AccuracyFn accuracy,
+                  const LatencyModel& latency, const EnergyModel& energy,
+                  Objective objective, Config config);
+
+  Result run();
+
+ private:
+  Candidate evaluate(Arch arch);
+  Arch crossover(const Arch& a, const Arch& b);
+  Arch mutate(Arch arch);
+
+  const SearchSpace& space_;
+  AccuracyFn accuracy_;
+  const LatencyModel& latency_;
+  const EnergyModel* energy_ = nullptr;  ///< optional, non-owning
+  Objective objective_;
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace hsconas::core

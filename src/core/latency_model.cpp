@@ -1,0 +1,103 @@
+#include "core/latency_model.h"
+
+#include "util/error.h"
+
+namespace hsconas::core {
+
+LatencyModel::LatencyModel(const SearchSpace& space,
+                           const hwsim::DeviceSimulator& device,
+                           Config config)
+    : space_(space),
+      device_(device),
+      config_(config),
+      noise_rng_(config.seed ^ 0x6e6f697365ull) {
+  if (config_.batch < 1 || config_.bias_samples < 1) {
+    throw InvalidArgument("LatencyModel: batch and bias_samples must be >= 1");
+  }
+  build_lut();
+  calibrate_bias();
+}
+
+void LatencyModel::build_lut() {
+  const int L = space_.num_layers();
+  const int K = space_.config().num_ops;
+  const int F = static_cast<int>(space_.config().channel_factors.size());
+  lut_.assign(static_cast<std::size_t>(L) * K * F, 0.0);
+
+  for (int l = 0; l < L; ++l) {
+    const LayerInfo& info = space_.layer(l);
+    for (int op = 0; op < K; ++op) {
+      for (int f = 0; f < F; ++f) {
+        const double factor =
+            space_.config().channel_factors[static_cast<std::size_t>(f)];
+        const hwsim::LayerDesc layer =
+            lower_layer(info, space_.config().family, op, factor);
+        lut_[(static_cast<std::size_t>(l) * K + op) * F + f] =
+            device_.layer_latency_ms(layer, config_.batch);
+      }
+    }
+  }
+
+  long size = space_.body_input_size();
+  for (int l = 0; l < L; ++l) {
+    if (space_.layer(l).stride == 2) size = (size + 1) / 2;
+  }
+  stem_ms_ =
+      device_.layer_latency_ms(lower_stem(space_.config()), config_.batch);
+  head_ms_ = device_.layer_latency_ms(lower_head(space_.config(), size),
+                                      config_.batch);
+}
+
+void LatencyModel::calibrate_bias() {
+  // Eq. 3: B = mean over M sampled archs of (on-device latency − LUT sum).
+  util::Rng rng(config_.seed);
+  double gap = 0.0;
+  for (int i = 0; i < config_.bias_samples; ++i) {
+    const Arch arch = Arch::random(space_, rng);
+    const double on_device = device_.network_latency_ms(
+        lower_network(arch, space_), config_.batch,
+        config_.measurement_noise ? &rng : nullptr);
+    gap += on_device - predict_uncorrected_ms(arch);
+  }
+  bias_ = gap / static_cast<double>(config_.bias_samples);
+}
+
+double LatencyModel::lut_ms(int layer, int op, int factor) const {
+  const int K = space_.config().num_ops;
+  const int F = static_cast<int>(space_.config().channel_factors.size());
+  HSCONAS_CHECK_MSG(layer >= 0 && layer < space_.num_layers() && op >= 0 &&
+                        op < K && factor >= 0 && factor < F,
+                    "LatencyModel::lut_ms: index out of range");
+  return lut_[(static_cast<std::size_t>(layer) * K + op) * F + factor];
+}
+
+double LatencyModel::predict_uncorrected_ms(const Arch& arch) const {
+  arch.validate(space_);
+  const int K = space_.config().num_ops;
+  const int F = static_cast<int>(space_.config().channel_factors.size());
+  double total = stem_ms_ + head_ms_;
+  for (int l = 0; l < space_.num_layers(); ++l) {
+    total += lut_[(static_cast<std::size_t>(l) * K +
+                   arch.ops[static_cast<std::size_t>(l)]) *
+                      F +
+                  arch.factors[static_cast<std::size_t>(l)]];
+  }
+  return total;
+}
+
+double LatencyModel::predict_ms(const Arch& arch) const {
+  return predict_uncorrected_ms(arch) + bias_;
+}
+
+double LatencyModel::measure_ms(const Arch& arch) {
+  return device_.network_latency_ms(
+      lower_network(arch, space_), config_.batch,
+      config_.measurement_noise ? &noise_rng_ : nullptr);
+}
+
+double LatencyModel::true_ms(const Arch& arch) const {
+  return device_.network_latency_ms(lower_network(arch, space_),
+                                    config_.batch, nullptr);
+}
+
+}  // namespace hsconas::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "core/arch.h"
+#include "core/lowering.h"
+#include "core/search_space.h"
+#include "hwsim/device.h"
+
+namespace hsconas::core {
+
+/// The paper's hardware performance model (§III-A, Eq. 2–3):
+///
+///   LAT(arch) = Σ_l lut[l][opˡ][cˡ] + B
+///
+/// The LUT holds each layer-operator-factor latency profiled *in
+/// isolation* on the target device (here: the device simulator), exactly
+/// the way the authors profile single ops on hardware — so it misses
+/// whatever whole-network effects exist (inter-layer communication,
+/// scheduling). The scalar bias B is estimated from M end-to-end
+/// measurements (Eq. 3) and recovers that gap on average.
+class LatencyModel {
+ public:
+  struct Config {
+    int batch = 1;             ///< batch size for profiling & measurement
+    int bias_samples = 50;     ///< M of Eq. 3
+    std::uint64_t seed = 123;  ///< RNG for bias sampling + measurement noise
+    bool measurement_noise = true;
+  };
+
+  /// Builds the LUT (L × K × |C| entries + stem/head constants) and
+  /// calibrates B per Eq. 3. The space reference must outlive the model.
+  LatencyModel(const SearchSpace& space, const hwsim::DeviceSimulator& device,
+               Config config);
+
+  /// Eq. 2: LUT sum + B. O(L) per call.
+  double predict_ms(const Arch& arch) const;
+
+  /// LUT sum without the bias correction (the Fig. 3 "before" series).
+  double predict_uncorrected_ms(const Arch& arch) const;
+
+  /// "On-device" ground truth from the simulator, with measurement jitter
+  /// when enabled. Non-const: advances the noise stream.
+  double measure_ms(const Arch& arch);
+
+  /// Noise-free ground truth expectation.
+  double true_ms(const Arch& arch) const;
+
+  double bias_ms() const { return bias_; }
+  int batch() const { return config_.batch; }
+  const hwsim::DeviceSimulator& device() const { return device_; }
+  const SearchSpace& space() const { return space_; }
+
+  /// LUT entry for one (layer, op, factor) tuple — exposed for tests and
+  /// for the Fig. 3 bench's per-layer breakdown.
+  double lut_ms(int layer, int op, int factor) const;
+  double stem_ms() const { return stem_ms_; }
+  double head_ms() const { return head_ms_; }
+
+ private:
+  void build_lut();
+  void calibrate_bias();
+
+  const SearchSpace& space_;
+  const hwsim::DeviceSimulator& device_;
+  Config config_;
+  util::Rng noise_rng_;
+
+  // lut_[((l * K) + op) * F + factor]
+  std::vector<double> lut_;
+  double stem_ms_ = 0.0;
+  double head_ms_ = 0.0;
+  double bias_ = 0.0;
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/arch.h"
+#include "core/search_space.h"
+#include "hwsim/op_descriptor.h"
+
+namespace hsconas::core {
+
+/// Lowering from architecture space to the device simulator's primitive-op
+/// descriptors. This mirrors, operator for operator, the nn::
+/// ShuffleChoiceBlock structure, so the latency model prices exactly the
+/// network the training substrate executes (a unit test asserts the MAC
+/// counts of the two paths agree).
+///
+/// BatchNorm+activation pairs lower to one kElementwise op each (inference
+/// runtimes fuse them with at most one extra pass over the tensor);
+/// channel shuffles lower to kShuffle. A stride-1 skip lowers to an empty
+/// layer — no kernels launched — though it still occupies a layer boundary
+/// for communication purposes.
+
+/// One searchable layer under a concrete (operator, channel factor) choice
+/// from the ShuffleNetV2 family (the paper's space).
+hwsim::LayerDesc lower_layer(const LayerInfo& info, nn::BlockKind kind,
+                             double channel_factor);
+
+/// Family-dispatching variant: lowers operator index `op` of `family`.
+hwsim::LayerDesc lower_layer(const LayerInfo& info, nn::OpFamily family,
+                             int op, double channel_factor);
+
+/// The fixed stem (conv3x3 + BN/ReLU).
+hwsim::LayerDesc lower_stem(const SearchSpaceConfig& config);
+
+/// The fixed head (1×1 conv + BN/ReLU + global pool + classifier).
+hwsim::LayerDesc lower_head(const SearchSpaceConfig& config,
+                            long body_out_size);
+
+/// Whole network: stem + L searchable layers + head.
+hwsim::NetworkDesc lower_network(const Arch& arch, const SearchSpace& space);
+
+/// Analytic compute/parameter counters (per sample).
+double arch_macs(const Arch& arch, const SearchSpace& space);
+double arch_params(const Arch& arch, const SearchSpace& space);
+
+}  // namespace hsconas::core

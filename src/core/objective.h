@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+
+namespace hsconas::core {
+
+/// The multi-objective score of Eq. 1:
+///
+///   F(arch, T) = ACC(arch) + β · |LAT(arch)/T − 1|,  β < 0.
+///
+/// ACC is a fraction in [0, 1]; the latency term penalizes any deviation
+/// from the constraint T (the absolute value is taken exactly as the paper
+/// writes it — this is why the EA's population concentrates *around* T in
+/// Fig. 6 rather than merely below it).
+/// The extension hook of §V ("incorporate different hardware constraints
+/// like power consumption") adds an optional energy term of the same form:
+///
+///   F = ACC + β·|LAT/T − 1| + γ·|E/E_budget − 1|,  β, γ ≤ 0.
+///
+/// γ = 0 (default) reduces exactly to the paper's Eq. 1.
+struct Objective {
+  double beta = -0.3;
+  double constraint_ms = 34.0;  ///< T
+
+  double gamma = 0.0;            ///< energy trade-off coefficient (<= 0)
+  double energy_budget_mj = 0.0; ///< required when gamma != 0
+
+  double score(double accuracy, double latency_ms) const {
+    return accuracy + beta * std::abs(latency_ms / constraint_ms - 1.0);
+  }
+
+  double score(double accuracy, double latency_ms, double energy_mj) const {
+    double f = score(accuracy, latency_ms);
+    if (gamma != 0.0 && energy_budget_mj > 0.0) {
+      f += gamma * std::abs(energy_mj / energy_budget_mj - 1.0);
+    }
+    return f;
+  }
+
+  bool energy_aware() const {
+    return gamma != 0.0 && energy_budget_mj > 0.0;
+  }
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "core/evolution.h"
+
+namespace hsconas::core {
+
+/// Multi-objective extension of the EA: instead of collapsing accuracy and
+/// latency into the scalar F of Eq. 1 (which needs a pre-chosen T), evolve
+/// the whole accuracy-latency *front* with NSGA-II-style selection
+/// (fast non-dominated sorting + crowding distance). One run then serves
+/// every latency budget — useful when the deployment constraint is not yet
+/// fixed, and a natural companion to the paper's single-T formulation.
+class ParetoSearch {
+ public:
+  struct Config {
+    int generations = 20;
+    int population = 60;
+    double crossover_prob = 0.25;
+    double mutation_prob = 0.25;
+    double gene_mutation_prob = 0.1;
+    std::uint64_t seed = 5150;
+  };
+
+  using Candidate = EvolutionSearch::Candidate;  // score field unused
+
+  struct Result {
+    /// Final non-dominated front, sorted by latency ascending.
+    std::vector<Candidate> front;
+    /// Front size per generation (convergence diagnostics).
+    std::vector<int> front_size_history;
+    /// Hypervolume-ish progress: best accuracy seen below the median
+    /// latency of the initial population, per generation.
+    std::vector<double> best_acc_below_median;
+  };
+
+  ParetoSearch(const SearchSpace& space, AccuracyFn accuracy,
+               const LatencyModel& latency, Config config);
+
+  Result run();
+
+  /// a dominates b iff a is no worse in both objectives and strictly
+  /// better in at least one (maximize accuracy, minimize latency).
+  static bool dominates(const Candidate& a, const Candidate& b);
+
+  /// Indices of the non-dominated subset of `candidates`.
+  static std::vector<std::size_t> non_dominated(
+      const std::vector<Candidate>& candidates);
+
+ private:
+  std::vector<std::vector<std::size_t>> sort_fronts(
+      const std::vector<Candidate>& pop) const;
+  std::vector<double> crowding(const std::vector<Candidate>& pop,
+                               const std::vector<std::size_t>& front) const;
+  Candidate evaluate(Arch arch);
+
+  const SearchSpace& space_;
+  AccuracyFn accuracy_;
+  const LatencyModel& latency_;
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,186 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hsconas::core {
+
+util::Json pipeline_report_json(const PipelineResult& result,
+                                const SearchSpace& space) {
+  util::Json report = util::Json::object();
+  report["winner"] = result.best_arch.to_json(space);
+  report["winner_string"] = result.best_arch.to_string(space);
+
+  util::Json metrics = util::Json::object();
+  metrics["score"] = result.best_score;
+  metrics["accuracy"] = result.best_accuracy;
+  metrics["predicted_latency_ms"] = result.predicted_latency_ms;
+  metrics["measured_latency_ms"] = result.measured_latency_ms;
+  metrics["constraint_ms"] = result.constraint_ms;
+  report["metrics"] = std::move(metrics);
+
+  util::Json shrink = util::Json::object();
+  shrink["log10_space_initial"] = result.log10_space_initial;
+  shrink["log10_space_after_stage1"] = result.log10_space_after_stage1;
+  shrink["log10_space_after_stage2"] = result.log10_space_after_stage2;
+  util::Json decisions = util::Json::array();
+  for (const auto* stage : {&result.stage1_decisions,
+                            &result.stage2_decisions}) {
+    for (const auto& d : *stage) {
+      util::Json entry = util::Json::object();
+      entry["layer"] = d.layer;
+      entry["chosen_op"] = space.op_name(d.chosen_op);
+      util::Json quality = util::Json::array();
+      for (double q : d.quality) quality.push_back(q);
+      entry["subspace_quality"] = std::move(quality);
+      decisions.push_back(std::move(entry));
+    }
+  }
+  shrink["decisions"] = std::move(decisions);
+  report["space_shrinking"] = std::move(shrink);
+
+  util::Json generations = util::Json::array();
+  for (const auto& g : result.evolution.per_generation) {
+    util::Json entry = util::Json::object();
+    entry["generation"] = g.generation;
+    entry["best_score"] = g.best_score;
+    entry["mean_score"] = g.mean_score;
+    entry["best_latency_ms"] = g.best_latency_ms;
+    entry["best_accuracy"] = g.best_accuracy;
+    generations.push_back(std::move(entry));
+  }
+  report["evolution"] = std::move(generations);
+
+  util::Json training = util::Json::array();
+  for (const auto& e : result.train_history) {
+    util::Json entry = util::Json::object();
+    entry["epoch"] = e.epoch;
+    entry["loss"] = e.loss;
+    entry["top1"] = e.top1;
+    entry["lr"] = e.lr;
+    training.push_back(std::move(entry));
+  }
+  report["supernet_training"] = std::move(training);
+  return report;
+}
+
+Pipeline::Pipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      space_(config_.space),
+      device_(config_.custom_device ? *config_.custom_device
+                                    : hwsim::device_by_name(config_.device)) {
+  if (config_.constraint_ms <= 0.0) {
+    if (config_.custom_device) {
+      throw InvalidArgument(
+          "Pipeline: constraint_ms is required with a custom device");
+    }
+    config_.constraint_ms = hwsim::default_constraint_ms(config_.device);
+  }
+  LatencyModel::Config lat_cfg = config_.latency;
+  if (lat_cfg.batch == 1) lat_cfg.batch = device_.profile().default_batch;
+  lat_cfg.seed ^= config_.seed;
+  latency_model_ = std::make_unique<LatencyModel>(space_, device_, lat_cfg);
+}
+
+PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
+  PipelineResult result;
+  result.constraint_ms = config_.constraint_ms;
+  result.log10_space_initial = space_.log10_size();
+
+  const Objective objective{config_.beta, config_.constraint_ms};
+
+  // ---- accuracy back-end ---------------------------------------------------
+  std::unique_ptr<Supernet> supernet;
+  std::unique_ptr<SupernetTrainer> trainer;
+  std::unique_ptr<AccuracySurrogate> surrogate;
+  AccuracyFn accuracy;
+
+  if (config_.use_surrogate) {
+    surrogate = std::make_unique<AccuracySurrogate>(space_,
+                                                    config_.surrogate);
+    accuracy = [&s = *surrogate](const Arch& arch) { return s.accuracy(arch); };
+  } else {
+    if (dataset == nullptr) {
+      throw InvalidArgument(
+          "Pipeline: proxy mode requires a dataset (or set use_surrogate)");
+    }
+    supernet = std::make_unique<Supernet>(space_, config_.seed ^ 0x5e7ull);
+    TrainConfig tc = config_.train;
+    tc.seed ^= config_.seed;
+    tc.verbose = config_.verbose;
+    trainer = std::make_unique<SupernetTrainer>(*supernet, *dataset, tc);
+
+    if (config_.verbose) {
+      HSCONAS_LOG_INFO << "training supernet for " << config_.initial_epochs
+                       << " epochs (" << supernet->param_count()
+                       << " params)";
+    }
+    auto hist = trainer->run(config_.initial_epochs);
+    result.train_history.insert(result.train_history.end(), hist.begin(),
+                                hist.end());
+    accuracy = [&t = *trainer, n = config_.eval_batches](const Arch& arch) {
+      return t.evaluate(arch, n);
+    };
+  }
+
+  // ---- progressive space shrinking (§III-C) --------------------------------
+  const int L = space_.num_layers();
+  const int per_stage =
+      std::clamp(config_.shrink_layers_per_stage, 0, L / 2);
+  SpaceShrinker shrinker(space_, accuracy, *latency_model_, objective,
+                         [&] {
+                           auto c = config_.shrink;
+                           c.seed ^= config_.seed;
+                           return c;
+                         }());
+
+  if (per_stage > 0) {
+    result.stage1_decisions = shrinker.shrink_stage(L - 1, per_stage);
+    result.log10_space_after_stage1 = space_.log10_size();
+    if (trainer) {
+      auto hist = trainer->run(config_.tune_epochs, config_.tune_lr_stage1);
+      result.train_history.insert(result.train_history.end(), hist.begin(),
+                                  hist.end());
+    }
+
+    result.stage2_decisions =
+        shrinker.shrink_stage(L - 1 - per_stage, per_stage);
+    result.log10_space_after_stage2 = space_.log10_size();
+    if (trainer) {
+      auto hist = trainer->run(config_.tune_epochs, config_.tune_lr_stage2);
+      result.train_history.insert(result.train_history.end(), hist.begin(),
+                                  hist.end());
+    }
+  } else {
+    result.log10_space_after_stage1 = result.log10_space_initial;
+    result.log10_space_after_stage2 = result.log10_space_initial;
+  }
+
+  // ---- evolutionary search (§III-D) -----------------------------------------
+  EvolutionSearch::Config evo_cfg = config_.evolution;
+  evo_cfg.seed ^= config_.seed;
+  EvolutionSearch search(space_, accuracy, *latency_model_, objective,
+                         evo_cfg);
+  result.evolution = search.run();
+
+  result.best_arch = result.evolution.best.arch;
+  result.best_score = result.evolution.best.score;
+  result.best_accuracy = result.evolution.best.accuracy;
+  result.predicted_latency_ms = result.evolution.best.latency_ms;
+  result.measured_latency_ms = latency_model_->measure_ms(result.best_arch);
+
+  if (config_.verbose) {
+    HSCONAS_LOG_INFO << "winner: " << result.best_arch.to_string(space_);
+    HSCONAS_LOG_INFO << util::format(
+        "score %.4f acc %.4f lat %.2fms (measured %.2fms, T %.1fms)",
+        result.best_score, result.best_accuracy,
+        result.predicted_latency_ms, result.measured_latency_ms,
+        result.constraint_ms);
+  }
+  return result;
+}
+
+}  // namespace hsconas::core

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/accuracy_surrogate.h"
+#include "core/evolution.h"
+#include "core/latency_model.h"
+#include "core/space_shrinking.h"
+#include "core/trainer.h"
+#include "hwsim/registry.h"
+#include "util/json.h"
+
+namespace hsconas::core {
+
+/// End-to-end HSCoNAS flow (Fig. 1):
+///
+///   train supernet → shrink stage 1 → tune → shrink stage 2 → tune
+///   → evolutionary search under the latency model → winner.
+///
+/// Two accuracy back-ends:
+///  * proxy mode (use_surrogate = false): a real weight-sharing supernet is
+///    trained on the synthetic dataset and candidate accuracy comes from
+///    shared-weight evaluation — the paper's actual mechanism, at a scale
+///    that runs on a laptop CPU;
+///  * surrogate mode (use_surrogate = true): the calibrated ImageNet
+///    surrogate replaces supernet evaluation, enabling paper-scale (L = 20,
+///    224×224) searches for the Table I reproduction.
+struct PipelineConfig {
+  SearchSpaceConfig space = SearchSpaceConfig::proxy();
+  std::string device = "xavier";
+  /// When set, overrides `device` with a user-defined profile (custom
+  /// hardware); `constraint_ms` must then be given explicitly.
+  std::optional<hwsim::DeviceProfile> custom_device;
+  double constraint_ms = -1.0;  ///< <= 0: the paper's default for `device`
+  double beta = -0.3;
+
+  bool use_surrogate = false;
+  AccuracySurrogate::Config surrogate;
+
+  // Supernet training (proxy mode). Paper: 100 epochs, then 15 + 15 tuning
+  // at lr 0.01 / 0.0035 (§III-C, §IV-A).
+  TrainConfig train;
+  int initial_epochs = 8;
+  int tune_epochs = 2;
+  double tune_lr_stage1 = 0.01;
+  double tune_lr_stage2 = 0.0035;
+  std::size_t eval_batches = 4;  ///< val batches per candidate evaluation
+
+  int shrink_layers_per_stage = 4;
+  SpaceShrinker::Config shrink;
+  EvolutionSearch::Config evolution;
+  LatencyModel::Config latency;
+
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct PipelineResult {
+  Arch best_arch;
+  double best_score = 0.0;
+  double best_accuracy = 0.0;
+  double predicted_latency_ms = 0.0;
+  double measured_latency_ms = 0.0;  ///< on-device check of the winner
+  double constraint_ms = 0.0;
+
+  double log10_space_initial = 0.0;
+  double log10_space_after_stage1 = 0.0;
+  double log10_space_after_stage2 = 0.0;
+
+  std::vector<EpochStats> train_history;
+  std::vector<SpaceShrinker::LayerDecision> stage1_decisions;
+  std::vector<SpaceShrinker::LayerDecision> stage2_decisions;
+  EvolutionSearch::Result evolution;
+};
+
+/// Structured JSON report of a finished search (winner, metrics, shrink
+/// decisions, per-generation trajectory) for downstream tooling.
+util::Json pipeline_report_json(const PipelineResult& result,
+                                const SearchSpace& space);
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config);
+
+  /// Run the full flow. In proxy mode a dataset must be supplied.
+  PipelineResult run(const data::SyntheticDataset* dataset = nullptr);
+
+  const SearchSpace& space() const { return space_; }
+  const LatencyModel& latency_model() const { return *latency_model_; }
+
+ private:
+  PipelineConfig config_;
+  SearchSpace space_;
+  hwsim::DeviceSimulator device_;
+  std::unique_ptr<LatencyModel> latency_model_;
+};
+
+}  // namespace hsconas::core

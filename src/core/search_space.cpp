@@ -1,0 +1,173 @@
+#include "core/search_space.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hsconas::core {
+
+int SearchSpaceConfig::num_layers() const {
+  int total = 0;
+  for (int b : stage_blocks) total += b;
+  return total;
+}
+
+double SearchSpaceConfig::log10_space_size() const {
+  const double per_layer =
+      static_cast<double>(num_ops) *
+      static_cast<double>(channel_factors.size());
+  return static_cast<double>(num_layers()) * std::log10(per_layer);
+}
+
+SearchSpaceConfig SearchSpaceConfig::imagenet_layout_a() {
+  SearchSpaceConfig cfg;  // defaults are layout A
+  return cfg;
+}
+
+SearchSpaceConfig SearchSpaceConfig::imagenet_layout_b() {
+  SearchSpaceConfig cfg;
+  cfg.stage_channels = {68, 168, 336, 672};
+  return cfg;
+}
+
+SearchSpaceConfig SearchSpaceConfig::with_family(
+    nn::OpFamily new_family) const {
+  SearchSpaceConfig cfg = *this;
+  cfg.family = new_family;
+  cfg.num_ops = nn::family_num_ops(new_family);
+  return cfg;
+}
+
+SearchSpaceConfig SearchSpaceConfig::proxy(int num_classes, long image_size,
+                                           int blocks_per_stage) {
+  SearchSpaceConfig cfg;
+  cfg.stage_blocks = {blocks_per_stage, blocks_per_stage, blocks_per_stage};
+  cfg.stage_channels = {16, 32, 64};
+  // Keep the first stage at full resolution: proxy images are small. The
+  // stem must then already produce stage-0 width, because stride-1 shuffle
+  // blocks cannot change channel counts.
+  cfg.stage_downsample = {false, true, true};
+  cfg.stem_channels = 16;
+  cfg.head_channels = 128;
+  cfg.stem_stride2 = false;
+  cfg.input_size = image_size;
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+void SearchSpaceConfig::validate() const {
+  if (stage_blocks.empty() ||
+      stage_blocks.size() != stage_channels.size() ||
+      stage_blocks.size() != stage_downsample.size()) {
+    throw InvalidArgument("SearchSpaceConfig: stage vectors inconsistent");
+  }
+  for (int b : stage_blocks) {
+    if (b < 1) throw InvalidArgument("SearchSpaceConfig: empty stage");
+  }
+  for (long c : stage_channels) {
+    if (c < 2 || c % 2 != 0) {
+      throw InvalidArgument(
+          "SearchSpaceConfig: stage channels must be even and >= 2");
+    }
+  }
+  if (num_ops < 1 || num_ops > nn::family_num_ops(family)) {
+    throw InvalidArgument("SearchSpaceConfig: num_ops out of range");
+  }
+  if (channel_factors.empty()) {
+    throw InvalidArgument("SearchSpaceConfig: no channel factors");
+  }
+  for (double f : channel_factors) {
+    if (f <= 0.0 || f > 1.0) {
+      throw InvalidArgument(
+          "SearchSpaceConfig: channel factors must be in (0, 1]");
+    }
+  }
+  if (stem_channels < 1 || head_channels < 1 || input_channels < 1 ||
+      input_size < 4 || num_classes < 2) {
+    throw InvalidArgument("SearchSpaceConfig: degenerate geometry");
+  }
+}
+
+SearchSpace::SearchSpace(SearchSpaceConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+
+  long size = config_.input_size;
+  if (config_.stem_stride2) size = (size + 1) / 2;
+  body_input_size_ = size;
+
+  long in_ch = config_.stem_channels;
+  int index = 0;
+  for (std::size_t stage = 0; stage < config_.stage_blocks.size(); ++stage) {
+    const long out_ch = config_.stage_channels[stage];
+    for (int b = 0; b < config_.stage_blocks[stage]; ++b) {
+      LayerInfo info;
+      info.index = index;
+      info.stage = static_cast<int>(stage);
+      const bool down = (b == 0) && config_.stage_downsample[stage];
+      info.stride = down ? 2 : 1;
+      info.in_channels = (b == 0) ? in_ch : out_ch;
+      info.out_channels = out_ch;
+      info.in_h = size;
+      info.in_w = size;
+      if (info.stride == 1 && info.in_channels != info.out_channels) {
+        throw InvalidArgument(
+            "SearchSpace: stride-1 layers cannot change channel count "
+            "(stage entered at width " + std::to_string(info.in_channels) +
+            " but wants " + std::to_string(info.out_channels) +
+            "); add a downsample or align the widths");
+      }
+      if (down && size < 2) {
+        throw InvalidArgument(
+            "SearchSpace: input size too small for the stage layout");
+      }
+      if (down) size = (size + 1) / 2;
+      layers_.push_back(info);
+      ++index;
+    }
+    in_ch = out_ch;
+  }
+
+  std::vector<int> all_ops, all_factors;
+  for (int op = 0; op < config_.num_ops; ++op) all_ops.push_back(op);
+  for (int f = 0; f < static_cast<int>(config_.channel_factors.size()); ++f) {
+    all_factors.push_back(f);
+  }
+  allowed_ops_.assign(layers_.size(), all_ops);
+  allowed_factors_.assign(layers_.size(), all_factors);
+}
+
+const std::vector<int>& SearchSpace::allowed_ops(int l) const {
+  return allowed_ops_.at(static_cast<std::size_t>(l));
+}
+
+const std::vector<int>& SearchSpace::allowed_factors(int l) const {
+  return allowed_factors_.at(static_cast<std::size_t>(l));
+}
+
+void SearchSpace::fix_op(int l, int op) {
+  if (!op_allowed(l, op)) {
+    throw InvalidArgument("SearchSpace::fix_op: operator not allowed");
+  }
+  allowed_ops_.at(static_cast<std::size_t>(l)) = {op};
+}
+
+bool SearchSpace::is_fixed(int l) const {
+  return allowed_ops_.at(static_cast<std::size_t>(l)).size() == 1;
+}
+
+double SearchSpace::log10_size() const {
+  double log_size = 0.0;
+  for (std::size_t l = 0; l < allowed_ops_.size(); ++l) {
+    log_size += std::log10(static_cast<double>(allowed_ops_[l].size()) *
+                           static_cast<double>(allowed_factors_[l].size()));
+  }
+  return log_size;
+}
+
+bool SearchSpace::op_allowed(int l, int op) const {
+  if (l < 0 || l >= num_layers()) return false;
+  return op >= 0 && op < config_.num_ops;
+}
+
+}  // namespace hsconas::core

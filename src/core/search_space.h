@@ -1,0 +1,118 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/blocks.h"
+#include "util/rng.h"
+
+namespace hsconas::core {
+
+/// Static description of the HSCoNAS search space (§II-A, §III-B):
+/// a supernet of L layers, K = 5 candidate operators per layer, and a list
+/// C of channel scaling factors applied per layer. With the paper's
+/// defaults (L = 20, K = 5, |C| = 10) the space holds (K·|C|)^L ≈ 9.5e33
+/// candidates — the size quoted in §III-A.
+struct SearchSpaceConfig {
+  /// Operator family the K candidates are drawn from. The default is the
+  /// paper's ShuffleNetV2 family; kMbConv gives a ProxylessNAS/FBNet-style
+  /// inverted-residual space with the same K = 5 and therefore the same
+  /// |A| arithmetic.
+  nn::OpFamily family = nn::OpFamily::kShuffleV2;
+
+  // Macro-architecture (SPOS-style backbone).
+  std::vector<int> stage_blocks = {4, 4, 8, 4};
+  std::vector<long> stage_channels = {48, 128, 256, 512};  ///< layout A
+  std::vector<bool> stage_downsample = {true, true, true, true};
+  long stem_channels = 16;
+  long head_channels = 1024;
+  bool stem_stride2 = true;
+
+  // Task geometry.
+  long input_channels = 3;
+  long input_size = 224;
+  int num_classes = 1000;
+
+  // Searchable dimensions.
+  int num_ops = nn::kNumBlockKinds;  ///< K
+  std::vector<double> channel_factors = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                         0.6, 0.7, 0.8, 0.9, 1.0};
+
+  int num_layers() const;  ///< L = sum of stage_blocks
+
+  /// log10 of |A| = (num_ops · |C|)^L.
+  double log10_space_size() const;
+
+  /// Paper channel layouts (§IV-B).
+  static SearchSpaceConfig imagenet_layout_a();
+  static SearchSpaceConfig imagenet_layout_b();
+
+  /// Copy of this config using the given operator family.
+  SearchSpaceConfig with_family(nn::OpFamily new_family) const;
+
+  /// Small-scale config for the synthetic proxy task: trains in seconds on
+  /// a laptop CPU while preserving the search structure (multiple stages,
+  /// stride-2 layers, per-layer op + channel choices).
+  static SearchSpaceConfig proxy(int num_classes = 10, long image_size = 16,
+                                 int blocks_per_stage = 2);
+
+  void validate() const;  ///< throws InvalidArgument on nonsense
+};
+
+/// Geometry of one supernet layer, derived from the config.
+struct LayerInfo {
+  int index = 0;       ///< 0-based layer index
+  int stage = 0;
+  long in_channels = 0;
+  long out_channels = 0;
+  long stride = 1;
+  long in_h = 0;       ///< input spatial size (square)
+  long in_w = 0;
+};
+
+/// Resolved view of the search space: per-layer geometry plus the
+/// per-layer *allowed* choice lists, which progressive space shrinking
+/// (§III-C) narrows in place.
+class SearchSpace {
+ public:
+  explicit SearchSpace(SearchSpaceConfig config);
+
+  const SearchSpaceConfig& config() const { return config_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerInfo& layer(int l) const { return layers_.at(static_cast<std::size_t>(l)); }
+
+  /// Spatial size entering the first searchable layer.
+  long body_input_size() const { return body_input_size_; }
+
+  /// Display name of operator index `op` under this space's family.
+  const char* op_name(int op) const {
+    return nn::family_op_name(config_.family, op);
+  }
+
+  // ---- shrinking state -----------------------------------------------------
+  const std::vector<int>& allowed_ops(int l) const;
+  const std::vector<int>& allowed_factors(int l) const;
+
+  /// Restrict layer l to a single operator (space shrinking's decision).
+  void fix_op(int l, int op);
+
+  /// True if layer l has been fixed to one operator.
+  bool is_fixed(int l) const;
+
+  /// log10 of the *current* (possibly shrunk) space size.
+  double log10_size() const;
+
+  /// Whether an operator index makes sense at layer l. (All K ops are legal
+  /// everywhere by construction — skip lowers to a projection at stride-2
+  /// layers — so this only bounds-checks; kept as an extension point.)
+  bool op_allowed(int l, int op) const;
+
+ private:
+  SearchSpaceConfig config_;
+  std::vector<LayerInfo> layers_;
+  std::vector<std::vector<int>> allowed_ops_;
+  std::vector<std::vector<int>> allowed_factors_;
+  long body_input_size_ = 0;
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <deque>
+
+#include "core/evolution.h"
+
+namespace hsconas::core {
+
+/// Uniform random search — the null hypothesis every NAS method must beat
+/// at equal evaluation budget.
+class RandomSearch {
+ public:
+  struct Config {
+    int evaluations = 1000;
+    std::uint64_t seed = 71;
+  };
+
+  RandomSearch(const SearchSpace& space, AccuracyFn accuracy,
+               const LatencyModel& latency, Objective objective,
+               Config config);
+
+  struct Result {
+    EvolutionSearch::Candidate best;
+    std::vector<EvolutionSearch::Candidate> evaluated;
+    /// Best score after each evaluation (anytime curve).
+    std::vector<double> best_curve;
+  };
+
+  Result run();
+
+ private:
+  const SearchSpace& space_;
+  AccuracyFn accuracy_;
+  const LatencyModel& latency_;
+  Objective objective_;
+  Config config_;
+  util::Rng rng_;
+};
+
+/// Regularized ("aging") evolution — Real et al., AAAI 2019, the paper's
+/// reference [12] for why EA is preferred over RL. A sliding population:
+/// each step tournament-selects a parent, mutates one gene, evaluates the
+/// child, and retires the *oldest* member (not the worst), which keeps
+/// exploration alive. Provided alongside the paper's generational EA so
+/// the two selection schemes can be ablated against each other.
+class AgingEvolution {
+ public:
+  struct Config {
+    int evaluations = 1000;   ///< total children evaluated
+    int population = 50;
+    int tournament = 10;      ///< sample size per parent selection
+    double gene_mutation_prob = 0.1;
+    std::uint64_t seed = 72;
+  };
+
+  AgingEvolution(const SearchSpace& space, AccuracyFn accuracy,
+                 const LatencyModel& latency, Objective objective,
+                 Config config);
+
+  struct Result {
+    EvolutionSearch::Candidate best;
+    std::vector<EvolutionSearch::Candidate> evaluated;
+    std::vector<double> best_curve;
+  };
+
+  Result run();
+
+ private:
+  EvolutionSearch::Candidate evaluate(Arch arch);
+  Arch mutate(Arch arch);
+
+  const SearchSpace& space_;
+  AccuracyFn accuracy_;
+  const LatencyModel& latency_;
+  Objective objective_;
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace hsconas::core

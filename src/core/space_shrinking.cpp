@@ -1,0 +1,73 @@
+#include "core/space_shrinking.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace hsconas::core {
+
+SpaceShrinker::SpaceShrinker(SearchSpace& space, AccuracyFn accuracy,
+                             const LatencyModel& latency, Objective objective,
+                             Config config)
+    : space_(space),
+      accuracy_(std::move(accuracy)),
+      latency_(latency),
+      objective_(objective),
+      config_(config),
+      rng_(config.seed) {
+  HSCONAS_CHECK_MSG(accuracy_ != nullptr, "SpaceShrinker: null accuracy fn");
+  if (config_.samples_per_subspace < 1) {
+    throw InvalidArgument("SpaceShrinker: samples_per_subspace must be >= 1");
+  }
+}
+
+double SpaceShrinker::subspace_quality(int layer, int op) {
+  // Q(A_sub) = (1/N) Σ F(arch_i, T),  arch_i ~ U(A_sub)   (Definition 1)
+  double total = 0.0;
+  for (int i = 0; i < config_.samples_per_subspace; ++i) {
+    const Arch arch = Arch::random_with_fixed_op(space_, rng_, layer, op);
+    total += objective_.score(accuracy_(arch), latency_.predict_ms(arch));
+  }
+  ++total_evaluated_;
+  return total / static_cast<double>(config_.samples_per_subspace);
+}
+
+SpaceShrinker::LayerDecision SpaceShrinker::shrink_layer(int layer) {
+  const std::vector<int> candidates = space_.allowed_ops(layer);
+  HSCONAS_CHECK_MSG(!candidates.empty(), "shrink_layer: no candidates");
+
+  LayerDecision decision;
+  decision.layer = layer;
+  decision.quality.reserve(candidates.size());
+  double best_q = -1e300;
+  for (int op : candidates) {
+    const double q = subspace_quality(layer, op);
+    decision.quality.push_back(q);
+    ++decision.subspaces_evaluated;
+    if (q > best_q) {
+      best_q = q;
+      decision.chosen_op = op;
+    }
+  }
+  space_.fix_op(layer, decision.chosen_op);
+  HSCONAS_LOG_DEBUG << "shrink layer " << layer << " -> op "
+                    << decision.chosen_op;
+  return decision;
+}
+
+std::vector<SpaceShrinker::LayerDecision> SpaceShrinker::shrink_stage(
+    int from_layer, int count) {
+  if (from_layer < 0 || from_layer >= space_.num_layers() || count < 1 ||
+      from_layer - count + 1 < 0) {
+    throw InvalidArgument("shrink_stage: bad layer range");
+  }
+  std::vector<LayerDecision> decisions;
+  decisions.reserve(static_cast<std::size_t>(count));
+  for (int l = from_layer; l > from_layer - count; --l) {
+    decisions.push_back(shrink_layer(l));
+  }
+  return decisions;
+}
+
+}  // namespace hsconas::core

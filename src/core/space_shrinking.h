@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/arch.h"
+#include "core/latency_model.h"
+#include "core/objective.h"
+#include "core/search_space.h"
+
+namespace hsconas::core {
+
+/// Accuracy oracle used by the search components: the proxy pipeline plugs
+/// in supernet evaluation, the paper-scale benches plug in the calibrated
+/// surrogate.
+using AccuracyFn = std::function<double(const Arch&)>;
+
+/// Progressive space shrinking (§III-C).
+///
+/// For a target layer l, every allowed operator k defines a subspace
+/// A_sub(l, k) = { arch : opˡ = k }. Its quality (Definition 1) is the mean
+/// objective F over N uniform samples. The best operator is then *fixed*
+/// for that layer, and evaluation proceeds to the previous layer — back to
+/// front, so when layer l is scored, all deeper layers are already fixed,
+/// exactly as the paper prescribes ("when evaluating the 19-th layer, we
+/// fix the operator of the 20-th layer").
+class SpaceShrinker {
+ public:
+  struct Config {
+    int samples_per_subspace = 100;  ///< N of Definition 1
+    std::uint64_t seed = 77;
+  };
+
+  /// The space is mutated in place by shrink operations.
+  SpaceShrinker(SearchSpace& space, AccuracyFn accuracy,
+                const LatencyModel& latency, Objective objective,
+                Config config);
+
+  struct LayerDecision {
+    int layer = 0;
+    int chosen_op = 0;
+    std::vector<double> quality;  ///< Q per candidate op (index-aligned)
+    int subspaces_evaluated = 0;
+  };
+
+  /// Quality Q(A_sub) of the subspace fixing `op` at `layer` (Def. 1).
+  double subspace_quality(int layer, int op);
+
+  /// Shrink one layer: evaluate all allowed ops, fix the best.
+  LayerDecision shrink_layer(int layer);
+
+  /// Shrink a back-to-front run of `count` layers starting at `from_layer`
+  /// (inclusive, descending) — one paper "stage" is (L-1 .. L-4).
+  std::vector<LayerDecision> shrink_stage(int from_layer, int count);
+
+  /// Total subspaces evaluated so far (the §III-C complexity argument:
+  /// 5 × 4 per stage instead of 5⁴).
+  int total_subspaces_evaluated() const { return total_evaluated_; }
+
+ private:
+  SearchSpace& space_;
+  AccuracyFn accuracy_;
+  const LatencyModel& latency_;
+  Objective objective_;
+  Config config_;
+  util::Rng rng_;
+  int total_evaluated_ = 0;
+};
+
+}  // namespace hsconas::core

@@ -1,0 +1,255 @@
+#include "core/supernet.h"
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace hsconas::core {
+
+using nn::BlockKind;
+using tensor::Tensor;
+
+Supernet::Supernet(const SearchSpace& space, std::uint64_t seed,
+                   std::optional<Arch> fixed_arch)
+    : space_(space), fixed_arch_(std::move(fixed_arch)) {
+  if (fixed_arch_) fixed_arch_->validate(space_);
+  util::Rng rng(seed);
+  const SearchSpaceConfig& cfg = space_.config();
+
+  stem_ = std::make_unique<nn::Sequential>("stem");
+  stem_->add(std::make_unique<nn::Conv2d>(cfg.input_channels,
+                                          cfg.stem_channels, 3,
+                                          cfg.stem_stride2 ? 2 : 1, 1, 1,
+                                          false, rng, "stem.conv"));
+  stem_->add(std::make_unique<nn::BatchNorm2d>(cfg.stem_channels, 0.1, 1e-5,
+                                               "stem.bn"));
+  stem_->add(std::make_unique<nn::ReLU>());
+
+  layers_.resize(static_cast<std::size_t>(space_.num_layers()));
+  for (int l = 0; l < space_.num_layers(); ++l) {
+    const LayerInfo& info = space_.layer(l);
+    auto& choices = layers_[static_cast<std::size_t>(l)];
+    if (fixed_arch_) {
+      const int op = fixed_arch_->ops[static_cast<std::size_t>(l)];
+      choices.push_back(nn::make_family_block(
+          cfg.family, op, info.in_channels, info.out_channels, info.stride,
+          rng, util::format("layer%d.op%d", l, op)));
+    } else {
+      for (int op = 0; op < cfg.num_ops; ++op) {
+        choices.push_back(nn::make_family_block(
+            cfg.family, op, info.in_channels, info.out_channels, info.stride,
+            rng, util::format("layer%d.op%d", l, op)));
+      }
+    }
+  }
+
+  head_conv_ = std::make_unique<nn::Sequential>("head");
+  head_conv_->add(std::make_unique<nn::Conv2d>(
+      cfg.stage_channels.back(), cfg.head_channels, 1, 1, 0, 1, false, rng,
+      "head.conv"));
+  head_conv_->add(std::make_unique<nn::BatchNorm2d>(cfg.head_channels, 0.1,
+                                                    1e-5, "head.bn"));
+  head_conv_->add(std::make_unique<nn::ReLU>());
+
+  classifier_ = std::make_unique<nn::Linear>(cfg.head_channels,
+                                             cfg.num_classes, rng, "fc");
+}
+
+const Arch& Supernet::fixed_arch() const {
+  HSCONAS_CHECK_MSG(fixed_arch_.has_value(),
+                    "fixed_arch() on a full supernet");
+  return *fixed_arch_;
+}
+
+void Supernet::check_arch(const Arch& arch) const {
+  arch.validate(space_);
+  if (fixed_arch_ && !(arch == *fixed_arch_)) {
+    throw InvalidArgument(
+        "Supernet: standalone network can only run its fixed arch");
+  }
+}
+
+nn::ChoiceBlock& Supernet::block(int layer, int op) {
+  auto& choices = layers_.at(static_cast<std::size_t>(layer));
+  if (fixed_arch_) {
+    HSCONAS_CHECK_MSG(op == fixed_arch_->ops[static_cast<std::size_t>(layer)],
+                      "Supernet::block: op not instantiated");
+    return *choices.front();
+  }
+  return *choices.at(static_cast<std::size_t>(op));
+}
+
+Tensor Supernet::forward(const Tensor& images, const Arch& arch) {
+  check_arch(arch);
+  active_path_.clear();
+  active_path_.push_back(stem_.get());
+  Tensor h = stem_->forward(images);
+
+  for (int l = 0; l < space_.num_layers(); ++l) {
+    nn::ChoiceBlock& blk = block(l, arch.ops[static_cast<std::size_t>(l)]);
+    blk.set_channel_factor(space_.config().channel_factors.at(
+        static_cast<std::size_t>(arch.factors[static_cast<std::size_t>(l)])));
+    active_path_.push_back(&blk);
+    h = blk.forward(h);
+  }
+
+  active_path_.push_back(head_conv_.get());
+  h = head_conv_->forward(h);
+  active_path_.push_back(&gap_);
+  h = gap_.forward(h);
+  active_path_.push_back(classifier_.get());
+  return classifier_->forward(h);
+}
+
+Tensor Supernet::forward(const Tensor& images) {
+  HSCONAS_CHECK_MSG(fixed_arch_.has_value(),
+                    "forward(images) requires a standalone network");
+  return forward(images, *fixed_arch_);
+}
+
+void Supernet::backward(const Tensor& logits_grad) {
+  HSCONAS_CHECK_MSG(!active_path_.empty(),
+                    "Supernet::backward before forward");
+  Tensor g = logits_grad;
+  for (auto it = active_path_.rbegin(); it != active_path_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<nn::Parameter*> Supernet::parameters() {
+  std::vector<nn::Parameter*> params;
+  stem_->collect_params(params);
+  for (auto& choices : layers_) {
+    for (auto& blk : choices) blk->collect_params(params);
+  }
+  head_conv_->collect_params(params);
+  classifier_->collect_params(params);
+  return params;
+}
+
+std::vector<nn::Parameter*> Supernet::path_parameters(const Arch& arch) {
+  check_arch(arch);
+  std::vector<nn::Parameter*> params;
+  stem_->collect_params(params);
+  for (int l = 0; l < space_.num_layers(); ++l) {
+    block(l, arch.ops[static_cast<std::size_t>(l)]).collect_params(params);
+  }
+  head_conv_->collect_params(params);
+  classifier_->collect_params(params);
+  return params;
+}
+
+void Supernet::set_training(bool training) {
+  stem_->set_training(training);
+  for (auto& choices : layers_) {
+    for (auto& blk : choices) blk->set_training(training);
+  }
+  head_conv_->set_training(training);
+  gap_.set_training(training);
+  classifier_->set_training(training);
+}
+
+double Supernet::evaluate(const data::SyntheticDataset& dataset,
+                          const Arch& arch, std::size_t batch_size,
+                          std::size_t max_batches) {
+  check_arch(arch);
+  // Batch-statistics BN: keep training mode but never call backward.
+  set_training(true);
+  data::DataLoader loader(dataset, batch_size, /*train=*/false, /*seed=*/0);
+  const std::size_t batches =
+      max_batches == 0 ? loader.num_batches()
+                       : std::min(max_batches, loader.num_batches());
+  std::size_t correct = 0, total = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    data::Batch batch = loader.batch(b);
+    const Tensor logits = forward(batch.images, arch);
+    const nn::LossResult res = nn::cross_entropy(logits, batch.labels);
+    correct += res.correct_top1;
+    total += batch.labels.size();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+void Supernet::visit(const std::function<void(nn::Module&)>& fn) {
+  stem_->visit(fn);
+  for (auto& choices : layers_) {
+    for (auto& blk : choices) blk->visit(fn);
+  }
+  head_conv_->visit(fn);
+  gap_.visit(fn);
+  classifier_->visit(fn);
+}
+
+void Supernet::calibrate_bn(const data::SyntheticDataset& dataset,
+                            const Arch& arch, std::size_t batch_size,
+                            std::size_t calib_batches, std::uint64_t seed) {
+  check_arch(arch);
+  // Reset every BN's running stats; only the active path's get refreshed,
+  // which is fine — evaluate_calibrated only routes through that path.
+  visit([](nn::Module& m) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+      bn->reset_running_stats();
+    }
+  });
+  set_training(true);  // BN accumulates batch statistics
+  data::DataLoader loader(dataset, batch_size, /*train=*/true, seed ^ 0xB4);
+  const std::size_t batches =
+      std::min<std::size_t>(std::max<std::size_t>(calib_batches, 1),
+                            loader.num_batches());
+  for (std::size_t b = 0; b < batches; ++b) {
+    const data::Batch batch = loader.batch(b);
+    forward(batch.images, arch);  // forward only: statistics, no gradients
+  }
+}
+
+double Supernet::evaluate_calibrated(const data::SyntheticDataset& dataset,
+                                     const Arch& arch,
+                                     std::size_t batch_size,
+                                     std::size_t max_batches) {
+  check_arch(arch);
+  set_training(false);
+  data::DataLoader loader(dataset, batch_size, /*train=*/false, 0);
+  const std::size_t batches =
+      max_batches == 0 ? loader.num_batches()
+                       : std::min(max_batches, loader.num_batches());
+  std::size_t correct = 0, total = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const data::Batch batch = loader.batch(b);
+    const Tensor logits = forward(batch.images, arch);
+    const nn::LossResult res = nn::cross_entropy(logits, batch.labels);
+    correct += res.correct_top1;
+    total += batch.labels.size();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+std::unique_ptr<Supernet> Supernet::extract_subnet(const Arch& arch,
+                                                   std::uint64_t seed) {
+  check_arch(arch);
+  auto subnet = std::make_unique<Supernet>(space_, seed, arch);
+  // path_parameters(arch) and the standalone's parameters() enumerate the
+  // same module sequence (stem, chosen block per layer, head, classifier),
+  // so a positional copy is exact. Shapes are asserted anyway.
+  const std::vector<nn::Parameter*> source = path_parameters(arch);
+  const std::vector<nn::Parameter*> target = subnet->parameters();
+  HSCONAS_CHECK_MSG(source.size() == target.size(),
+                    "extract_subnet: parameter count mismatch");
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    HSCONAS_CHECK_MSG(
+        source[i]->value.shape() == target[i]->value.shape(),
+        "extract_subnet: shape mismatch at " + source[i]->name);
+    target[i]->value = source[i]->value;
+  }
+  return subnet;
+}
+
+long Supernet::param_count() {
+  long total = 0;
+  for (nn::Parameter* p : parameters()) total += p->numel();
+  return total;
+}
+
+}  // namespace hsconas::core

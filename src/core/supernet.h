@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/arch.h"
+#include "core/search_space.h"
+#include "data/loader.h"
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/blocks.h"
+#include "nn/choice_block.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+
+namespace hsconas::core {
+
+/// The weight-sharing supernet N (§II-A): a fixed stem and head, plus K
+/// candidate ShuffleChoiceBlocks per searchable layer, all resident in
+/// memory at their maximum width Sˡ. Evaluating a candidate arch routes the
+/// activations through one block per layer with the arch's channel factor
+/// applied by masking — weights are shared by construction, never copied.
+///
+/// Passing a fixed Arch instantiates only that arch's operator per layer —
+/// a standalone network for training a discovered architecture from
+/// scratch with the identical substrate.
+class Supernet {
+ public:
+  Supernet(const SearchSpace& space, std::uint64_t seed,
+           std::optional<Arch> fixed_arch = std::nullopt);
+
+  const SearchSpace& space() const { return space_; }
+  bool is_standalone() const { return fixed_arch_.has_value(); }
+  const Arch& fixed_arch() const;
+
+  /// Forward the batch through the path selected by `arch` (must equal the
+  /// fixed arch for standalone networks). Returns logits (N, classes).
+  tensor::Tensor forward(const tensor::Tensor& images, const Arch& arch);
+
+  /// Forward for standalone networks.
+  tensor::Tensor forward(const tensor::Tensor& images);
+
+  /// Backward pass through the exact path of the last forward call.
+  void backward(const tensor::Tensor& logits_grad);
+
+  /// All trainable parameters (every candidate block's, for the supernet).
+  std::vector<nn::Parameter*> parameters();
+
+  /// Parameters on the given arch's path only.
+  std::vector<nn::Parameter*> path_parameters(const Arch& arch);
+
+  void set_training(bool training);
+
+  /// Top-1 accuracy of `arch` on (a prefix of) the validation split.
+  /// Runs with batch-statistics BN (standard one-shot practice: candidate
+  /// paths never saw calibrated running stats). max_batches == 0 means the
+  /// full split.
+  double evaluate(const data::SyntheticDataset& dataset, const Arch& arch,
+                  std::size_t batch_size, std::size_t max_batches = 0);
+
+  /// Recalibrate BatchNorm running statistics for `arch`'s path: reset all
+  /// BN running stats, then stream `calib_batches` *training* batches
+  /// through the path (forward only, no optimizer). Afterwards the path
+  /// can be evaluated in eval mode — the higher-fidelity protocol used
+  /// when a candidate is about to be reported or deployed.
+  void calibrate_bn(const data::SyntheticDataset& dataset, const Arch& arch,
+                    std::size_t batch_size, std::size_t calib_batches,
+                    std::uint64_t seed = 0);
+
+  /// Like evaluate(), but in eval mode using the (re)calibrated running
+  /// statistics. Call calibrate_bn first for meaningful numbers.
+  double evaluate_calibrated(const data::SyntheticDataset& dataset,
+                             const Arch& arch, std::size_t batch_size,
+                             std::size_t max_batches = 0);
+
+  /// Apply `fn` to every module in the network (see nn::Module::visit).
+  void visit(const std::function<void(nn::Module&)>& fn);
+
+  /// Extract a standalone network for `arch` with weights *copied* from
+  /// this supernet's shared blocks (OFA-style weight inheritance): the
+  /// returned network starts from the one-shot-trained weights instead of
+  /// a fresh init, so a short fine-tune replaces full from-scratch
+  /// training. The supernet is left untouched.
+  std::unique_ptr<Supernet> extract_subnet(const Arch& arch,
+                                           std::uint64_t seed = 0);
+
+  long param_count();
+
+ private:
+  void check_arch(const Arch& arch) const;
+  nn::ChoiceBlock& block(int layer, int op);
+
+  const SearchSpace& space_;
+  std::optional<Arch> fixed_arch_;
+
+  std::unique_ptr<nn::Sequential> stem_;
+  // layers_[l][k]; standalone networks hold exactly one entry per layer.
+  std::vector<std::vector<std::unique_ptr<nn::ChoiceBlock>>> layers_;
+  std::unique_ptr<nn::Sequential> head_conv_;
+  nn::GlobalAvgPool gap_;
+  std::unique_ptr<nn::Linear> classifier_;
+
+  std::vector<nn::Module*> active_path_;  // set by forward, used by backward
+};
+
+}  // namespace hsconas::core

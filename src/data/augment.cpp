@@ -1,0 +1,83 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hsconas::data {
+
+using tensor::Tensor;
+
+namespace {
+
+void flip_horizontal(float* chan, long h, long w) {
+  for (long y = 0; y < h; ++y) {
+    float* row = chan + y * w;
+    std::reverse(row, row + w);
+  }
+}
+
+void shift_channel(float* chan, long h, long w, long dy, long dx) {
+  std::vector<float> tmp(static_cast<std::size_t>(h * w), 0.0f);
+  for (long y = 0; y < h; ++y) {
+    const long sy = y - dy;
+    if (sy < 0 || sy >= h) continue;
+    for (long x = 0; x < w; ++x) {
+      const long sx = x - dx;
+      if (sx < 0 || sx >= w) continue;
+      tmp[static_cast<std::size_t>(y * w + x)] = chan[sy * w + sx];
+    }
+  }
+  std::memcpy(chan, tmp.data(), tmp.size() * sizeof(float));
+}
+
+}  // namespace
+
+void augment_image(Tensor& img, const AugmentConfig& config, util::Rng& rng) {
+  if (img.ndim() != 3) {
+    throw InvalidArgument("augment_image: expected (C, H, W)");
+  }
+  const long c = img.dim(0), h = img.dim(1), w = img.dim(2);
+
+  const bool do_flip = config.horizontal_flip && rng.bernoulli(0.5);
+  long dy = 0, dx = 0;
+  if (config.max_shift > 0) {
+    dy = rng.randint(-config.max_shift, config.max_shift);
+    dx = rng.randint(-config.max_shift, config.max_shift);
+  }
+  float gain = 1.0f;
+  if (config.brightness_jitter > 0.0) {
+    gain = static_cast<float>(
+        1.0 + rng.uniform(-config.brightness_jitter,
+                          config.brightness_jitter));
+  }
+
+  for (long ch = 0; ch < c; ++ch) {
+    float* chan = img.data() + ch * h * w;
+    if (do_flip) flip_horizontal(chan, h, w);
+    if (dy != 0 || dx != 0) shift_channel(chan, h, w, dy, dx);
+    if (gain != 1.0f) {
+      for (long i = 0; i < h * w; ++i) chan[i] *= gain;
+    }
+  }
+}
+
+void augment_batch(Tensor& batch, const AugmentConfig& config,
+                   util::Rng& rng) {
+  if (batch.ndim() != 4) {
+    throw InvalidArgument("augment_batch: expected (N, C, H, W)");
+  }
+  const long n = batch.dim(0), c = batch.dim(1), h = batch.dim(2),
+             w = batch.dim(3);
+  for (long s = 0; s < n; ++s) {
+    Tensor view({c, h, w});
+    std::memcpy(view.data(), batch.data() + s * c * h * w,
+                static_cast<std::size_t>(c * h * w) * sizeof(float));
+    augment_image(view, config, rng);
+    std::memcpy(batch.data() + s * c * h * w, view.data(),
+                static_cast<std::size_t>(c * h * w) * sizeof(float));
+  }
+}
+
+}  // namespace hsconas::data

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace hsconas::data {
+
+/// "Standard data augmentations" (§IV-A) adapted to the synthetic task:
+/// random horizontal flip, random shift-crop with zero padding, and
+/// brightness jitter. Applied per-sample on (C, H, W) tensors.
+struct AugmentConfig {
+  bool horizontal_flip = true;
+  int max_shift = 2;            ///< random crop via +/- shift, 0 disables
+  double brightness_jitter = 0.1;  ///< multiplicative, 0 disables
+};
+
+/// Augment a single image in place.
+void augment_image(tensor::Tensor& img, const AugmentConfig& config,
+                   util::Rng& rng);
+
+/// Augment every sample of an (N, C, H, W) batch in place.
+void augment_batch(tensor::Tensor& batch, const AugmentConfig& config,
+                   util::Rng& rng);
+
+}  // namespace hsconas::data

@@ -1,0 +1,50 @@
+#include "data/loader.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hsconas::data {
+
+DataLoader::DataLoader(const SyntheticDataset& dataset,
+                       std::size_t batch_size, bool train, std::uint64_t seed,
+                       AugmentConfig augment)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      train_(train),
+      augment_(augment),
+      rng_(seed) {
+  if (batch_size == 0) throw InvalidArgument("DataLoader: batch_size == 0");
+  const std::size_t n = train_ ? dataset_.train_size() : dataset_.val_size();
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+  start_epoch();
+}
+
+std::size_t DataLoader::num_batches() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  if (train_) rng_.shuffle(order_);
+}
+
+Batch DataLoader::batch(std::size_t b) {
+  HSCONAS_CHECK_MSG(b < num_batches(), "DataLoader: batch index out of range");
+  const std::size_t begin = b * batch_size_;
+  const std::size_t end = std::min(begin + batch_size_, order_.size());
+  const std::vector<std::size_t> indices(order_.begin() + static_cast<long>(begin),
+                                         order_.begin() + static_cast<long>(end));
+  Batch out;
+  if (train_) {
+    out.images = dataset_.stack_train(indices);
+    out.labels = dataset_.labels_train(indices);
+    augment_batch(out.images, augment_, rng_);
+  } else {
+    out.images = dataset_.stack_val(indices);
+    out.labels = dataset_.labels_val(indices);
+  }
+  return out;
+}
+
+}  // namespace hsconas::data

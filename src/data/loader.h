@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "data/augment.h"
+#include "data/synthetic.h"
+
+namespace hsconas::data {
+
+/// A mini-batch: stacked images + integer labels.
+struct Batch {
+  tensor::Tensor images;  ///< (N, C, H, W)
+  std::vector<int> labels;
+};
+
+/// Epoch-based mini-batch iterator over a SyntheticDataset split.
+/// Training mode shuffles each epoch and applies augmentation; validation
+/// mode iterates in order with no augmentation. The final partial batch of
+/// an epoch is kept (not dropped) so small datasets use every sample.
+class DataLoader {
+ public:
+  DataLoader(const SyntheticDataset& dataset, std::size_t batch_size,
+             bool train, std::uint64_t seed,
+             AugmentConfig augment = AugmentConfig{});
+
+  /// Batches per epoch.
+  std::size_t num_batches() const;
+
+  /// Re-shuffle (training) and rewind to the first batch.
+  void start_epoch();
+
+  /// Fetch batch `b` of the current epoch (b < num_batches()).
+  Batch batch(std::size_t b);
+
+ private:
+  const SyntheticDataset& dataset_;
+  std::size_t batch_size_;
+  bool train_;
+  AugmentConfig augment_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace hsconas::data

@@ -1,0 +1,171 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace hsconas::data {
+
+using tensor::Tensor;
+
+SyntheticDataset::SyntheticDataset(const SyntheticConfig& config)
+    : config_(config) {
+  if (config.num_classes < 2 || config.image_size < 4 ||
+      config.channels < 1 || config.train_size < 1 || config.val_size < 1) {
+    throw InvalidArgument("SyntheticDataset: degenerate configuration");
+  }
+
+  util::Rng proto_rng(config.seed);
+  prototypes_.resize(static_cast<std::size_t>(config.num_classes));
+  for (auto& p : prototypes_) {
+    for (int g = 0; g < 3; ++g) {
+      p.orient[g] = proto_rng.uniform(0.0, std::numbers::pi);
+      p.freq[g] = proto_rng.uniform(1.0, 5.0);
+      p.phase[g] = proto_rng.uniform(0.0, 2.0 * std::numbers::pi);
+      p.weight[g] = proto_rng.uniform(0.3, 1.0);
+    }
+    for (int b = 0; b < 2; ++b) {
+      p.bx[b] = proto_rng.uniform(0.2, 0.8);
+      p.by[b] = proto_rng.uniform(0.2, 0.8);
+      p.br[b] = proto_rng.uniform(0.1, 0.3);
+      p.ba[b] = proto_rng.uniform(-1.0, 1.0);
+    }
+    for (int c = 0; c < 3; ++c) p.gain[c] = proto_rng.uniform(0.6, 1.4);
+  }
+
+  const auto img_elems = static_cast<std::size_t>(
+      config.channels * config.image_size * config.image_size);
+
+  util::Rng train_rng(config.seed ^ 0x7261696eull);  // "rain"
+  train_store_.reserve(img_elems * static_cast<std::size_t>(config.train_size));
+  train_labels_.reserve(static_cast<std::size_t>(config.train_size));
+  for (int i = 0; i < config.train_size; ++i) {
+    const int label = static_cast<int>(i % config.num_classes);
+    Tensor img = render(prototypes_[static_cast<std::size_t>(label)], train_rng);
+    train_store_.insert(train_store_.end(), img.flat().begin(),
+                        img.flat().end());
+    train_labels_.push_back(label);
+  }
+
+  util::Rng val_rng(config.seed ^ 0x76616cull);  // "val"
+  val_store_.reserve(img_elems * static_cast<std::size_t>(config.val_size));
+  val_labels_.reserve(static_cast<std::size_t>(config.val_size));
+  for (int i = 0; i < config.val_size; ++i) {
+    const int label = static_cast<int>(i % config.num_classes);
+    Tensor img = render(prototypes_[static_cast<std::size_t>(label)], val_rng);
+    val_store_.insert(val_store_.end(), img.flat().begin(), img.flat().end());
+    val_labels_.push_back(label);
+  }
+}
+
+Tensor SyntheticDataset::render(const ClassPrototype& proto,
+                                util::Rng& rng) const {
+  const long s = config_.image_size;
+  const long ch = config_.channels;
+  Tensor img({ch, s, s});
+  const double jit = config_.param_jitter;
+
+  // Jittered copy of the prototype for this sample.
+  ClassPrototype p = proto;
+  for (int g = 0; g < 3; ++g) {
+    p.orient[g] += rng.normal(0.0, jit * 0.4);
+    p.freq[g] *= 1.0 + rng.normal(0.0, jit * 0.3);
+    p.phase[g] += rng.normal(0.0, jit * 1.5);
+  }
+  for (int b = 0; b < 2; ++b) {
+    p.bx[b] += rng.normal(0.0, jit * 0.1);
+    p.by[b] += rng.normal(0.0, jit * 0.1);
+  }
+
+  for (long y = 0; y < s; ++y) {
+    for (long x = 0; x < s; ++x) {
+      const double u = static_cast<double>(x) / static_cast<double>(s - 1);
+      const double v = static_cast<double>(y) / static_cast<double>(s - 1);
+      double value = 0.0;
+      for (int g = 0; g < 3; ++g) {
+        const double proj =
+            u * std::cos(p.orient[g]) + v * std::sin(p.orient[g]);
+        value += p.weight[g] *
+                 std::sin(2.0 * std::numbers::pi * p.freq[g] * proj +
+                          p.phase[g]);
+      }
+      for (int b = 0; b < 2; ++b) {
+        const double dx = u - p.bx[b], dy = v - p.by[b];
+        value += p.ba[b] *
+                 std::exp(-(dx * dx + dy * dy) / (2.0 * p.br[b] * p.br[b]));
+      }
+      for (long c = 0; c < ch; ++c) {
+        const double gain = p.gain[c % 3];
+        const double noisy =
+            gain * value + rng.normal(0.0, config_.pixel_noise);
+        img.at(c, y, x) = static_cast<float>(std::tanh(noisy));
+      }
+    }
+  }
+  return img;
+}
+
+Tensor SyntheticDataset::image_at(const std::vector<float>& store,
+                                  std::size_t i) const {
+  const auto img_elems = static_cast<std::size_t>(
+      config_.channels * config_.image_size * config_.image_size);
+  HSCONAS_CHECK_MSG((i + 1) * img_elems <= store.size(),
+                    "SyntheticDataset: index out of range");
+  Tensor img({config_.channels, config_.image_size, config_.image_size});
+  std::copy(store.begin() + static_cast<long>(i * img_elems),
+            store.begin() + static_cast<long>((i + 1) * img_elems),
+            img.data());
+  return img;
+}
+
+Tensor SyntheticDataset::train_image(std::size_t i) const {
+  return image_at(train_store_, i);
+}
+Tensor SyntheticDataset::val_image(std::size_t i) const {
+  return image_at(val_store_, i);
+}
+
+namespace {
+Tensor stack(const std::vector<std::size_t>& indices,
+             const SyntheticConfig& cfg, const std::vector<float>& store) {
+  const auto img_elems = static_cast<std::size_t>(
+      cfg.channels * cfg.image_size * cfg.image_size);
+  Tensor batch({static_cast<long>(indices.size()), cfg.channels,
+                cfg.image_size, cfg.image_size});
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    HSCONAS_CHECK_MSG((indices[n] + 1) * img_elems <= store.size(),
+                      "stack: index out of range");
+    std::copy(store.begin() + static_cast<long>(indices[n] * img_elems),
+              store.begin() + static_cast<long>((indices[n] + 1) * img_elems),
+              batch.data() + static_cast<long>(n * img_elems));
+  }
+  return batch;
+}
+}  // namespace
+
+Tensor SyntheticDataset::stack_train(
+    const std::vector<std::size_t>& indices) const {
+  return stack(indices, config_, train_store_);
+}
+Tensor SyntheticDataset::stack_val(
+    const std::vector<std::size_t>& indices) const {
+  return stack(indices, config_, val_store_);
+}
+
+std::vector<int> SyntheticDataset::labels_train(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(train_labels_.at(i));
+  return out;
+}
+std::vector<int> SyntheticDataset::labels_val(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(val_labels_.at(i));
+  return out;
+}
+
+}  // namespace hsconas::data

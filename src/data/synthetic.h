@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace hsconas::data {
+
+/// Configuration for the synthetic classification task that stands in for
+/// ImageNet (see DESIGN.md, substitution table).
+///
+/// Each class is a deterministic "prototype": a mixture of oriented
+/// sinusoidal gratings plus Gaussian blobs with a class-specific color
+/// balance. Samples render the prototype with jittered parameters and pixel
+/// noise, so (a) classes are separable, (b) separability improves with
+/// model capacity, and (c) the task is not solvable by trivial color
+/// histograms alone — the properties the NAS search decisions depend on.
+struct SyntheticConfig {
+  int num_classes = 10;
+  int train_size = 512;
+  int val_size = 256;
+  int image_size = 16;   ///< square images
+  int channels = 3;
+  double param_jitter = 0.25;  ///< relative jitter of prototype parameters
+  double pixel_noise = 0.15;   ///< additive Gaussian pixel noise stddev
+  std::uint64_t seed = 42;
+};
+
+/// In-memory dataset: all images generated eagerly at construction
+/// (the default config is ~0.5 MB).
+class SyntheticDataset {
+ public:
+  explicit SyntheticDataset(const SyntheticConfig& config);
+
+  const SyntheticConfig& config() const { return config_; }
+
+  std::size_t train_size() const { return train_labels_.size(); }
+  std::size_t val_size() const { return val_labels_.size(); }
+
+  /// Image i as a (C, H, W) tensor view copy.
+  tensor::Tensor train_image(std::size_t i) const;
+  tensor::Tensor val_image(std::size_t i) const;
+  int train_label(std::size_t i) const { return train_labels_.at(i); }
+  int val_label(std::size_t i) const { return val_labels_.at(i); }
+
+  /// Batched access: stack the given indices into an (N, C, H, W) tensor.
+  tensor::Tensor stack_train(const std::vector<std::size_t>& indices) const;
+  tensor::Tensor stack_val(const std::vector<std::size_t>& indices) const;
+  std::vector<int> labels_train(const std::vector<std::size_t>& indices) const;
+  std::vector<int> labels_val(const std::vector<std::size_t>& indices) const;
+
+ private:
+  struct ClassPrototype {
+    // Three gratings: orientation (rad), spatial frequency, phase, weight.
+    double orient[3], freq[3], phase[3], weight[3];
+    // Two blobs: center (fraction of image), radius, amplitude.
+    double bx[2], by[2], br[2], ba[2];
+    // Per-channel gain.
+    double gain[3];
+  };
+
+  tensor::Tensor render(const ClassPrototype& proto, util::Rng& rng) const;
+  tensor::Tensor image_at(const std::vector<float>& store,
+                          std::size_t i) const;
+
+  SyntheticConfig config_;
+  std::vector<ClassPrototype> prototypes_;
+  std::vector<float> train_store_, val_store_;  // packed CHW images
+  std::vector<int> train_labels_, val_labels_;
+};
+
+}  // namespace hsconas::data

@@ -1,0 +1,39 @@
+#include "eval/latency_eval.h"
+
+#include "core/lowering.h"
+#include "util/stats.h"
+
+namespace hsconas::eval {
+
+LatencyEvalReport evaluate_latency_model(core::LatencyModel& model,
+                                         int num_archs, std::uint64_t seed) {
+  util::Rng rng(seed);
+  LatencyEvalReport report;
+  report.bias_ms = model.bias_ms();
+  report.points.reserve(static_cast<std::size_t>(num_archs));
+
+  std::vector<double> predicted, uncorrected, measured;
+  for (int i = 0; i < num_archs; ++i) {
+    LatencyEvalPoint p;
+    p.arch = core::Arch::random(model.space(), rng);
+    p.predicted_ms = model.predict_ms(p.arch);
+    p.predicted_uncorrected_ms = model.predict_uncorrected_ms(p.arch);
+    p.measured_ms = model.measure_ms(p.arch);
+    p.macs = core::arch_macs(p.arch, model.space());
+    p.params = core::arch_params(p.arch, model.space());
+    predicted.push_back(p.predicted_ms);
+    uncorrected.push_back(p.predicted_uncorrected_ms);
+    measured.push_back(p.measured_ms);
+    report.points.push_back(std::move(p));
+  }
+
+  report.rmse_ms = util::rmse(predicted, measured);
+  report.rmse_uncorrected_ms = util::rmse(uncorrected, measured);
+  report.mae_ms = util::mae(predicted, measured);
+  report.pearson = util::pearson(predicted, measured);
+  report.spearman = util::spearman(predicted, measured);
+  report.kendall_tau = util::kendall_tau(predicted, measured);
+  return report;
+}
+
+}  // namespace hsconas::eval

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "core/latency_model.h"
+
+namespace hsconas::eval {
+
+/// Predicted-vs-measured evaluation of a LatencyModel over sampled
+/// architectures — the machinery behind Fig. 3 and the §III-A RMSE claims.
+struct LatencyEvalPoint {
+  core::Arch arch;
+  double predicted_ms = 0.0;
+  double predicted_uncorrected_ms = 0.0;
+  double measured_ms = 0.0;
+  double macs = 0.0;
+  double params = 0.0;
+};
+
+struct LatencyEvalReport {
+  std::vector<LatencyEvalPoint> points;
+  double rmse_ms = 0.0;               ///< with the bias correction B
+  double rmse_uncorrected_ms = 0.0;   ///< without B
+  double mae_ms = 0.0;
+  double pearson = 0.0;
+  double spearman = 0.0;
+  double kendall_tau = 0.0;
+  double bias_ms = 0.0;
+};
+
+/// Sample `num_archs` uniform architectures, predict and "measure" each,
+/// and aggregate the error statistics.
+LatencyEvalReport evaluate_latency_model(core::LatencyModel& model,
+                                         int num_archs, std::uint64_t seed);
+
+}  // namespace hsconas::eval

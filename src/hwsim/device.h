@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+
+#include "hwsim/op_descriptor.h"
+#include "util/rng.h"
+
+namespace hsconas::hwsim {
+
+/// Analytic device model. Per-operator latency follows a roofline:
+///
+///   t_op = launch_overhead + max(flops / (peak · eff), bytes / bandwidth)
+///
+/// where `eff` combines a per-kind base efficiency (dense conv maps well to
+/// the hardware's GEMM engines; depthwise conv does not) with an occupancy
+/// term that penalizes kernels too small to fill the machine — this is what
+/// makes small batches under-utilize the GPU (the paper's §III-A batch-size
+/// note) and what decorrelates latency from raw FLOPs (Fig. 2).
+///
+/// Whole-network "on-device" runs additionally pay an inter-layer
+/// communication cost per layer boundary (tensor hand-off over the memory
+/// hierarchy + scheduler sync) and multiplicative log-normal measurement
+/// jitter. Per-layer profiling for the LUT of Eq. 2 sees *only* the op
+/// costs — the gap between the two is precisely what the paper's bias term
+/// B (Eq. 3) recovers on average.
+struct DeviceProfile {
+  std::string name;
+
+  // Compute roofline.
+  double peak_gflops = 1000.0;     ///< fp32 peak
+  double mem_bandwidth_gbs = 100;  ///< DRAM bandwidth, GB/s
+  double launch_overhead_us = 5;   ///< per-kernel dispatch cost
+
+  // Efficiency model.
+  double sat_concurrency = 1e5;  ///< work items needed to saturate
+  double base_eff_conv = 0.6;
+  double base_eff_depthwise = 0.25;
+  double base_eff_linear = 0.5;
+  double base_eff_other = 1.0;  ///< memory-bound kinds (bandwidth rules)
+
+  /// Fraction of elementwise (BN/activation/residual) traffic the runtime
+  /// fuses into the producing kernel: 1 = perfectly fused (free),
+  /// 0 = every elementwise op re-reads and re-writes its tensor.
+  /// TensorRT-class runtimes fuse aggressively; batch-1 CPU runtimes of the
+  /// paper's era barely did.
+  double eltwise_fusion = 0.0;
+
+  // Inter-layer communication (invisible to per-op profiling).
+  double link_bandwidth_gbs = 20.0;  ///< effective hand-off bandwidth
+  double sync_overhead_us = 8.0;     ///< per layer boundary
+
+  // Measurement realism.
+  double noise_sigma = 0.015;  ///< log-space jitter of "measured" runs
+
+  int default_batch = 1;  ///< batch size the paper uses on this device
+};
+
+/// Prices operators and networks under a DeviceProfile. Deterministic
+/// except where an Rng is passed for measurement jitter.
+class DeviceSimulator {
+ public:
+  explicit DeviceSimulator(DeviceProfile profile);
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Latency of one primitive op at the given batch size (ms, noise-free).
+  double op_latency_ms(const OpDescriptor& op, int batch) const;
+
+  /// Latency of one layer profiled in isolation (sum of its op latencies;
+  /// no inter-layer communication) — the LUT entry of Eq. 2.
+  double layer_latency_ms(const LayerDesc& layer, int batch) const;
+
+  /// Ground-truth end-to-end latency: op costs + inter-layer communication.
+  /// Pass an Rng to add measurement jitter ("on-device measurement",
+  /// LAT⁺ of Eq. 3); nullptr gives the noise-free expectation.
+  double network_latency_ms(const NetworkDesc& net, int batch,
+                            util::Rng* noise = nullptr) const;
+
+  /// The communication part alone (what Eq. 2's LUT sum misses).
+  double communication_ms(const NetworkDesc& net, int batch) const;
+
+ private:
+  double efficiency(const OpDescriptor& op, int batch) const;
+  DeviceProfile profile_;
+};
+
+}  // namespace hsconas::hwsim

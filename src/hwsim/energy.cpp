@@ -1,0 +1,103 @@
+#include "hwsim/energy.h"
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace hsconas::hwsim {
+
+EnergyProfile gv100_energy() {
+  EnergyProfile p;
+  p.name = "gv100";
+  p.pj_per_flop = 18.0;       // ~250 W at peak fp32 throughput
+  p.pj_per_byte_dram = 7.0;   // HBM2
+  p.pj_per_byte_link = 12.0;
+  p.launch_nj = 800.0;
+  p.static_watts = 55.0;      // board idle + fixed overheads
+  return p;
+}
+
+EnergyProfile xeon6136_energy() {
+  EnergyProfile p;
+  p.name = "xeon6136";
+  p.pj_per_flop = 60.0;       // server core, batch-1 utilization
+  p.pj_per_byte_dram = 20.0;  // DDR4
+  p.pj_per_byte_link = 35.0;
+  p.launch_nj = 300.0;
+  p.static_watts = 35.0;
+  return p;
+}
+
+EnergyProfile xavier_energy() {
+  EnergyProfile p;
+  p.name = "xavier";
+  p.pj_per_flop = 12.0;       // edge-tuned silicon, power mode 6 (30 W)
+  p.pj_per_byte_dram = 35.0;  // LPDDR4
+  p.pj_per_byte_link = 50.0;
+  p.launch_nj = 400.0;
+  p.static_watts = 8.0;
+  return p;
+}
+
+EnergyProfile energy_by_name(const std::string& device_name) {
+  const std::string n = util::to_lower(device_name);
+  if (n == "gv100" || n == "gpu") return gv100_energy();
+  if (n == "xeon6136" || n == "cpu") return xeon6136_energy();
+  if (n == "xavier" || n == "edge") return xavier_energy();
+  throw InvalidArgument("unknown device '" + device_name +
+                        "' (expected gv100|xeon6136|xavier)");
+}
+
+EnergySimulator::EnergySimulator(EnergyProfile profile,
+                                 const DeviceSimulator& device)
+    : profile_(std::move(profile)), device_(device) {
+  if (profile_.pj_per_flop <= 0 || profile_.pj_per_byte_dram <= 0 ||
+      profile_.pj_per_byte_link <= 0 || profile_.static_watts < 0) {
+    throw InvalidArgument("EnergySimulator: invalid profile '" +
+                          profile_.name + "'");
+  }
+}
+
+double EnergySimulator::op_energy_mj(const OpDescriptor& op,
+                                     int batch) const {
+  HSCONAS_CHECK_MSG(batch >= 1, "op_energy_mj: batch must be >= 1");
+  const double b = static_cast<double>(batch);
+  const double flops = 2.0 * op.macs() * b;
+  const double bytes =
+      (op.input_bytes() + op.output_bytes()) * b + op.weight_bytes();
+  // pJ -> mJ is 1e-9; nJ -> mJ is 1e-6.
+  return (flops * profile_.pj_per_flop +
+          bytes * profile_.pj_per_byte_dram) * 1e-9 +
+         profile_.launch_nj * 1e-6;
+}
+
+double EnergySimulator::layer_energy_mj(const LayerDesc& layer,
+                                        int batch) const {
+  double total = 0.0;
+  for (const auto& op : layer.ops) total += op_energy_mj(op, batch);
+  return total;
+}
+
+double EnergySimulator::network_energy_mj(const NetworkDesc& net, int batch,
+                                          util::Rng* noise) const {
+  double dynamic = 0.0;
+  for (const auto& layer : net) {
+    dynamic += layer_energy_mj(layer, batch);
+    dynamic += layer.output_bytes() * static_cast<double>(batch) *
+               profile_.pj_per_byte_link * 1e-9;
+  }
+  const double latency_ms = device_.network_latency_ms(net, batch);
+  const double static_mj = profile_.static_watts * latency_ms;  // W·ms = mJ
+  double total = dynamic + static_mj;
+  if (noise != nullptr) {
+    total *= noise->lognormal_jitter(device_.profile().noise_sigma);
+  }
+  return total;
+}
+
+double EnergySimulator::network_power_w(const NetworkDesc& net,
+                                        int batch) const {
+  const double latency_ms = device_.network_latency_ms(net, batch);
+  return network_energy_mj(net, batch) / latency_ms;  // mJ / ms = W
+}
+
+}  // namespace hsconas::hwsim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "hwsim/device.h"
+
+namespace hsconas::hwsim {
+
+/// Energy model — the paper's stated future work ("incorporate different
+/// hardware constraints like power consumption", §V), built on the same
+/// descriptor lowering as the latency model.
+///
+/// Per-op dynamic energy:
+///   E_op = flops · pj_per_flop / eff_kindish + bytes · pj_per_byte
+///        + launch_nj
+/// Whole-network energy adds inter-layer hand-off traffic at the link
+/// energy cost and static (leakage + idle) power integrated over the run's
+/// latency — which is why a *faster* network is usually also a lower-energy
+/// one on devices with high static draw, and why the two objectives are
+/// still not equivalent (a wide dense conv burns more dynamic energy per
+/// millisecond than a depthwise one).
+struct EnergyProfile {
+  std::string name;
+  double pj_per_flop = 10.0;       ///< dynamic compute energy
+  double pj_per_byte_dram = 15.0;  ///< DRAM traffic energy
+  double pj_per_byte_link = 40.0;  ///< inter-layer hand-off energy
+  double launch_nj = 500.0;        ///< per-kernel control energy (nJ)
+  double static_watts = 10.0;      ///< leakage + idle draw during the run
+};
+
+/// Calibrated companions of the three latency profiles.
+EnergyProfile gv100_energy();
+EnergyProfile xeon6136_energy();
+EnergyProfile xavier_energy();
+EnergyProfile energy_by_name(const std::string& device_name);
+
+/// Prices energy under an (EnergyProfile, DeviceSimulator) pair; the
+/// simulator supplies latencies for the static-power integral.
+class EnergySimulator {
+ public:
+  EnergySimulator(EnergyProfile profile, const DeviceSimulator& device);
+
+  const EnergyProfile& profile() const { return profile_; }
+
+  /// Dynamic energy of one op at the given batch, millijoules.
+  double op_energy_mj(const OpDescriptor& op, int batch) const;
+
+  /// Layer in isolation: sum of its ops' dynamic energy (LUT entry).
+  double layer_energy_mj(const LayerDesc& layer, int batch) const;
+
+  /// Whole network: op energy + inter-layer hand-off energy + static
+  /// power × end-to-end latency. Pass an Rng for measurement jitter.
+  double network_energy_mj(const NetworkDesc& net, int batch,
+                           util::Rng* noise = nullptr) const;
+
+  /// Mean power over one inference, watts.
+  double network_power_w(const NetworkDesc& net, int batch) const;
+
+ private:
+  EnergyProfile profile_;
+  const DeviceSimulator& device_;
+};
+
+}  // namespace hsconas::hwsim

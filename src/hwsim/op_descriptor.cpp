@@ -1,0 +1,149 @@
+#include "hwsim/op_descriptor.h"
+
+#include "util/string_util.h"
+
+namespace hsconas::hwsim {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv: return "conv";
+    case OpKind::kDepthwiseConv: return "dwconv";
+    case OpKind::kLinear: return "linear";
+    case OpKind::kPool: return "pool";
+    case OpKind::kElementwise: return "eltwise";
+    case OpKind::kShuffle: return "shuffle";
+  }
+  return "?";
+}
+
+long OpDescriptor::out_h() const {
+  if (kind == OpKind::kLinear) return 1;
+  return (in_h + 2 * effective_pad() - kernel) / stride + 1;
+}
+
+long OpDescriptor::out_w() const {
+  if (kind == OpKind::kLinear) return 1;
+  return (in_w + 2 * effective_pad() - kernel) / stride + 1;
+}
+
+double OpDescriptor::macs() const {
+  switch (kind) {
+    case OpKind::kConv:
+      return static_cast<double>(out_channels) *
+             static_cast<double>(in_channels / groups) *
+             static_cast<double>(kernel) * kernel *
+             static_cast<double>(out_h()) * out_w();
+    case OpKind::kDepthwiseConv:
+      return static_cast<double>(out_channels) *
+             static_cast<double>(kernel) * kernel *
+             static_cast<double>(out_h()) * out_w();
+    case OpKind::kLinear:
+      return static_cast<double>(in_channels) * out_channels;
+    case OpKind::kPool:
+      // comparisons/adds, not MACs; count 0 like standard FLOPs counters
+      return 0.0;
+    case OpKind::kElementwise:
+    case OpKind::kShuffle:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double OpDescriptor::params() const {
+  switch (kind) {
+    case OpKind::kConv:
+      return static_cast<double>(out_channels) *
+             static_cast<double>(in_channels / groups) *
+             static_cast<double>(kernel) * kernel;
+    case OpKind::kDepthwiseConv:
+      return static_cast<double>(out_channels) *
+             static_cast<double>(kernel) * kernel;
+    case OpKind::kLinear:
+      return static_cast<double>(in_channels) * out_channels +
+             out_channels;
+    default:
+      return 0.0;
+  }
+}
+
+double OpDescriptor::input_bytes() const {
+  if (kind == OpKind::kLinear) {
+    return 4.0 * static_cast<double>(in_channels);
+  }
+  return 4.0 * static_cast<double>(in_channels) *
+         static_cast<double>(in_h) * in_w;
+}
+
+double OpDescriptor::output_bytes() const {
+  if (kind == OpKind::kLinear) {
+    return 4.0 * static_cast<double>(out_channels);
+  }
+  return 4.0 * static_cast<double>(out_channels) *
+         static_cast<double>(out_h()) * out_w();
+}
+
+double OpDescriptor::weight_bytes() const { return 4.0 * params(); }
+
+std::string OpDescriptor::to_string() const {
+  return util::format("%s(in=%ld out=%ld %ldx%ld k=%ld s=%ld g=%ld)",
+                      op_kind_name(kind), in_channels, out_channels, in_h,
+                      in_w, kernel, stride, groups);
+}
+
+OpDescriptor OpDescriptor::conv(long in_ch, long out_ch, long h, long w,
+                                long kernel, long stride, long groups) {
+  return OpDescriptor{OpKind::kConv, in_ch, out_ch, h, w, kernel, stride,
+                      groups};
+}
+
+OpDescriptor OpDescriptor::depthwise(long channels, long h, long w,
+                                     long kernel, long stride) {
+  return OpDescriptor{OpKind::kDepthwiseConv, channels, channels, h,
+                      w,       kernel,        stride,   channels};
+}
+
+OpDescriptor OpDescriptor::linear(long in_features, long out_features) {
+  return OpDescriptor{OpKind::kLinear, in_features, out_features, 1, 1, 1, 1,
+                      1};
+}
+
+OpDescriptor OpDescriptor::pool(long channels, long h, long w, long kernel,
+                                long stride) {
+  return OpDescriptor{OpKind::kPool, channels, channels, h, w, kernel,
+                      stride, 1};
+}
+
+OpDescriptor OpDescriptor::elementwise(long channels, long h, long w) {
+  return OpDescriptor{OpKind::kElementwise, channels, channels, h, w, 1, 1,
+                      1};
+}
+
+OpDescriptor OpDescriptor::shuffle(long channels, long h, long w) {
+  return OpDescriptor{OpKind::kShuffle, channels, channels, h, w, 1, 1, 1};
+}
+
+double LayerDesc::macs() const {
+  double total = 0.0;
+  for (const auto& op : ops) total += op.macs();
+  return total;
+}
+
+double LayerDesc::params() const {
+  double total = 0.0;
+  for (const auto& op : ops) total += op.params();
+  return total;
+}
+
+double network_macs(const NetworkDesc& net) {
+  double total = 0.0;
+  for (const auto& layer : net) total += layer.macs();
+  return total;
+}
+
+double network_params(const NetworkDesc& net) {
+  double total = 0.0;
+  for (const auto& layer : net) total += layer.params();
+  return total;
+}
+
+}  // namespace hsconas::hwsim

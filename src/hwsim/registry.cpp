@@ -1,0 +1,89 @@
+#include "hwsim/registry.h"
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace hsconas::hwsim {
+
+DeviceProfile gv100_profile() {
+  DeviceProfile p;
+  p.name = "gv100";
+  p.peak_gflops = 10000.0;  // sustained fp32 throughput of GV100
+  p.mem_bandwidth_gbs = 600.0;
+  p.launch_overhead_us = 4.0;
+  p.sat_concurrency = 1.0e6;  // 80 SMs want a lot of resident work
+  p.base_eff_conv = 0.55;
+  p.base_eff_depthwise = 0.12;  // dw kernels map poorly to tensor pipes
+  p.base_eff_linear = 0.45;
+  p.base_eff_other = 1.0;
+  p.eltwise_fusion = 0.8;  // cuDNN/TensorRT-era fusion
+  p.link_bandwidth_gbs = 200.0;  // L2/DRAM tensor hand-off
+  p.sync_overhead_us = 14.0;     // stream sync + scheduler
+  p.noise_sigma = 0.01;
+  p.default_batch = 32;
+  return p;
+}
+
+DeviceProfile xeon6136_profile() {
+  DeviceProfile p;
+  p.name = "xeon6136";
+  // Framework-achievable throughput at batch 1 (TF/PyTorch-era CPU
+  // inference), not the silicon's AVX-512 peak: batch-1 mobile convs leave
+  // most of the 12 cores idle.
+  p.peak_gflops = 580.0;
+  p.mem_bandwidth_gbs = 110.0;
+  p.launch_overhead_us = 4.0;   // op dispatch in a CPU inference runtime
+  p.sat_concurrency = 2.0e5;    // threads starve on small spatial maps
+  p.base_eff_conv = 0.35;
+  p.base_eff_depthwise = 0.20;
+  p.base_eff_linear = 0.35;
+  p.base_eff_other = 1.0;
+  p.eltwise_fusion = 0.3;  // era CPU runtimes fused little
+  p.link_bandwidth_gbs = 5.5;   // cache-hostile tensor hand-off at batch 1
+  p.sync_overhead_us = 50.0;    // framework per-layer overhead at batch 1
+  p.noise_sigma = 0.015;
+  p.default_batch = 1;
+  return p;
+}
+
+DeviceProfile xavier_profile() {
+  DeviceProfile p;
+  p.name = "xavier";
+  p.peak_gflops = 700.0;  // Volta iGPU, power mode 6 (30 W cap)
+  p.mem_bandwidth_gbs = 110.0;
+  p.launch_overhead_us = 12.0;  // weaker host CPU drives launches
+  p.sat_concurrency = 1.0e5;
+  p.base_eff_conv = 0.45;
+  p.base_eff_depthwise = 0.15;
+  p.base_eff_linear = 0.40;
+  p.base_eff_other = 1.0;
+  p.eltwise_fusion = 0.75;  // TensorRT-style fusion on Jetson
+  p.link_bandwidth_gbs = 25.0;
+  p.sync_overhead_us = 70.0;
+  p.noise_sigma = 0.02;
+  p.default_batch = 16;
+  return p;
+}
+
+DeviceProfile device_by_name(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "gv100" || n == "gpu") return gv100_profile();
+  if (n == "xeon6136" || n == "cpu") return xeon6136_profile();
+  if (n == "xavier" || n == "edge") return xavier_profile();
+  throw InvalidArgument("unknown device '" + name +
+                        "' (expected gv100|xeon6136|xavier)");
+}
+
+std::vector<std::string> device_names() {
+  return {"gv100", "xeon6136", "xavier"};
+}
+
+double default_constraint_ms(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "gv100" || n == "gpu") return 9.0;
+  if (n == "xeon6136" || n == "cpu") return 24.0;
+  if (n == "xavier" || n == "edge") return 34.0;
+  throw InvalidArgument("unknown device '" + name + "'");
+}
+
+}  // namespace hsconas::hwsim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwsim/device.h"
+
+namespace hsconas::hwsim {
+
+/// The three target platforms of the paper's evaluation (§IV), as analytic
+/// profiles calibrated so the Table I baseline networks land near the
+/// paper's measured latencies (see EXPERIMENTS.md for the calibration
+/// readout). Batch sizes follow the paper: 32 / 1 / 16.
+DeviceProfile gv100_profile();     ///< Nvidia Quadro GV100 (server GPU)
+DeviceProfile xeon6136_profile();  ///< Intel Xeon Gold 6136 (server CPU)
+DeviceProfile xavier_profile();    ///< Nvidia Jetson Xavier (edge, mode 6)
+
+/// Lookup by name ("gv100" | "xeon6136" | "xavier", case-insensitive;
+/// aliases "gpu" | "cpu" | "edge" accepted). Throws InvalidArgument.
+DeviceProfile device_by_name(const std::string& name);
+
+std::vector<std::string> device_names();
+
+/// The paper's latency constraint T for each device (9 / 24 / 34 ms).
+double default_constraint_ms(const std::string& name);
+
+}  // namespace hsconas::hwsim

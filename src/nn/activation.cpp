@@ -1,0 +1,62 @@
+#include "nn/activation.h"
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  mask_ = Tensor(x.shape());
+  const float* in = x.data();
+  float* out = y.data();
+  float* m = mask_.data();
+  for (long i = 0; i < x.numel(); ++i) {
+    const bool pos = in[i] > 0.0f;
+    out[i] = pos ? in[i] : 0.0f;
+    m[i] = pos ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  HSCONAS_CHECK_MSG(!mask_.empty(), "ReLU::backward before forward");
+  dy.check_same_shape(mask_, "ReLU::backward");
+  Tensor dx = dy;
+  dx.hadamard_(mask_);
+  return dx;
+}
+
+Tensor HSwish::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  const float* in = x.data();
+  float* out = y.data();
+  for (long i = 0; i < x.numel(); ++i) {
+    const float v = in[i];
+    float r6 = v + 3.0f;
+    r6 = r6 < 0.0f ? 0.0f : (r6 > 6.0f ? 6.0f : r6);
+    out[i] = v * r6 / 6.0f;
+  }
+  return y;
+}
+
+Tensor HSwish::backward(const Tensor& dy) {
+  HSCONAS_CHECK_MSG(!cached_input_.empty(),
+                    "HSwish::backward before forward");
+  dy.check_same_shape(cached_input_, "HSwish::backward");
+  Tensor dx(dy.shape());
+  const float* in = cached_input_.data();
+  const float* g = dy.data();
+  float* out = dx.data();
+  for (long i = 0; i < dy.numel(); ++i) {
+    const float v = in[i];
+    float d;
+    if (v <= -3.0f) d = 0.0f;
+    else if (v >= 3.0f) d = 1.0f;
+    else d = (2.0f * v + 3.0f) / 6.0f;
+    out[i] = g[i] * d;
+  }
+  return dx;
+}
+
+}  // namespace hsconas::nn

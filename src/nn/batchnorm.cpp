@@ -1,0 +1,141 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+BatchNorm2d::BatchNorm2d(long channels, double momentum, double eps,
+                         std::string display_name)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      display_name_(std::move(display_name)),
+      gamma_(display_name_ + ".gamma", Tensor::ones({channels}),
+             /*decay=*/false),
+      beta_(display_name_ + ".beta", Tensor({channels}), /*decay=*/false),
+      running_mean_({channels}),
+      running_var_(Tensor::ones({channels})) {
+  if (channels <= 0) throw InvalidArgument("BatchNorm2d: channels <= 0");
+}
+
+void BatchNorm2d::reset_running_stats() {
+  running_mean_.zero();
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != channels_) {
+    throw InvalidArgument("BatchNorm2d " + display_name_ +
+                          ": bad input shape " + x.shape_str());
+  }
+  const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const long spatial = h * w;
+  const double count = static_cast<double>(n * spatial);
+
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  cached_n_ = n;
+  cached_h_ = h;
+  cached_w_ = w;
+
+  for (long c = 0; c < channels_; ++c) {
+    double mean = 0.0, var = 0.0;
+    if (training_) {
+      for (long s = 0; s < n; ++s) {
+        const float* chan = x.data() + ((s * channels_ + c) * spatial);
+        for (long i = 0; i < spatial; ++i) mean += chan[i];
+      }
+      mean /= count;
+      for (long s = 0; s < n; ++s) {
+        const float* chan = x.data() + ((s * channels_ + c) * spatial);
+        for (long i = 0; i < spatial; ++i) {
+          const double d = chan[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= count;  // biased, as in standard BN forward
+      running_mean_.at(c) = static_cast<float>(
+          (1.0 - momentum_) * running_mean_.at(c) + momentum_ * mean);
+      running_var_.at(c) = static_cast<float>(
+          (1.0 - momentum_) * running_var_.at(c) + momentum_ * var);
+    } else {
+      mean = running_mean_.at(c);
+      var = running_var_.at(c);
+    }
+
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value.at(c), b = beta_.value.at(c);
+    const float fm = static_cast<float>(mean);
+    for (long s = 0; s < n; ++s) {
+      const float* chan = x.data() + ((s * channels_ + c) * spatial);
+      float* xhat = cached_xhat_.data() + ((s * channels_ + c) * spatial);
+      float* out = y.data() + ((s * channels_ + c) * spatial);
+      for (long i = 0; i < spatial; ++i) {
+        const float xh = (chan[i] - fm) * inv_std;
+        xhat[i] = xh;
+        out[i] = g * xh + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& dy) {
+  HSCONAS_CHECK_MSG(!cached_xhat_.empty(),
+                    "BatchNorm2d::backward before forward");
+  const long n = cached_n_, h = cached_h_, w = cached_w_;
+  const long spatial = h * w;
+  const double count = static_cast<double>(n * spatial);
+  HSCONAS_CHECK_MSG(dy.ndim() == 4 && dy.dim(0) == n &&
+                        dy.dim(1) == channels_ && dy.dim(2) == h &&
+                        dy.dim(3) == w,
+                    "BatchNorm2d::backward: dy shape mismatch");
+
+  Tensor dx(dy.shape());
+  for (long c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (long s = 0; s < n; ++s) {
+      const float* grad = dy.data() + ((s * channels_ + c) * spatial);
+      const float* xhat =
+          cached_xhat_.data() + ((s * channels_ + c) * spatial);
+      for (long i = 0; i < spatial; ++i) {
+        sum_dy += grad[i];
+        sum_dy_xhat += static_cast<double>(grad[i]) * xhat[i];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.at(c) += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value.at(c);
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+    const float mean_dy = static_cast<float>(sum_dy / count);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+
+    for (long s = 0; s < n; ++s) {
+      const float* grad = dy.data() + ((s * channels_ + c) * spatial);
+      const float* xhat =
+          cached_xhat_.data() + ((s * channels_ + c) * spatial);
+      float* out = dx.data() + ((s * channels_ + c) * spatial);
+      if (training_) {
+        for (long i = 0; i < spatial; ++i) {
+          out[i] = g * inv_std *
+                   (grad[i] - mean_dy - xhat[i] * mean_dy_xhat);
+        }
+      } else {
+        for (long i = 0; i < spatial; ++i) out[i] = g * inv_std * grad[i];
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_params(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace hsconas::nn

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace hsconas::nn {
+
+/// Per-channel batch normalization over NCHW activations.
+///
+/// Training mode normalizes with batch statistics and updates running
+/// estimates with exponential momentum; eval mode uses the running
+/// estimates. gamma/beta are trainable and excluded from weight decay.
+///
+/// Interaction with dynamic channel scaling: BN is strictly per-channel, so
+/// masking other channels never perturbs the statistics of active ones.
+/// Masked channels see all-zero batches (mean 0, var 0) and are re-masked
+/// downstream, so the `beta` they would leak is suppressed (see
+/// ChannelMask).
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(long channels, double momentum = 0.1,
+                       double eps = 1e-5,
+                       std::string display_name = "bn");
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_params(std::vector<Parameter*>& out) override;
+  std::string name() const override { return display_name_; }
+
+  long channels() const { return channels_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+
+  /// Reset running statistics to (0, 1) — used when re-calibrating BN after
+  /// the search picks a subnet (standard one-shot NAS practice).
+  void reset_running_stats();
+
+ private:
+  long channels_;
+  double momentum_, eps_;
+  std::string display_name_;
+  Parameter gamma_, beta_;
+  tensor::Tensor running_mean_, running_var_;
+
+  // Forward cache for backward.
+  tensor::Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  long cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+}  // namespace hsconas::nn

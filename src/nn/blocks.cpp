@@ -1,0 +1,222 @@
+#include "nn/blocks.h"
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+const char* block_kind_name(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kShuffleK3: return "shuffle_k3";
+    case BlockKind::kShuffleK5: return "shuffle_k5";
+    case BlockKind::kShuffleK7: return "shuffle_k7";
+    case BlockKind::kXception: return "xception";
+    case BlockKind::kSkip: return "skip";
+  }
+  return "?";
+}
+
+long block_kernel(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kShuffleK5: return 5;
+    case BlockKind::kShuffleK7: return 7;
+    default: return 3;
+  }
+}
+
+namespace {
+
+struct BranchBuilder {
+  Sequential& seq;
+  util::Rng& rng;
+  const std::string& prefix;
+  std::vector<ChannelMask*>& masks;
+  int idx = 0;
+
+  std::string tag(const char* what) {
+    return prefix + "." + what + std::to_string(idx++);
+  }
+
+  void pw(long in, long out, bool relu) {
+    seq.add(std::make_unique<Conv2d>(in, out, 1, 1, 0, 1, false, rng,
+                                     tag("pw")));
+    seq.add(std::make_unique<BatchNorm2d>(out, 0.1, 1e-5, tag("bn")));
+    if (relu) seq.add(std::make_unique<ReLU>());
+  }
+
+  void dw(long channels, long kernel, long stride) {
+    seq.add(std::make_unique<Conv2d>(channels, channels, kernel, stride,
+                                     kernel / 2, channels, false, rng,
+                                     tag("dw")));
+    seq.add(std::make_unique<BatchNorm2d>(channels, 0.1, 1e-5, tag("bn")));
+  }
+
+  void mask(long channels) {
+    masks.push_back(seq.add(std::make_unique<ChannelMask>(channels)));
+  }
+};
+
+}  // namespace
+
+ShuffleChoiceBlock::ShuffleChoiceBlock(BlockKind kind, long in_channels,
+                                       long out_channels, long stride,
+                                       util::Rng& rng,
+                                       std::string display_name)
+    : kind_(kind),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride),
+      mid_channels_(0),
+      display_name_(std::move(display_name)) {
+  if (stride != 1 && stride != 2) {
+    throw InvalidArgument("ShuffleChoiceBlock: stride must be 1 or 2");
+  }
+  if (stride == 1 && in_channels != out_channels) {
+    throw InvalidArgument(
+        "ShuffleChoiceBlock: stride-1 blocks require in == out channels");
+  }
+  if (out_channels % 2 != 0) {
+    throw InvalidArgument("ShuffleChoiceBlock: out channels must be even");
+  }
+
+  const long kernel = block_kernel(kind);
+
+  if (kind == BlockKind::kSkip) {
+    if (stride == 1) {
+      pure_identity_ = true;  // true skip: y = x, no parameters
+      return;
+    }
+    // Skip at a reduction layer lowers to the minimal projection so the
+    // layer can still change geometry (keeps K = 5 everywhere).
+    main_ = std::make_unique<Sequential>(display_name_ + ".skip_proj");
+    BranchBuilder b{*main_, rng, display_name_, masks_};
+    b.dw(in_channels, 3, 2);
+    b.pw(in_channels, out_channels, /*relu=*/true);
+    return;
+  }
+
+  const long branch_out = out_channels / 2;
+  mid_channels_ = branch_out;  // Sˡ of the paper's dynamic channel scaling
+  const long branch_in = (stride == 1) ? in_channels / 2 : in_channels;
+  split_left_ = (stride == 1) ? in_channels / 2 : branch_out;
+
+  main_ = std::make_unique<Sequential>(display_name_ + ".main");
+  BranchBuilder b{*main_, rng, display_name_, masks_};
+
+  if (kind == BlockKind::kXception) {
+    b.dw(branch_in, 3, stride);
+    b.pw(branch_in, mid_channels_, /*relu=*/true);
+    b.mask(mid_channels_);
+    b.dw(mid_channels_, 3, 1);
+    b.mask(mid_channels_);
+    b.pw(mid_channels_, mid_channels_, /*relu=*/true);
+    b.mask(mid_channels_);
+    b.dw(mid_channels_, 3, 1);
+    b.mask(mid_channels_);
+    b.pw(mid_channels_, branch_out, /*relu=*/true);
+  } else {
+    b.pw(branch_in, mid_channels_, /*relu=*/true);
+    b.mask(mid_channels_);
+    b.dw(mid_channels_, kernel, stride);
+    b.mask(mid_channels_);
+    b.pw(mid_channels_, branch_out, /*relu=*/true);
+  }
+
+  if (stride == 2) {
+    proj_ = std::make_unique<Sequential>(display_name_ + ".proj");
+    BranchBuilder p{*proj_, rng, display_name_ + ".proj", masks_};
+    // The projection branch has fixed width (not searchable), so it adds no
+    // masks; BranchBuilder.mask is simply never called here.
+    p.dw(in_channels, 3, 2);
+    p.pw(in_channels, branch_out, /*relu=*/true);
+  }
+
+  shuffle_ = std::make_unique<ChannelShuffle>(2);
+}
+
+void ShuffleChoiceBlock::set_channel_factor(double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw InvalidArgument("set_channel_factor: factor must be in (0, 1]");
+  }
+  channel_factor_ = factor;
+  if (mid_channels_ == 0) return;  // skip ops have no searchable width
+  const long active = scaled_channels(mid_channels_, factor);
+  for (ChannelMask* m : masks_) m->set_active(active);
+}
+
+long ShuffleChoiceBlock::active_mid_channels() const {
+  if (mid_channels_ == 0) return 0;
+  return scaled_channels(mid_channels_, channel_factor_);
+}
+
+Tensor ShuffleChoiceBlock::forward(const Tensor& x) {
+  if (pure_identity_) return x;
+  if (kind_ == BlockKind::kSkip) return main_->forward(x);  // stride-2 skip
+  return stride_ == 1 ? forward_stride1(x) : forward_stride2(x);
+}
+
+Tensor ShuffleChoiceBlock::backward(const Tensor& dy) {
+  if (pure_identity_) return dy;
+  if (kind_ == BlockKind::kSkip) return main_->backward(dy);
+  return stride_ == 1 ? backward_stride1(dy) : backward_stride2(dy);
+}
+
+Tensor ShuffleChoiceBlock::forward_stride1(const Tensor& x) {
+  Tensor left, right;
+  split_channels(x, split_left_, left, right);
+  Tensor main_out = main_->forward(right);
+  return shuffle_->forward(concat_channels(left, main_out));
+}
+
+Tensor ShuffleChoiceBlock::backward_stride1(const Tensor& dy) {
+  Tensor d = shuffle_->backward(dy);
+  Tensor d_left, d_main;
+  split_channels(d, split_left_, d_left, d_main);
+  Tensor dx_right = main_->backward(d_main);
+  return concat_channels(d_left, dx_right);
+}
+
+Tensor ShuffleChoiceBlock::forward_stride2(const Tensor& x) {
+  Tensor proj_out = proj_->forward(x);
+  Tensor main_out = main_->forward(x);
+  return shuffle_->forward(concat_channels(proj_out, main_out));
+}
+
+Tensor ShuffleChoiceBlock::backward_stride2(const Tensor& dy) {
+  Tensor d = shuffle_->backward(dy);
+  Tensor d_proj, d_main;
+  split_channels(d, split_left_, d_proj, d_main);
+  Tensor dx = proj_->backward(d_proj);
+  dx.add_(main_->backward(d_main));
+  return dx;
+}
+
+void ShuffleChoiceBlock::collect_params(std::vector<Parameter*>& out) {
+  if (main_) main_->collect_params(out);
+  if (proj_) proj_->collect_params(out);
+}
+
+void ShuffleChoiceBlock::set_training(bool training) {
+  Module::set_training(training);
+  if (main_) main_->set_training(training);
+  if (proj_) proj_->set_training(training);
+}
+
+void ShuffleChoiceBlock::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  if (main_) main_->visit(fn);
+  if (proj_) proj_->visit(fn);
+  if (shuffle_) shuffle_->visit(fn);
+}
+
+std::unique_ptr<ShuffleChoiceBlock> make_choice_block(
+    BlockKind kind, long in_channels, long out_channels, long stride,
+    util::Rng& rng, std::string display_name) {
+  return std::make_unique<ShuffleChoiceBlock>(kind, in_channels, out_channels,
+                                              stride, rng,
+                                              std::move(display_name));
+}
+
+}  // namespace hsconas::nn

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/choice_block.h"
+#include "nn/conv2d.h"
+#include "nn/mask.h"
+#include "nn/module.h"
+#include "nn/shuffle.h"
+
+namespace hsconas::nn {
+
+/// The K = 5 candidate operators of the HSCoNAS search space (§IV-B):
+/// ShuffleNetV2 building blocks with kernel 3/5/7, the Xception-style
+/// variant with three stacked depthwise 3×3 convolutions, and a
+/// skip-connection. This matches the operator set popularized by
+/// Single-Path-One-Shot NAS, which the paper's space description follows.
+enum class BlockKind {
+  kShuffleK3 = 0,
+  kShuffleK5 = 1,
+  kShuffleK7 = 2,
+  kXception = 3,
+  kSkip = 4,
+};
+
+constexpr int kNumBlockKinds = 5;
+
+const char* block_kind_name(BlockKind kind);
+
+/// Kernel size of the main depthwise convolution for a kind (3 for
+/// xception/skip).
+long block_kernel(BlockKind kind);
+
+/// One searchable layer of the supernet.
+///
+/// stride 1 (in == out, even): channel-split into halves; identity on the
+/// left half, the chosen operator's branch on the right; concat + channel
+/// shuffle. stride 2: two parallel branches (projection + main) on the full
+/// input, concat halves the spatial size and sets the new width.
+///
+/// kSkip is Identity at stride 1; at stride 2 (where a pure identity cannot
+/// change geometry) it lowers to the minimal projection branch, keeping
+/// K = 5 choices at every layer so |A| = (K·|C|)^L matches the paper's
+/// quoted 9.5e33.
+///
+/// Dynamic channel scaling: set_channel_factor(c) masks the branch's
+/// mid-channels down to round(c · S) where S = max_mid_channels().
+class ShuffleChoiceBlock : public ChoiceBlock {
+ public:
+  ShuffleChoiceBlock(BlockKind kind, long in_channels, long out_channels,
+                     long stride, util::Rng& rng,
+                     std::string display_name = "choice_block");
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_params(std::vector<Parameter*>& out) override;
+  void set_training(bool training) override;
+  void visit(const std::function<void(Module&)>& fn) override;
+  std::string name() const override { return display_name_; }
+
+  BlockKind kind() const { return kind_; }
+  long in_channels() const override { return in_channels_; }
+  long out_channels() const override { return out_channels_; }
+  long stride() const override { return stride_; }
+
+  /// Sˡ — the width being scaled by the dynamic channel factor.
+  long max_mid_channels() const override { return mid_channels_; }
+
+  /// Apply channel factor c ∈ (0, 1]; a no-op for blocks without a
+  /// searchable width (pure skip at stride 1).
+  void set_channel_factor(double factor) override;
+  double channel_factor() const override { return channel_factor_; }
+  long active_mid_channels() const override;
+
+ private:
+  tensor::Tensor forward_stride1(const tensor::Tensor& x);
+  tensor::Tensor forward_stride2(const tensor::Tensor& x);
+  tensor::Tensor backward_stride1(const tensor::Tensor& dy);
+  tensor::Tensor backward_stride2(const tensor::Tensor& dy);
+
+  BlockKind kind_;
+  long in_channels_, out_channels_, stride_, mid_channels_;
+  double channel_factor_ = 1.0;
+  std::string display_name_;
+
+  std::unique_ptr<Sequential> main_;    // operator branch
+  std::unique_ptr<Sequential> proj_;    // stride-2 projection branch
+  std::unique_ptr<ChannelShuffle> shuffle_;
+  std::vector<ChannelMask*> masks_;     // observers into main_
+
+  bool pure_identity_ = false;  // skip @ stride 1
+  long split_left_ = 0;         // stride-1 split point
+};
+
+/// Factory matching the search-space operator table.
+std::unique_ptr<ShuffleChoiceBlock> make_choice_block(
+    BlockKind kind, long in_channels, long out_channels, long stride,
+    util::Rng& rng, std::string display_name = "choice_block");
+
+}  // namespace hsconas::nn

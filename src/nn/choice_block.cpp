@@ -1,0 +1,88 @@
+#include "nn/choice_block.h"
+
+#include <iterator>
+
+#include "nn/blocks.h"
+#include "nn/mbconv_block.h"
+#include "util/error.h"
+
+namespace hsconas::nn {
+
+namespace {
+
+/// MBConv family op table: (expansion, kernel); expansion <= 0 == skip.
+struct MbConvOp {
+  double expansion;
+  long kernel;
+  const char* name;
+};
+
+constexpr MbConvOp kMbConvOps[] = {
+    {3.0, 3, "mb_e3k3"}, {6.0, 3, "mb_e6k3"}, {3.0, 5, "mb_e3k5"},
+    {6.0, 5, "mb_e6k5"}, {0.0, 3, "skip"},
+};
+
+}  // namespace
+
+int family_num_ops(OpFamily family) {
+  switch (family) {
+    case OpFamily::kShuffleV2: return kNumBlockKinds;
+    case OpFamily::kMbConv:
+      return static_cast<int>(std::size(kMbConvOps));
+  }
+  return 0;
+}
+
+const char* family_name(OpFamily family) {
+  switch (family) {
+    case OpFamily::kShuffleV2: return "shufflev2";
+    case OpFamily::kMbConv: return "mbconv";
+  }
+  return "?";
+}
+
+const char* family_op_name(OpFamily family, int op) {
+  HSCONAS_CHECK_MSG(op >= 0 && op < family_num_ops(family),
+                    "family_op_name: op out of range");
+  switch (family) {
+    case OpFamily::kShuffleV2:
+      return block_kind_name(static_cast<BlockKind>(op));
+    case OpFamily::kMbConv:
+      return kMbConvOps[static_cast<std::size_t>(op)].name;
+  }
+  return "?";
+}
+
+bool family_op_is_skip(OpFamily family, int op) {
+  switch (family) {
+    case OpFamily::kShuffleV2:
+      return static_cast<BlockKind>(op) == BlockKind::kSkip;
+    case OpFamily::kMbConv:
+      return kMbConvOps[static_cast<std::size_t>(op)].expansion <= 0.0;
+  }
+  return false;
+}
+
+std::unique_ptr<ChoiceBlock> make_family_block(OpFamily family, int op,
+                                               long in_channels,
+                                               long out_channels, long stride,
+                                               util::Rng& rng,
+                                               std::string display_name) {
+  HSCONAS_CHECK_MSG(op >= 0 && op < family_num_ops(family),
+                    "make_family_block: op out of range");
+  switch (family) {
+    case OpFamily::kShuffleV2:
+      return std::make_unique<ShuffleChoiceBlock>(
+          static_cast<BlockKind>(op), in_channels, out_channels, stride, rng,
+          std::move(display_name));
+    case OpFamily::kMbConv: {
+      const MbConvOp& spec = kMbConvOps[static_cast<std::size_t>(op)];
+      return std::make_unique<MbConvChoiceBlock>(
+          spec.expansion, spec.kernel, in_channels, out_channels, stride,
+          rng, std::move(display_name));
+    }
+  }
+  throw InvalidArgument("make_family_block: unknown family");
+}
+
+}  // namespace hsconas::nn

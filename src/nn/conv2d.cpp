@@ -1,0 +1,206 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace hsconas::nn {
+
+using tensor::ConvGeom;
+using tensor::Tensor;
+
+Conv2d::Conv2d(long in_channels, long out_channels, long kernel, long stride,
+               long pad, long groups, bool bias, util::Rng& rng,
+               std::string display_name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      groups_(groups),
+      has_bias_(bias),
+      display_name_(std::move(display_name)) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0 || groups <= 0) {
+    throw InvalidArgument("Conv2d: non-positive geometry");
+  }
+  if (in_channels % groups != 0 || out_channels % groups != 0) {
+    throw InvalidArgument("Conv2d: channels not divisible by groups");
+  }
+  const long fan_in = (in_channels / groups) * kernel * kernel;
+  const float std_dev =
+      std::sqrt(2.0f / static_cast<float>(fan_in));  // Kaiming, ReLU gain
+  weight_ = Parameter(
+      display_name_ + ".weight",
+      Tensor::normal({out_channels, in_channels / groups, kernel, kernel},
+                     0.0f, std_dev, rng),
+      /*decay=*/true);
+  if (has_bias_) {
+    bias_ = Parameter(display_name_ + ".bias", Tensor({out_channels}),
+                      /*decay=*/false);
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_) {
+    throw InvalidArgument("Conv2d " + display_name_ + ": bad input shape " +
+                          x.shape_str());
+  }
+  cached_input_ = x;
+
+  const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const long cin_g = in_channels_ / groups_;
+  const long cout_g = out_channels_ / groups_;
+  ConvGeom geom{cin_g, h, w, kernel_, stride_, pad_};
+  const long oh = geom.out_h(), ow = geom.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw InvalidArgument("Conv2d " + display_name_ +
+                          ": output collapses to zero size");
+  }
+
+  Tensor y({n, out_channels_, oh, ow});
+  const long col_rows = cin_g * kernel_ * kernel_;
+  const long ohw = oh * ow;
+
+  // Batch the GEMM across samples: one (cout_g × col_rows)·(col_rows ×
+  // N·ohw) product per group instead of N skinny ones. The column matrix
+  // concatenates every sample's im2col panel, so the GEMM result lands in
+  // a (cout_g, N, oh, ow) scratch that is transposed back to NCHW.
+  std::vector<float> cols(static_cast<std::size_t>(col_rows * n * ohw));
+  std::vector<float> out_panel(static_cast<std::size_t>(cout_g * n * ohw));
+  std::vector<float> panel(static_cast<std::size_t>(col_rows * ohw));
+
+  for (long g = 0; g < groups_; ++g) {
+    for (long s = 0; s < n; ++s) {
+      const float* img = x.data() + ((s * in_channels_ + g * cin_g) * h * w);
+      // Write sample s's panel into columns [s*ohw, (s+1)*ohw):
+      // im2col fills row-major (col_rows × ohw); scatter rows by stride.
+      tensor::im2col(img, geom, panel.data());
+      for (long r = 0; r < col_rows; ++r) {
+        std::copy(panel.begin() + r * ohw, panel.begin() + (r + 1) * ohw,
+                  cols.begin() + r * n * ohw + s * ohw);
+      }
+    }
+    const float* wgt =
+        weight_.value.data() + g * cout_g * cin_g * kernel_ * kernel_;
+    tensor::gemm(static_cast<std::size_t>(cout_g),
+                 static_cast<std::size_t>(n * ohw),
+                 static_cast<std::size_t>(col_rows), 1.0f, wgt, cols.data(),
+                 0.0f, out_panel.data());
+    for (long c = 0; c < cout_g; ++c) {
+      for (long s = 0; s < n; ++s) {
+        std::copy(out_panel.begin() + (c * n + s) * ohw,
+                  out_panel.begin() + (c * n + s + 1) * ohw,
+                  y.data() + ((s * out_channels_ + g * cout_g + c) * ohw));
+      }
+    }
+  }
+  if (has_bias_) {
+    for (long s = 0; s < n; ++s) {
+      for (long c = 0; c < out_channels_; ++c) {
+        float* out = y.data() + ((s * out_channels_ + c) * ohw);
+        const float b = bias_.value.at(c);
+        for (long i = 0; i < ohw; ++i) out[i] += b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  const Tensor& x = cached_input_;
+  HSCONAS_CHECK_MSG(!x.empty(), "Conv2d::backward before forward");
+  const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const long cin_g = in_channels_ / groups_;
+  const long cout_g = out_channels_ / groups_;
+  ConvGeom geom{cin_g, h, w, kernel_, stride_, pad_};
+  const long oh = geom.out_h(), ow = geom.out_w();
+  HSCONAS_CHECK_MSG(dy.ndim() == 4 && dy.dim(0) == n &&
+                        dy.dim(1) == out_channels_ && dy.dim(2) == oh &&
+                        dy.dim(3) == ow,
+                    "Conv2d::backward: dy shape mismatch");
+
+  Tensor dx(x.shape());
+  const long col_rows = cin_g * kernel_ * kernel_;
+  const long ohw = oh * ow;
+
+  // Mirror the forward pass's sample batching: per group, build the
+  // concatenated column matrix and output-gradient panel once, run two
+  // well-shaped GEMMs, then scatter the column gradients back per sample.
+  std::vector<float> cols(static_cast<std::size_t>(col_rows * n * ohw));
+  std::vector<float> dy_panel(static_cast<std::size_t>(cout_g * n * ohw));
+  std::vector<float> dcols(static_cast<std::size_t>(col_rows * n * ohw));
+  std::vector<float> sample_dcols(static_cast<std::size_t>(col_rows * ohw));
+  std::vector<float> panel(static_cast<std::size_t>(col_rows * ohw));
+
+  for (long g = 0; g < groups_; ++g) {
+    for (long s = 0; s < n; ++s) {
+      const float* img = x.data() + ((s * in_channels_ + g * cin_g) * h * w);
+      tensor::im2col(img, geom, panel.data());
+      for (long r = 0; r < col_rows; ++r) {
+        std::copy(panel.begin() + r * ohw, panel.begin() + (r + 1) * ohw,
+                  cols.begin() + r * n * ohw + s * ohw);
+      }
+      for (long c = 0; c < cout_g; ++c) {
+        const float* grad_out =
+            dy.data() + ((s * out_channels_ + g * cout_g + c) * ohw);
+        std::copy(grad_out, grad_out + ohw,
+                  dy_panel.begin() + (c * n + s) * ohw);
+      }
+    }
+
+    float* wgrad =
+        weight_.grad.data() + g * cout_g * cin_g * kernel_ * kernel_;
+    const float* wgt =
+        weight_.value.data() + g * cout_g * cin_g * kernel_ * kernel_;
+
+    // dW += dY_panel · colsᵀ  — (cout_g × N·ohw) · (N·ohw × col_rows).
+    tensor::gemm_a_bt(static_cast<std::size_t>(cout_g),
+                      static_cast<std::size_t>(col_rows),
+                      static_cast<std::size_t>(n * ohw), 1.0f,
+                      dy_panel.data(), cols.data(), 1.0f, wgrad);
+
+    // dcols = Wᵀ · dY_panel — (col_rows × cout_g) · (cout_g × N·ohw).
+    tensor::gemm_at_b(static_cast<std::size_t>(col_rows),
+                      static_cast<std::size_t>(n * ohw),
+                      static_cast<std::size_t>(cout_g), 1.0f, wgt,
+                      dy_panel.data(), 0.0f, dcols.data());
+
+    for (long s = 0; s < n; ++s) {
+      for (long r = 0; r < col_rows; ++r) {
+        std::copy(dcols.begin() + r * n * ohw + s * ohw,
+                  dcols.begin() + r * n * ohw + (s + 1) * ohw,
+                  sample_dcols.begin() + r * ohw);
+      }
+      float* img_grad = dx.data() + ((s * in_channels_ + g * cin_g) * h * w);
+      tensor::col2im(sample_dcols.data(), geom, img_grad);
+    }
+  }
+
+  if (has_bias_) {
+    for (long s = 0; s < n; ++s) {
+      for (long c = 0; c < out_channels_; ++c) {
+        const float* grad_out = dy.data() + ((s * out_channels_ + c) * ohw);
+        float acc = 0.0f;
+        for (long i = 0; i < ohw; ++i) acc += grad_out[i];
+        bias_.grad.at(c) += acc;
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::collect_params(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+long Conv2d::macs(long in_h, long in_w) const {
+  ConvGeom geom{in_channels_ / groups_, in_h, in_w, kernel_, stride_, pad_};
+  const long out_spatial = geom.out_h() * geom.out_w();
+  return out_channels_ * (in_channels_ / groups_) * kernel_ * kernel_ *
+         out_spatial;
+}
+
+}  // namespace hsconas::nn

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/im2col.h"
+
+namespace hsconas::nn {
+
+/// 2-D convolution with square kernels, symmetric padding and channel
+/// groups (groups == in_channels == out_channels gives depthwise).
+///
+/// Weights are OIHW with I = in_channels / groups. Implemented as
+/// im2col + GEMM per sample per group; gradients for weights, bias and
+/// input are exact.
+class Conv2d : public Module {
+ public:
+  /// Kaiming-normal weight init (fan_in, ReLU gain); zero bias.
+  Conv2d(long in_channels, long out_channels, long kernel, long stride,
+         long pad, long groups, bool bias, util::Rng& rng,
+         std::string display_name = "conv2d");
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_params(std::vector<Parameter*>& out) override;
+  std::string name() const override { return display_name_; }
+
+  long in_channels() const { return in_channels_; }
+  long out_channels() const { return out_channels_; }
+  long kernel() const { return kernel_; }
+  long stride() const { return stride_; }
+  long pad() const { return pad_; }
+  long groups() const { return groups_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+
+  /// Analytic multiply-accumulate count for one sample at the given input
+  /// spatial size (used to cross-check the core library's FLOPs counters).
+  long macs(long in_h, long in_w) const;
+
+ private:
+  long in_channels_, out_channels_, kernel_, stride_, pad_, groups_;
+  bool has_bias_;
+  std::string display_name_;
+  Parameter weight_;
+  Parameter bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace hsconas::nn

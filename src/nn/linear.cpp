@@ -1,0 +1,80 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+Linear::Linear(long in_features, long out_features, util::Rng& rng,
+               std::string display_name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      display_name_(std::move(display_name)) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw InvalidArgument("Linear: non-positive dimensions");
+  }
+  const float std_dev =
+      std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = Parameter(display_name_ + ".weight",
+                      Tensor::normal({out_features, in_features}, 0.0f,
+                                     std_dev, rng),
+                      /*decay=*/true);
+  bias_ = Parameter(display_name_ + ".bias", Tensor({out_features}),
+                    /*decay=*/false);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.ndim() != 2 || x.dim(1) != in_features_) {
+    throw InvalidArgument("Linear " + display_name_ + ": bad input shape " +
+                          x.shape_str());
+  }
+  cached_input_ = x;
+  const long n = x.dim(0);
+  Tensor y({n, out_features_});
+  // Y = X · Wᵀ
+  tensor::gemm_a_bt(static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(out_features_),
+                    static_cast<std::size_t>(in_features_), 1.0f, x.data(),
+                    weight_.value.data(), 0.0f, y.data());
+  for (long s = 0; s < n; ++s) {
+    for (long o = 0; o < out_features_; ++o) {
+      y.at(s, o) += bias_.value.at(o);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  HSCONAS_CHECK_MSG(!cached_input_.empty(),
+                    "Linear::backward before forward");
+  const long n = cached_input_.dim(0);
+  HSCONAS_CHECK_MSG(dy.ndim() == 2 && dy.dim(0) == n &&
+                        dy.dim(1) == out_features_,
+                    "Linear::backward: dy shape mismatch");
+  // dW += dYᵀ · X ;  dX = dY · W ;  db += colsum(dY)
+  tensor::gemm_at_b(static_cast<std::size_t>(out_features_),
+                    static_cast<std::size_t>(in_features_),
+                    static_cast<std::size_t>(n), 1.0f, dy.data(),
+                    cached_input_.data(), 1.0f, weight_.grad.data());
+  Tensor dx({n, in_features_});
+  tensor::gemm(static_cast<std::size_t>(n),
+               static_cast<std::size_t>(in_features_),
+               static_cast<std::size_t>(out_features_), 1.0f, dy.data(),
+               weight_.value.data(), 0.0f, dx.data());
+  for (long s = 0; s < n; ++s) {
+    for (long o = 0; o < out_features_; ++o) {
+      bias_.grad.at(o) += dy.at(s, o);
+    }
+  }
+  return dx;
+}
+
+void Linear::collect_params(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+}  // namespace hsconas::nn

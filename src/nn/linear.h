@@ -1,0 +1,31 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace hsconas::nn {
+
+/// Fully connected layer over (N, in_features) inputs.
+class Linear : public Module {
+ public:
+  Linear(long in_features, long out_features, util::Rng& rng,
+         std::string display_name = "linear");
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_params(std::vector<Parameter*>& out) override;
+  std::string name() const override { return display_name_; }
+
+  long in_features() const { return in_features_; }
+  long out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  long in_features_, out_features_;
+  std::string display_name_;
+  Parameter weight_;  // (out, in)
+  Parameter bias_;    // (out)
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace hsconas::nn

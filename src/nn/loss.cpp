@@ -1,0 +1,89 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.ndim() != 2) {
+    throw InvalidArgument("softmax: expected (N, C) logits");
+  }
+  const long n = logits.dim(0), c = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (long s = 0; s < n; ++s) {
+    const float* row = logits.data() + s * c;
+    float* out = probs.data() + s * c;
+    float mx = row[0];
+    for (long j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (long j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      denom += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (long j = 0; j < c; ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                         double label_smoothing) {
+  if (logits.ndim() != 2) {
+    throw InvalidArgument("cross_entropy: expected (N, C) logits");
+  }
+  const long n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<long>(labels.size()) != n) {
+    throw InvalidArgument("cross_entropy: labels/batch size mismatch");
+  }
+  if (label_smoothing < 0.0 || label_smoothing >= 1.0) {
+    throw InvalidArgument("cross_entropy: label_smoothing out of [0, 1)");
+  }
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const double off = label_smoothing / static_cast<double>(c);
+  const double on = 1.0 - label_smoothing + off;
+
+  Tensor probs = softmax(logits);
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  for (long s = 0; s < n; ++s) {
+    const int label = labels[static_cast<std::size_t>(s)];
+    if (label < 0 || label >= c) {
+      throw InvalidArgument("cross_entropy: label out of range");
+    }
+    const float* p = probs.data() + s * c;
+    float* g = result.grad.data() + s * c;
+
+    // loss = -sum_j target_j * log p_j ; grad = (p - target) / N
+    for (long j = 0; j < c; ++j) {
+      const double target = (j == label) ? on : off;
+      if (target > 0.0) {
+        total -= target * std::log(std::max<double>(p[j], 1e-12));
+      }
+      g[j] = (p[j] - static_cast<float>(target)) * inv_n;
+    }
+
+    // top-1 / top-5 bookkeeping.
+    long best = 0;
+    for (long j = 1; j < c; ++j) {
+      if (p[j] > p[best]) best = j;
+    }
+    if (best == label) ++result.correct_top1;
+    long rank = 0;  // how many classes scored strictly above the label
+    for (long j = 0; j < c; ++j) {
+      if (p[j] > p[label]) ++rank;
+    }
+    if (rank < 5) ++result.correct_top5;
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace hsconas::nn

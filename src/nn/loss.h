@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hsconas::nn {
+
+/// Softmax cross-entropy over (N, num_classes) logits.
+struct LossResult {
+  double loss = 0.0;          ///< mean over the batch
+  tensor::Tensor grad;        ///< d loss / d logits, already divided by N
+  std::size_t correct_top1 = 0;
+  std::size_t correct_top5 = 0;
+};
+
+/// Numerically stable (max-subtracted) softmax cross-entropy with optional
+/// label smoothing. Also reports top-1/top-5 hit counts so training loops
+/// get accuracy for free.
+LossResult cross_entropy(const tensor::Tensor& logits,
+                         const std::vector<int>& labels,
+                         double label_smoothing = 0.0);
+
+/// Row-wise softmax (used by tests and the example apps for reporting
+/// class probabilities).
+tensor::Tensor softmax(const tensor::Tensor& logits);
+
+}  // namespace hsconas::nn

@@ -1,0 +1,55 @@
+#include "nn/mask.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+ChannelMask::ChannelMask(long channels)
+    : channels_(channels), active_(channels) {
+  if (channels <= 0) throw InvalidArgument("ChannelMask: channels <= 0");
+}
+
+void ChannelMask::set_active(long active) {
+  if (active < 1 || active > channels_) {
+    throw InvalidArgument("ChannelMask: active out of [1, channels]");
+  }
+  active_ = active;
+}
+
+namespace {
+Tensor mask_impl(const Tensor& x, long channels, long active) {
+  if (x.ndim() != 4 || x.dim(1) != channels) {
+    throw InvalidArgument("ChannelMask: bad input shape " + x.shape_str());
+  }
+  if (active == channels) return x;  // no-op fast path
+  const long n = x.dim(0), spatial = x.dim(2) * x.dim(3);
+  Tensor y = x;
+  for (long s = 0; s < n; ++s) {
+    float* tail = y.data() + ((s * channels + active) * spatial);
+    std::memset(tail, 0,
+                static_cast<std::size_t>((channels - active) * spatial) *
+                    sizeof(float));
+  }
+  return y;
+}
+}  // namespace
+
+Tensor ChannelMask::forward(const Tensor& x) {
+  return mask_impl(x, channels_, active_);
+}
+
+Tensor ChannelMask::backward(const Tensor& dy) {
+  return mask_impl(dy, channels_, active_);
+}
+
+long scaled_channels(long max_channels, double factor) {
+  const long rounded = static_cast<long>(std::llround(
+      static_cast<double>(max_channels) * factor));
+  return std::clamp<long>(rounded, 1, max_channels);
+}
+
+}  // namespace hsconas::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace hsconas::nn {
+
+/// Channel mask implementing the paper's dynamic channel scaling (§III-B):
+/// the binary vector Iˡ ∈ {0,1}^{Sˡ} zeroes the activations of unselected
+/// channels in forward and their gradients in backward, which is exactly
+/// equivalent to slicing the layer to its first `active` channels while
+/// keeping the full-width shared weights resident ("scale-down-only"
+/// masking — the supernet never has to be rebuilt or re-loaded).
+///
+/// Placement matters: the mask must sit *after* BatchNorm, because BN's
+/// `beta` would otherwise re-introduce a nonzero constant on channels whose
+/// inputs were masked upstream.
+class ChannelMask : public Module {
+ public:
+  explicit ChannelMask(long channels);
+
+  /// Activate the first `active` channels (1 <= active <= channels).
+  void set_active(long active);
+  long active() const { return active_; }
+  long channels() const { return channels_; }
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  std::string name() const override { return "channel_mask"; }
+
+ private:
+  long channels_;
+  long active_;
+};
+
+/// Round a channel count by a scaling factor the way the paper does
+/// (`5 × 0.5 ≈ 3`, i.e. round-half-up), clamped to at least 1.
+long scaled_channels(long max_channels, double factor);
+
+}  // namespace hsconas::nn

@@ -1,0 +1,125 @@
+#include "nn/mbconv_block.h"
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+MbConvChoiceBlock::MbConvChoiceBlock(double expansion, long kernel,
+                                     long in_channels, long out_channels,
+                                     long stride, util::Rng& rng,
+                                     std::string display_name)
+    : expansion_(expansion),
+      kernel_(kernel),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride),
+      mid_channels_(0),
+      display_name_(std::move(display_name)) {
+  if (stride != 1 && stride != 2) {
+    throw InvalidArgument("MbConvChoiceBlock: stride must be 1 or 2");
+  }
+  if (stride == 1 && in_channels != out_channels) {
+    throw InvalidArgument(
+        "MbConvChoiceBlock: stride-1 blocks require in == out channels");
+  }
+
+  const bool is_skip = expansion <= 0.0;
+  int idx = 0;
+  const auto tag = [&](const char* what) {
+    return display_name_ + "." + what + std::to_string(idx++);
+  };
+
+  if (is_skip) {
+    if (stride == 1) {
+      pure_identity_ = true;
+      return;
+    }
+    // Reduction skip: minimal projection, as in the shuffle family.
+    body_ = std::make_unique<Sequential>(display_name_ + ".skip_proj");
+    body_->add(std::make_unique<Conv2d>(in_channels, in_channels, 3, 2, 1,
+                                        in_channels, false, rng, tag("dw")));
+    body_->add(std::make_unique<BatchNorm2d>(in_channels, 0.1, 1e-5,
+                                             tag("bn")));
+    body_->add(std::make_unique<Conv2d>(in_channels, out_channels, 1, 1, 0,
+                                        1, false, rng, tag("pw")));
+    body_->add(std::make_unique<BatchNorm2d>(out_channels, 0.1, 1e-5,
+                                             tag("bn")));
+    body_->add(std::make_unique<ReLU>());
+    return;
+  }
+
+  mid_channels_ = std::max<long>(
+      1, static_cast<long>(std::llround(expansion *
+                                        static_cast<double>(in_channels))));
+  residual_ = (stride == 1 && in_channels == out_channels);
+
+  body_ = std::make_unique<Sequential>(display_name_ + ".body");
+  // Expand.
+  body_->add(std::make_unique<Conv2d>(in_channels, mid_channels_, 1, 1, 0, 1,
+                                      false, rng, tag("pw")));
+  body_->add(std::make_unique<BatchNorm2d>(mid_channels_, 0.1, 1e-5,
+                                           tag("bn")));
+  body_->add(std::make_unique<ReLU>());
+  masks_.push_back(body_->add(std::make_unique<ChannelMask>(mid_channels_)));
+  // Depthwise.
+  body_->add(std::make_unique<Conv2d>(mid_channels_, mid_channels_, kernel,
+                                      stride, kernel / 2, mid_channels_,
+                                      false, rng, tag("dw")));
+  body_->add(std::make_unique<BatchNorm2d>(mid_channels_, 0.1, 1e-5,
+                                           tag("bn")));
+  body_->add(std::make_unique<ReLU>());
+  masks_.push_back(body_->add(std::make_unique<ChannelMask>(mid_channels_)));
+  // Project (linear bottleneck: no activation, per MobileNetV2).
+  body_->add(std::make_unique<Conv2d>(mid_channels_, out_channels, 1, 1, 0,
+                                      1, false, rng, tag("pw")));
+  body_->add(std::make_unique<BatchNorm2d>(out_channels, 0.1, 1e-5,
+                                           tag("bn")));
+}
+
+void MbConvChoiceBlock::set_channel_factor(double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw InvalidArgument("set_channel_factor: factor must be in (0, 1]");
+  }
+  channel_factor_ = factor;
+  if (mid_channels_ == 0) return;
+  const long active = scaled_channels(mid_channels_, factor);
+  for (ChannelMask* m : masks_) m->set_active(active);
+}
+
+long MbConvChoiceBlock::active_mid_channels() const {
+  if (mid_channels_ == 0) return 0;
+  return scaled_channels(mid_channels_, channel_factor_);
+}
+
+Tensor MbConvChoiceBlock::forward(const Tensor& x) {
+  if (pure_identity_) return x;
+  Tensor y = body_->forward(x);
+  if (residual_) y.add_(x);
+  return y;
+}
+
+Tensor MbConvChoiceBlock::backward(const Tensor& dy) {
+  if (pure_identity_) return dy;
+  Tensor dx = body_->backward(dy);
+  if (residual_) dx.add_(dy);  // the identity path's gradient
+  return dx;
+}
+
+void MbConvChoiceBlock::collect_params(std::vector<Parameter*>& out) {
+  if (body_) body_->collect_params(out);
+}
+
+void MbConvChoiceBlock::set_training(bool training) {
+  Module::set_training(training);
+  if (body_) body_->set_training(training);
+}
+
+void MbConvChoiceBlock::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  if (body_) body_->visit(fn);
+}
+
+}  // namespace hsconas::nn

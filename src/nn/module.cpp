@@ -1,0 +1,43 @@
+#include "nn/module.h"
+
+namespace hsconas::nn {
+
+void Module::collect_params(std::vector<Parameter*>& out) { (void)out; }
+
+long Module::param_count() {
+  std::vector<Parameter*> ps;
+  collect_params(ps);
+  long total = 0;
+  for (const Parameter* p : ps) total += p->numel();
+  return total;
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& x) {
+  tensor::Tensor h = x;
+  for (auto& child : children_) h = child->forward(h);
+  return h;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& dy) {
+  tensor::Tensor g = dy;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Parameter*>& out) {
+  for (auto& child : children_) child->collect_params(out);
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+void Sequential::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  for (auto& child : children_) child->visit(fn);
+}
+
+}  // namespace hsconas::nn

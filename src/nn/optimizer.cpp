@@ -1,0 +1,87 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace hsconas::nn {
+
+SGD::SGD(std::vector<Parameter*> params, Config config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    HSCONAS_CHECK_MSG(p != nullptr, "SGD: null parameter");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+double SGD::step() {
+  // Global gradient norm across all parameters.
+  double sq = 0.0;
+  for (const Parameter* p : params_) {
+    for (float g : p->grad.flat()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  double scale = 1.0;
+  if (config_.grad_clip_norm > 0.0 && norm > config_.grad_clip_norm) {
+    scale = config_.grad_clip_norm / (norm + 1e-12);
+  }
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    tensor::Tensor& v = velocity_[i];
+    const float decay =
+        p.apply_weight_decay ? static_cast<float>(config_.weight_decay)
+                             : 0.0f;
+    const float mom = static_cast<float>(config_.momentum);
+    const float lr = static_cast<float>(config_.lr);
+    const float fscale = static_cast<float>(scale);
+
+    float* value = p.value.data();
+    float* grad = p.grad.data();
+    float* vel = v.data();
+    const long n = p.value.numel();
+    for (long j = 0; j < n; ++j) {
+      const float g = grad[j] * fscale + decay * value[j];
+      vel[j] = mom * vel[j] + g;
+      value[j] -= lr * vel[j];
+    }
+  }
+  return norm;
+}
+
+void SGD::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+CosineSchedule::CosineSchedule(double base_lr, long total_steps,
+                               long warmup_steps, double final_lr)
+    : base_lr_(base_lr),
+      final_lr_(final_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps) {
+  if (total_steps <= 0) {
+    throw InvalidArgument("CosineSchedule: total_steps must be > 0");
+  }
+  if (warmup_steps < 0 || warmup_steps >= total_steps) {
+    throw InvalidArgument(
+        "CosineSchedule: warmup_steps must be in [0, total_steps)");
+  }
+}
+
+double CosineSchedule::lr_at(long step) const {
+  if (step < warmup_steps_) {
+    // Linear ramp from base_lr/warmup to base_lr.
+    return base_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const long cos_steps = total_steps_ - warmup_steps_;
+  const long k = std::min(step - warmup_steps_, cos_steps - 1);
+  const double t =
+      static_cast<double>(k) / static_cast<double>(std::max<long>(1, cos_steps - 1));
+  return final_lr_ + 0.5 * (base_lr_ - final_lr_) *
+                         (1.0 + std::cos(std::numbers::pi * t));
+}
+
+}  // namespace hsconas::nn

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace hsconas::nn {
+
+/// SGD with momentum, decoupled-by-flag L2 weight decay and global-norm
+/// gradient clipping — the paper's training recipe (§IV-A: momentum 0.9,
+/// weight decay 3e-5, norm clip 5).
+class SGD {
+ public:
+  struct Config {
+    double lr = 0.5;
+    double momentum = 0.9;
+    double weight_decay = 3e-5;
+    double grad_clip_norm = 5.0;  ///< <= 0 disables clipping
+  };
+
+  SGD(std::vector<Parameter*> params, Config config);
+
+  /// Apply one update using the gradients currently accumulated in the
+  /// parameters. Returns the pre-clip global gradient norm.
+  double step();
+
+  void zero_grad();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+  const Config& config() const { return config_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<tensor::Tensor> velocity_;
+  Config config_;
+};
+
+/// Cosine-annealed learning-rate schedule with optional linear warm-up
+/// (paper: lr 0.5 → 0 cosine over 100 epochs; 5-epoch warm-up when training
+/// discovered nets from scratch).
+class CosineSchedule {
+ public:
+  CosineSchedule(double base_lr, long total_steps, long warmup_steps = 0,
+                 double final_lr = 0.0);
+
+  /// LR for 0-based step index (clamps past the end).
+  double lr_at(long step) const;
+
+ private:
+  double base_lr_, final_lr_;
+  long total_steps_, warmup_steps_;
+};
+
+}  // namespace hsconas::nn

@@ -1,0 +1,121 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  if (x.ndim() != 4) {
+    throw InvalidArgument("GlobalAvgPool: expected NCHW, got " +
+                          x.shape_str());
+  }
+  cached_shape_ = x.shape();
+  const long n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (long s = 0; s < n; ++s) {
+    for (long ch = 0; ch < c; ++ch) {
+      const float* chan = x.data() + ((s * c + ch) * spatial);
+      double acc = 0.0;
+      for (long i = 0; i < spatial; ++i) acc += chan[i];
+      y.at(s, ch) = static_cast<float>(acc / static_cast<double>(spatial));
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  HSCONAS_CHECK_MSG(!cached_shape_.empty(),
+                    "GlobalAvgPool::backward before forward");
+  const long n = cached_shape_[0], c = cached_shape_[1];
+  const long spatial = cached_shape_[2] * cached_shape_[3];
+  HSCONAS_CHECK_MSG(dy.ndim() == 2 && dy.dim(0) == n && dy.dim(1) == c,
+                    "GlobalAvgPool::backward: dy shape mismatch");
+  Tensor dx(cached_shape_);
+  const float scale = 1.0f / static_cast<float>(spatial);
+  for (long s = 0; s < n; ++s) {
+    for (long ch = 0; ch < c; ++ch) {
+      const float g = dy.at(s, ch) * scale;
+      float* chan = dx.data() + ((s * c + ch) * spatial);
+      for (long i = 0; i < spatial; ++i) chan[i] = g;
+    }
+  }
+  return dx;
+}
+
+MaxPool2d::MaxPool2d(long kernel, long stride, long pad)
+    : kernel_(kernel), stride_(stride), pad_(pad) {
+  if (kernel <= 0 || stride <= 0 || pad < 0) {
+    throw InvalidArgument("MaxPool2d: bad geometry");
+  }
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  if (x.ndim() != 4) {
+    throw InvalidArgument("MaxPool2d: expected NCHW, got " + x.shape_str());
+  }
+  cached_in_shape_ = x.shape();
+  const long n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const long oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const long ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw InvalidArgument("MaxPool2d: output collapses to zero size");
+  }
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(n * c * oh * ow), -1);
+
+  for (long s = 0; s < n; ++s) {
+    for (long ch = 0; ch < c; ++ch) {
+      const float* chan = x.data() + ((s * c + ch) * h * w);
+      float* out = y.data() + ((s * c + ch) * oh * ow);
+      long* amax =
+          argmax_.data() + static_cast<std::size_t>((s * c + ch) * oh * ow);
+      for (long oy = 0; oy < oh; ++oy) {
+        for (long ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          long best_idx = -1;
+          for (long ky = 0; ky < kernel_; ++ky) {
+            const long iy = oy * stride_ + ky - pad_;
+            if (iy < 0 || iy >= h) continue;
+            for (long kx = 0; kx < kernel_; ++kx) {
+              const long ix = ox * stride_ + kx - pad_;
+              if (ix < 0 || ix >= w) continue;
+              const long idx = iy * w + ix;
+              if (chan[idx] > best) {
+                best = chan[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oy * ow + ox] = best_idx >= 0 ? best : 0.0f;
+          amax[oy * ow + ox] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& dy) {
+  HSCONAS_CHECK_MSG(!cached_in_shape_.empty(),
+                    "MaxPool2d::backward before forward");
+  const long n = cached_in_shape_[0], c = cached_in_shape_[1];
+  const long h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const long oh = dy.dim(2), ow = dy.dim(3);
+  Tensor dx(cached_in_shape_);
+  for (long s = 0; s < n; ++s) {
+    for (long ch = 0; ch < c; ++ch) {
+      const float* grad = dy.data() + ((s * c + ch) * oh * ow);
+      float* out = dx.data() + ((s * c + ch) * h * w);
+      const long* amax =
+          argmax_.data() + static_cast<std::size_t>((s * c + ch) * oh * ow);
+      for (long i = 0; i < oh * ow; ++i) {
+        if (amax[i] >= 0) out[amax[i]] += grad[i];
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace hsconas::nn

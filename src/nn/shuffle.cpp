@@ -1,0 +1,98 @@
+#include "nn/shuffle.h"
+
+#include <cstring>
+
+namespace hsconas::nn {
+
+using tensor::Tensor;
+
+ChannelShuffle::ChannelShuffle(long groups) : groups_(groups) {
+  if (groups <= 0) throw InvalidArgument("ChannelShuffle: groups <= 0");
+}
+
+namespace {
+Tensor shuffle_impl(const Tensor& x, long groups, bool inverse) {
+  if (x.ndim() != 4) {
+    throw InvalidArgument("ChannelShuffle: expected NCHW, got " +
+                          x.shape_str());
+  }
+  const long n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
+  if (c % groups != 0) {
+    throw InvalidArgument("ChannelShuffle: channels not divisible by groups");
+  }
+  const long per = c / groups;
+  Tensor y(x.shape());
+  for (long s = 0; s < n; ++s) {
+    for (long src = 0; src < c; ++src) {
+      // forward: channel (g, i) -> (i, g); inverse swaps the roles.
+      long dst;
+      if (!inverse) {
+        const long g = src / per, i = src % per;
+        dst = i * groups + g;
+      } else {
+        const long i = src / groups, g = src % groups;
+        dst = g * per + i;
+      }
+      std::memcpy(y.data() + ((s * c + dst) * spatial),
+                  x.data() + ((s * c + src) * spatial),
+                  static_cast<std::size_t>(spatial) * sizeof(float));
+    }
+  }
+  return y;
+}
+}  // namespace
+
+Tensor ChannelShuffle::forward(const Tensor& x) {
+  return shuffle_impl(x, groups_, /*inverse=*/false);
+}
+
+Tensor ChannelShuffle::backward(const Tensor& dy) {
+  return shuffle_impl(dy, groups_, /*inverse=*/true);
+}
+
+void split_channels(const Tensor& x, long left_channels, Tensor& left,
+                    Tensor& right) {
+  if (x.ndim() != 4) {
+    throw InvalidArgument("split_channels: expected NCHW");
+  }
+  const long n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (left_channels <= 0 || left_channels >= c) {
+    throw InvalidArgument("split_channels: bad split point");
+  }
+  const long spatial = h * w;
+  const long rc = c - left_channels;
+  left = Tensor({n, left_channels, h, w});
+  right = Tensor({n, rc, h, w});
+  for (long s = 0; s < n; ++s) {
+    std::memcpy(left.data() + s * left_channels * spatial,
+                x.data() + (s * c) * spatial,
+                static_cast<std::size_t>(left_channels * spatial) *
+                    sizeof(float));
+    std::memcpy(right.data() + s * rc * spatial,
+                x.data() + (s * c + left_channels) * spatial,
+                static_cast<std::size_t>(rc * spatial) * sizeof(float));
+  }
+}
+
+Tensor concat_channels(const Tensor& left, const Tensor& right) {
+  if (left.ndim() != 4 || right.ndim() != 4 || left.dim(0) != right.dim(0) ||
+      left.dim(2) != right.dim(2) || left.dim(3) != right.dim(3)) {
+    throw InvalidArgument("concat_channels: incompatible shapes " +
+                          left.shape_str() + " vs " + right.shape_str());
+  }
+  const long n = left.dim(0), lc = left.dim(1), rc = right.dim(1);
+  const long h = left.dim(2), w = left.dim(3);
+  const long spatial = h * w;
+  Tensor y({n, lc + rc, h, w});
+  for (long s = 0; s < n; ++s) {
+    std::memcpy(y.data() + (s * (lc + rc)) * spatial,
+                left.data() + s * lc * spatial,
+                static_cast<std::size_t>(lc * spatial) * sizeof(float));
+    std::memcpy(y.data() + (s * (lc + rc) + lc) * spatial,
+                right.data() + s * rc * spatial,
+                static_cast<std::size_t>(rc * spatial) * sizeof(float));
+  }
+  return y;
+}
+
+}  // namespace hsconas::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "nn/module.h"
+
+namespace hsconas::nn {
+
+/// Channel shuffle with `groups` groups (ShuffleNetV2 uses 2): reorder the
+/// channel dimension from (g, c/g) to (c/g, g) so information crosses the
+/// split branches. A pure permutation — backward applies the inverse.
+class ChannelShuffle : public Module {
+ public:
+  explicit ChannelShuffle(long groups = 2);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  std::string name() const override { return "channel_shuffle"; }
+
+ private:
+  long groups_;
+};
+
+/// Split an NCHW tensor into two channel halves / concatenate back —
+/// free functions since they carry no state.
+void split_channels(const tensor::Tensor& x, long left_channels,
+                    tensor::Tensor& left, tensor::Tensor& right);
+tensor::Tensor concat_channels(const tensor::Tensor& left,
+                               const tensor::Tensor& right);
+
+}  // namespace hsconas::nn

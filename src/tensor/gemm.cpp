@@ -1,0 +1,121 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace hsconas::tensor {
+
+namespace {
+
+// Panel sizes chosen for L1/L2 friendliness on commodity x86; exact tuning
+// is not critical at the network sizes used here.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 256;
+constexpr std::size_t kBlockK = 256;
+
+// Inner kernel: accumulate a (mb × n) strip of C from (mb × kb)·(kb × n).
+// The j-loop is vectorizable by the compiler; kb stays in L1.
+void kernel(std::size_t mb, std::size_t n, std::size_t kb, float alpha,
+            const float* a, std::size_t lda, const float* b, std::size_t ldb,
+            float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < mb; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::size_t p = 0; p < kb; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  const std::size_t total = m * n;
+  if (beta == 0.0f) {
+    std::memset(c, 0, total * sizeof(float));
+  } else {
+    for (std::size_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+
+void gemm_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
+               std::size_t k, float alpha, const float* a, const float* b,
+               float* c) {
+  for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
+    const std::size_t mb = std::min(kBlockM, row_end - i0);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t kb = std::min(kBlockK, k - p0);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t nb = std::min(kBlockN, n - j0);
+        kernel(mb, nb, kb, alpha, a + i0 * k + p0, k, b + p0 * n + j0, n,
+               c + i0 * n + j0, n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  // Parallelize across row panels only when the work amortizes dispatch.
+  const std::size_t flops = 2 * m * n * k;
+  auto& pool = util::ThreadPool::global();
+  if (flops < (1u << 21) || pool.size() <= 1 || m < 2 * kBlockM) {
+    gemm_rows(0, m, n, k, alpha, a, b, c);
+    return;
+  }
+  const std::size_t panels = (m + kBlockM - 1) / kBlockM;
+  pool.parallel_for(panels, [&](std::size_t p) {
+    const std::size_t begin = p * kBlockM;
+    const std::size_t end = std::min(begin + kBlockM, m);
+    gemm_rows(begin, end, n, k, alpha, a, b, c);
+  });
+}
+
+void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+  // C[i,j] += alpha * sum_p A[p,i] * B[p,j]; iterate p outer so both reads
+  // stream row-wise.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+  // C[i,j] += alpha * dot(A[i,:], B[j,:]) — both rows contiguous.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace hsconas::tensor

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+namespace hsconas::tensor {
+
+/// C (m×n) = alpha * A (m×k) · B (k×n) + beta * C.
+/// Row-major, contiguous. Cache-blocked with a small register kernel and
+/// parallelized over row panels via the global thread pool when m is large
+/// enough to amortize the dispatch.
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, const float* b, float beta, float* c);
+
+/// C (m×n) = alpha * Aᵀ (A is k×m) · B (k×n) + beta * C.
+/// Used in the convolution backward pass for weight gradients.
+void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const float* a, const float* b, float beta, float* c);
+
+/// C (m×n) = alpha * A (m×k) · Bᵀ (B is n×k) + beta * C.
+/// Used in the convolution backward pass for input gradients.
+void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const float* a, const float* b, float beta, float* c);
+
+}  // namespace hsconas::tensor

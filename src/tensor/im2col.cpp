@@ -1,0 +1,58 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+
+namespace hsconas::tensor {
+
+void im2col(const float* img, const ConvGeom& g, float* cols) {
+  const long oh = g.out_h(), ow = g.out_w();
+  const long hw = g.in_h * g.in_w;
+  long row = 0;
+  for (long c = 0; c < g.in_channels; ++c) {
+    const float* chan = img + c * hw;
+    for (long ki = 0; ki < g.kernel; ++ki) {
+      for (long kj = 0; kj < g.kernel; ++kj, ++row) {
+        float* out = cols + row * oh * ow;
+        for (long y = 0; y < oh; ++y) {
+          const long iy = y * g.stride + ki - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(out + y * ow, 0,
+                        static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = chan + iy * g.in_w;
+          for (long x = 0; x < ow; ++x) {
+            const long ix = x * g.stride + kj - g.pad;
+            out[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeom& g, float* img_grad) {
+  const long oh = g.out_h(), ow = g.out_w();
+  const long hw = g.in_h * g.in_w;
+  long row = 0;
+  for (long c = 0; c < g.in_channels; ++c) {
+    float* chan = img_grad + c * hw;
+    for (long ki = 0; ki < g.kernel; ++ki) {
+      for (long kj = 0; kj < g.kernel; ++kj, ++row) {
+        const float* in = cols + row * oh * ow;
+        for (long y = 0; y < oh; ++y) {
+          const long iy = y * g.stride + ki - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst_row = chan + iy * g.in_w;
+          for (long x = 0; x < ow; ++x) {
+            const long ix = x * g.stride + kj - g.pad;
+            if (ix >= 0 && ix < g.in_w) dst_row[ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hsconas::tensor

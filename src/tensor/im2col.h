@@ -1,0 +1,30 @@
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace hsconas::tensor {
+
+/// Spatial geometry of a 2-D convolution (square kernels, symmetric padding).
+struct ConvGeom {
+  long in_channels = 0;
+  long in_h = 0;
+  long in_w = 0;
+  long kernel = 1;
+  long stride = 1;
+  long pad = 0;
+
+  long out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  long out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// Expand one image (C,H,W slice at `img`) into a (C*k*k) × (outH*outW)
+/// column matrix for GEMM-based convolution. `cols` must hold
+/// C*k*k*outH*outW floats.
+void im2col(const float* img, const ConvGeom& g, float* cols);
+
+/// Inverse scatter-add of im2col: accumulate the column matrix back into the
+/// (C,H,W) image gradient. `img_grad` must be pre-zeroed by the caller if a
+/// fresh gradient is wanted.
+void col2im(const float* cols, const ConvGeom& g, float* img_grad);
+
+}  // namespace hsconas::tensor

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hsconas::tensor {
+
+/// Dense row-major float32 tensor with up to 4 logical dimensions.
+///
+/// Convention throughout the NN substrate: activations are NCHW
+/// (batch, channels, height, width); convolution weights are OIHW
+/// (out_channels, in_channels/groups, kh, kw); linear weights are (out, in).
+///
+/// Tensor is a value type with deep-copy semantics — the networks here are
+/// small enough that simplicity beats COW cleverness, and deep copies make
+/// the weight-sharing semantics of the supernet explicit (the supernet holds
+/// the single canonical copy; subnets *reference* it through the module
+/// graph rather than copying tensors).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct zero-filled with the given shape.
+  explicit Tensor(std::vector<long> shape);
+  Tensor(std::initializer_list<long> shape)
+      : Tensor(std::vector<long>(shape)) {}
+
+  static Tensor zeros(std::vector<long> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<long> shape, float value);
+  static Tensor ones(std::vector<long> shape) { return full(std::move(shape), 1.0f); }
+
+  /// I.i.d. uniform in [lo, hi).
+  static Tensor uniform(std::vector<long> shape, float lo, float hi,
+                        util::Rng& rng);
+  /// I.i.d. normal(mean, stddev).
+  static Tensor normal(std::vector<long> shape, float mean, float stddev,
+                       util::Rng& rng);
+
+  const std::vector<long>& shape() const { return shape_; }
+  long dim(std::size_t i) const;
+  std::size_t ndim() const { return shape_.size(); }
+  long numel() const { return static_cast<long>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& at(long i);
+  float& at(long i, long j);
+  float& at(long i, long j, long k);
+  float& at(long n, long c, long h, long w);
+  float at(long i) const { return const_cast<Tensor*>(this)->at(i); }
+  float at(long i, long j) const { return const_cast<Tensor*>(this)->at(i, j); }
+  float at(long i, long j, long k) const {
+    return const_cast<Tensor*>(this)->at(i, j, k);
+  }
+  float at(long n, long c, long h, long w) const {
+    return const_cast<Tensor*>(this)->at(n, c, h, w);
+  }
+
+  /// Reinterpret the buffer with a new shape of equal numel.
+  Tensor reshaped(std::vector<long> shape) const;
+
+  // ---- in-place arithmetic -------------------------------------------------
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  void add_(const Tensor& other);            ///< this += other
+  void sub_(const Tensor& other);            ///< this -= other
+  void mul_(float s);                        ///< this *= s
+  void axpy_(float alpha, const Tensor& x);  ///< this += alpha * x
+  void hadamard_(const Tensor& other);       ///< this *= other (elementwise)
+
+  // ---- reductions ----------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float abs_max() const;
+  float l2_norm() const;
+
+  /// True iff every element is finite (NaN/Inf detection for training).
+  bool all_finite() const;
+
+  std::string shape_str() const;
+
+  /// Throws InvalidArgument unless shapes match exactly.
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+ private:
+  std::vector<long> shape_;
+  std::vector<float> data_;
+};
+
+/// numel of a shape vector; validates non-negative dims.
+long shape_numel(const std::vector<long>& shape);
+
+}  // namespace hsconas::tensor

@@ -1,0 +1,107 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace hsconas::util {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Cli::add_option(const std::string& key, const std::string& default_value,
+                     const std::string& help) {
+  options_[key] = Option{default_value, help, false};
+}
+
+void Cli::add_flag(const std::string& key, const std::string& help) {
+  options_[key] = Option{"false", help, true};
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      throw InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string key = arg, value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const auto it = options_.find(key);
+    if (it == options_.end()) {
+      throw InvalidArgument("unknown option --" + key + "\n" + usage());
+    }
+    if (it->second.is_flag && eq == std::string::npos) {
+      values_[key] = "true";
+    } else if (eq != std::string::npos) {
+      values_[key] = value;
+    } else if (i + 1 < argc) {
+      values_[key] = argv[++i];
+    } else {
+      throw InvalidArgument("option --" + key + " requires a value");
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& key) const {
+  const auto declared = options_.find(key);
+  HSCONAS_CHECK_MSG(declared != options_.end(),
+                    "Cli::get of undeclared option " + key);
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : declared->second.default_value;
+}
+
+long long Cli::get_int(const std::string& key) const {
+  const std::string v = get(key);
+  char* end = nullptr;
+  const long long result = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw InvalidArgument("option --" + key + " expects an integer, got '" +
+                          v + "'");
+  }
+  return result;
+}
+
+double Cli::get_double(const std::string& key) const {
+  const std::string v = get(key);
+  char* end = nullptr;
+  const double result = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw InvalidArgument("option --" + key + " expects a number, got '" + v +
+                          "'");
+  }
+  return result;
+}
+
+bool Cli::get_bool(const std::string& key) const {
+  const std::string v = to_lower(get(key));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("option --" + key + " expects a boolean, got '" + v +
+                        "'");
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\noptions:\n";
+  for (const auto& [key, opt] : options_) {
+    os << "  --" << key;
+    if (!opt.is_flag) os << "=<" << opt.default_value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hsconas::util

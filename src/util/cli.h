@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hsconas::util {
+
+/// Minimal `--key=value` / `--flag` argument parser for the bench and
+/// example binaries. Unknown keys raise InvalidArgument so typos fail loud.
+class Cli {
+ public:
+  Cli(std::string program_description);
+
+  /// Declare an option with a default value and help text (all values are
+  /// stored as strings; typed getters convert).
+  void add_option(const std::string& key, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& key, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) when --help was given.
+  /// Throws InvalidArgument on unknown keys or malformed input.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hsconas::util

@@ -1,0 +1,44 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace hsconas::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw Error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", fields[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace hsconas::util

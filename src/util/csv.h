@@ -1,0 +1,30 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hsconas::util {
+
+/// Minimal RFC-4180-ish CSV writer used by the bench harnesses to dump the
+/// raw series behind every figure (so plots can be regenerated externally).
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws hsconas::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header or data row; fields are quoted when needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: numeric row (formatted with %.6g).
+  void row(const std::vector<double>& fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace hsconas::util

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hsconas {
+
+/// Base exception for all errors raised by the HSCoNAS library.
+///
+/// API boundaries throw `Error` (or a subclass) on contract violations such
+/// as shape mismatches, unknown device names, or invalid configurations.
+/// Internal invariants that indicate library bugs use HSCONAS_CHECK, which
+/// throws InternalError with file/line context.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller-supplied value is out of contract (bad shape,
+/// unknown enum string, negative size, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant is violated; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw InternalError(std::string("check failed: ") + expr + " at " + file +
+                      ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+/// Invariant check that stays on in release builds; throws InternalError.
+#define HSCONAS_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hsconas::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define HSCONAS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hsconas::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+}  // namespace hsconas

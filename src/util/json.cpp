@@ -1,0 +1,116 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace hsconas::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Object{};
+  HSCONAS_CHECK_MSG(is_object(), "Json::operator[] on non-object");
+  return std::get<Object>(value_)[key];
+}
+
+void Json::push_back(Json v) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Array{};
+  HSCONAS_CHECK_MSG(is_array(), "Json::push_back on non-array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+void Json::append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string pad_close(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d) && *d == std::floor(*d) &&
+        std::abs(*d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(*d));
+      out += buf;
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.10g", *d);
+      out += buf;
+    }
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    append_escaped(out, *s);
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      out += pad;
+      (*a)[i].dump_to(out, indent, depth + 1);
+      if (i + 1 < a->size()) out += ',';
+      out += nl;
+    }
+    out += pad_close;
+    out += ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [k, v] : *o) {
+      out += pad;
+      append_escaped(out, k);
+      out += ": ";
+      v.dump_to(out, indent, depth + 1);
+      if (++i < o->size()) out += ',';
+      out += nl;
+    }
+    out += pad_close;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::save(const std::string& path, int indent) const {
+  std::ofstream f(path);
+  if (!f) throw Error("Json::save: cannot open " + path);
+  f << dump(indent) << '\n';
+}
+
+}  // namespace hsconas::util

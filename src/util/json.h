@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hsconas::util {
+
+/// Tiny JSON value tree with a serializer — enough to persist search results,
+/// latency tables, and experiment manifests. (No parser by design: the
+/// library never consumes external JSON, it only emits artifacts.)
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(long i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long long i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  /// Object field access (creates the field; converts null to object).
+  Json& operator[](const std::string& key);
+
+  /// Array append (converts null to array).
+  void push_back(Json v);
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Serialize with 2-space indentation.
+  std::string dump(int indent = 2) const;
+
+  /// Serialize to file; throws hsconas::Error on I/O failure.
+  void save(const std::string& path, int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+  static void append_escaped(std::string& out, const std::string& s);
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace hsconas::util

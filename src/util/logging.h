@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hsconas::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Benches default to
+/// kInfo; tests set kWarn to keep ctest output readable.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` to stderr with a "[LEVEL elapsed]" prefix.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hsconas::util
+
+#define HSCONAS_LOG_DEBUG ::hsconas::util::detail::LogLine(::hsconas::util::LogLevel::kDebug)
+#define HSCONAS_LOG_INFO ::hsconas::util::detail::LogLine(::hsconas::util::LogLevel::kInfo)
+#define HSCONAS_LOG_WARN ::hsconas::util::detail::LogLine(::hsconas::util::LogLevel::kWarn)
+#define HSCONAS_LOG_ERROR ::hsconas::util::detail::LogLine(::hsconas::util::LogLevel::kError)

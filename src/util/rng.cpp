@@ -1,0 +1,31 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace hsconas::util {
+
+double Rng::normal() {
+  // Box–Muller; draw u1 away from 0 to keep log finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  HSCONAS_CHECK_MSG(k <= n, "sample_indices: k must be <= n");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace hsconas::util

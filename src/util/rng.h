@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hsconas::util {
+
+/// SplitMix64 — used to seed Xoshiro and as a cheap stateless mixer.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, fast PRNG (xoshiro256**). Every stochastic component of
+/// the library takes an explicit Rng (or seed) so searches are reproducible
+/// bit-for-bit across runs; tests rely on this.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDF00Dull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream; used to give each parallel worker
+  /// or pipeline stage its own deterministic sequence.
+  Rng fork() { return Rng(next() ^ 0xA5A5A5A5DEADBEEFull); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work too.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::size_t index(std::size_t n) {
+    HSCONAS_CHECK_MSG(n > 0, "Rng::index called with n == 0");
+    // Lemire's multiply-shift rejection-free-enough variant: fine for NAS use.
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    HSCONAS_CHECK_MSG(lo <= hi, "Rng::randint requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    index(static_cast<std::size_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (cached second value discarded for
+  /// simplicity; throughput is irrelevant at NAS scale).
+  double normal();
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal such that the *multiplicative* jitter has median 1 and the
+  /// given sigma in log-space; used for measurement noise in hwsim.
+  double lognormal_jitter(double sigma) {
+    return sigma <= 0.0 ? 1.0 : std::exp(0.0 + sigma * normal());
+  }
+
+  /// Sample one element uniformly from a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    HSCONAS_CHECK_MSG(!v.empty(), "Rng::choice on empty vector");
+    return v[index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// k distinct indices from [0, n), in random order (partial Fisher–Yates).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace hsconas::util

@@ -1,0 +1,210 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hsconas::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  HSCONAS_CHECK_MSG(a.size() == b.size(), "rmse: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double mae(std::span<const double> a, std::span<const double> b) {
+  HSCONAS_CHECK_MSG(a.size() == b.size(), "mae: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  HSCONAS_CHECK_MSG(a.size() == b.size(), "pearson: size mismatch");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a), mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> rk(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie-group [i, j], 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rk[order[k]] = avg;
+    i = j + 1;
+  }
+  return rk;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  HSCONAS_CHECK_MSG(a.size() == b.size(), "spearman: size mismatch");
+  if (a.size() < 2) return 0.0;
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  return pearson(ra, rb);
+}
+
+double kendall_tau(std::span<const double> a, std::span<const double> b) {
+  HSCONAS_CHECK_MSG(a.size() == b.size(), "kendall_tau: size mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double min_of(std::span<const double> xs) {
+  HSCONAS_CHECK_MSG(!xs.empty(), "min_of: empty");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  HSCONAS_CHECK_MSG(!xs.empty(), "max_of: empty");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  HSCONAS_CHECK_MSG(!xs.empty(), "percentile: empty");
+  HSCONAS_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  HSCONAS_CHECK_MSG(x.size() == y.size(), "linear_fit: size mismatch");
+  LinearFit fit;
+  if (x.size() < 2) return fit;
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy <= 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  HSCONAS_CHECK_MSG(bins > 0, "Histogram: bins must be > 0");
+  HSCONAS_CHECK_MSG(hi > lo, "Histogram: hi must be > lo");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long long>(bin, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t w =
+        peak == 0 ? 0 : counts_[b] * max_width / std::max<std::size_t>(peak, 1);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%8.2f, %8.2f) %6zu ", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    os << buf << std::string(w, '#') << "\n";
+  }
+  return os.str();
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace hsconas::util

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsconas::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 if fewer than 2 elements.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Root-mean-squared error between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute error between two equal-length series.
+double mae(std::span<const double> a, std::span<const double> b);
+
+/// Pearson linear correlation coefficient; 0 if degenerate.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Spearman rank correlation (Pearson on fractional ranks, average ties).
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Kendall's tau-a rank correlation — robust ranking-quality metric used to
+/// validate the latency predictor's ordering of architectures.
+double kendall_tau(std::span<const double> a, std::span<const double> b);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) with linear interpolation; copies + sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Fractional ranks with average tie-handling (1-based ranks).
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Ordinary least squares fit y = slope*x + intercept; also reports R^2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fixed-width histogram over [lo, hi]; values outside are clamped into the
+/// first/last bin. Used for the Fig. 6 latency-distribution plot.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// ASCII bar-chart rendering (one row per bin), for bench stdout.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< unbiased; 0 if n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hsconas::util

@@ -1,0 +1,82 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hsconas::util {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args2);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args2);
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, begin);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      return parts;
+    }
+    parts.push_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string human_count(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  return format("%.2f%s", v, suffix);
+}
+
+}  // namespace hsconas::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsconas::util {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Join with separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Human-readable count: 1234567 -> "1.23M", 2048 -> "2.05K".
+std::string human_count(double v);
+
+}  // namespace hsconas::util

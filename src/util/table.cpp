@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hsconas::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HSCONAS_CHECK_MSG(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{false, "", std::move(cells)});
+}
+
+void Table::add_section(const std::string& caption) {
+  rows_.push_back(Row{true, caption, {}});
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.is_section) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::size_t total = 1;  // leading '|'
+  for (std::size_t w : widths) total += w + 3;
+
+  const auto hline = [&] {
+    std::string s(total, '-');
+    s.front() = '+';
+    s.back() = '+';
+    return s + "\n";
+  };
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << hline() << render_cells(header_) << hline();
+  for (const auto& row : rows_) {
+    if (row.is_section) {
+      os << hline();
+      std::string caption = "== " + row.caption + " ==";
+      if (caption.size() > total - 4) caption.resize(total - 4);
+      os << "| " << caption
+         << std::string(total - 4 - caption.size(), ' ') << " |\n"
+         << hline();
+    } else {
+      os << render_cells(row.cells);
+    }
+  }
+  os << hline();
+  return os.str();
+}
+
+}  // namespace hsconas::util

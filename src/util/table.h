@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsconas::util {
+
+/// ASCII table renderer used by the bench harnesses to print paper-style
+/// tables (e.g., Table I rows) to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator with an optional section caption row
+  /// spanning all columns (mirrors Table I's "Manually-Designed Models"
+  /// group headers).
+  void add_section(const std::string& caption);
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string caption;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hsconas::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hsconas::util {
+
+/// Fixed-size worker pool with a parallel_for helper. Used by the tensor
+/// GEMM and by batch evaluation of architecture populations. Work items must
+/// not throw; exceptions escaping a task terminate (tasks wrap their own
+/// error handling where needed).
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (pair with wait()).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait();
+
+  /// Run fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Falls back to inline execution for n <= 1 or single-worker pools.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hsconas::util

@@ -1,0 +1,150 @@
+#include "baselines/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/mbconv.h"
+#include "hwsim/registry.h"
+#include "util/error.h"
+
+namespace hsconas::baselines {
+namespace {
+
+TEST(Zoo, HasAllElevenTableIBaselines) {
+  const auto zoo = baseline_zoo();
+  ASSERT_EQ(zoo.size(), 11u);
+  EXPECT_EQ(zoo[0].name, "MobileNetV2 1.0x");
+  EXPECT_EQ(zoo[0].group, "manual");
+  EXPECT_EQ(zoo[3].name, "DARTS");
+  EXPECT_EQ(zoo[3].group, "nas");
+  EXPECT_EQ(zoo.back().name, "ProxylessNAS-Mobile");
+}
+
+TEST(Zoo, PublishedMetricsMatchTableI) {
+  const auto zoo = baseline_zoo();
+  EXPECT_DOUBLE_EQ(zoo[0].paper_top1_err, 28.0);   // MobileNetV2
+  EXPECT_DOUBLE_EQ(zoo[0].paper_cpu_ms, 25.2);
+  EXPECT_DOUBLE_EQ(zoo[3].paper_cpu_ms, 81.4);     // DARTS
+  EXPECT_DOUBLE_EQ(zoo[4].paper_top5_err, 7.5);    // MnasNet-A1
+  EXPECT_DOUBLE_EQ(zoo[7].paper_edge_ms, 66.4);    // FBNet-C
+}
+
+TEST(Zoo, MacsNearPublishedBudgets) {
+  // Published compute (GMacs): MNv2 0.30, ShuffleV2-1.5 0.30, MNv3-L 0.22,
+  // DARTS 0.57, MnasNet-A1 0.31, FBNet-A/B/C 0.25/0.30/0.38,
+  // Proxyless ~0.32-0.58. Our reconstructions must land within ~25%.
+  const auto zoo = baseline_zoo();
+  const std::vector<double> published = {0.30, 0.30, 0.22, 0.57, 0.31, 0.25,
+                                         0.30, 0.38, 0.46, 0.58, 0.32};
+  ASSERT_EQ(zoo.size(), published.size());
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    const double gmacs = hwsim::network_macs(zoo[i].network) / 1e9;
+    EXPECT_NEAR(gmacs / published[i], 1.0, 0.3) << zoo[i].name;
+  }
+}
+
+TEST(Zoo, GeometryChainsThroughEveryNetwork) {
+  for (const auto& baseline : baseline_zoo()) {
+    long h = -1, ch = -1;
+    for (const auto& layer : baseline.network) {
+      if (!layer.ops.empty() && h > 0) {
+        EXPECT_EQ(layer.ops.front().in_h, h)
+            << baseline.name << " / " << layer.name;
+        // Stride-1 shuffle blocks split the input and process half.
+        const long first_in = layer.ops.front().in_channels;
+        EXPECT_TRUE(first_in == ch || first_in == ch / 2)
+            << baseline.name << " / " << layer.name << ": reads "
+            << first_in << ", previous wrote " << ch;
+      }
+      h = layer.out_h;
+      ch = layer.out_channels;
+    }
+    EXPECT_EQ(ch, 1000) << baseline.name;  // classifier output
+  }
+}
+
+TEST(Zoo, DartsIsTheMostFragmented) {
+  const auto zoo = baseline_zoo();
+  std::size_t darts_ops = 0, max_other = 0;
+  for (const auto& baseline : zoo) {
+    std::size_t ops = 0;
+    for (const auto& layer : baseline.network) ops += layer.ops.size();
+    if (baseline.name == "DARTS") {
+      darts_ops = ops;
+    } else {
+      max_other = std::max(max_other, ops);
+    }
+  }
+  EXPECT_GT(darts_ops, 3 * max_other);
+}
+
+TEST(Zoo, LatenciesFiniteAndOrderedByDevice) {
+  const auto zoo = baseline_zoo();
+  const hwsim::DeviceSimulator gpu(hwsim::device_by_name("gpu"));
+  const hwsim::DeviceSimulator edge(hwsim::device_by_name("edge"));
+  for (const auto& baseline : zoo) {
+    const double t_gpu = gpu.network_latency_ms(baseline.network, 32);
+    const double t_edge = edge.network_latency_ms(baseline.network, 16);
+    EXPECT_GT(t_gpu, 0.0) << baseline.name;
+    // Edge is always slower than the server GPU, as in Table I.
+    EXPECT_GT(t_edge, t_gpu) << baseline.name;
+  }
+}
+
+TEST(Zoo, DartsSlowesOnCpuAsInPaper) {
+  const auto zoo = baseline_zoo();
+  const hwsim::DeviceSimulator cpu(hwsim::device_by_name("cpu"));
+  double darts = 0.0, worst_other = 0.0;
+  for (const auto& baseline : zoo) {
+    const double t = cpu.network_latency_ms(baseline.network, 1);
+    if (baseline.name == "DARTS") {
+      darts = t;
+    } else {
+      worst_other = std::max(worst_other, t);
+    }
+  }
+  EXPECT_GT(darts, worst_other);
+}
+
+TEST(Zoo, WidthMultiplierScalesMobileNet) {
+  const double full = hwsim::network_macs(mobilenet_v2(1.0));
+  const double half = hwsim::network_macs(mobilenet_v2(0.5));
+  EXPECT_LT(half, full * 0.45);
+  EXPECT_GT(half, full * 0.15);
+}
+
+TEST(Zoo, CustomResolutionAndClasses) {
+  const auto net = mobilenet_v2(1.0, 10, 64);
+  EXPECT_EQ(net.back().out_channels, 10);
+  EXPECT_GT(hwsim::network_macs(net), 0.0);
+}
+
+TEST(MbConv, ExpansionOneSkipsExpandConv) {
+  MbConvSpec spec;
+  spec.in_channels = 16;
+  spec.out_channels = 16;
+  spec.expand = 1.0;
+  const auto with_t1 = mbconv_layer(spec, 14, 14, "t1");
+  spec.expand = 6.0;
+  const auto with_t6 = mbconv_layer(spec, 14, 14, "t6");
+  EXPECT_LT(with_t1.ops.size(), with_t6.ops.size());
+}
+
+TEST(MbConv, SqueezeExciteAddsOps) {
+  MbConvSpec spec;
+  spec.in_channels = 16;
+  spec.out_channels = 24;
+  const auto plain = mbconv_layer(spec, 14, 14, "plain");
+  spec.squeeze_excite = true;
+  const auto se = mbconv_layer(spec, 14, 14, "se");
+  EXPECT_EQ(se.ops.size(), plain.ops.size() + 4);  // pool + 2 linear + scale
+}
+
+TEST(MbConv, Validation) {
+  MbConvSpec bad;
+  EXPECT_THROW(mbconv_layer(bad, 14, 14, "bad"), InvalidArgument);
+  EXPECT_THROW(fbnet('Z'), InvalidArgument);
+  EXPECT_THROW(proxylessnas("tpu"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hsconas::baselines

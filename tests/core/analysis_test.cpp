@@ -1,0 +1,77 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace hsconas::core {
+namespace {
+
+SearchSpace proxy_space() { return SearchSpace(SearchSpaceConfig::proxy()); }
+
+EvolutionSearch::Candidate make_candidate(const SearchSpace& space, int op,
+                                          int factor, double score) {
+  EvolutionSearch::Candidate c;
+  c.arch.ops.assign(static_cast<std::size_t>(space.num_layers()), op);
+  c.arch.factors.assign(static_cast<std::size_t>(space.num_layers()),
+                        factor);
+  c.score = score;
+  return c;
+}
+
+TEST(Analysis, FrequenciesSumToOnePerLayer) {
+  const SearchSpace space = proxy_space();
+  std::vector<EvolutionSearch::Candidate> pop{
+      make_candidate(space, 0, 9, 1.0), make_candidate(space, 1, 4, 0.9),
+      make_candidate(space, 0, 0, 0.8)};
+  const auto stats = analyze_population(pop, space);
+  ASSERT_EQ(stats.size(), static_cast<std::size_t>(space.num_layers()));
+  for (const auto& s : stats) {
+    double sum = 0.0;
+    for (double f : s.op_frequency) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(s.op_frequency[0], 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(s.dominant_op, 0);
+  }
+}
+
+TEST(Analysis, MeanChannelFactor) {
+  const SearchSpace space = proxy_space();
+  std::vector<EvolutionSearch::Candidate> pop{
+      make_candidate(space, 0, 9, 1.0),   // factor 1.0
+      make_candidate(space, 0, 4, 0.5)};  // factor 0.5
+  const auto stats = analyze_population(pop, space);
+  EXPECT_NEAR(stats[0].mean_channel_factor, 0.75, 1e-12);
+}
+
+TEST(Analysis, TopKFiltersByScore) {
+  const SearchSpace space = proxy_space();
+  std::vector<EvolutionSearch::Candidate> pop{
+      make_candidate(space, 0, 9, 0.1),   // low score, op 0
+      make_candidate(space, 2, 9, 0.9),   // high score, op 2
+      make_candidate(space, 2, 9, 0.8)};
+  const auto stats = analyze_population(pop, space, 2);
+  EXPECT_EQ(stats[0].dominant_op, 2);
+  EXPECT_NEAR(stats[0].op_frequency[2], 1.0, 1e-12);
+}
+
+TEST(Analysis, RenderIncludesEveryLayerAndOpName) {
+  const SearchSpace space = proxy_space();
+  std::vector<EvolutionSearch::Candidate> pop{
+      make_candidate(space, 3, 5, 1.0)};
+  const auto stats = analyze_population(pop, space);
+  const std::string out = render_layer_statistics(stats, space);
+  EXPECT_NE(out.find("xception"), std::string::npos);
+  EXPECT_NE(out.find("mean c"), std::string::npos);
+  // One data row per layer.
+  const std::string needle = "| 5 ";
+  EXPECT_NE(out.find(needle), std::string::npos);
+}
+
+TEST(Analysis, EmptyPopulationThrows) {
+  const SearchSpace space = proxy_space();
+  EXPECT_THROW(analyze_population({}, space), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hsconas::core

@@ -1,0 +1,159 @@
+#include "core/arch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace hsconas::core {
+namespace {
+
+SearchSpace proxy_space() { return SearchSpace(SearchSpaceConfig::proxy()); }
+
+TEST(Arch, RandomIsWellFormed) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Arch arch = Arch::random(space, rng);
+    EXPECT_NO_THROW(arch.validate(space));
+    EXPECT_TRUE(arch.in_space(space));
+    EXPECT_EQ(arch.num_layers(), space.num_layers());
+  }
+}
+
+TEST(Arch, RandomCoversAllGenes) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(2);
+  std::set<int> ops_seen, factors_seen;
+  for (int i = 0; i < 300; ++i) {
+    const Arch arch = Arch::random(space, rng);
+    ops_seen.insert(arch.ops[0]);
+    factors_seen.insert(arch.factors[0]);
+  }
+  EXPECT_EQ(ops_seen.size(), 5u);
+  EXPECT_EQ(factors_seen.size(), 10u);
+}
+
+TEST(Arch, RandomRespectsShrunkSpace) {
+  SearchSpace space = proxy_space();
+  space.fix_op(2, 3);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Arch arch = Arch::random(space, rng);
+    EXPECT_EQ(arch.ops[2], 3);
+  }
+}
+
+TEST(Arch, RandomWithFixedOp) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Arch arch = Arch::random_with_fixed_op(space, rng, 1, 4);
+    EXPECT_EQ(arch.ops[1], 4);
+  }
+}
+
+TEST(Arch, HashDistinguishesAndIsStable) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(5);
+  const Arch a = Arch::random(space, rng);
+  Arch b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_TRUE(a == b);
+  b.ops[0] = (b.ops[0] + 1) % 5;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_FALSE(a == b);
+  // Swapping op and factor fields must not collide trivially.
+  Arch c = a;
+  std::swap(c.ops[0], c.factors[0]);
+  if (!(c == a)) {
+    EXPECT_NE(c.hash(), a.hash());
+  }
+}
+
+TEST(Arch, HashCollisionRateLow) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(6);
+  std::set<std::uint64_t> hashes;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    hashes.insert(Arch::random(space, rng).hash());
+  }
+  // Some duplicate *archs* can occur; hash count must track arch count.
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(n * 0.95));
+}
+
+TEST(Arch, ValidateCatchesCorruption) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(7);
+  Arch arch = Arch::random(space, rng);
+  Arch short_arch = arch;
+  short_arch.ops.pop_back();
+  EXPECT_THROW(short_arch.validate(space), InvalidArgument);
+  Arch bad_op = arch;
+  bad_op.ops[0] = 9;
+  EXPECT_THROW(bad_op.validate(space), InvalidArgument);
+  Arch bad_factor = arch;
+  bad_factor.factors[0] = -1;
+  EXPECT_THROW(bad_factor.validate(space), InvalidArgument);
+}
+
+TEST(Arch, InSpaceReflectsShrinking) {
+  SearchSpace space = proxy_space();
+  util::Rng rng(8);
+  Arch arch = Arch::random(space, rng);
+  arch.ops[4] = 1;
+  EXPECT_TRUE(arch.in_space(space));
+  space.fix_op(4, 2);
+  EXPECT_FALSE(arch.in_space(space));
+  EXPECT_NO_THROW(arch.validate(space));  // still representable
+}
+
+TEST(Arch, ToStringListsEveryLayer) {
+  const SearchSpace space = proxy_space();
+  Arch arch;
+  arch.ops.assign(6, 0);
+  arch.factors.assign(6, 9);
+  arch.ops[1] = 4;
+  const std::string s = arch.to_string(space);
+  EXPECT_NE(s.find("shuffle_k3@1.0"), std::string::npos);
+  EXPECT_NE(s.find("skip@1.0"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(s.begin(), s.end(), '|')), 5);
+}
+
+TEST(Arch, FromStringRoundTrip) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const Arch arch = Arch::random(space, rng);
+    const Arch parsed = Arch::from_string(space, arch.to_string(space));
+    EXPECT_TRUE(parsed == arch);
+  }
+}
+
+TEST(Arch, FromStringRejectsMalformedInput) {
+  const SearchSpace space = proxy_space();
+  EXPECT_THROW(Arch::from_string(space, "bogus@0.5"), InvalidArgument);
+  EXPECT_THROW(Arch::from_string(space, "shuffle_k3"), InvalidArgument);
+  EXPECT_THROW(Arch::from_string(space, "shuffle_k3@0.55"),
+               InvalidArgument);  // factor not in C
+  EXPECT_THROW(Arch::from_string(space, "shuffle_k3@abc"), InvalidArgument);
+  EXPECT_THROW(Arch::from_string(space, ""), InvalidArgument);
+  // Right tokens, wrong layer count.
+  EXPECT_THROW(Arch::from_string(space, "shuffle_k3@0.5 | skip@1.0"),
+               InvalidArgument);
+}
+
+TEST(Arch, JsonSerialization) {
+  const SearchSpace space = proxy_space();
+  Arch arch;
+  arch.ops.assign(6, 2);
+  arch.factors.assign(6, 4);
+  const std::string json = arch.to_json(space).dump();
+  EXPECT_NE(json.find("\"op\": \"shuffle_k7\""), std::string::npos);
+  EXPECT_NE(json.find("\"channel_factor\": 0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsconas::core

@@ -1,0 +1,47 @@
+// Pipeline with a user-supplied device profile (PipelineConfig::
+// custom_device) — the path custom-hardware users and the proxy-comparison
+// bench take.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "util/error.h"
+
+namespace hsconas::core {
+namespace {
+
+hwsim::DeviceProfile tiny_npu() {
+  hwsim::DeviceProfile p = hwsim::device_by_name("edge");
+  p.name = "test-npu";
+  p.peak_gflops /= 10.0;
+  p.sync_overhead_us = 5.0;
+  return p;
+}
+
+TEST(PipelineCustomDevice, SearchesAgainstTheSuppliedProfile) {
+  PipelineConfig cfg;
+  cfg.space = SearchSpaceConfig::imagenet_layout_a();
+  cfg.custom_device = tiny_npu();
+  cfg.constraint_ms = 120.0;  // the 10x slower profile needs a looser T
+  cfg.use_surrogate = true;
+  cfg.evolution.generations = 4;
+  cfg.evolution.population = 14;
+  cfg.evolution.parents = 5;
+  cfg.shrink_layers_per_stage = 0;
+  cfg.seed = 41;
+  Pipeline pipeline(cfg);
+  const auto result = pipeline.run();
+  EXPECT_NEAR(result.predicted_latency_ms, 120.0, 120.0 * 0.2);
+  // The latency model must have been built on the custom profile.
+  EXPECT_EQ(pipeline.latency_model().device().profile().name, "test-npu");
+}
+
+TEST(PipelineCustomDevice, RequiresExplicitConstraint) {
+  PipelineConfig cfg;
+  cfg.custom_device = tiny_npu();
+  cfg.constraint_ms = 0.0;  // no paper default exists for a custom device
+  EXPECT_THROW(Pipeline{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hsconas::core

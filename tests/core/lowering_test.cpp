@@ -1,0 +1,161 @@
+#include "core/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/supernet.h"
+#include "nn/conv2d.h"
+#include "util/error.h"
+
+namespace hsconas::core {
+namespace {
+
+SearchSpace proxy_space() { return SearchSpace(SearchSpaceConfig::proxy()); }
+
+Arch uniform_arch(const SearchSpace& space, int op, int factor) {
+  Arch arch;
+  arch.ops.assign(static_cast<std::size_t>(space.num_layers()), op);
+  arch.factors.assign(static_cast<std::size_t>(space.num_layers()), factor);
+  return arch;
+}
+
+TEST(Lowering, NetworkHasStemBodyHead) {
+  const SearchSpace space = proxy_space();
+  util::Rng rng(1);
+  const auto net = lower_network(Arch::random(space, rng), space);
+  ASSERT_EQ(net.size(), static_cast<std::size_t>(space.num_layers()) + 2);
+  EXPECT_EQ(net.front().name, "stem");
+  EXPECT_EQ(net.back().name, "head");
+  EXPECT_EQ(net.back().out_channels, space.config().num_classes);
+}
+
+TEST(Lowering, GeometryChainsAcrossLayers) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  util::Rng rng(2);
+  const auto net = lower_network(Arch::random(space, rng), space);
+  // Every layer's first op input spatial dims must match the previous
+  // layer's output (skip layers have no ops; track through LayerDesc).
+  long h = net.front().out_h;
+  long ch = net.front().out_channels;
+  for (std::size_t i = 1; i + 1 < net.size(); ++i) {
+    if (!net[i].ops.empty()) {
+      EXPECT_EQ(net[i].ops.front().in_h, h) << "layer " << i;
+      // Stride-1 shuffle blocks split the input and run their branch on
+      // half of it; stride-2 branches and stems see the full width.
+      const long first_in = net[i].ops.front().in_channels;
+      EXPECT_TRUE(first_in == ch || first_in == ch / 2)
+          << "layer " << i << ": first op reads " << first_in
+          << " channels, previous layer wrote " << ch;
+    }
+    h = net[i].out_h;
+    ch = net[i].out_channels;
+  }
+}
+
+TEST(Lowering, SkipStride1IsEmptyLayer) {
+  const SearchSpace space = proxy_space();
+  const LayerInfo& info = space.layer(1);  // stride-1 layer
+  ASSERT_EQ(info.stride, 1);
+  const auto layer = lower_layer(info, nn::BlockKind::kSkip, 1.0);
+  EXPECT_TRUE(layer.ops.empty());
+  EXPECT_EQ(layer.out_channels, info.out_channels);
+  EXPECT_DOUBLE_EQ(layer.macs(), 0.0);
+}
+
+TEST(Lowering, SkipStride2HasProjection) {
+  const SearchSpace space = proxy_space();
+  const LayerInfo& info = space.layer(2);  // stride-2 layer
+  ASSERT_EQ(info.stride, 2);
+  const auto layer = lower_layer(info, nn::BlockKind::kSkip, 1.0);
+  EXPECT_FALSE(layer.ops.empty());
+  EXPECT_GT(layer.macs(), 0.0);
+  EXPECT_EQ(layer.out_h, (info.in_h + 1) / 2);
+}
+
+TEST(Lowering, ChannelFactorScalesMacsMonotonically) {
+  const SearchSpace space = proxy_space();
+  const LayerInfo& info = space.layer(1);
+  double prev = 0.0;
+  for (double c : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    const double macs =
+        lower_layer(info, nn::BlockKind::kShuffleK3, c).macs();
+    EXPECT_GT(macs, prev);
+    prev = macs;
+  }
+}
+
+TEST(Lowering, KernelSizeIncreasesDepthwiseMacs) {
+  const SearchSpace space = proxy_space();
+  const LayerInfo& info = space.layer(1);
+  const double k3 = lower_layer(info, nn::BlockKind::kShuffleK3, 1.0).macs();
+  const double k5 = lower_layer(info, nn::BlockKind::kShuffleK5, 1.0).macs();
+  const double k7 = lower_layer(info, nn::BlockKind::kShuffleK7, 1.0).macs();
+  EXPECT_GT(k5, k3);
+  EXPECT_GT(k7, k5);
+}
+
+TEST(Lowering, XceptionHasMoreOpsThanShuffleK3) {
+  const SearchSpace space = proxy_space();
+  const LayerInfo& info = space.layer(1);
+  EXPECT_GT(lower_layer(info, nn::BlockKind::kXception, 1.0).ops.size(),
+            lower_layer(info, nn::BlockKind::kShuffleK3, 1.0).ops.size());
+}
+
+TEST(Lowering, ParamsMatchTrainingSubstrateAtFullWidth) {
+  // The descriptor path (latency/FLOPs) and the nn path (training) must
+  // describe the same network: at channel factor 1.0 the conv/linear
+  // parameter counts agree exactly. (BN affine params are excluded from
+  // descriptor counts by FLOPs-counter convention.)
+  const SearchSpace space = proxy_space();
+  for (int op = 0; op < 5; ++op) {
+    const Arch arch = uniform_arch(space, op, /*factor=*/9);  // 1.0
+    const double desc_params = arch_params(arch, space);
+
+    Supernet net(space, 7, arch);
+    std::vector<nn::Parameter*> params;
+    long nn_params = 0;
+    Supernet* raw = &net;
+    for (nn::Parameter* p : raw->parameters()) {
+      if (p->name.find("gamma") == std::string::npos &&
+          p->name.find("beta") == std::string::npos) {
+        nn_params += p->numel();
+      }
+    }
+    (void)params;
+    EXPECT_DOUBLE_EQ(desc_params, static_cast<double>(nn_params))
+        << "op " << op;
+  }
+}
+
+TEST(Lowering, MacsMatchConvLayerAnalytics) {
+  // Cross-check a single lowered conv against nn::Conv2d::macs.
+  util::Rng rng(3);
+  nn::Conv2d conv(8, 16, 3, 2, 1, 1, false, rng);
+  const auto desc = hwsim::OpDescriptor::conv(8, 16, 10, 10, 3, 2);
+  EXPECT_DOUBLE_EQ(desc.macs(), static_cast<double>(conv.macs(10, 10)));
+}
+
+TEST(Lowering, ArchMacsOrdersArchitecturesSensibly) {
+  const SearchSpace space = proxy_space();
+  const Arch all_skip = uniform_arch(space, 4, 9);
+  const Arch all_k3_narrow = uniform_arch(space, 0, 0);
+  const Arch all_k3_full = uniform_arch(space, 0, 9);
+  const Arch all_xception = uniform_arch(space, 3, 9);
+  const double skip = arch_macs(all_skip, space);
+  const double narrow = arch_macs(all_k3_narrow, space);
+  const double full = arch_macs(all_k3_full, space);
+  const double xcep = arch_macs(all_xception, space);
+  EXPECT_LT(skip, narrow);
+  EXPECT_LT(narrow, full);
+  EXPECT_LT(full, xcep);
+}
+
+TEST(Lowering, RejectsForeignArch) {
+  const SearchSpace space = proxy_space();
+  Arch arch;
+  arch.ops.assign(3, 0);  // wrong length
+  arch.factors.assign(3, 0);
+  EXPECT_THROW(lower_network(arch, space), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hsconas::core

@@ -1,0 +1,117 @@
+#include "core/search_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hsconas::core {
+namespace {
+
+TEST(SearchSpaceConfig, PaperSpaceSizeIs95e33) {
+  // |A| = (K · |C|)^L = 50^20 ≈ 9.5 × 10^33 — the §III-A figure.
+  const SearchSpaceConfig cfg = SearchSpaceConfig::imagenet_layout_a();
+  EXPECT_EQ(cfg.num_layers(), 20);
+  EXPECT_EQ(cfg.num_ops, 5);
+  EXPECT_EQ(cfg.channel_factors.size(), 10u);
+  const double size = std::pow(10.0, cfg.log10_space_size());
+  EXPECT_NEAR(size / 9.5e33, 1.0, 0.01);
+}
+
+TEST(SearchSpaceConfig, LayoutChannels) {
+  const auto a = SearchSpaceConfig::imagenet_layout_a();
+  EXPECT_EQ(a.stage_channels, (std::vector<long>{48, 128, 256, 512}));
+  const auto b = SearchSpaceConfig::imagenet_layout_b();
+  EXPECT_EQ(b.stage_channels, (std::vector<long>{68, 168, 336, 672}));
+}
+
+TEST(SearchSpaceConfig, ValidationCatchesNonsense) {
+  SearchSpaceConfig cfg;
+  cfg.stage_blocks = {4, 4};  // mismatched with channels
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = SearchSpaceConfig{};
+  cfg.stage_channels[0] = 47;  // odd
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = SearchSpaceConfig{};
+  cfg.channel_factors = {0.5, 1.2};  // > 1
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+
+  cfg = SearchSpaceConfig{};
+  cfg.num_ops = 99;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(SearchSpace, LayerGeometryImagenet) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  EXPECT_EQ(space.num_layers(), 20);
+  EXPECT_EQ(space.body_input_size(), 112);
+
+  // Layer 0: first block of stage 0, downsampling from the stem.
+  EXPECT_EQ(space.layer(0).stride, 2);
+  EXPECT_EQ(space.layer(0).in_channels, 16);
+  EXPECT_EQ(space.layer(0).out_channels, 48);
+  EXPECT_EQ(space.layer(0).in_h, 112);
+
+  // Layer 1: inside stage 0.
+  EXPECT_EQ(space.layer(1).stride, 1);
+  EXPECT_EQ(space.layer(1).in_channels, 48);
+  EXPECT_EQ(space.layer(1).in_h, 56);
+
+  // Stage boundaries: 4, 8, 16 start stages 1..3.
+  EXPECT_EQ(space.layer(4).stride, 2);
+  EXPECT_EQ(space.layer(4).in_channels, 48);
+  EXPECT_EQ(space.layer(4).out_channels, 128);
+  EXPECT_EQ(space.layer(8).out_channels, 256);
+  EXPECT_EQ(space.layer(16).out_channels, 512);
+  // Final feature map: 112 -> 56 -> 28 -> 14 -> 7.
+  EXPECT_EQ(space.layer(19).in_h, 7);
+}
+
+TEST(SearchSpace, ProxyConfigRunsSmall) {
+  const SearchSpace space(SearchSpaceConfig::proxy(10, 16, 2));
+  EXPECT_EQ(space.num_layers(), 6);
+  EXPECT_EQ(space.body_input_size(), 16);
+  EXPECT_EQ(space.layer(0).stride, 1);  // stage 0 keeps resolution
+  EXPECT_EQ(space.layer(2).stride, 2);
+  EXPECT_EQ(space.config().num_classes, 10);
+}
+
+TEST(SearchSpace, TooManyDownsamplesThrows) {
+  auto cfg = SearchSpaceConfig::proxy(10, 4, 1);
+  cfg.stage_blocks = {1, 1, 1, 1, 1};
+  cfg.stage_channels = {8, 8, 8, 8, 8};
+  cfg.stage_downsample = {true, true, true, true, true};
+  EXPECT_THROW(SearchSpace{cfg}, InvalidArgument);
+}
+
+TEST(SearchSpace, FixOpShrinksSize) {
+  SearchSpace space(SearchSpaceConfig::proxy());
+  const double before = space.log10_size();
+  EXPECT_FALSE(space.is_fixed(3));
+  space.fix_op(3, 2);
+  EXPECT_TRUE(space.is_fixed(3));
+  EXPECT_EQ(space.allowed_ops(3), std::vector<int>{2});
+  // Fixing one of 5 ops removes log10(5) from the size.
+  EXPECT_NEAR(before - space.log10_size(), std::log10(5.0), 1e-9);
+}
+
+TEST(SearchSpace, FixOpValidation) {
+  SearchSpace space(SearchSpaceConfig::proxy());
+  EXPECT_THROW(space.fix_op(0, 7), InvalidArgument);
+  EXPECT_THROW(space.fix_op(99, 0), InvalidArgument);
+}
+
+TEST(SearchSpace, PaperShrinkRemovesThreeOrdersPerStage) {
+  // §III-C: fixing 4 layers' operators removes 5^4 ≈ 3 orders of magnitude.
+  SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  const double initial = space.log10_size();
+  for (int l = 19; l >= 16; --l) space.fix_op(l, 0);
+  EXPECT_NEAR(initial - space.log10_size(), 4.0 * std::log10(5.0), 1e-9);
+  EXPECT_NEAR(4.0 * std::log10(5.0), 2.8, 0.05);  // ~ "three orders"
+}
+
+}  // namespace
+}  // namespace hsconas::core

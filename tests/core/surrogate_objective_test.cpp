@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/accuracy_surrogate.h"
+#include "core/lowering.h"
+#include "core/objective.h"
+
+namespace hsconas::core {
+namespace {
+
+Arch uniform_arch(const SearchSpace& space, int op, int factor) {
+  Arch arch;
+  arch.ops.assign(static_cast<std::size_t>(space.num_layers()), op);
+  arch.factors.assign(static_cast<std::size_t>(space.num_layers()), factor);
+  return arch;
+}
+
+TEST(Objective, ScoresExactlyEq1) {
+  const Objective obj{-0.3, 34.0};
+  // On the constraint: no penalty at all.
+  EXPECT_DOUBLE_EQ(obj.score(0.75, 34.0), 0.75);
+  // Above T by 50%: acc + beta*0.5.
+  EXPECT_DOUBLE_EQ(obj.score(0.75, 51.0), 0.75 - 0.3 * 0.5);
+  // Below T penalizes too (the paper's absolute value).
+  EXPECT_DOUBLE_EQ(obj.score(0.75, 17.0), 0.75 - 0.3 * 0.5);
+}
+
+TEST(Objective, NegativeBetaTradesAccuracyForLatency) {
+  const Objective obj{-0.3, 10.0};
+  // A slightly less accurate arch at the constraint beats a more accurate
+  // one far from it.
+  EXPECT_GT(obj.score(0.70, 10.0), obj.score(0.74, 14.0));
+}
+
+TEST(AccuracySurrogate, MoreComputeIsMoreAccurate) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  const AccuracySurrogate surrogate(space);
+  const double err_narrow =
+      surrogate.top1_error(uniform_arch(space, 0, 3));
+  const double err_full = surrogate.top1_error(uniform_arch(space, 0, 9));
+  EXPECT_GT(err_narrow, err_full);
+}
+
+TEST(AccuracySurrogate, DeterministicPerArch) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  const AccuracySurrogate surrogate(space);
+  util::Rng rng(1);
+  const Arch arch = Arch::random(space, rng);
+  EXPECT_DOUBLE_EQ(surrogate.top1_error(arch), surrogate.top1_error(arch));
+}
+
+TEST(AccuracySurrogate, CalibratedRange) {
+  // Full-width layout A/B candidates must land in the paper's error bands
+  // (Table I: HSCoNets are 23.5-25.7 top-1, baselines 24.7-28.0).
+  const SearchSpace space_a(SearchSpaceConfig::imagenet_layout_a());
+  const AccuracySurrogate sa(space_a);
+  const double err_a = sa.top1_error(uniform_arch(space_a, 0, 9));
+  EXPECT_GT(err_a, 22.0);
+  EXPECT_LT(err_a, 27.0);
+
+  const SearchSpace space_b(SearchSpaceConfig::imagenet_layout_b());
+  const AccuracySurrogate sb(space_b);
+  const double err_b = sb.top1_error(uniform_arch(space_b, 1, 9));
+  EXPECT_GT(err_b, 21.0);
+  EXPECT_LT(err_b, 25.0);
+  EXPECT_LT(err_b, err_a);  // layout B is bigger and better
+}
+
+TEST(AccuracySurrogate, BottleneckPenaltyBitesBelowKnee) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  AccuracySurrogate::Config cfg;
+  cfg.noise_sigma = 0.0;
+  const AccuracySurrogate surrogate(space, cfg);
+  // Factor 0.1 (index 0) vs 0.3 (index 2): beyond the pure-compute trend
+  // the sub-knee arch pays the bottleneck penalty on every layer.
+  const double err_01 = surrogate.top1_error(uniform_arch(space, 0, 0));
+  const double err_03 = surrogate.top1_error(uniform_arch(space, 0, 2));
+  const double macs_01 =
+      arch_macs(uniform_arch(space, 0, 0), space) / 1e9;
+  const double macs_03 =
+      arch_macs(uniform_arch(space, 0, 2), space) / 1e9;
+  const double compute_only_gap =
+      cfg.scale / std::pow(macs_01, cfg.exponent) -
+      cfg.scale / std::pow(macs_03, cfg.exponent);
+  EXPECT_GT(err_01 - err_03, compute_only_gap + 3.0);
+}
+
+TEST(AccuracySurrogate, SkipHeavyArchsPenalized) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  AccuracySurrogate::Config cfg;
+  cfg.noise_sigma = 0.0;
+  const AccuracySurrogate surrogate(space, cfg);
+  const Arch all_skip = uniform_arch(space, 4, 9);
+  // 20 skips, 16 beyond budget: at least 16 * skip_penalty extra error on
+  // top of the (already severe) compute loss.
+  const double err = surrogate.top1_error(all_skip);
+  EXPECT_GT(err, 30.0);
+}
+
+TEST(AccuracySurrogate, Top5LineMatchesPaperPairs) {
+  // (top1, top5) pairs straight from Table I.
+  EXPECT_NEAR(AccuracySurrogate::top5_from_top1(25.1), 7.7, 0.35);
+  EXPECT_NEAR(AccuracySurrogate::top5_from_top1(23.5), 6.8, 0.35);
+  EXPECT_NEAR(AccuracySurrogate::top5_from_top1(26.7), 8.7, 0.35);
+  EXPECT_NEAR(AccuracySurrogate::top5_from_top1(24.8), 7.5, 0.35);
+}
+
+TEST(AccuracySurrogate, AccuracyIsOneMinusError) {
+  const SearchSpace space(SearchSpaceConfig::imagenet_layout_a());
+  const AccuracySurrogate surrogate(space);
+  util::Rng rng(2);
+  const Arch arch = Arch::random(space, rng);
+  EXPECT_DOUBLE_EQ(surrogate.accuracy(arch),
+                   1.0 - surrogate.top1_error(arch) / 100.0);
+}
+
+}  // namespace
+}  // namespace hsconas::core

@@ -1,0 +1,90 @@
+// Focused tests for the trainer's learning-rate plumbing and epoch
+// bookkeeping (the §IV-A recipe details: cosine annealing across runs,
+// warm-up, per-stage tuning learning rates).
+
+#include <gtest/gtest.h>
+
+#include "core/supernet.h"
+#include "core/trainer.h"
+
+namespace hsconas::core {
+namespace {
+
+struct Fixture {
+  SearchSpace space{SearchSpaceConfig::proxy(4, 8, 1)};
+  data::SyntheticDataset dataset;
+  Fixture() : dataset(make_data()) {}
+  static data::SyntheticDataset make_data() {
+    data::SyntheticConfig cfg;
+    cfg.num_classes = 4;
+    cfg.train_size = 48;
+    cfg.val_size = 24;
+    cfg.image_size = 8;
+    return data::SyntheticDataset(cfg);
+  }
+};
+
+TEST(SupernetTrainer, EpochLrFollowsCosineWithinARun) {
+  Fixture f;
+  Supernet net(f.space, 5);
+  TrainConfig tc;
+  tc.batch_size = 16;
+  tc.lr = 0.4;
+  SupernetTrainer trainer(net, f.dataset, tc);
+  const auto history = trainer.run(4);
+  ASSERT_EQ(history.size(), 4u);
+  // Reported per-epoch LR decays monotonically under cosine annealing.
+  for (std::size_t e = 1; e < history.size(); ++e) {
+    EXPECT_LT(history[e].lr, history[e - 1].lr);
+  }
+  EXPECT_LT(history.back().lr, 0.1);  // near the end of the cosine
+}
+
+TEST(SupernetTrainer, TuningRunUsesItsOwnBaseLr) {
+  // The §III-C protocol tunes at 0.01 after stage 1 — run(epochs, lr)
+  // must restart the schedule from the given lr, not continue the old one.
+  Fixture f;
+  Supernet net(f.space, 5);
+  TrainConfig tc;
+  tc.batch_size = 16;
+  tc.lr = 0.4;
+  SupernetTrainer trainer(net, f.dataset, tc);
+  trainer.run(2);
+  const auto tune = trainer.run(2, 0.01);
+  EXPECT_LE(tune.front().lr, 0.01 + 1e-12);
+}
+
+TEST(SupernetTrainer, EpochIndicesAreGlobal) {
+  Fixture f;
+  Supernet net(f.space, 5);
+  TrainConfig tc;
+  tc.batch_size = 16;
+  SupernetTrainer trainer(net, f.dataset, tc);
+  trainer.run(3);
+  const auto more = trainer.run(2, 0.01);
+  EXPECT_EQ(more.front().epoch, 3);
+  EXPECT_EQ(more.back().epoch, 4);
+  EXPECT_EQ(trainer.history().size(), 5u);
+}
+
+TEST(SupernetTrainer, WarmupRampsFirstEpochs) {
+  Fixture f;
+  const Arch arch = [&] {
+    util::Rng rng(1);
+    return Arch::random(f.space, rng);
+  }();
+  Supernet net(f.space, 5, arch);
+  TrainConfig tc;
+  tc.batch_size = 16;
+  tc.lr = 0.4;
+  tc.warmup_epochs = 2;
+  SupernetTrainer trainer(net, f.dataset, tc);
+  const auto history = trainer.run(4);
+  // Warm-up: epoch 0's final LR is below the base (still ramping).
+  EXPECT_LT(history[0].lr, 0.4);
+  // After warm-up the cosine phase decays from ~base.
+  EXPECT_GT(history[2].lr, history[3].lr);
+}
+
+}  // namespace
+}  // namespace hsconas::core

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace hsconas::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_size = 64;
+  cfg.val_size = 32;
+  cfg.image_size = 8;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(SyntheticDataset, SizesAndShapes) {
+  const SyntheticDataset ds(small_config());
+  EXPECT_EQ(ds.train_size(), 64u);
+  EXPECT_EQ(ds.val_size(), 32u);
+  const auto img = ds.train_image(0);
+  EXPECT_EQ(img.shape(), (std::vector<long>{3, 8, 8}));
+}
+
+TEST(SyntheticDataset, LabelsCoverAllClasses) {
+  const SyntheticDataset ds(small_config());
+  std::set<int> labels;
+  for (std::size_t i = 0; i < ds.train_size(); ++i) {
+    labels.insert(ds.train_label(i));
+  }
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(*labels.begin(), 0);
+  EXPECT_EQ(*labels.rbegin(), 3);
+}
+
+TEST(SyntheticDataset, DeterministicForSameSeed) {
+  const SyntheticDataset a(small_config());
+  const SyntheticDataset b(small_config());
+  const auto ia = a.train_image(5), ib = b.train_image(5);
+  for (long i = 0; i < ia.numel(); ++i) {
+    EXPECT_EQ(ia.flat()[static_cast<std::size_t>(i)],
+              ib.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SyntheticDataset, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const SyntheticDataset a(cfg);
+  cfg.seed = 10;
+  const SyntheticDataset b(cfg);
+  const auto ia = a.train_image(0), ib = b.train_image(0);
+  double diff = 0.0;
+  for (long i = 0; i < ia.numel(); ++i) {
+    diff += std::abs(ia.flat()[static_cast<std::size_t>(i)] -
+                     ib.flat()[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticDataset, PixelsBoundedByTanh) {
+  const SyntheticDataset ds(small_config());
+  for (std::size_t i = 0; i < 8; ++i) {
+    // Bind the tensor: flat() is a span into it, so iterating a temporary's
+    // span would dangle.
+    const tensor::Tensor img = ds.train_image(i);
+    for (float v : img.flat()) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticDataset, ClassesAreStatisticallySeparable) {
+  // Same-class images must correlate more with each other than with other
+  // classes' images — the property that makes the task learnable.
+  auto cfg = small_config();
+  cfg.pixel_noise = 0.05;
+  const SyntheticDataset ds(cfg);
+  const auto correlation = [](const tensor::Tensor& a,
+                              const tensor::Tensor& b) {
+    std::vector<double> va(a.flat().begin(), a.flat().end());
+    std::vector<double> vb(b.flat().begin(), b.flat().end());
+    return util::pearson(va, vb);
+  };
+  // Images i and i+num_classes share a class (labels cycle round-robin).
+  double same = 0.0, cross = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < 8; ++i, ++n) {
+    same += correlation(ds.train_image(i), ds.train_image(i + 4));
+    cross += correlation(ds.train_image(i), ds.train_image(i + 1));
+  }
+  EXPECT_GT(same / n, cross / n + 0.2);
+}
+
+TEST(SyntheticDataset, StackBatches) {
+  const SyntheticDataset ds(small_config());
+  const auto batch = ds.stack_train({0, 3, 5});
+  EXPECT_EQ(batch.shape(), (std::vector<long>{3, 3, 8, 8}));
+  const auto img = ds.train_image(3);
+  for (long i = 0; i < img.numel(); ++i) {
+    EXPECT_EQ(batch.flat()[static_cast<std::size_t>(img.numel() + i)],
+              img.flat()[static_cast<std::size_t>(i)]);
+  }
+  const auto labels = ds.labels_train({0, 3, 5});
+  EXPECT_EQ(labels, (std::vector<int>{0, 3, 1}));
+}
+
+TEST(SyntheticDataset, RejectsDegenerateConfig) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticDataset{cfg}, InvalidArgument);
+  cfg = SyntheticConfig{};
+  cfg.image_size = 2;
+  EXPECT_THROW(SyntheticDataset{cfg}, InvalidArgument);
+}
+
+TEST(Augment, FlipIsInvolution) {
+  util::Rng rng(1);
+  tensor::Tensor img = tensor::Tensor::uniform({3, 6, 6}, -1, 1, rng);
+  tensor::Tensor copy = img;
+  AugmentConfig cfg;
+  cfg.horizontal_flip = true;
+  cfg.max_shift = 0;
+  cfg.brightness_jitter = 0.0;
+  // Force two flips by augmenting until two flips happened: instead test
+  // the primitive via double application with a deterministic rng state.
+  util::Rng flip_rng(0);
+  // Find a seed state where bernoulli(0.5) is true twice in a row.
+  augment_image(img, cfg, flip_rng);
+  augment_image(img, cfg, flip_rng);
+  augment_image(img, cfg, flip_rng);
+  augment_image(img, cfg, flip_rng);
+  // After an even number of flips total, image equals the original.
+  int flips = 0;
+  util::Rng replay(0);
+  for (int i = 0; i < 4; ++i) flips += replay.bernoulli(0.5);
+  if (flips % 2 == 0) {
+    for (long i = 0; i < img.numel(); ++i) {
+      EXPECT_EQ(img.flat()[static_cast<std::size_t>(i)],
+                copy.flat()[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    SUCCEED();  // odd flip count: nothing to assert structurally
+  }
+}
+
+TEST(Augment, ShiftPadsWithZeros) {
+  tensor::Tensor img = tensor::Tensor::ones({1, 4, 4});
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.max_shift = 2;
+  cfg.brightness_jitter = 0.0;
+  // Run until some shift happens; zero rows/cols must appear at an edge.
+  util::Rng rng(3);
+  bool saw_zero = false;
+  for (int attempt = 0; attempt < 10 && !saw_zero; ++attempt) {
+    tensor::Tensor work = img;
+    augment_image(work, cfg, rng);
+    for (float v : work.flat()) {
+      if (v == 0.0f) saw_zero = true;
+    }
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(Augment, BrightnessScalesUniformly) {
+  tensor::Tensor img = tensor::Tensor::full({1, 2, 2}, 0.5f);
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.max_shift = 0;
+  cfg.brightness_jitter = 0.2;
+  util::Rng rng(7);
+  augment_image(img, cfg, rng);
+  const float v = img.flat()[0];
+  EXPECT_GE(v, 0.5f * 0.8f);
+  EXPECT_LE(v, 0.5f * 1.2f);
+  for (float u : img.flat()) EXPECT_EQ(u, v);
+}
+
+TEST(Augment, RejectsBadShapes) {
+  AugmentConfig cfg;
+  util::Rng rng(1);
+  tensor::Tensor wrong({2, 3});
+  EXPECT_THROW(augment_image(wrong, cfg, rng), InvalidArgument);
+  EXPECT_THROW(augment_batch(wrong, cfg, rng), InvalidArgument);
+}
+
+TEST(DataLoader, CoversEveryTrainSampleOncePerEpoch) {
+  const SyntheticDataset ds(small_config());
+  DataLoader loader(ds, 10, /*train=*/true, 5);
+  EXPECT_EQ(loader.num_batches(), 7u);  // 64 = 6*10 + 4
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+    total += loader.batch(b).labels.size();
+  }
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(DataLoader, ValDeterministicOrderNoAugment) {
+  const SyntheticDataset ds(small_config());
+  DataLoader loader(ds, 8, /*train=*/false, 5);
+  const Batch b0 = loader.batch(0);
+  EXPECT_EQ(b0.labels[0], ds.val_label(0));
+  const auto img = ds.val_image(0);
+  for (long i = 0; i < img.numel(); ++i) {
+    EXPECT_EQ(b0.images.flat()[static_cast<std::size_t>(i)],
+              img.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(DataLoader, ShuffleChangesAcrossEpochs) {
+  const SyntheticDataset ds(small_config());
+  DataLoader loader(ds, 64, /*train=*/true, 5);
+  const auto labels1 = loader.batch(0).labels;
+  loader.start_epoch();
+  const auto labels2 = loader.batch(0).labels;
+  EXPECT_NE(labels1, labels2);
+}
+
+TEST(DataLoader, Validation) {
+  const SyntheticDataset ds(small_config());
+  EXPECT_THROW(DataLoader(ds, 0, true, 1), InvalidArgument);
+  DataLoader loader(ds, 16, true, 1);
+  EXPECT_THROW(loader.batch(99), InternalError);
+}
+
+}  // namespace
+}  // namespace hsconas::data

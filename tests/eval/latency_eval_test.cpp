@@ -1,0 +1,63 @@
+#include "eval/latency_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/registry.h"
+#include "util/stats.h"
+
+namespace hsconas::eval {
+namespace {
+
+struct Fixture {
+  core::SearchSpace space{core::SearchSpaceConfig::proxy()};
+  hwsim::DeviceSimulator device{hwsim::device_by_name("gpu")};
+  core::LatencyModel model{space, device,
+                           core::LatencyModel::Config{8, 20, 51, true}};
+};
+
+TEST(LatencyEval, ReportHasRequestedPointCount) {
+  Fixture f;
+  const auto report = evaluate_latency_model(f.model, 30, 1);
+  EXPECT_EQ(report.points.size(), 30u);
+  for (const auto& p : report.points) {
+    EXPECT_GT(p.predicted_ms, 0.0);
+    EXPECT_GT(p.measured_ms, 0.0);
+    EXPECT_GT(p.macs, 0.0);
+    EXPECT_GT(p.params, 0.0);
+    // With-bias prediction differs from without by exactly B.
+    EXPECT_NEAR(p.predicted_ms - p.predicted_uncorrected_ms,
+                f.model.bias_ms(), 1e-12);
+  }
+}
+
+TEST(LatencyEval, MetricsInternallyConsistent) {
+  Fixture f;
+  const auto report = evaluate_latency_model(f.model, 50, 2);
+  std::vector<double> pred, meas;
+  for (const auto& p : report.points) {
+    pred.push_back(p.predicted_ms);
+    meas.push_back(p.measured_ms);
+  }
+  EXPECT_DOUBLE_EQ(report.rmse_ms, util::rmse(pred, meas));
+  EXPECT_DOUBLE_EQ(report.pearson, util::pearson(pred, meas));
+  EXPECT_DOUBLE_EQ(report.bias_ms, f.model.bias_ms());
+  EXPECT_GE(report.rmse_ms, 0.0);
+  EXPECT_LE(report.pearson, 1.0);
+  EXPECT_GE(report.kendall_tau, -1.0);
+  EXPECT_LE(report.kendall_tau, 1.0);
+  EXPECT_LE(report.mae_ms, report.rmse_ms + 1e-12);  // AM-QM inequality
+}
+
+TEST(LatencyEval, DifferentSeedsDifferentSamples) {
+  Fixture f;
+  const auto a = evaluate_latency_model(f.model, 10, 3);
+  const auto b = evaluate_latency_model(f.model, 10, 4);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (!(a.points[i].arch == b.points[i].arch)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace hsconas::eval

@@ -1,0 +1,124 @@
+// Parameterized invariant sweep across all calibrated device profiles:
+// properties that must hold for ANY sane device model, checked on each.
+
+#include <gtest/gtest.h>
+
+#include "baselines/zoo.h"
+#include "hwsim/device.h"
+#include "hwsim/energy.h"
+#include "hwsim/registry.h"
+
+namespace hsconas::hwsim {
+namespace {
+
+class DeviceSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  DeviceProfile profile() const { return device_by_name(GetParam()); }
+};
+
+TEST_P(DeviceSweep, ProfileFieldsAreSane) {
+  const DeviceProfile p = profile();
+  EXPECT_GT(p.peak_gflops, 0.0);
+  EXPECT_GT(p.mem_bandwidth_gbs, 0.0);
+  EXPECT_GT(p.link_bandwidth_gbs, 0.0);
+  EXPECT_LT(p.link_bandwidth_gbs, p.mem_bandwidth_gbs);
+  EXPECT_GE(p.eltwise_fusion, 0.0);
+  EXPECT_LE(p.eltwise_fusion, 1.0);
+  EXPECT_GT(p.launch_overhead_us, 0.0);
+  EXPECT_GE(p.default_batch, 1);
+  EXPECT_GT(p.noise_sigma, 0.0);
+  EXPECT_LT(p.noise_sigma, 0.1);
+}
+
+TEST_P(DeviceSweep, PerSampleLatencyImprovesWithBatch) {
+  const DeviceSimulator sim(profile());
+  const auto conv = OpDescriptor::conv(64, 64, 14, 14, 3, 1);
+  const double t1 = sim.op_latency_ms(conv, 1);
+  const double t16 = sim.op_latency_ms(conv, 16) / 16.0;
+  EXPECT_LT(t16, t1);
+}
+
+TEST_P(DeviceSweep, LatencyMonotoneInBatch) {
+  const DeviceSimulator sim(profile());
+  const auto conv = OpDescriptor::conv(32, 32, 28, 28, 3, 1);
+  double prev = 0.0;
+  for (int batch : {1, 2, 4, 8, 16, 32}) {
+    const double t = sim.op_latency_ms(conv, batch);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(DeviceSweep, DepthwiseCostsMorePerMacThanDense) {
+  // At matched geometry, depthwise work is C× smaller but must not be C×
+  // faster — its arithmetic intensity and mapping efficiency are worse on
+  // every platform here.
+  const DeviceSimulator sim(profile());
+  const auto dense = OpDescriptor::conv(64, 64, 14, 14, 3, 1);
+  const auto dw = OpDescriptor::depthwise(64, 14, 14, 3, 1);
+  const int batch = profile().default_batch;
+  const double dense_per_mac =
+      sim.op_latency_ms(dense, batch) / dense.macs();
+  const double dw_per_mac = sim.op_latency_ms(dw, batch) / dw.macs();
+  EXPECT_GT(dw_per_mac, dense_per_mac);
+}
+
+TEST_P(DeviceSweep, CommunicationIsPositiveAndSkipFree) {
+  const DeviceSimulator sim(profile());
+  LayerDesc conv_layer;
+  conv_layer.ops.push_back(OpDescriptor::conv(16, 16, 14, 14, 3, 1));
+  conv_layer.out_channels = 16;
+  conv_layer.out_h = 14;
+  conv_layer.out_w = 14;
+  LayerDesc skip_layer;  // no ops
+  skip_layer.out_channels = 16;
+  skip_layer.out_h = 14;
+  skip_layer.out_w = 14;
+
+  const NetworkDesc with_skip{conv_layer, skip_layer};
+  const NetworkDesc without{conv_layer};
+  EXPECT_GT(sim.communication_ms(without, 1), 0.0);
+  // The empty (skip) layer adds zero communication.
+  EXPECT_DOUBLE_EQ(sim.communication_ms(with_skip, 1),
+                   sim.communication_ms(without, 1));
+}
+
+TEST_P(DeviceSweep, MobileNetV2LatencyInTableIBallpark) {
+  // Coarse sanity band: each profile must put MobileNetV2 within 3x of the
+  // paper's measured value on that device (tight agreement is checked by
+  // the Table I bench; this guards against calibration regressions).
+  const DeviceSimulator sim(profile());
+  const auto net = baselines::mobilenet_v2();
+  const double ms =
+      sim.network_latency_ms(net, profile().default_batch);
+  const double paper = GetParam() == "gv100"      ? 11.5
+                       : GetParam() == "xeon6136" ? 25.2
+                                                  : 61.9;
+  EXPECT_GT(ms, paper / 3.0);
+  EXPECT_LT(ms, paper * 3.0);
+}
+
+TEST_P(DeviceSweep, EnergyProfilesPairUp) {
+  const EnergyProfile e = energy_by_name(GetParam());
+  EXPECT_EQ(e.name, GetParam());
+  const DeviceSimulator device(profile());
+  const EnergySimulator energy(e, device);
+  const auto net = baselines::mobilenet_v2();
+  const double mj =
+      energy.network_energy_mj(net, profile().default_batch);
+  EXPECT_GT(mj, 0.1);
+  EXPECT_LT(mj, 1e5);
+  // Mean power must exceed the static floor and stay physically plausible.
+  const double watts = energy.network_power_w(net, profile().default_batch);
+  EXPECT_GT(watts, e.static_watts);
+  EXPECT_LT(watts, 400.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceSweep,
+                         ::testing::Values("gv100", "xeon6136", "xavier"),
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
+
+}  // namespace
+}  // namespace hsconas::hwsim

@@ -1,0 +1,96 @@
+#include "hwsim/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "hwsim/registry.h"
+#include "util/error.h"
+
+namespace hsconas::hwsim {
+namespace {
+
+struct Fixture {
+  DeviceSimulator device{device_by_name("xavier")};
+  EnergySimulator energy{xavier_energy(), device};
+};
+
+LayerDesc conv_layer(long ch, long size) {
+  LayerDesc layer;
+  layer.ops.push_back(OpDescriptor::conv(ch, ch, size, size, 3, 1));
+  layer.out_channels = ch;
+  layer.out_h = size;
+  layer.out_w = size;
+  return layer;
+}
+
+TEST(EnergySimulator, OpEnergyScalesWithComputeAndBatch) {
+  Fixture f;
+  const auto small = OpDescriptor::conv(16, 16, 14, 14, 3, 1);
+  auto big = small;
+  big.kernel = 5;
+  EXPECT_GT(f.energy.op_energy_mj(big, 1), f.energy.op_energy_mj(small, 1));
+  // Energy is ~linear in batch (no occupancy effects, unlike latency).
+  const double e1 = f.energy.op_energy_mj(small, 1);
+  const double e8 = f.energy.op_energy_mj(small, 8);
+  EXPECT_GT(e8, 6.0 * e1);
+  EXPECT_LT(e8, 8.5 * e1);
+}
+
+TEST(EnergySimulator, NetworkIncludesStaticPower) {
+  Fixture f;
+  const NetworkDesc net{conv_layer(32, 14), conv_layer(32, 14)};
+  double dynamic = 0.0;
+  for (const auto& layer : net) {
+    dynamic += f.energy.layer_energy_mj(layer, 1);
+  }
+  const double total = f.energy.network_energy_mj(net, 1);
+  // Static power over the run makes whole-network energy exceed the
+  // dynamic LUT sum — the gap the core EnergyModel's bias recovers.
+  EXPECT_GT(total, dynamic);
+}
+
+TEST(EnergySimulator, PowerIsEnergyOverLatency) {
+  Fixture f;
+  const NetworkDesc net{conv_layer(64, 28)};
+  const double power = f.energy.network_power_w(net, 4);
+  EXPECT_GT(power, f.energy.profile().static_watts);  // adds dynamic draw
+  EXPECT_LT(power, 200.0);                            // sane magnitude
+}
+
+TEST(EnergySimulator, NoiseJittersMeasurement) {
+  Fixture f;
+  const NetworkDesc net{conv_layer(16, 14)};
+  util::Rng rng(1);
+  const double clean = f.energy.network_energy_mj(net, 1);
+  const double noisy = f.energy.network_energy_mj(net, 1, &rng);
+  EXPECT_NE(clean, noisy);
+  EXPECT_NEAR(noisy, clean, clean * 0.3);
+}
+
+TEST(EnergySimulator, RegistryProfilesResolve) {
+  EXPECT_EQ(energy_by_name("gpu").name, "gv100");
+  EXPECT_EQ(energy_by_name("CPU").name, "xeon6136");
+  EXPECT_EQ(energy_by_name("xavier").name, "xavier");
+  EXPECT_THROW(energy_by_name("abacus"), InvalidArgument);
+}
+
+TEST(EnergySimulator, EdgeSiliconIsMostEfficientPerFlop) {
+  // The Jetson-class profile should burn fewer pJ/flop than the server CPU
+  // (that is its reason to exist).
+  EXPECT_LT(xavier_energy().pj_per_flop, xeon6136_energy().pj_per_flop);
+}
+
+TEST(EnergySimulator, InvalidProfileThrows) {
+  Fixture f;
+  EnergyProfile bad = xavier_energy();
+  bad.pj_per_flop = 0.0;
+  EXPECT_THROW(EnergySimulator(bad, f.device), InvalidArgument);
+}
+
+TEST(EnergySimulator, BatchValidation) {
+  Fixture f;
+  EXPECT_THROW(f.energy.op_energy_mj(OpDescriptor::elementwise(1, 1, 1), 0),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace hsconas::hwsim

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/device.h"
+#include "hwsim/op_descriptor.h"
+#include "hwsim/registry.h"
+#include "util/error.h"
+
+namespace hsconas::hwsim {
+namespace {
+
+TEST(OpDescriptor, ConvGeometryAndCounts) {
+  const auto conv = OpDescriptor::conv(16, 32, 28, 28, 3, 1);
+  EXPECT_EQ(conv.out_h(), 28);
+  EXPECT_EQ(conv.out_w(), 28);
+  EXPECT_DOUBLE_EQ(conv.macs(), 32.0 * 16 * 9 * 28 * 28);
+  EXPECT_DOUBLE_EQ(conv.params(), 32.0 * 16 * 9);
+  EXPECT_DOUBLE_EQ(conv.input_bytes(), 4.0 * 16 * 28 * 28);
+  EXPECT_DOUBLE_EQ(conv.output_bytes(), 4.0 * 32 * 28 * 28);
+}
+
+TEST(OpDescriptor, StrideHalvesOutput) {
+  const auto conv = OpDescriptor::conv(8, 8, 28, 28, 3, 2);
+  EXPECT_EQ(conv.out_h(), 14);
+}
+
+TEST(OpDescriptor, DepthwiseCounts) {
+  const auto dw = OpDescriptor::depthwise(32, 14, 14, 5, 1);
+  EXPECT_DOUBLE_EQ(dw.macs(), 32.0 * 25 * 14 * 14);
+  EXPECT_DOUBLE_EQ(dw.params(), 32.0 * 25);
+  EXPECT_EQ(dw.groups, 32);
+}
+
+TEST(OpDescriptor, GroupedConvDividesMacs) {
+  const auto dense = OpDescriptor::conv(16, 16, 8, 8, 3, 1, 1);
+  const auto grouped = OpDescriptor::conv(16, 16, 8, 8, 3, 1, 4);
+  EXPECT_DOUBLE_EQ(grouped.macs(), dense.macs() / 4.0);
+}
+
+TEST(OpDescriptor, LinearCounts) {
+  const auto fc = OpDescriptor::linear(512, 1000);
+  EXPECT_DOUBLE_EQ(fc.macs(), 512.0 * 1000);
+  EXPECT_DOUBLE_EQ(fc.params(), 512.0 * 1000 + 1000);
+  EXPECT_EQ(fc.out_h(), 1);
+}
+
+TEST(OpDescriptor, DataMovementOpsHaveNoMacs) {
+  EXPECT_DOUBLE_EQ(OpDescriptor::pool(8, 8, 8, 2, 2).macs(), 0.0);
+  EXPECT_DOUBLE_EQ(OpDescriptor::elementwise(8, 8, 8).macs(), 0.0);
+  EXPECT_DOUBLE_EQ(OpDescriptor::shuffle(8, 8, 8).macs(), 0.0);
+  EXPECT_DOUBLE_EQ(OpDescriptor::shuffle(8, 8, 8).params(), 0.0);
+}
+
+TEST(OpDescriptor, ExplicitPadOverride) {
+  auto gap = OpDescriptor::pool(64, 7, 7, 7, 7);
+  gap.pad = 0;
+  EXPECT_EQ(gap.out_h(), 1);  // true global pool
+  auto same = OpDescriptor::pool(64, 8, 8, 3, 2);
+  EXPECT_EQ(same.out_h(), 4);  // default same-padding
+}
+
+TEST(LayerDesc, AggregatesOps) {
+  LayerDesc layer;
+  layer.ops.push_back(OpDescriptor::conv(4, 8, 8, 8, 3, 1));
+  layer.ops.push_back(OpDescriptor::depthwise(8, 8, 8, 3, 1));
+  layer.out_channels = 8;
+  layer.out_h = 8;
+  layer.out_w = 8;
+  EXPECT_DOUBLE_EQ(layer.macs(),
+                   layer.ops[0].macs() + layer.ops[1].macs());
+  EXPECT_DOUBLE_EQ(layer.output_bytes(), 4.0 * 8 * 8 * 8);
+  NetworkDesc net{layer, layer};
+  EXPECT_DOUBLE_EQ(network_macs(net), 2 * layer.macs());
+}
+
+// ---------------------------------------------------------------- Device --
+
+DeviceProfile test_profile() {
+  DeviceProfile p;
+  p.name = "test";
+  p.peak_gflops = 1000.0;
+  p.mem_bandwidth_gbs = 100.0;
+  p.launch_overhead_us = 10.0;
+  p.sat_concurrency = 1e4;
+  p.base_eff_conv = 0.5;
+  p.base_eff_depthwise = 0.25;
+  p.link_bandwidth_gbs = 10.0;
+  p.sync_overhead_us = 20.0;
+  p.noise_sigma = 0.05;
+  p.default_batch = 1;
+  return p;
+}
+
+TEST(DeviceSimulator, LatencyPositiveAndIncludesLaunch) {
+  const DeviceSimulator sim(test_profile());
+  const auto tiny = OpDescriptor::elementwise(1, 1, 1);
+  // Even a trivial op pays the launch overhead.
+  EXPECT_GE(sim.op_latency_ms(tiny, 1), 0.01);
+}
+
+TEST(DeviceSimulator, ComputeBoundScalesWithMacs) {
+  const DeviceSimulator sim(test_profile());
+  const auto small = OpDescriptor::conv(64, 64, 28, 28, 3, 1);
+  auto big = small;
+  big.kernel = 5;  // ~2.8x macs, roughly same bytes
+  const double t_small = sim.op_latency_ms(small, 8);
+  const double t_big = sim.op_latency_ms(big, 8);
+  EXPECT_GT(t_big, t_small * 1.5);
+}
+
+TEST(DeviceSimulator, BatchImprovesOccupancy) {
+  // Latency per sample must drop with batch size (the §III-A batch note).
+  const DeviceSimulator sim(test_profile());
+  const auto conv = OpDescriptor::conv(32, 32, 7, 7, 3, 1);
+  const double t1 = sim.op_latency_ms(conv, 1);
+  const double t32 = sim.op_latency_ms(conv, 32) / 32.0;
+  EXPECT_LT(t32, t1);
+}
+
+TEST(DeviceSimulator, DepthwiseLessEfficientThanDense) {
+  const DeviceSimulator sim(test_profile());
+  // Same MAC count: dense 16->16 vs depthwise with 16x the channels.
+  const auto dense = OpDescriptor::conv(16, 16, 28, 28, 3, 1);
+  const auto dw = OpDescriptor::depthwise(256, 28, 28, 3, 1);
+  EXPECT_DOUBLE_EQ(dense.macs(), dw.macs());
+  EXPECT_GT(sim.op_latency_ms(dw, 8), sim.op_latency_ms(dense, 8));
+}
+
+TEST(DeviceSimulator, NetworkLatencyExceedsLayerSum) {
+  // The gap between whole-network and summed isolated layers is exactly
+  // the communication cost the paper's bias B recovers.
+  const DeviceSimulator sim(test_profile());
+  LayerDesc layer;
+  layer.ops.push_back(OpDescriptor::conv(16, 16, 28, 28, 3, 1));
+  layer.out_channels = 16;
+  layer.out_h = 28;
+  layer.out_w = 28;
+  const NetworkDesc net{layer, layer, layer};
+  double lut_sum = 0.0;
+  for (const auto& l : net) lut_sum += sim.layer_latency_ms(l, 1);
+  const double on_device = sim.network_latency_ms(net, 1);
+  EXPECT_GT(on_device, lut_sum);
+  EXPECT_NEAR(on_device - lut_sum, sim.communication_ms(net, 1), 1e-12);
+}
+
+TEST(DeviceSimulator, NoiseIsMultiplicativeAndBounded) {
+  const DeviceSimulator sim(test_profile());
+  LayerDesc layer;
+  layer.ops.push_back(OpDescriptor::conv(16, 16, 14, 14, 3, 1));
+  layer.out_channels = 16;
+  layer.out_h = 14;
+  layer.out_w = 14;
+  const NetworkDesc net{layer};
+  const double clean = sim.network_latency_ms(net, 1);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double noisy = sim.network_latency_ms(net, 1, &rng);
+    EXPECT_GT(noisy, clean * 0.7);
+    EXPECT_LT(noisy, clean * 1.3);
+    EXPECT_NE(noisy, clean);
+  }
+}
+
+TEST(DeviceSimulator, InvalidInputs) {
+  DeviceProfile bad = test_profile();
+  bad.peak_gflops = -1.0;
+  EXPECT_THROW(DeviceSimulator{bad}, InvalidArgument);
+  bad = test_profile();
+  bad.default_batch = 0;
+  EXPECT_THROW(DeviceSimulator{bad}, InvalidArgument);
+  const DeviceSimulator sim(test_profile());
+  EXPECT_THROW(sim.op_latency_ms(OpDescriptor::elementwise(1, 1, 1), 0),
+               InternalError);
+}
+
+TEST(DeviceSimulator, EltwiseFusionReducesCost) {
+  auto profile = test_profile();
+  profile.launch_overhead_us = 0.0;
+  const DeviceSimulator unfused(profile);
+  profile.eltwise_fusion = 0.9;
+  const DeviceSimulator fused(profile);
+  const auto relu = OpDescriptor::elementwise(256, 56, 56);
+  EXPECT_LT(fused.op_latency_ms(relu, 8),
+            unfused.op_latency_ms(relu, 8) * 0.2);
+}
+
+// -------------------------------------------------------------- Registry --
+
+TEST(Registry, AllDevicesResolve) {
+  for (const auto& name : device_names()) {
+    const DeviceProfile p = device_by_name(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_GT(p.peak_gflops, 0.0);
+    EXPECT_GT(default_constraint_ms(name), 0.0);
+  }
+}
+
+TEST(Registry, AliasesAndCase) {
+  EXPECT_EQ(device_by_name("GPU").name, "gv100");
+  EXPECT_EQ(device_by_name("cpu").name, "xeon6136");
+  EXPECT_EQ(device_by_name("Edge").name, "xavier");
+}
+
+TEST(Registry, PaperConstraints) {
+  EXPECT_DOUBLE_EQ(default_constraint_ms("gpu"), 9.0);
+  EXPECT_DOUBLE_EQ(default_constraint_ms("cpu"), 24.0);
+  EXPECT_DOUBLE_EQ(default_constraint_ms("edge"), 34.0);
+}
+
+TEST(Registry, PaperBatchSizes) {
+  EXPECT_EQ(gv100_profile().default_batch, 32);
+  EXPECT_EQ(xeon6136_profile().default_batch, 1);
+  EXPECT_EQ(xavier_profile().default_batch, 16);
+}
+
+TEST(Registry, UnknownDeviceThrows) {
+  EXPECT_THROW(device_by_name("tpu"), InvalidArgument);
+  EXPECT_THROW(default_constraint_ms("tpu"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hsconas::hwsim

@@ -1,0 +1,93 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/nn/grad_check.h"
+#include "util/error.h"
+
+namespace hsconas::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5);
+  drop.set_training(false);
+  util::Rng rng(1);
+  const Tensor x = Tensor::uniform({4, 8}, -1, 1, rng);
+  const Tensor y = drop.forward(x);
+  for (long i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(y.flat()[static_cast<std::size_t>(i)],
+              x.flat()[static_cast<std::size_t>(i)]);
+  }
+  // Backward in eval mode passes gradients through untouched.
+  const Tensor dx = drop.backward(Tensor::ones(x.shape()));
+  EXPECT_EQ(dx.flat()[0], 1.0f);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityInTraining) {
+  Dropout drop(0.0);
+  drop.set_training(true);
+  const Tensor x = Tensor::full({3, 3}, 2.0f);
+  const Tensor y = drop.forward(x);
+  EXPECT_EQ(y.flat()[0], 2.0f);
+}
+
+TEST(Dropout, TrainingDropsAndRescales) {
+  Dropout drop(0.5, 7);
+  drop.set_training(true);
+  const Tensor x = Tensor::ones({1, 10000});
+  const Tensor y = drop.forward(x);
+  int zeros = 0;
+  for (float v : y.flat()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1/(1-0.5) scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  // Expectation preserved.
+  EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.3, 9);
+  drop.set_training(true);
+  const Tensor x = Tensor::ones({1, 64});
+  const Tensor y = drop.forward(x);
+  const Tensor dx = drop.backward(Tensor::ones(x.shape()));
+  for (long i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(dx.flat()[static_cast<std::size_t>(i)],
+              y.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Dropout, GradCheckThroughFixedMask) {
+  // With the mask frozen by the last forward, dropout is linear — but the
+  // generic harness re-runs forward (fresh masks), so check manually:
+  // d(loss)/dx = mask elementwise.
+  Dropout drop(0.4, 11);
+  drop.set_training(true);
+  util::Rng rng(12);
+  const Tensor x = Tensor::uniform({2, 16}, -1, 1, rng);
+  const Tensor y = drop.forward(x);
+  Tensor w = Tensor::uniform(y.shape(), -1, 1, rng);
+  const Tensor dx = drop.backward(w);
+  for (long i = 0; i < x.numel(); ++i) {
+    const float mask_i = x.flat()[static_cast<std::size_t>(i)] == 0.0f
+                             ? 0.0f
+                             : y.flat()[static_cast<std::size_t>(i)] /
+                                   x.flat()[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(dx.flat()[static_cast<std::size_t>(i)],
+                w.flat()[static_cast<std::size_t>(i)] * mask_i, 1e-5f);
+  }
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  EXPECT_THROW(Dropout(-0.1), InvalidArgument);
+  EXPECT_THROW(Dropout(1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hsconas::nn

@@ -1,0 +1,218 @@
+// Loss, optimizer and schedule tests, plus an end-to-end "can it learn"
+// check on a tiny network.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tests/nn/grad_check.h"
+#include "util/error.h"
+
+namespace hsconas::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(1);
+  const Tensor logits = Tensor::uniform({4, 7}, -5.0f, 5.0f, rng);
+  const Tensor p = softmax(logits);
+  for (long s = 0; s < 4; ++s) {
+    double sum = 0.0;
+    for (long c = 0; c < 7; ++c) sum += p.at(s, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = 999.0f;
+  logits.at(0, 2) = -1000.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_TRUE(p.all_finite());
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits({2, 10});
+  const auto res = cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(res.loss, std::log(10.0), 1e-5);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng(2);
+  Tensor logits = Tensor::uniform({3, 5}, -2.0f, 2.0f, rng);
+  const std::vector<int> labels{0, 2, 4};
+  const auto res = cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (long i = 0; i < logits.numel(); i += 2) {
+    float& v = logits.flat()[static_cast<std::size_t>(i)];
+    const float saved = v;
+    v = saved + eps;
+    const double up = cross_entropy(logits, labels).loss;
+    v = saved - eps;
+    const double down = cross_entropy(logits, labels).loss;
+    v = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(res.grad.flat()[static_cast<std::size_t>(i)], numeric, 2e-3);
+  }
+}
+
+TEST(CrossEntropy, TopKCounting) {
+  Tensor logits({2, 6});
+  // Sample 0: class 1 is top-1.
+  logits.at(0, 1) = 5.0f;
+  // Sample 1: label 0 ranked 6th of 6 -> outside top-5.
+  for (long c = 1; c < 6; ++c) logits.at(1, c) = static_cast<float>(c + 1);
+  const auto res = cross_entropy(logits, {1, 0});
+  EXPECT_EQ(res.correct_top1, 1u);
+  EXPECT_EQ(res.correct_top5, 1u);  // only sample 0
+}
+
+TEST(CrossEntropy, LabelSmoothingRaisesLossOnConfidentCorrect) {
+  Tensor logits({1, 4});
+  logits.at(0, 0) = 10.0f;
+  const auto plain = cross_entropy(logits, {0}, 0.0);
+  const auto smoothed = cross_entropy(logits, {0}, 0.1);
+  EXPECT_GT(smoothed.loss, plain.loss);
+}
+
+TEST(CrossEntropy, Validation) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(cross_entropy(logits, {0}), InvalidArgument);
+  EXPECT_THROW(cross_entropy(logits, {0, 3}), InvalidArgument);
+  EXPECT_THROW(cross_entropy(logits, {0, 1}, 1.0), InvalidArgument);
+}
+
+TEST(SGD, PlainGradientStep) {
+  Parameter p("w", Tensor::full({2}, 1.0f), true);
+  p.grad.fill(0.5f);
+  SGD opt({&p}, SGD::Config{0.1, 0.0, 0.0, 0.0});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f - 0.1f * 0.5f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Parameter p("w", Tensor({1}), true);
+  SGD opt({&p}, SGD::Config{1.0, 0.9, 0.0, 0.0});
+  p.grad.fill(1.0f);
+  opt.step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0f);
+  p.zero_grad();
+  p.grad.fill(1.0f);
+  opt.step();  // v=1.9, w=-2.9
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.9f);
+}
+
+TEST(SGD, WeightDecayOnlyWhereFlagged) {
+  Parameter decayed("w", Tensor::full({1}, 2.0f), true);
+  Parameter plain("b", Tensor::full({1}, 2.0f), false);
+  SGD opt({&decayed, &plain}, SGD::Config{0.5, 0.0, 0.1, 0.0});
+  opt.step();  // zero grads; only decay acts
+  EXPECT_FLOAT_EQ(decayed.value.at(0), 2.0f - 0.5f * 0.1f * 2.0f);
+  EXPECT_FLOAT_EQ(plain.value.at(0), 2.0f);
+}
+
+TEST(SGD, GradClippingScalesGlobalNorm) {
+  Parameter p("w", Tensor({4}), true);
+  p.grad.fill(10.0f);  // norm = 20
+  SGD opt({&p}, SGD::Config{1.0, 0.0, 0.0, 5.0});
+  const double norm = opt.step();
+  EXPECT_NEAR(norm, 20.0, 1e-6);
+  // Effective grad = 10 * (5/20) = 2.5 per coordinate.
+  EXPECT_NEAR(p.value.at(0), -2.5f, 1e-4);
+}
+
+TEST(SGD, ZeroGradClearsAll) {
+  Parameter p("w", Tensor({2}), true);
+  p.grad.fill(3.0f);
+  SGD opt({&p}, SGD::Config{});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.0f);
+}
+
+TEST(CosineSchedule, EndpointsAndMonotoneDecay) {
+  const CosineSchedule sched(1.0, 100);
+  EXPECT_NEAR(sched.lr_at(0), 1.0, 1e-9);
+  EXPECT_NEAR(sched.lr_at(99), 0.0, 1e-9);
+  EXPECT_NEAR(sched.lr_at(49), 0.5, 0.05);
+  for (long s = 1; s < 100; ++s) {
+    EXPECT_LE(sched.lr_at(s), sched.lr_at(s - 1) + 1e-12);
+  }
+  // Clamp past the end.
+  EXPECT_NEAR(sched.lr_at(1000), 0.0, 1e-9);
+}
+
+TEST(CosineSchedule, WarmupRampsLinearly) {
+  const CosineSchedule sched(1.0, 100, 10);
+  EXPECT_NEAR(sched.lr_at(0), 0.1, 1e-9);
+  EXPECT_NEAR(sched.lr_at(4), 0.5, 1e-9);
+  EXPECT_NEAR(sched.lr_at(10), 1.0, 1e-9);
+}
+
+TEST(CosineSchedule, Validation) {
+  EXPECT_THROW(CosineSchedule(1.0, 0), InvalidArgument);
+  EXPECT_THROW(CosineSchedule(1.0, 10, 10), InvalidArgument);
+  EXPECT_THROW(CosineSchedule(1.0, 10, -1), InvalidArgument);
+}
+
+TEST(Training, TinyMlpLearnsXor) {
+  // End-to-end sanity for the whole training substrate: a 2-8-2 MLP must
+  // fit XOR within a few hundred steps.
+  util::Rng rng(123);
+  Sequential mlp("mlp");
+  auto* fc1 = mlp.add(std::make_unique<Linear>(2, 8, rng));
+  mlp.add(std::make_unique<ReLU>());
+  auto* fc2 = mlp.add(std::make_unique<Linear>(8, 2, rng));
+  (void)fc1;
+  (void)fc2;
+
+  std::vector<Parameter*> params;
+  mlp.collect_params(params);
+  SGD opt(params, SGD::Config{0.5, 0.9, 0.0, 0.0});
+
+  Tensor x({4, 2});
+  x.at(0, 0) = 0;  x.at(0, 1) = 0;
+  x.at(1, 0) = 0;  x.at(1, 1) = 1;
+  x.at(2, 0) = 1;  x.at(2, 1) = 0;
+  x.at(3, 0) = 1;  x.at(3, 1) = 1;
+  const std::vector<int> labels{0, 1, 1, 0};
+
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    opt.zero_grad();
+    const Tensor logits = mlp.forward(x);
+    const auto res = cross_entropy(logits, labels);
+    mlp.backward(res.grad);
+    opt.step();
+    final_loss = res.loss;
+  }
+  EXPECT_LT(final_loss, 0.05);
+  const auto res = cross_entropy(mlp.forward(x), labels);
+  EXPECT_EQ(res.correct_top1, 4u);
+}
+
+TEST(Sequential, ChainsAndCollects) {
+  util::Rng rng(3);
+  Sequential seq("seq");
+  seq.add(std::make_unique<Linear>(3, 4, rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<Linear>(4, 2, rng));
+  EXPECT_EQ(seq.size(), 3u);
+  std::vector<Parameter*> params;
+  seq.collect_params(params);
+  EXPECT_EQ(params.size(), 4u);  // two weights + two biases
+  EXPECT_EQ(seq.param_count(), 3 * 4 + 4 + 4 * 2 + 2);
+
+  const Tensor y = seq.forward(Tensor({5, 3}));
+  EXPECT_EQ(y.shape(), (std::vector<long>{5, 2}));
+}
+
+}  // namespace
+}  // namespace hsconas::nn

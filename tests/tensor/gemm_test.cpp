@@ -1,0 +1,126 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hsconas::tensor {
+namespace {
+
+// Reference O(n^3) triple loop.
+std::vector<float> ref_gemm(std::size_t m, std::size_t n, std::size_t k,
+                            const float* a, const float* b) {
+  std::vector<float> c(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += a[i * k + p] * b[p * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<float> random_matrix(std::size_t size, util::Rng& rng) {
+  std::vector<float> m(size);
+  for (float& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k));
+  const auto a = random_matrix(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_matrix(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  const auto expected = ref_gemm(m, n, k, a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(1, 64, 32),
+                      std::make_tuple(64, 1, 32), std::make_tuple(65, 67, 3),
+                      std::make_tuple(128, 96, 64),
+                      std::make_tuple(200, 300, 64),
+                      std::make_tuple(257, 130, 70)));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  util::Rng rng(3);
+  const auto a = random_matrix(4 * 3, rng);
+  const auto b = random_matrix(3 * 2, rng);
+  std::vector<float> c(4 * 2, 1.0f);
+  // C = 2*A·B + 0.5*C
+  gemm(4, 2, 3, 2.0f, a.data(), b.data(), 0.5f, c.data());
+  const auto ab = ref_gemm(4, 2, 3, a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], 2.0f * ab[i] + 0.5f, 1e-4f);
+  }
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  util::Rng rng(4);
+  const auto a = random_matrix(2 * 2, rng);
+  const auto b = random_matrix(2 * 2, rng);
+  std::vector<float> c = {1e30f, -1e30f, 1e30f, -1e30f};
+  gemm(2, 2, 2, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  const auto expected = ref_gemm(2, 2, 2, a.data(), b.data());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(c[i], expected[i], 1e-4f);
+}
+
+TEST(Gemm, TransposedAVariant) {
+  util::Rng rng(5);
+  const std::size_t m = 7, n = 9, k = 11;
+  const auto at = random_matrix(k * m, rng);  // A is stored k×m
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(m * n, 0.0f);
+  gemm_at_b(m, n, k, 1.0f, at.data(), b.data(), 0.0f, c.data());
+  // Reference: transpose A first.
+  std::vector<float> a(m * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < m; ++i) a[i * k + p] = at[p * m + i];
+  }
+  const auto expected = ref_gemm(m, n, k, a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f);
+  }
+}
+
+TEST(Gemm, TransposedBVariant) {
+  util::Rng rng(6);
+  const std::size_t m = 5, n = 8, k = 13;
+  const auto a = random_matrix(m * k, rng);
+  const auto bt = random_matrix(n * k, rng);  // B stored n×k
+  std::vector<float> c(m * n, 0.0f);
+  gemm_a_bt(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, c.data());
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) b[p * n + j] = bt[j * k + p];
+  }
+  const auto expected = ref_gemm(m, n, k, a.data(), b.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f);
+  }
+}
+
+TEST(Gemm, AccumulateIntoC) {
+  util::Rng rng(7);
+  const auto a = random_matrix(3 * 3, rng);
+  const auto b = random_matrix(3 * 3, rng);
+  std::vector<float> c1(9, 0.0f), c2(9, 0.0f);
+  gemm(3, 3, 3, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  gemm(3, 3, 3, 1.0f, a.data(), b.data(), 1.0f, c1.data());  // += again
+  gemm(3, 3, 3, 2.0f, a.data(), b.data(), 0.0f, c2.data());
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace hsconas::tensor

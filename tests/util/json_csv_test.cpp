@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace hsconas::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(0), "null");
+  EXPECT_EQ(Json(true).dump(0), "true");
+  EXPECT_EQ(Json(false).dump(0), "false");
+  EXPECT_EQ(Json(42).dump(0), "42");
+  EXPECT_EQ(Json(2.5).dump(0), "2.5");
+  EXPECT_EQ(Json("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(0), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, ObjectAndArrayComposition) {
+  Json j = Json::object();
+  j["name"] = "hsconas";
+  j["layers"] = Json::array();
+  j["layers"].push_back(1);
+  j["layers"].push_back(2);
+  const std::string compact = j.dump(0);
+  EXPECT_NE(compact.find("\"name\": \"hsconas\""), std::string::npos);
+  EXPECT_NE(compact.find("[1,2]") != std::string::npos ||
+                compact.find("[ 1, 2 ]") != std::string::npos ||
+                compact.find("[12]") != std::string::npos,
+            false);
+}
+
+TEST(Json, AutoVivifyNullToObjectAndArray) {
+  Json j;
+  j["k"] = 1;  // null -> object
+  EXPECT_TRUE(j.is_object());
+  Json a;
+  a.push_back(1);  // null -> array
+  EXPECT_TRUE(a.is_array());
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, SaveWritesFile) {
+  const std::string path = testing::TempDir() + "/hsconas_json_test.json";
+  Json j = Json::object();
+  j["x"] = 7;
+  j.save(path);
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("\"x\": 7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Json, SaveToBadPathThrows) {
+  Json j = Json::object();
+  EXPECT_THROW(j.save("/nonexistent_dir_zz/x.json"), Error);
+}
+
+TEST(Csv, WritesQuotedFields) {
+  const std::string path = testing::TempDir() + "/hsconas_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.row(std::vector<std::string>{"plain", "with,comma", "with\"quote"});
+    csv.row(std::vector<double>{1.0, 2.5});
+  }
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("plain,\"with,comma\",\"with\"\"quote\""),
+            std::string::npos);
+  EXPECT_NE(content.find("1,2.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/x.csv"), Error);
+}
+
+}  // namespace
+}  // namespace hsconas::util

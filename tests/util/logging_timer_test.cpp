@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hsconas::util {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  EXPECT_LT(timer.seconds(), 5.0);
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(Logging, LevelThresholdFilters) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages must be dropped silently (no crash, no way to
+  // observe stderr here — this pins the API contract).
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kInfo, "dropped");
+  set_log_level(LogLevel::kOff);
+  log_message(LogLevel::kError, "dropped too");
+  set_log_level(saved);
+}
+
+TEST(Logging, StreamMacroBuildsMessage) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kOff);  // keep test output clean
+  HSCONAS_LOG_INFO << "x = " << 42 << ", y = " << 1.5;
+  set_log_level(saved);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hsconas::util

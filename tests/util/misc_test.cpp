@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace hsconas::util {
+namespace {
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringUtil, SplitJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "/"), "a/b//c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, LowerAndPrefix) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("hsconas", "hsco"));
+  EXPECT_FALSE(starts_with("hs", "hsco"));
+}
+
+TEST(StringUtil, HumanCount) {
+  EXPECT_EQ(human_count(123), "123.00");
+  EXPECT_EQ(human_count(1234), "1.23K");
+  EXPECT_EQ(human_count(1.5e6), "1.50M");
+  EXPECT_EQ(human_count(2.5e9), "2.50G");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count++; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Table, RendersHeaderRowsAndSections) {
+  Table t({"name", "value"});
+  t.add_section("group A");
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta"});  // short row padded
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("group A"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(Cli, ParsesOptionsAndDefaults) {
+  Cli cli("test");
+  cli.add_option("epochs", "10", "number of epochs");
+  cli.add_option("lr", "0.5", "learning rate");
+  cli.add_flag("verbose", "chatty output");
+  const char* argv[] = {"prog", "--epochs=20", "--verbose"};
+  ASSERT_TRUE(cli.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("epochs"), 20);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 0.5);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli("test");
+  cli.add_option("device", "gpu", "target device");
+  const char* argv[] = {"prog", "--device", "cpu"};
+  ASSERT_TRUE(cli.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get("device"), "cpu");
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli("test");
+  cli.add_option("a", "1", "a");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)),
+               hsconas::InvalidArgument);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  Cli cli("test");
+  cli.add_option("n", "x", "not a number by default");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_THROW(cli.get_int("n"), hsconas::InvalidArgument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+}  // namespace
+}  // namespace hsconas::util

@@ -1,0 +1,153 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hsconas::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.5));
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  const std::vector<double> empty;
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Stats, RmseOfIdenticalSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(rmse(xs, xs), 0.0);
+}
+
+TEST(Stats, RmseKnownValue) {
+  const std::vector<double> a{0, 0, 0, 0};
+  const std::vector<double> b{1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(mae(a, b), 1.0);
+}
+
+TEST(Stats, RmseSizeMismatchThrows) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(rmse(a, b), hsconas::InternalError);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // x^3, monotone
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, RanksHandleTies) {
+  const std::vector<double> xs{10, 20, 20, 30};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, KendallTauPerfectAndInverted) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), 1.0);
+  const std::vector<double> z{40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, z), -1.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile({}, 50), hsconas::InternalError);
+  EXPECT_THROW(percentile(xs, 101), hsconas::InternalError);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, HistogramBinning) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 3.0);
+}
+
+TEST(Stats, HistogramRenderShowsBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.1);
+  h.add(0.9);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(Stats, HistogramInvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), hsconas::InternalError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), hsconas::InternalError);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+}
+
+}  // namespace
+}  // namespace hsconas::util

@@ -1,0 +1,237 @@
+// hsconas — umbrella command-line tool.
+//
+//   hsconas search   --device=edge [--constraint=34] [--layout=A] ...
+//   hsconas predict  --arch="shuffle_k3@0.5 | ..." [--device=gpu] ...
+//   hsconas pareto   --device=cpu [--generations=25] ...
+//   hsconas baselines
+//
+// `search` runs the full pipeline (surrogate accuracy at paper scale) and
+// writes a JSON report; `predict` prices a given architecture on all
+// devices (latency, energy, compute); `pareto` evolves the
+// accuracy-latency front; `baselines` prints the Table I zoo on the
+// simulated devices.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/zoo.h"
+#include "core/accuracy_surrogate.h"
+#include "core/energy_model.h"
+#include "core/lowering.h"
+#include "core/pareto.h"
+#include "core/pipeline.h"
+#include "hwsim/energy.h"
+#include "hwsim/registry.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hsconas;
+
+int usage() {
+  std::fputs(
+      "usage: hsconas <command> [--help | options]\n\n"
+      "commands:\n"
+      "  search     run the full HSCoNAS pipeline for a target device\n"
+      "  predict    price one architecture on every device\n"
+      "  pareto     evolve the accuracy-latency front for a device\n"
+      "  baselines  print the Table I baseline zoo on the simulators\n",
+      stdout);
+  return 2;
+}
+
+core::SearchSpaceConfig layout_config(const std::string& layout,
+                                      const std::string& family = "shuffle") {
+  core::SearchSpaceConfig cfg;
+  if (layout == "A" || layout == "a") {
+    cfg = core::SearchSpaceConfig::imagenet_layout_a();
+  } else if (layout == "B" || layout == "b") {
+    cfg = core::SearchSpaceConfig::imagenet_layout_b();
+  } else {
+    throw InvalidArgument("--layout must be A or B");
+  }
+  if (family == "mbconv") {
+    cfg = cfg.with_family(nn::OpFamily::kMbConv);
+  } else if (family != "shuffle") {
+    throw InvalidArgument("--family must be shuffle or mbconv");
+  }
+  return cfg;
+}
+
+int cmd_search(int argc, char** argv) {
+  util::Cli cli("hsconas search: full pipeline, surrogate accuracy");
+  cli.add_option("device", "edge", "target: gpu | cpu | edge");
+  cli.add_option("constraint", "0", "latency budget T ms (0 = paper default)");
+  cli.add_option("layout", "A", "channel layout: A or B");
+  cli.add_option("family", "shuffle", "operator family: shuffle | mbconv");
+  cli.add_option("generations", "20", "EA generations");
+  cli.add_option("population", "50", "EA population");
+  cli.add_option("seed", "1", "seed");
+  cli.add_option("report", "hsconas_search.json", "JSON report path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::PipelineConfig cfg;
+  cfg.space = layout_config(cli.get("layout"), cli.get("family"));
+  cfg.device = cli.get("device");
+  cfg.constraint_ms = cli.get_double("constraint");
+  cfg.use_surrogate = true;
+  cfg.evolution.generations = static_cast<int>(cli.get_int("generations"));
+  cfg.evolution.population = static_cast<int>(cli.get_int("population"));
+  cfg.evolution.parents = cfg.evolution.population * 2 / 5;
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  core::Pipeline pipeline(cfg);
+  const core::PipelineResult result = pipeline.run();
+
+  const double err = (1.0 - result.best_accuracy) * 100.0;
+  std::printf("winner (layout %s, %s, T=%.0fms):\n  %s\n",
+              cli.get("layout").c_str(), cfg.device.c_str(),
+              result.constraint_ms,
+              result.best_arch.to_string(pipeline.space()).c_str());
+  std::printf("top-1 err %.1f%% | top-5 err %.1f%% | lat %.1f ms "
+              "(measured %.1f) | %.0f MMacs\n",
+              err, core::AccuracySurrogate::top5_from_top1(err),
+              result.predicted_latency_ms, result.measured_latency_ms,
+              core::arch_macs(result.best_arch, pipeline.space()) / 1e6);
+
+  core::pipeline_report_json(result, pipeline.space())
+      .save(cli.get("report"));
+  std::printf("report written to %s\n", cli.get("report").c_str());
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  util::Cli cli("hsconas predict: price one architecture everywhere");
+  cli.add_option("arch", "",
+                 "architecture string, e.g. \"shuffle_k3@0.5 | ... \" "
+                 "(20 layers; required)");
+  cli.add_option("layout", "A", "channel layout: A or B");
+  cli.add_option("family", "shuffle", "operator family: shuffle | mbconv");
+  if (!cli.parse(argc, argv)) return 0;
+  if (cli.get("arch").empty()) {
+    throw InvalidArgument("predict: --arch is required");
+  }
+
+  const core::SearchSpace space(
+      layout_config(cli.get("layout"), cli.get("family")));
+  const core::Arch arch = core::Arch::from_string(space, cli.get("arch"));
+  const auto net = core::lower_network(arch, space);
+  const core::AccuracySurrogate surrogate(space);
+  const double err = surrogate.top1_error(arch);
+
+  std::printf("architecture: %s\n", arch.to_string(space).c_str());
+  std::printf("estimated ImageNet top-1/top-5 err: %.1f%% / %.1f%%\n",
+              err, core::AccuracySurrogate::top5_from_top1(err));
+  std::printf("compute: %.0f MMacs, %.2f M params\n\n",
+              hwsim::network_macs(net) / 1e6,
+              hwsim::network_params(net) / 1e6);
+
+  util::Table table({"device", "batch", "latency (ms)", "energy (mJ)",
+                     "mean power (W)"});
+  for (const std::string& name : hwsim::device_names()) {
+    const hwsim::DeviceSimulator device(hwsim::device_by_name(name));
+    const hwsim::EnergySimulator energy(hwsim::energy_by_name(name), device);
+    const int batch = device.profile().default_batch;
+    const double lat = device.network_latency_ms(net, batch);
+    const double mj = energy.network_energy_mj(net, batch);
+    table.add_row({name, util::format("%d", batch),
+                   util::format("%.2f", lat), util::format("%.1f", mj),
+                   util::format("%.1f", mj / lat)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_pareto(int argc, char** argv) {
+  util::Cli cli("hsconas pareto: accuracy-latency front in one run");
+  cli.add_option("device", "edge", "target: gpu | cpu | edge");
+  cli.add_option("layout", "A", "channel layout: A or B");
+  cli.add_option("family", "shuffle", "operator family: shuffle | mbconv");
+  cli.add_option("generations", "25", "generations");
+  cli.add_option("population", "60", "population");
+  cli.add_option("seed", "19", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::SearchSpace space(
+      layout_config(cli.get("layout"), cli.get("family")));
+  const hwsim::DeviceSimulator device(
+      hwsim::device_by_name(cli.get("device")));
+  const core::LatencyModel latency(
+      space, device,
+      core::LatencyModel::Config{
+          device.profile().default_batch, 50,
+          static_cast<std::uint64_t>(cli.get_int("seed")), true});
+  const core::AccuracySurrogate surrogate(space);
+
+  core::ParetoSearch::Config cfg;
+  cfg.generations = static_cast<int>(cli.get_int("generations"));
+  cfg.population = static_cast<int>(cli.get_int("population"));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  core::ParetoSearch search(
+      space, [&](const core::Arch& a) { return surrogate.accuracy(a); },
+      latency, cfg);
+  const auto result = search.run();
+
+  util::Table table({"latency (ms)", "top-1 err", "architecture"});
+  for (const auto& p : result.front) {
+    table.add_row({util::format("%.2f", p.latency_ms),
+                   util::format("%.2f", (1.0 - p.accuracy) * 100.0),
+                   p.arch.to_string(space)});
+  }
+  std::printf("Pareto front on %s (%zu points):\n%s",
+              device.profile().name.c_str(), result.front.size(),
+              table.render().c_str());
+  return 0;
+}
+
+int cmd_baselines(int argc, char** argv) {
+  util::Cli cli("hsconas baselines: the Table I zoo on the simulators");
+  if (!cli.parse(argc, argv)) return 0;
+
+  util::Table table({"model", "GMacs", "MParams", "gv100 (ms)",
+                     "xeon6136 (ms)", "xavier (ms)", "paper top-1"});
+  std::vector<hwsim::DeviceSimulator> sims;
+  for (const std::string& name : hwsim::device_names()) {
+    sims.emplace_back(hwsim::device_by_name(name));
+  }
+  for (const auto& baseline : baselines::baseline_zoo()) {
+    std::vector<std::string> row{
+        baseline.name,
+        util::format("%.2f", hwsim::network_macs(baseline.network) / 1e9),
+        util::format("%.2f", hwsim::network_params(baseline.network) / 1e6)};
+    for (const auto& sim : sims) {
+      row.push_back(util::format(
+          "%.1f", sim.network_latency_ms(baseline.network,
+                                         sim.profile().default_batch)));
+    }
+    row.push_back(util::format("%.1f", baseline.paper_top1_err));
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own flags.
+  argv[1] = argv[0];
+  try {
+    if (command == "search") return cmd_search(argc - 1, argv + 1);
+    if (command == "predict") return cmd_predict(argc - 1, argv + 1);
+    if (command == "pareto") return cmd_pareto(argc - 1, argv + 1);
+    if (command == "baselines") return cmd_baselines(argc - 1, argv + 1);
+    if (command == "--help" || command == "-h") return usage(), 0;
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    return usage();
+  } catch (const hsconas::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
