@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_space_shrinking.dir/bench_fig5_space_shrinking.cpp.o"
+  "CMakeFiles/bench_fig5_space_shrinking.dir/bench_fig5_space_shrinking.cpp.o.d"
+  "bench_fig5_space_shrinking"
+  "bench_fig5_space_shrinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_space_shrinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_comparison.dir/bench_proxy_comparison.cpp.o"
+  "CMakeFiles/bench_proxy_comparison.dir/bench_proxy_comparison.cpp.o.d"
+  "bench_proxy_comparison"
+  "bench_proxy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

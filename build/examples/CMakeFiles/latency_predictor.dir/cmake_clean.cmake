@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_predictor.dir/latency_predictor.cpp.o"
+  "CMakeFiles/latency_predictor.dir/latency_predictor.cpp.o.d"
+  "latency_predictor"
+  "latency_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

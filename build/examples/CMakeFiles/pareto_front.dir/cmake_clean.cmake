@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_front.dir/pareto_front.cpp.o"
+  "CMakeFiles/pareto_front.dir/pareto_front.cpp.o.d"
+  "pareto_front"
+  "pareto_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

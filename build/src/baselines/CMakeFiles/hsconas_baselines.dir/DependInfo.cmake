@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/mbconv.cpp" "src/baselines/CMakeFiles/hsconas_baselines.dir/mbconv.cpp.o" "gcc" "src/baselines/CMakeFiles/hsconas_baselines.dir/mbconv.cpp.o.d"
+  "/root/repo/src/baselines/zoo.cpp" "src/baselines/CMakeFiles/hsconas_baselines.dir/zoo.cpp.o" "gcc" "src/baselines/CMakeFiles/hsconas_baselines.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwsim/CMakeFiles/hsconas_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsconas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsconas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hsconas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsconas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsconas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_baselines.dir/mbconv.cpp.o"
+  "CMakeFiles/hsconas_baselines.dir/mbconv.cpp.o.d"
+  "CMakeFiles/hsconas_baselines.dir/zoo.cpp.o"
+  "CMakeFiles/hsconas_baselines.dir/zoo.cpp.o.d"
+  "libhsconas_baselines.a"
+  "libhsconas_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy_surrogate.cpp" "src/core/CMakeFiles/hsconas_core.dir/accuracy_surrogate.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/accuracy_surrogate.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/hsconas_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/arch.cpp" "src/core/CMakeFiles/hsconas_core.dir/arch.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/arch.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/hsconas_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/core/CMakeFiles/hsconas_core.dir/energy_model.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/energy_model.cpp.o.d"
+  "/root/repo/src/core/evolution.cpp" "src/core/CMakeFiles/hsconas_core.dir/evolution.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/evolution.cpp.o.d"
+  "/root/repo/src/core/latency_model.cpp" "src/core/CMakeFiles/hsconas_core.dir/latency_model.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/latency_model.cpp.o.d"
+  "/root/repo/src/core/latency_regression.cpp" "src/core/CMakeFiles/hsconas_core.dir/latency_regression.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/latency_regression.cpp.o.d"
+  "/root/repo/src/core/lowering.cpp" "src/core/CMakeFiles/hsconas_core.dir/lowering.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/lowering.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/hsconas_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/hsconas_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "src/core/CMakeFiles/hsconas_core.dir/search_space.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/search_space.cpp.o.d"
+  "/root/repo/src/core/searchers.cpp" "src/core/CMakeFiles/hsconas_core.dir/searchers.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/searchers.cpp.o.d"
+  "/root/repo/src/core/space_shrinking.cpp" "src/core/CMakeFiles/hsconas_core.dir/space_shrinking.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/space_shrinking.cpp.o.d"
+  "/root/repo/src/core/supernet.cpp" "src/core/CMakeFiles/hsconas_core.dir/supernet.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/supernet.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/hsconas_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/hsconas_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hsconas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/hsconas_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsconas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsconas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsconas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

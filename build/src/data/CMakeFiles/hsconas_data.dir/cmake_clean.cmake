@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_data.dir/augment.cpp.o"
+  "CMakeFiles/hsconas_data.dir/augment.cpp.o.d"
+  "CMakeFiles/hsconas_data.dir/loader.cpp.o"
+  "CMakeFiles/hsconas_data.dir/loader.cpp.o.d"
+  "CMakeFiles/hsconas_data.dir/synthetic.cpp.o"
+  "CMakeFiles/hsconas_data.dir/synthetic.cpp.o.d"
+  "libhsconas_data.a"
+  "libhsconas_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

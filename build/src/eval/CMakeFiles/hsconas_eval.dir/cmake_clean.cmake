@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_eval.dir/latency_eval.cpp.o"
+  "CMakeFiles/hsconas_eval.dir/latency_eval.cpp.o.d"
+  "libhsconas_eval.a"
+  "libhsconas_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsconas_eval.a"
+)

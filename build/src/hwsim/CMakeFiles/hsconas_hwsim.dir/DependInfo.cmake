@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwsim/device.cpp" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/device.cpp.o" "gcc" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/device.cpp.o.d"
+  "/root/repo/src/hwsim/energy.cpp" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/energy.cpp.o" "gcc" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/energy.cpp.o.d"
+  "/root/repo/src/hwsim/op_descriptor.cpp" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/op_descriptor.cpp.o" "gcc" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/op_descriptor.cpp.o.d"
+  "/root/repo/src/hwsim/registry.cpp" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/registry.cpp.o" "gcc" "src/hwsim/CMakeFiles/hsconas_hwsim.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsconas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

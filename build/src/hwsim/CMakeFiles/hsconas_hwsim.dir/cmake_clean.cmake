@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_hwsim.dir/device.cpp.o"
+  "CMakeFiles/hsconas_hwsim.dir/device.cpp.o.d"
+  "CMakeFiles/hsconas_hwsim.dir/energy.cpp.o"
+  "CMakeFiles/hsconas_hwsim.dir/energy.cpp.o.d"
+  "CMakeFiles/hsconas_hwsim.dir/op_descriptor.cpp.o"
+  "CMakeFiles/hsconas_hwsim.dir/op_descriptor.cpp.o.d"
+  "CMakeFiles/hsconas_hwsim.dir/registry.cpp.o"
+  "CMakeFiles/hsconas_hwsim.dir/registry.cpp.o.d"
+  "libhsconas_hwsim.a"
+  "libhsconas_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

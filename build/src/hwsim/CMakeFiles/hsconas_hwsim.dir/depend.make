@@ -1,0 +1,2 @@
+# Empty dependencies file for hsconas_hwsim.
+# This may be replaced when dependencies are built.

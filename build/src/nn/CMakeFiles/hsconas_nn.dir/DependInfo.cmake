@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/blocks.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/blocks.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/blocks.cpp.o.d"
+  "/root/repo/src/nn/choice_block.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/choice_block.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/choice_block.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mask.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/mask.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/mask.cpp.o.d"
+  "/root/repo/src/nn/mbconv_block.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/mbconv_block.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/mbconv_block.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/shuffle.cpp" "src/nn/CMakeFiles/hsconas_nn.dir/shuffle.cpp.o" "gcc" "src/nn/CMakeFiles/hsconas_nn.dir/shuffle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hsconas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsconas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

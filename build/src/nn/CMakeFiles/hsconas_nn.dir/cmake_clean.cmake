@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_nn.dir/activation.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/blocks.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/blocks.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/choice_block.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/choice_block.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/dropout.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/linear.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/loss.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/mask.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/mask.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/mbconv_block.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/mbconv_block.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/module.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/module.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/pooling.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/hsconas_nn.dir/shuffle.cpp.o"
+  "CMakeFiles/hsconas_nn.dir/shuffle.cpp.o.d"
+  "libhsconas_nn.a"
+  "libhsconas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

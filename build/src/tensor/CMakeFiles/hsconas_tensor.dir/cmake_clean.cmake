@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/hsconas_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/hsconas_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/hsconas_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/hsconas_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/hsconas_tensor.dir/tensor.cpp.o.d"
+  "libhsconas_tensor.a"
+  "libhsconas_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

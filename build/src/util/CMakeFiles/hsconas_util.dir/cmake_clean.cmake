@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_util.dir/cli.cpp.o"
+  "CMakeFiles/hsconas_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/csv.cpp.o"
+  "CMakeFiles/hsconas_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/json.cpp.o"
+  "CMakeFiles/hsconas_util.dir/json.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/logging.cpp.o"
+  "CMakeFiles/hsconas_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/rng.cpp.o"
+  "CMakeFiles/hsconas_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/stats.cpp.o"
+  "CMakeFiles/hsconas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/string_util.cpp.o"
+  "CMakeFiles/hsconas_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/table.cpp.o"
+  "CMakeFiles/hsconas_util.dir/table.cpp.o.d"
+  "CMakeFiles/hsconas_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hsconas_util.dir/thread_pool.cpp.o.d"
+  "libhsconas_util.a"
+  "libhsconas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/test_core.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/arch_test.cpp" "tests/CMakeFiles/test_core.dir/core/arch_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/arch_test.cpp.o.d"
+  "/root/repo/tests/core/custom_device_pipeline_test.cpp" "tests/CMakeFiles/test_core.dir/core/custom_device_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/custom_device_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/family_device_sweep_test.cpp" "tests/CMakeFiles/test_core.dir/core/family_device_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/family_device_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/inheritance_test.cpp" "tests/CMakeFiles/test_core.dir/core/inheritance_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/inheritance_test.cpp.o.d"
+  "/root/repo/tests/core/latency_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/latency_model_test.cpp.o.d"
+  "/root/repo/tests/core/lowering_test.cpp" "tests/CMakeFiles/test_core.dir/core/lowering_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lowering_test.cpp.o.d"
+  "/root/repo/tests/core/mbconv_space_test.cpp" "tests/CMakeFiles/test_core.dir/core/mbconv_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mbconv_space_test.cpp.o.d"
+  "/root/repo/tests/core/search_space_test.cpp" "tests/CMakeFiles/test_core.dir/core/search_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/search_space_test.cpp.o.d"
+  "/root/repo/tests/core/search_test.cpp" "tests/CMakeFiles/test_core.dir/core/search_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/search_test.cpp.o.d"
+  "/root/repo/tests/core/searchers_test.cpp" "tests/CMakeFiles/test_core.dir/core/searchers_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/searchers_test.cpp.o.d"
+  "/root/repo/tests/core/supernet_test.cpp" "tests/CMakeFiles/test_core.dir/core/supernet_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/supernet_test.cpp.o.d"
+  "/root/repo/tests/core/surrogate_objective_test.cpp" "tests/CMakeFiles/test_core.dir/core/surrogate_objective_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/surrogate_objective_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_schedule_test.cpp" "tests/CMakeFiles/test_core.dir/core/trainer_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trainer_schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hsconas_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hsconas_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsconas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hsconas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsconas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsconas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/hsconas_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsconas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

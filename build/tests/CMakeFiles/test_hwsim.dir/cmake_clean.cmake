@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwsim.dir/hwsim/device_sweep_test.cpp.o"
+  "CMakeFiles/test_hwsim.dir/hwsim/device_sweep_test.cpp.o.d"
+  "CMakeFiles/test_hwsim.dir/hwsim/energy_test.cpp.o"
+  "CMakeFiles/test_hwsim.dir/hwsim/energy_test.cpp.o.d"
+  "CMakeFiles/test_hwsim.dir/hwsim/hwsim_test.cpp.o"
+  "CMakeFiles/test_hwsim.dir/hwsim/hwsim_test.cpp.o.d"
+  "test_hwsim"
+  "test_hwsim.pdb"
+  "test_hwsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/blocks_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/blocks_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/blocks_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_reference_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/conv_reference_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/conv_reference_test.cpp.o.d"
+  "/root/repo/tests/nn/dropout_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/mbconv_block_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/mbconv_block_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/mbconv_block_test.cpp.o.d"
+  "/root/repo/tests/nn/training_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/training_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/training_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hsconas_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hsconas_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsconas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hsconas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsconas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsconas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/hsconas_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsconas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/blocks_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/blocks_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/conv_reference_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/conv_reference_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/mbconv_block_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/mbconv_block_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/training_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/training_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

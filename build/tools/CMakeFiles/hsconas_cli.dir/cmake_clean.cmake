@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsconas_cli.dir/hsconas_cli.cpp.o"
+  "CMakeFiles/hsconas_cli.dir/hsconas_cli.cpp.o.d"
+  "hsconas"
+  "hsconas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsconas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
