@@ -2,8 +2,17 @@
 // im2col convolutions (fwd/bwd), choice blocks, one supernet training step
 // and the latency model's prediction path. These guard against performance
 // regressions in the kernels everything else sits on.
+//
+// Pass `--json <path>` (in addition to the usual --benchmark_* flags) to
+// also dump a machine-readable summary — one record per case with op,
+// shape, ns/iter and GFLOP/s — for the perf trajectory tooling.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/latency_model.h"
 #include "core/supernet.h"
@@ -12,6 +21,7 @@
 #include "nn/blocks.h"
 #include "nn/conv2d.h"
 #include "tensor/gemm.h"
+#include "util/json.h"
 
 namespace {
 
@@ -140,6 +150,66 @@ void BM_DeviceSimulatorNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceSimulatorNetwork);
 
+// Console output plus a collected record per run, written as JSON after
+// the session: [{"op", "shape", "ns_per_iter", "gflops"}, ...].
+class JsonDumpReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const std::size_t slash = name.find('/');
+      hsconas::util::Json rec = hsconas::util::Json::object();
+      rec["op"] = slash == std::string::npos ? name : name.substr(0, slash);
+      rec["shape"] = slash == std::string::npos ? "" : name.substr(slash + 1);
+      rec["ns_per_iter"] = run.GetAdjustedRealTime();  // ns: the unit set below
+      const auto items = run.counters.find("items_per_second");
+      rec["gflops"] =
+          items != run.counters.end() ? items->second.value / 1e9 : 0.0;
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void save(const std::string& path) const {
+    hsconas::util::Json doc = hsconas::util::Json::array();
+    for (const auto& r : records_) doc.push_back(r);
+    doc.save(path);
+  }
+
+ private:
+  std::vector<hsconas::util::Json> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our --json flag before google-benchmark sees the arguments.
+  std::string json_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--json") == 0 && it + 1 != args.end()) {
+      json_path = *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonDumpReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    try {
+      reporter.save(json_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_kernels: --json: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

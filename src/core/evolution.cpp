@@ -6,6 +6,7 @@
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace hsconas::core {
 
@@ -41,11 +42,26 @@ EvolutionSearch::EvolutionSearch(const SearchSpace& space,
   energy_ = &energy;
 }
 
+double EvolutionSearch::cached_latency_ms(const Arch& arch) {
+  const std::uint64_t h = arch.hash();
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = latency_memo_.find(h);
+    if (it != latency_memo_.end()) return it->second;
+  }
+  // Compute outside the lock; predict_ms is deterministic, so a racing
+  // duplicate computation stores the identical value.
+  const double ms = latency_.predict_ms(arch);
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  latency_memo_.emplace(h, ms);
+  return ms;
+}
+
 EvolutionSearch::Candidate EvolutionSearch::evaluate(Arch arch) {
   Candidate c;
   c.arch = std::move(arch);
   c.accuracy = accuracy_(c.arch);
-  c.latency_ms = latency_.predict_ms(c.arch);
+  c.latency_ms = cached_latency_ms(c.arch);
   if (energy_ != nullptr) {
     c.energy_mj = energy_->predict_mj(c.arch);
     c.score = objective_.score(c.accuracy, c.latency_ms, c.energy_mj);
@@ -53,6 +69,26 @@ EvolutionSearch::Candidate EvolutionSearch::evaluate(Arch arch) {
     c.score = objective_.score(c.accuracy, c.latency_ms);
   }
   return c;
+}
+
+std::vector<EvolutionSearch::Candidate> EvolutionSearch::evaluate_batch(
+    std::vector<Arch> archs) {
+  std::vector<Candidate> out(archs.size());
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::ThreadPool::global();
+  if (!config_.parallel_eval || pool.size() <= 1 || archs.size() <= 1) {
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+      out[i] = evaluate(std::move(archs[i]));
+    }
+    return out;
+  }
+  // Each index writes only its own slot and evaluation order does not
+  // affect any candidate's value, so this is bit-identical to the serial
+  // loop above for any worker count.
+  pool.parallel_for(archs.size(), [&](std::size_t i) {
+    out[i] = evaluate(std::move(archs[i]));
+  });
+  return out;
 }
 
 Arch EvolutionSearch::crossover(const Arch& a, const Arch& b) {
@@ -101,14 +137,19 @@ EvolutionSearch::Result EvolutionSearch::run() {
   Result result;
   std::unordered_set<std::uint64_t> seen;
 
-  std::vector<Candidate> population;
-  population.reserve(static_cast<std::size_t>(config_.population));
-  while (static_cast<int>(population.size()) < config_.population) {
+  // Breed-then-score: every generation's genomes are produced serially
+  // (so the RNG stream is independent of the evaluation schedule), then
+  // scored as one batch — in parallel when Config::parallel_eval is set.
+  std::vector<Arch> initial;
+  initial.reserve(static_cast<std::size_t>(config_.population));
+  while (static_cast<int>(initial.size()) < config_.population) {
     Arch arch = Arch::random(space_, rng_);
     if (!seen.insert(arch.hash()).second) continue;
-    population.push_back(evaluate(std::move(arch)));
-    result.evaluated.push_back(population.back());
+    initial.push_back(std::move(arch));
   }
+  std::vector<Candidate> population = evaluate_batch(std::move(initial));
+  result.evaluated.insert(result.evaluated.end(), population.begin(),
+                          population.end());
 
   result.best = population.front();
 
@@ -141,7 +182,14 @@ EvolutionSearch::Result EvolutionSearch::run() {
     for (int e = 0; e < elites; ++e) next.push_back(parents[static_cast<std::size_t>(e)]);
 
     int stagnation_guard = 0;
-    while (static_cast<int>(next.size()) < config_.population) {
+    std::vector<Arch> offspring;
+    // Duplicates accepted when the space saturates are still scored (the
+    // population must reach its size) but are not recorded in
+    // result.evaluated, which lists distinct candidates only.
+    std::vector<bool> record;
+    offspring.reserve(static_cast<std::size_t>(config_.population));
+    while (static_cast<int>(next.size() + offspring.size()) <
+           config_.population) {
       const Candidate& p1 =
           parents[rng_.index(parents.size())];
       Arch child = p1.arch;
@@ -159,7 +207,8 @@ EvolutionSearch::Result EvolutionSearch::run() {
           child = Arch::random(space_, rng_);
           if (!seen.insert(child.hash()).second) {
             // Space saturated — accept re-evaluating a duplicate.
-            next.push_back(evaluate(std::move(child)));
+            offspring.push_back(std::move(child));
+            record.push_back(false);
             stagnation_guard = 0;
             continue;
           }
@@ -169,8 +218,13 @@ EvolutionSearch::Result EvolutionSearch::run() {
         }
       }
       stagnation_guard = 0;
-      next.push_back(evaluate(std::move(child)));
-      result.evaluated.push_back(next.back());
+      offspring.push_back(std::move(child));
+      record.push_back(true);
+    }
+    std::vector<Candidate> scored = evaluate_batch(std::move(offspring));
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      if (record[i]) result.evaluated.push_back(scored[i]);
+      next.push_back(std::move(scored[i]));
     }
     population = std::move(next);
   }

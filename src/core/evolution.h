@@ -1,5 +1,7 @@
 #pragma once
 
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/arch.h"
@@ -8,12 +10,23 @@
 #include "core/objective.h"
 #include "core/space_shrinking.h"  // AccuracyFn
 
+namespace hsconas::util {
+class ThreadPool;
+}
+
 namespace hsconas::core {
 
 /// Evolutionary architecture search (§III-D, Eq. 5): generational EA over
 /// {opˡ, cˡ} genomes with top-k parent selection, uniform crossover and
 /// per-layer mutation at both the operator and the channel level. Paper
 /// defaults: 20 generations, population 50, 20 parents, pc = pm = 0.25.
+///
+/// Candidate evaluation is batched per generation: offspring genomes are
+/// bred serially (all RNG decisions happen on one thread, in a fixed
+/// order) and then scored either inline or across a thread pool. Because
+/// scoring touches no shared mutable state, the parallel schedule is
+/// bit-identical to serial execution for a fixed seed — same Result.best,
+/// same per_generation stats — regardless of worker count.
 class EvolutionSearch {
  public:
   struct Config {
@@ -26,6 +39,14 @@ class EvolutionSearch {
     /// mutation (so mutation changes a couple of layers, not all 20).
     double gene_mutation_prob = 0.1;
     std::uint64_t seed = 99;
+    /// Score candidates concurrently via the thread pool. Requires the
+    /// accuracy functor (and energy model, when present) to be safe to
+    /// call from multiple threads at once — true for the pure
+    /// AccuracySurrogate, NOT true for supernet/trainer-backed functors,
+    /// which mutate module state on every forward pass.
+    bool parallel_eval = false;
+    /// Pool for parallel_eval; nullptr means util::ThreadPool::global().
+    util::ThreadPool* pool = nullptr;
   };
 
   struct Candidate {
@@ -66,6 +87,11 @@ class EvolutionSearch {
 
  private:
   Candidate evaluate(Arch arch);
+  /// Score a bred batch, preserving index order; parallel when configured.
+  std::vector<Candidate> evaluate_batch(std::vector<Arch> archs);
+  /// LatencyModel::predict_ms memoized on Arch::hash() — repeat genotypes
+  /// (elites, re-bred duplicates) never re-walk the LUT.
+  double cached_latency_ms(const Arch& arch);
   Arch crossover(const Arch& a, const Arch& b);
   Arch mutate(Arch arch);
 
@@ -76,6 +102,8 @@ class EvolutionSearch {
   Objective objective_;
   Config config_;
   util::Rng rng_;
+  std::unordered_map<std::uint64_t, double> latency_memo_;
+  std::mutex memo_mutex_;
 };
 
 }  // namespace hsconas::core

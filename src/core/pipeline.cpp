@@ -130,10 +130,15 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
   const int L = space_.num_layers();
   const int per_stage =
       std::clamp(config_.shrink_layers_per_stage, 0, L / 2);
+  // The surrogate is a pure function of the arch, so subspace sampling and
+  // candidate scoring may fan out across the thread pool; the
+  // supernet/trainer functor mutates module state per forward pass and
+  // must stay serial.
   SpaceShrinker shrinker(space_, accuracy, *latency_model_, objective,
                          [&] {
                            auto c = config_.shrink;
                            c.seed ^= config_.seed;
+                           c.parallel_eval = config_.use_surrogate;
                            return c;
                          }());
 
@@ -162,6 +167,7 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
   // ---- evolutionary search (§III-D) -----------------------------------------
   EvolutionSearch::Config evo_cfg = config_.evolution;
   evo_cfg.seed ^= config_.seed;
+  evo_cfg.parallel_eval = config_.use_surrogate;
   EvolutionSearch search(space_, accuracy, *latency_model_, objective,
                          evo_cfg);
   result.evolution = search.run();

@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hsconas::core {
 
@@ -24,11 +25,31 @@ SpaceShrinker::SpaceShrinker(SearchSpace& space, AccuracyFn accuracy,
 
 double SpaceShrinker::subspace_quality(int layer, int op) {
   // Q(A_sub) = (1/N) Σ F(arch_i, T),  arch_i ~ U(A_sub)   (Definition 1)
-  double total = 0.0;
-  for (int i = 0; i < config_.samples_per_subspace; ++i) {
-    const Arch arch = Arch::random_with_fixed_op(space_, rng_, layer, op);
-    total += objective_.score(accuracy_(arch), latency_.predict_ms(arch));
+  // Samples are drawn serially (one RNG stream, fixed order), then scored
+  // — across the pool when configured — and reduced in index order, so
+  // the mean is identical at any worker count.
+  const std::size_t n = static_cast<std::size_t>(config_.samples_per_subspace);
+  std::vector<Arch> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(Arch::random_with_fixed_op(space_, rng_, layer, op));
   }
+
+  std::vector<double> scores(n);
+  const auto score_one = [&](std::size_t i) {
+    scores[i] = objective_.score(accuracy_(samples[i]),
+                                 latency_.predict_ms(samples[i]));
+  };
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::ThreadPool::global();
+  if (config_.parallel_eval && pool.size() > 1) {
+    pool.parallel_for(n, score_one);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) score_one(i);
+  }
+
+  double total = 0.0;
+  for (double s : scores) total += s;
   ++total_evaluated_;
   return total / static_cast<double>(config_.samples_per_subspace);
 }

@@ -8,6 +8,10 @@
 #include "core/objective.h"
 #include "core/search_space.h"
 
+namespace hsconas::util {
+class ThreadPool;
+}
+
 namespace hsconas::core {
 
 /// Accuracy oracle used by the search components: the proxy pipeline plugs
@@ -29,6 +33,14 @@ class SpaceShrinker {
   struct Config {
     int samples_per_subspace = 100;  ///< N of Definition 1
     std::uint64_t seed = 77;
+    /// Score the N subspace samples concurrently. The archs are drawn
+    /// serially first (fixed RNG order) and the mean is reduced in index
+    /// order, so the result is bit-identical to serial execution — but
+    /// the accuracy functor must be thread-safe (see EvolutionSearch's
+    /// parallel_eval for which functors qualify).
+    bool parallel_eval = false;
+    /// Pool for parallel_eval; nullptr means util::ThreadPool::global().
+    util::ThreadPool* pool = nullptr;
   };
 
   /// The space is mutated in place by shrink operations.

@@ -1,9 +1,10 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
-#include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/workspace.h"
+#include "util/thread_pool.h"
 
 namespace hsconas::nn {
 
@@ -66,35 +67,46 @@ Tensor Conv2d::forward(const Tensor& x) {
   // Batch the GEMM across samples: one (cout_g × col_rows)·(col_rows ×
   // N·ohw) product per group instead of N skinny ones. The column matrix
   // concatenates every sample's im2col panel, so the GEMM result lands in
-  // a (cout_g, N, oh, ow) scratch that is transposed back to NCHW.
-  std::vector<float> cols(static_cast<std::size_t>(col_rows * n * ohw));
-  std::vector<float> out_panel(static_cast<std::size_t>(cout_g * n * ohw));
-  std::vector<float> panel(static_cast<std::size_t>(col_rows * ohw));
+  // a (cout_g, N, oh, ow) scratch that is transposed back to NCHW. All
+  // scratch is leased from the thread-local workspace pool — no heap
+  // allocation on the steady-state path.
+  tensor::Workspace& ws = tensor::Workspace::tls();
+  tensor::Scratch cols = ws.take(static_cast<std::size_t>(col_rows * n * ohw));
+  tensor::Scratch out_panel =
+      ws.take(static_cast<std::size_t>(cout_g * n * ohw));
+  auto& pool = util::ThreadPool::global();
 
   for (long g = 0; g < groups_; ++g) {
-    for (long s = 0; s < n; ++s) {
+    // Per-sample im2col panels are independent and each sample writes a
+    // disjoint column stripe, so pack them in parallel. The panel scratch
+    // is leased inside the body: every worker uses its own pool.
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t si) {
+      const long s = static_cast<long>(si);
+      tensor::Scratch panel =
+          tensor::Workspace::tls().take(static_cast<std::size_t>(col_rows * ohw));
       const float* img = x.data() + ((s * in_channels_ + g * cin_g) * h * w);
       // Write sample s's panel into columns [s*ohw, (s+1)*ohw):
       // im2col fills row-major (col_rows × ohw); scatter rows by stride.
       tensor::im2col(img, geom, panel.data());
       for (long r = 0; r < col_rows; ++r) {
-        std::copy(panel.begin() + r * ohw, panel.begin() + (r + 1) * ohw,
-                  cols.begin() + r * n * ohw + s * ohw);
+        std::copy(panel.data() + r * ohw, panel.data() + (r + 1) * ohw,
+                  cols.data() + r * n * ohw + s * ohw);
       }
-    }
+    });
     const float* wgt =
         weight_.value.data() + g * cout_g * cin_g * kernel_ * kernel_;
     tensor::gemm(static_cast<std::size_t>(cout_g),
                  static_cast<std::size_t>(n * ohw),
                  static_cast<std::size_t>(col_rows), 1.0f, wgt, cols.data(),
                  0.0f, out_panel.data());
-    for (long c = 0; c < cout_g; ++c) {
+    pool.parallel_for(static_cast<std::size_t>(cout_g), [&](std::size_t ci) {
+      const long c = static_cast<long>(ci);
       for (long s = 0; s < n; ++s) {
-        std::copy(out_panel.begin() + (c * n + s) * ohw,
-                  out_panel.begin() + (c * n + s + 1) * ohw,
+        std::copy(out_panel.data() + (c * n + s) * ohw,
+                  out_panel.data() + (c * n + s + 1) * ohw,
                   y.data() + ((s * out_channels_ + g * cout_g + c) * ohw));
       }
-    }
+    });
   }
   if (has_bias_) {
     for (long s = 0; s < n; ++s) {
@@ -128,27 +140,32 @@ Tensor Conv2d::backward(const Tensor& dy) {
   // Mirror the forward pass's sample batching: per group, build the
   // concatenated column matrix and output-gradient panel once, run two
   // well-shaped GEMMs, then scatter the column gradients back per sample.
-  std::vector<float> cols(static_cast<std::size_t>(col_rows * n * ohw));
-  std::vector<float> dy_panel(static_cast<std::size_t>(cout_g * n * ohw));
-  std::vector<float> dcols(static_cast<std::size_t>(col_rows * n * ohw));
-  std::vector<float> sample_dcols(static_cast<std::size_t>(col_rows * ohw));
-  std::vector<float> panel(static_cast<std::size_t>(col_rows * ohw));
+  tensor::Workspace& ws = tensor::Workspace::tls();
+  tensor::Scratch cols = ws.take(static_cast<std::size_t>(col_rows * n * ohw));
+  tensor::Scratch dy_panel =
+      ws.take(static_cast<std::size_t>(cout_g * n * ohw));
+  tensor::Scratch dcols =
+      ws.take(static_cast<std::size_t>(col_rows * n * ohw));
+  auto& pool = util::ThreadPool::global();
 
   for (long g = 0; g < groups_; ++g) {
-    for (long s = 0; s < n; ++s) {
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t si) {
+      const long s = static_cast<long>(si);
+      tensor::Scratch panel =
+          tensor::Workspace::tls().take(static_cast<std::size_t>(col_rows * ohw));
       const float* img = x.data() + ((s * in_channels_ + g * cin_g) * h * w);
       tensor::im2col(img, geom, panel.data());
       for (long r = 0; r < col_rows; ++r) {
-        std::copy(panel.begin() + r * ohw, panel.begin() + (r + 1) * ohw,
-                  cols.begin() + r * n * ohw + s * ohw);
+        std::copy(panel.data() + r * ohw, panel.data() + (r + 1) * ohw,
+                  cols.data() + r * n * ohw + s * ohw);
       }
       for (long c = 0; c < cout_g; ++c) {
         const float* grad_out =
             dy.data() + ((s * out_channels_ + g * cout_g + c) * ohw);
         std::copy(grad_out, grad_out + ohw,
-                  dy_panel.begin() + (c * n + s) * ohw);
+                  dy_panel.data() + (c * n + s) * ohw);
       }
-    }
+    });
 
     float* wgrad =
         weight_.grad.data() + g * cout_g * cin_g * kernel_ * kernel_;
@@ -167,15 +184,20 @@ Tensor Conv2d::backward(const Tensor& dy) {
                       static_cast<std::size_t>(cout_g), 1.0f, wgt,
                       dy_panel.data(), 0.0f, dcols.data());
 
-    for (long s = 0; s < n; ++s) {
+    // Each sample's image-gradient slab is disjoint, so the gather +
+    // col2im scatter runs per sample in parallel too.
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t si) {
+      const long s = static_cast<long>(si);
+      tensor::Scratch sample_dcols =
+          tensor::Workspace::tls().take(static_cast<std::size_t>(col_rows * ohw));
       for (long r = 0; r < col_rows; ++r) {
-        std::copy(dcols.begin() + r * n * ohw + s * ohw,
-                  dcols.begin() + r * n * ohw + (s + 1) * ohw,
-                  sample_dcols.begin() + r * ohw);
+        std::copy(dcols.data() + r * n * ohw + s * ohw,
+                  dcols.data() + r * n * ohw + (s + 1) * ohw,
+                  sample_dcols.data() + r * ohw);
       }
       float* img_grad = dx.data() + ((s * in_channels_ + g * cin_g) * h * w);
       tensor::col2im(sample_dcols.data(), geom, img_grad);
-    }
+    });
   }
 
   if (has_bias_) {

@@ -2,37 +2,41 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
 namespace hsconas::tensor {
 
 namespace {
 
-// Panel sizes chosen for L1/L2 friendliness on commodity x86; exact tuning
-// is not critical at the network sizes used here.
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockN = 256;
-constexpr std::size_t kBlockK = 256;
+#if defined(__GNUC__) || defined(__clang__)
+#define HSCONAS_RESTRICT __restrict__
+#else
+#define HSCONAS_RESTRICT
+#endif
 
-// Inner kernel: accumulate a (mb × n) strip of C from (mb × kb)·(kb × n).
-// The j-loop is vectorizable by the compiler; kb stays in L1.
-void kernel(std::size_t mb, std::size_t n, std::size_t kb, float alpha,
-            const float* a, std::size_t lda, const float* b, std::size_t ldb,
-            float* c, std::size_t ldc) {
-  for (std::size_t i = 0; i < mb; ++i) {
-    const float* arow = a + i * lda;
-    float* crow = c + i * ldc;
-    for (std::size_t p = 0; p < kb; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * ldb;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+// Register tile: MR×NR accumulators live in registers across the whole k
+// loop (6×16 floats = 6 AVX-512 / 12 AVX2 vectors), so the kernel performs
+// one A broadcast + one B vector load per MR×NR FMAs instead of the
+// load/store-per-FMA pattern of a naive triple loop.
+constexpr std::size_t kMR = 6;
+constexpr std::size_t kNR = 16;
+
+// Cache blocking: an A block (kMC×kKC) plus the B panel the microkernel
+// streams (kKC×kNR) stay resident while a kMC×kNC block of C is updated.
+constexpr std::size_t kMC = 96;   // 16 MR-panels
+constexpr std::size_t kKC = 240;
+constexpr std::size_t kNC = 512;  // 32 NR-panels
+
+// Problems below this many FLOPs skip packing entirely — the scratch lease
+// and panel copies would dominate.
+constexpr std::size_t kPackThresholdFlops = 1u << 14;
+// Problems below this many FLOPs are not worth a thread-pool dispatch.
+constexpr std::size_t kParallelThresholdFlops = 1u << 21;
+
+constexpr std::size_t round_up(std::size_t x, std::size_t to) {
+  return (x + to - 1) / to * to;
 }
 
 void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
@@ -45,77 +49,228 @@ void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
   }
 }
 
-void gemm_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
-               std::size_t k, float alpha, const float* a, const float* b,
-               float* c) {
-  for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
-    const std::size_t mb = std::min(kBlockM, row_end - i0);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t kb = std::min(kBlockK, k - p0);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::size_t nb = std::min(kBlockN, n - j0);
-        kernel(mb, nb, kb, alpha, a + i0 * k + p0, k, b + p0 * n + j0, n,
-               c + i0 * n + j0, n);
+/// Pack the (mc×kc) block of A starting at logical (ic, pc) into MR-row
+/// panels: panel ip holds kc runs of MR column-adjacent values, zero-padded
+/// past mc, with alpha folded in. `trans` means A is stored k×m and the
+/// logical matrix is its transpose (the gemm_at_b layout).
+void pack_a_block(const float* a, std::size_t lda, bool trans, std::size_t ic,
+                  std::size_t pc, std::size_t mc, std::size_t kc, float alpha,
+                  float* HSCONAS_RESTRICT ap) {
+  for (std::size_t ip = 0; ip < mc; ip += kMR) {
+    const std::size_t mr = std::min(kMR, mc - ip);
+    for (std::size_t p = 0; p < kc; ++p) {
+      if (trans) {
+        const float* src = a + (pc + p) * lda + ic + ip;
+        for (std::size_t i = 0; i < mr; ++i) ap[i] = alpha * src[i];
+      } else {
+        const float* src = a + (ic + ip) * lda + pc + p;
+        for (std::size_t i = 0; i < mr; ++i) ap[i] = alpha * src[i * lda];
+      }
+      for (std::size_t i = mr; i < kMR; ++i) ap[i] = 0.0f;
+      ap += kMR;
+    }
+  }
+}
+
+/// Pack the (kc×nc) block of B starting at logical (pc, jc) into NR-column
+/// panels: panel jp holds kc runs of NR row-adjacent values, zero-padded
+/// past nc. `trans` means B is stored n×k and the logical matrix is its
+/// transpose (the gemm_a_bt layout).
+void pack_b_block(const float* b, std::size_t ldb, bool trans, std::size_t pc,
+                  std::size_t jc, std::size_t kc, std::size_t nc,
+                  float* HSCONAS_RESTRICT bp) {
+  for (std::size_t jp = 0; jp < nc; jp += kNR) {
+    const std::size_t nr = std::min(kNR, nc - jp);
+    if (!trans) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * ldb + jc + jp;
+        for (std::size_t j = 0; j < nr; ++j) bp[j] = src[j];
+        for (std::size_t j = nr; j < kNR; ++j) bp[j] = 0.0f;
+        bp += kNR;
+      }
+    } else {
+      // Transpose during packing: column j of the logical B is row
+      // (jc+jp+j) of the stored matrix.
+      for (std::size_t p = 0; p < kc; ++p) {
+        for (std::size_t j = 0; j < kNR; ++j) bp[j] = 0.0f;
+        bp += kNR;
+      }
+      bp -= kc * kNR;
+      for (std::size_t j = 0; j < nr; ++j) {
+        const float* src = b + (jc + jp + j) * ldb + pc;
+        for (std::size_t p = 0; p < kc; ++p) bp[p * kNR + j] = src[p];
+      }
+      bp += kc * kNR;
+    }
+  }
+}
+
+/// C_tile (mr×nr) += Ap_panel (MR×kc) · Bp_panel (kc×NR).
+///
+/// The accumulator tile is kMR vectors of kNR floats held in registers for
+/// the whole k loop; each k step is one B vector load plus kMR
+/// broadcast-FMAs, with no branches and no C traffic. GNU vector
+/// extensions pin the vector axis to the NR dimension — left to its own
+/// devices the auto-vectorizer picks the (wrong) MR axis and drowns the
+/// FMAs in shuffles. On AVX-512 each row is one zmm; on AVX2 the compiler
+/// splits rows into two ymm halves.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float VecNR __attribute__((vector_size(kNR * sizeof(float))));
+
+void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
+                  const float* HSCONAS_RESTRICT bp, float* HSCONAS_RESTRICT c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  VecNR acc[kMR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    VecNR bv;
+    std::memcpy(&bv, bp + p * kNR, sizeof(bv));
+    const float* HSCONAS_RESTRICT arow = ap + p * kMR;
+    for (std::size_t i = 0; i < kMR; ++i) acc[i] += arow[i] * bv;
+  }
+  if (mr == kMR && nr == kNR) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      VecNR cv;
+      std::memcpy(&cv, crow, sizeof(cv));
+      cv += acc[i];
+      std::memcpy(crow, &cv, sizeof(cv));
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    }
+  }
+}
+#else
+void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
+                  const float* HSCONAS_RESTRICT bp, float* HSCONAS_RESTRICT c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  float acc[kMR][kNR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* HSCONAS_RESTRICT arow = ap + p * kMR;
+    const float* HSCONAS_RESTRICT brow = bp + p * kNR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[i][j] += arow[i] * brow[j];
       }
     }
   }
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+  }
+}
+#endif
+
+struct GemmArgs {
+  std::size_t m, n, k;
+  float alpha;
+  const float* a;
+  std::size_t lda;
+  bool atrans;
+  const float* b;
+  std::size_t ldb;
+  bool btrans;
+  float* c;  // ldc == n
+};
+
+/// Compute one (mc×nc) block of C at (ic, jc): serial k loop (fixed
+/// accumulation order keeps results bit-identical at any thread count),
+/// packing A and B blocks into this thread's workspace.
+void run_block(const GemmArgs& g, std::size_t ic, std::size_t jc) {
+  const std::size_t mc = std::min(kMC, g.m - ic);
+  const std::size_t nc = std::min(kNC, g.n - jc);
+  Workspace& ws = Workspace::tls();
+  Scratch ap = ws.take(round_up(mc, kMR) * kKC);
+  Scratch bp = ws.take(kKC * round_up(nc, kNR));
+  for (std::size_t pc = 0; pc < g.k; pc += kKC) {
+    const std::size_t kc = std::min(kKC, g.k - pc);
+    pack_a_block(g.a, g.lda, g.atrans, ic, pc, mc, kc, g.alpha, ap.data());
+    pack_b_block(g.b, g.ldb, g.btrans, pc, jc, kc, nc, bp.data());
+    for (std::size_t jp = 0; jp < nc; jp += kNR) {
+      const std::size_t nr = std::min(kNR, nc - jp);
+      const float* bpanel = bp.data() + (jp / kNR) * kc * kNR;
+      for (std::size_t ip = 0; ip < mc; ip += kMR) {
+        const std::size_t mr = std::min(kMR, mc - ip);
+        micro_kernel(kc, ap.data() + (ip / kMR) * kc * kMR, bpanel,
+                     g.c + (ic + ip) * g.n + jc + jp, g.n, mr, nr);
+      }
+    }
+  }
+}
+
+/// Unpacked fallback for problems too small to amortize panel copies.
+void gemm_small(const GemmArgs& g) {
+  for (std::size_t i = 0; i < g.m; ++i) {
+    float* HSCONAS_RESTRICT crow = g.c + i * g.n;
+    for (std::size_t p = 0; p < g.k; ++p) {
+      const float av =
+          g.alpha * (g.atrans ? g.a[p * g.lda + i] : g.a[i * g.lda + p]);
+      // Worth a branch at these sizes: conv column matrices are full of
+      // im2col padding zeros, and skipping one saves a whole j sweep.
+      if (av == 0.0f) continue;
+      if (!g.btrans) {
+        const float* HSCONAS_RESTRICT brow = g.b + p * g.ldb;
+        for (std::size_t j = 0; j < g.n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (std::size_t j = 0; j < g.n; ++j) crow[j] += av * g.b[j * g.ldb + p];
+      }
+    }
+  }
+}
+
+void gemm_dispatch(const GemmArgs& g, float beta) {
+  scale_c(g.m, g.n, beta, g.c);
+  if (g.m == 0 || g.n == 0 || g.k == 0 || g.alpha == 0.0f) return;
+
+  // Degenerate row counts waste most of the MR-tall register tile (a
+  // depthwise conv's per-group GEMM has m == 1), so they also take the
+  // unpacked path, whose j-loop still vectorizes.
+  const std::size_t flops = 2 * g.m * g.n * g.k;
+  if (flops < kPackThresholdFlops || g.m < kMR / 2) {
+    gemm_small(g);
+    return;
+  }
+
+  const std::size_t mblocks = (g.m + kMC - 1) / kMC;
+  const std::size_t nblocks = (g.n + kNC - 1) / kNC;
+  const std::size_t blocks = mblocks * nblocks;
+  auto& pool = util::ThreadPool::global();
+  if (blocks == 1 || pool.size() <= 1 || flops < kParallelThresholdFlops) {
+    for (std::size_t t = 0; t < blocks; ++t) {
+      run_block(g, (t / nblocks) * kMC, (t % nblocks) * kNC);
+    }
+    return;
+  }
+  // Disjoint C blocks per task and a serial k loop inside each, so the
+  // result is independent of how tasks land on threads.
+  pool.parallel_for(blocks, [&](std::size_t t) {
+    run_block(g, (t / nblocks) * kMC, (t % nblocks) * kNC);
+  });
 }
 
 }  // namespace
 
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-
-  // Parallelize across row panels only when the work amortizes dispatch.
-  const std::size_t flops = 2 * m * n * k;
-  auto& pool = util::ThreadPool::global();
-  if (flops < (1u << 21) || pool.size() <= 1 || m < 2 * kBlockM) {
-    gemm_rows(0, m, n, k, alpha, a, b, c);
-    return;
-  }
-  const std::size_t panels = (m + kBlockM - 1) / kBlockM;
-  pool.parallel_for(panels, [&](std::size_t p) {
-    const std::size_t begin = p * kBlockM;
-    const std::size_t end = std::min(begin + kBlockM, m);
-    gemm_rows(begin, end, n, k, alpha, a, b, c);
-  });
+  gemm_dispatch({m, n, k, alpha, a, /*lda=*/k, /*atrans=*/false, b,
+                 /*ldb=*/n, /*btrans=*/false, c},
+                beta);
 }
 
 void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-  // C[i,j] += alpha * sum_p A[p,i] * B[p,j]; iterate p outer so both reads
-  // stream row-wise.
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_dispatch({m, n, k, alpha, a, /*lda=*/m, /*atrans=*/true, b,
+                 /*ldb=*/n, /*btrans=*/false, c},
+                beta);
 }
 
 void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-  // C[i,j] += alpha * dot(A[i,:], B[j,:]) — both rows contiguous.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += alpha * acc;
-    }
-  }
+  gemm_dispatch({m, n, k, alpha, a, /*lda=*/k, /*atrans=*/false, b,
+                 /*ldb=*/k, /*btrans=*/true, c},
+                beta);
 }
 
 }  // namespace hsconas::tensor

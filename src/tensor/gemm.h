@@ -5,19 +5,24 @@
 namespace hsconas::tensor {
 
 /// C (m×n) = alpha * A (m×k) · B (k×n) + beta * C.
-/// Row-major, contiguous. Cache-blocked with a small register kernel and
-/// parallelized over row panels via the global thread pool when m is large
-/// enough to amortize the dispatch.
+/// Row-major, contiguous. All three variants share one packed,
+/// register-blocked implementation: A and B blocks are copied into
+/// cache-aligned MR×k / k×NR panels (transposing on the fly for the
+/// ᵀ variants), a branch-free 6×16 microkernel accumulates in registers,
+/// and independent C blocks are distributed over the global thread pool
+/// when the problem is large enough to amortize the dispatch. The k-loop
+/// accumulation order is fixed, so results are bit-identical at any
+/// thread count. See docs/PERFORMANCE.md.
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, const float* b, float beta, float* c);
 
 /// C (m×n) = alpha * Aᵀ (A is k×m) · B (k×n) + beta * C.
-/// Used in the convolution backward pass for weight gradients.
+/// Used in the convolution backward pass for input-column gradients.
 void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c);
 
 /// C (m×n) = alpha * A (m×k) · Bᵀ (B is n×k) + beta * C.
-/// Used in the convolution backward pass for input gradients.
+/// Used in the convolution backward pass for weight gradients.
 void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c);
 

@@ -1,0 +1,112 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace hsconas::tensor {
+
+namespace {
+constexpr std::size_t kAlign = 64;  // one cache line / AVX-512 vector
+constexpr std::size_t kMaxPooled = 16;  // buffers parked per thread
+}  // namespace
+
+Scratch::Scratch(Scratch&& other) noexcept
+    : home_(other.home_),
+      data_(other.data_),
+      size_(other.size_),
+      capacity_(other.capacity_) {
+  other.home_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = other.capacity_ = 0;
+}
+
+Scratch& Scratch::operator=(Scratch&& other) noexcept {
+  if (this != &other) {
+    if (home_ != nullptr) home_->give_back(data_, capacity_);
+    home_ = other.home_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.home_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = other.capacity_ = 0;
+  }
+  return *this;
+}
+
+Scratch::~Scratch() {
+  if (home_ != nullptr) home_->give_back(data_, capacity_);
+}
+
+Workspace::~Workspace() { release_memory(); }
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+float* Workspace::allocate(std::size_t n) {
+  return static_cast<float*>(::operator new(
+      n * sizeof(float), std::align_val_t{kAlign}));
+}
+
+void Workspace::deallocate(float* p) {
+  ::operator delete(p, std::align_val_t{kAlign});
+}
+
+Scratch Workspace::take(std::size_t n) {
+  if (n == 0) n = 1;
+  // Best fit: smallest pooled buffer that holds n, so big conv scratches
+  // don't get burned on tiny bias rows.
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].capacity >= n &&
+        (best == free_.size() || free_[i].capacity < free_[best].capacity)) {
+      best = i;
+    }
+  }
+  if (best != free_.size()) {
+    Block block = free_[best];
+    free_[best] = free_.back();
+    free_.pop_back();
+    return Scratch(this, block.data, n, block.capacity);
+  }
+  return Scratch(this, allocate(n), n, n);
+}
+
+Scratch Workspace::take_zeroed(std::size_t n) {
+  Scratch s = take(n);
+  std::memset(s.data(), 0, s.size() * sizeof(float));
+  return s;
+}
+
+std::size_t Workspace::pooled_floats() const {
+  std::size_t total = 0;
+  for (const Block& b : free_) total += b.capacity;
+  return total;
+}
+
+void Workspace::release_memory() {
+  for (Block& b : free_) deallocate(b.data);
+  free_.clear();
+}
+
+void Workspace::give_back(float* data, std::size_t capacity) {
+  if (free_.size() >= kMaxPooled) {
+    // Evict the smallest parked buffer; keeping the large ones maximizes
+    // the chance the next lease is allocation-free.
+    auto smallest = std::min_element(
+        free_.begin(), free_.end(),
+        [](const Block& a, const Block& b) { return a.capacity < b.capacity; });
+    if (smallest->capacity >= capacity) {
+      deallocate(data);
+      return;
+    }
+    deallocate(smallest->data);
+    free_.erase(smallest);
+  }
+  free_.push_back(Block{data, capacity});
+}
+
+}  // namespace hsconas::tensor

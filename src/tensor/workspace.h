@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hsconas::tensor {
+
+class Workspace;
+
+/// RAII lease on a float scratch buffer owned by a Workspace. Returns the
+/// buffer to the owning pool on destruction so the next acquire of a
+/// similar size reuses the allocation instead of hitting the heap.
+/// Contents are uninitialized unless acquired via take_zeroed().
+class Scratch {
+ public:
+  Scratch() = default;
+  Scratch(Scratch&& other) noexcept;
+  Scratch& operator=(Scratch&& other) noexcept;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+  ~Scratch();
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  friend class Workspace;
+  Scratch(Workspace* home, float* data, std::size_t size,
+          std::size_t capacity)
+      : home_(home), data_(data), size_(size), capacity_(capacity) {}
+
+  Workspace* home_ = nullptr;  ///< pool to return to; null when empty
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;  ///< allocation size in floats
+};
+
+/// Growable pool of cache-line-aligned scratch buffers. The hot compute
+/// paths (GEMM packing, im2col panels, conv scatter staging) lease buffers
+/// from the calling thread's pool via Workspace::tls() instead of
+/// constructing a std::vector per call — after warm-up, a forward/backward
+/// pass performs zero scratch allocations.
+///
+/// Thread-safety: a Workspace instance is NOT synchronized. Use the
+/// thread-local instance from tls(); a Scratch must be released (destroyed)
+/// on the thread whose pool it came from. This is what makes leases safe
+/// inside ThreadPool::parallel_for bodies: each worker leases from its own
+/// pool.
+class Workspace {
+ public:
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Calling thread's pool (lazily constructed, lives for the thread).
+  static Workspace& tls();
+
+  /// Lease a buffer of at least n floats, 64-byte aligned, uninitialized.
+  Scratch take(std::size_t n);
+
+  /// Lease a buffer of n floats with every element set to 0.0f.
+  Scratch take_zeroed(std::size_t n);
+
+  /// Floats currently parked in the free list (for tests/diagnostics).
+  std::size_t pooled_floats() const;
+
+  /// Number of buffers currently parked in the free list.
+  std::size_t pooled_buffers() const { return free_.size(); }
+
+  /// Drop all pooled allocations (outstanding leases are unaffected).
+  void release_memory();
+
+ private:
+  friend class Scratch;
+  struct Block {
+    float* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  static float* allocate(std::size_t n);
+  static void deallocate(float* p);
+  void give_back(float* data, std::size_t capacity);
+
+  std::vector<Block> free_;
+};
+
+}  // namespace hsconas::tensor

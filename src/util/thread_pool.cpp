@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace hsconas::util {
 
@@ -38,6 +39,42 @@ void ThreadPool::wait() {
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+/// Per-parallel_for shared state. Helpers keep it (and the copied fn)
+/// alive via shared_ptr, so a helper that wakes up after the loop already
+/// finished just observes next >= n and returns without touching fn.
+struct LoopState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::function<void(std::size_t)> fn;
+  std::mutex mutex;
+  std::condition_variable cv_done;
+};
+
+void run_loop_chunks(LoopState& s) {
+  for (;;) {
+    const std::size_t begin =
+        s.next.fetch_add(s.chunk, std::memory_order_relaxed);
+    if (begin >= s.n) return;
+    const std::size_t end = std::min(begin + s.chunk, s.n);
+    for (std::size_t i = begin; i < end; ++i) s.fn(i);
+    const std::size_t done =
+        s.completed.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    if (done == s.n) {
+      // Wake the issuing thread. The lock pairs with the cv wait so the
+      // notification cannot slip between its predicate check and sleep.
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.cv_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -45,21 +82,31 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Chunked dynamic scheduling via a shared atomic counter.
-  auto counter = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t chunk = std::max<std::size_t>(1, n / (workers_.size() * 4));
-  const std::size_t tasks = std::min(workers_.size(), (n + chunk - 1) / chunk);
-  for (std::size_t t = 0; t < tasks; ++t) {
-    submit([counter, chunk, n, &fn] {
-      for (;;) {
-        const std::size_t begin = counter->fetch_add(chunk);
-        if (begin >= n) break;
-        const std::size_t end = std::min(begin + chunk, n);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      }
-    });
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->chunk = std::max<std::size_t>(1, n / (workers_.size() * 4));
+  state->fn = fn;
+
+  // The caller is one executor, so enqueue at most workers_ helpers and
+  // never more than there are chunks left for them.
+  const std::size_t total_chunks = (n + state->chunk - 1) / state->chunk;
+  const std::size_t helpers =
+      std::min(workers_.size(), total_chunks > 0 ? total_chunks - 1 : 0);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([state] { run_loop_chunks(*state); });
   }
-  wait();
+
+  // Work-first join: drain chunks on this thread, then sleep only while
+  // another thread is actively finishing its last chunk. Completion is
+  // counted per iteration, never per helper task, so this never waits on a
+  // task that is still sitting in the queue — that is what makes nested
+  // parallel_for calls from pool threads deadlock-free.
+  run_loop_chunks(*state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv_done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == state->n;
+  });
 }
 
 ThreadPool& ThreadPool::global() {

@@ -11,9 +11,15 @@
 namespace hsconas::util {
 
 /// Fixed-size worker pool with a parallel_for helper. Used by the tensor
-/// GEMM and by batch evaluation of architecture populations. Work items must
-/// not throw; exceptions escaping a task terminate (tasks wrap their own
-/// error handling where needed).
+/// GEMM, the Conv2d im2col packing loops, and batch evaluation of
+/// architecture populations. Work items must not throw; exceptions escaping
+/// a task terminate (tasks wrap their own error handling where needed).
+///
+/// parallel_for is re-entrant: a task running on a pool thread may itself
+/// call parallel_for on the same pool (e.g. a GEMM inside a parallel
+/// candidate evaluation). The calling thread always participates in the
+/// loop's work and only waits for chunks that are actively executing on
+/// other threads, so nested calls can never deadlock on pool capacity.
 class ThreadPool {
  public:
   /// `threads == 0` means hardware_concurrency (at least 1).
@@ -28,11 +34,16 @@ class ThreadPool {
   /// Enqueue a task; fire-and-forget (pair with wait()).
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have completed.
+  /// Block until all submitted tasks have completed. Must not be called
+  /// from a pool thread (the calling task is still in flight, so it would
+  /// wait on itself) — use parallel_for for nested joins.
   void wait();
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until done.
   /// Falls back to inline execution for n <= 1 or single-worker pools.
+  /// `fn` must be safe to invoke concurrently from multiple threads; the
+  /// iteration-to-thread assignment is nondeterministic but every index
+  /// runs exactly once.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool (lazily constructed).

@@ -122,5 +122,104 @@ TEST(Gemm, AccumulateIntoC) {
   for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4f);
 }
 
+// ---------------------------------------------------------------------------
+// Randomized cross-check of the packed/blocked implementation against a
+// double-precision reference, for all three layout variants and the full
+// beta set the training code uses. Shapes deliberately straddle the
+// microkernel tile (6x16) and the cache-block boundaries (MC=96, KC=240,
+// NC=512), plus fully degenerate m/n/k = 1 edges.
+// ---------------------------------------------------------------------------
+
+// C = alpha*op(A)*op(B) + beta*C_in, accumulated in double.
+std::vector<float> ref_gemm_full(std::size_t m, std::size_t n, std::size_t k,
+                                 float alpha, const float* a, bool atrans,
+                                 const float* b, bool btrans, float beta,
+                                 const std::vector<float>& c_in) {
+  std::vector<float> c(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = atrans ? a[p * m + i] : a[i * k + p];
+        const float bv = btrans ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = static_cast<float>(
+          alpha * acc + static_cast<double>(beta) * c_in[i * n + j]);
+    }
+  }
+  return c;
+}
+
+struct RandomizedCase {
+  std::size_t m, n, k;
+};
+
+// Edge shapes (tile remainders, block-boundary crossers, unit dims) plus a
+// handful of fully random draws appended in the test body.
+const RandomizedCase kEdgeShapes[] = {
+    {1, 1, 1},    {1, 1, 300},  {1, 257, 3},  {300, 1, 5},   {6, 16, 240},
+    {7, 17, 241}, {5, 15, 239}, {97, 33, 10}, {12, 513, 31}, {13, 31, 245},
+    {2, 3, 1},    {96, 16, 96}, {95, 511, 7}, {101, 18, 97},
+};
+
+class GemmRandomized : public ::testing::TestWithParam<float> {};
+
+TEST_P(GemmRandomized, AllVariantsMatchReferenceAcrossShapes) {
+  const float beta = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(beta * 8.0f) + 1234);
+
+  std::vector<RandomizedCase> cases(std::begin(kEdgeShapes),
+                                    std::end(kEdgeShapes));
+  for (int draw = 0; draw < 6; ++draw) {
+    cases.push_back({rng.index(160) + 1, rng.index(160) + 1,
+                     rng.index(160) + 1});
+  }
+
+  for (const RandomizedCase& cs : cases) {
+    const auto [m, n, k] = cs;
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << m << " n=" << n << " k=" << k
+                 << " beta=" << beta);
+    const float alpha = 1.0f + 0.25f * static_cast<float>(rng.uniform(-1, 1));
+    const auto a = random_matrix(m * k, rng);    // row-major m×k
+    const auto at = random_matrix(k * m, rng);   // row-major k×m (A^T)
+    const auto b = random_matrix(k * n, rng);    // row-major k×n
+    const auto bt = random_matrix(n * k, rng);   // row-major n×k (B^T)
+    const auto c0 = random_matrix(m * n, rng);
+    // Accumulation-order changes keep float error well under this for
+    // |values| <= 1 and k <= ~300.
+    const float tol = 5e-3f;
+
+    std::vector<float> c = c0;
+    gemm(m, n, k, alpha, a.data(), b.data(), beta, c.data());
+    auto expect =
+        ref_gemm_full(m, n, k, alpha, a.data(), false, b.data(), false,
+                      beta, c0);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], expect[i], tol) << "gemm at " << i;
+    }
+
+    c = c0;
+    gemm_at_b(m, n, k, alpha, at.data(), b.data(), beta, c.data());
+    expect = ref_gemm_full(m, n, k, alpha, at.data(), true, b.data(), false,
+                           beta, c0);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], expect[i], tol) << "gemm_at_b at " << i;
+    }
+
+    c = c0;
+    gemm_a_bt(m, n, k, alpha, a.data(), bt.data(), beta, c.data());
+    expect = ref_gemm_full(m, n, k, alpha, a.data(), false, bt.data(), true,
+                           beta, c0);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], expect[i], tol) << "gemm_a_bt at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, GemmRandomized,
+                         ::testing::Values(0.0f, 0.5f, 1.0f));
+
 }  // namespace
 }  // namespace hsconas::tensor

@@ -1,0 +1,92 @@
+#include "tensor/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace hsconas::tensor {
+namespace {
+
+TEST(Workspace, TakeReturnsAlignedWritableBuffer) {
+  Workspace ws;
+  Scratch s = ws.take(1000);
+  ASSERT_NE(s.data(), nullptr);
+  EXPECT_GE(s.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % 64, 0u);
+  for (std::size_t i = 0; i < 1000; ++i) s[i] = static_cast<float>(i);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(s[i], static_cast<float>(i));
+  }
+}
+
+TEST(Workspace, TakeZeroedIsZero) {
+  Workspace ws;
+  {
+    // Dirty a buffer, return it to the pool...
+    Scratch s = ws.take(256);
+    for (std::size_t i = 0; i < 256; ++i) s[i] = 7.0f;
+  }
+  // ...then the zeroed lease of the same size must not see the residue.
+  Scratch z = ws.take_zeroed(256);
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(z[i], 0.0f);
+}
+
+TEST(Workspace, LeaseReturnsToPoolAndIsReused) {
+  Workspace ws;
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+  float* first = nullptr;
+  {
+    Scratch s = ws.take(512);
+    first = s.data();
+    EXPECT_EQ(ws.pooled_buffers(), 0u);  // leased out, not pooled
+  }
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+  EXPECT_GE(ws.pooled_floats(), 512u);
+  {
+    Scratch s = ws.take(512);  // same size: must reuse, not reallocate
+    EXPECT_EQ(s.data(), first);
+    EXPECT_EQ(ws.pooled_buffers(), 0u);
+  }
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+}
+
+TEST(Workspace, ConcurrentLeasesAreDistinct) {
+  Workspace ws;
+  Scratch a = ws.take(64);
+  Scratch b = ws.take(64);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Workspace, MoveTransfersOwnership) {
+  Workspace ws;
+  Scratch a = ws.take(128);
+  float* p = a.data();
+  Scratch b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move): asserted
+  EXPECT_EQ(ws.pooled_buffers(), 0u);  // still leased, via b
+}
+
+TEST(Workspace, ReleaseMemoryDropsPool) {
+  Workspace ws;
+  { Scratch s = ws.take(64); }
+  { Scratch s = ws.take(4096); }
+  EXPECT_GT(ws.pooled_buffers(), 0u);
+  ws.release_memory();
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+  EXPECT_EQ(ws.pooled_floats(), 0u);
+}
+
+TEST(Workspace, TlsIsPerThread) {
+  Workspace* main_ws = &Workspace::tls();
+  Workspace* other_ws = nullptr;
+  std::thread t([&other_ws] { other_ws = &Workspace::tls(); });
+  t.join();
+  EXPECT_EQ(main_ws, &Workspace::tls());
+  EXPECT_NE(other_ws, nullptr);
+  EXPECT_NE(main_ws, other_ws);
+}
+
+}  // namespace
+}  // namespace hsconas::tensor

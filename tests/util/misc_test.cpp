@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 #include "util/cli.h"
 #include "util/error.h"
@@ -66,6 +68,61 @@ TEST(ThreadPool, SubmitAndWait) {
   }
   pool.wait();
   EXPECT_EQ(count.load(), 50);
+}
+
+// Regression: parallel_for from inside a parallel_for body on the SAME
+// pool (the GEMM-inside-parallel-candidate-eval pattern). The old
+// implementation had the outer caller block on a pool-wide completion
+// count that included its own queued tasks, deadlocking as soon as every
+// worker sat inside an outer iteration. Must both terminate and cover
+// every (outer, inner) pair exactly once.
+TEST(ThreadPool, NestedParallelForFromPoolThreads) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8, kInner = 33;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    pool.parallel_for(kInner, [&](std::size_t i) {
+      hits[o * kInner + i]++;
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, TripleNestedParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { count++; });
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+// Concurrent parallel_for calls issued from independent external threads
+// against one shared pool: each loop must see exactly its own indices.
+TEST(ThreadPool, ConcurrentParallelForFromExternalThreads) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kN = 200;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) {
+    v = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &hits, t] {
+      for (int rep = 0; rep < 5; ++rep) {
+        pool.parallel_for(kN, [&hits, t](std::size_t i) {
+          hits[static_cast<std::size_t>(t)][i]++;
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (auto& v : hits) {
+    for (auto& h : v) EXPECT_EQ(h.load(), 5);
+  }
 }
 
 TEST(Table, RendersHeaderRowsAndSections) {
