@@ -4,8 +4,12 @@
 // regressions in the kernels everything else sits on.
 //
 // Pass `--json <path>` (in addition to the usual --benchmark_* flags) to
-// also dump a machine-readable summary — one record per case with op,
-// shape, ns/iter and GFLOP/s — for the perf trajectory tooling.
+// also dump a machine-readable summary for the perf trajectory tooling:
+// {"results": [{"op", "shape", "ns_per_iter", "gflops"}, ...],
+//  "metrics": <obs metrics snapshot>}. The snapshot carries the kernel
+// entry counters (GEMM/im2col calls, accumulated FLOPs) and the workspace
+// high-water mark accumulated over the benchmark session, so a saved run
+// records not just how fast the kernels were but how often each path ran.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +24,8 @@
 #include "hwsim/registry.h"
 #include "nn/blocks.h"
 #include "nn/conv2d.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "tensor/gemm.h"
 #include "util/json.h"
 
@@ -151,7 +157,7 @@ void BM_DeviceSimulatorNetwork(benchmark::State& state) {
 BENCHMARK(BM_DeviceSimulatorNetwork);
 
 // Console output plus a collected record per run, written as JSON after
-// the session: [{"op", "shape", "ns_per_iter", "gflops"}, ...].
+// the session (see the file comment for the document shape).
 class JsonDumpReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -172,8 +178,12 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
   }
 
   void save(const std::string& path) const {
-    hsconas::util::Json doc = hsconas::util::Json::array();
-    for (const auto& r : records_) doc.push_back(r);
+    hsconas::util::Json results = hsconas::util::Json::array();
+    for (const auto& r : records_) results.push_back(r);
+    hsconas::util::Json doc = hsconas::util::Json::object();
+    doc["results"] = std::move(results);
+    doc["metrics"] =
+        hsconas::obs::metrics_to_json(hsconas::obs::metrics_snapshot());
     doc.save(path);
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -43,12 +45,20 @@ EvolutionSearch::EvolutionSearch(const SearchSpace& space,
 }
 
 double EvolutionSearch::cached_latency_ms(const Arch& arch) {
+  static obs::Counter& hits = obs::counter("hsconas.evolution.memo_hits");
+  static obs::Counter& misses = obs::counter("hsconas.evolution.memo_misses");
   const std::uint64_t h = arch.hash();
   {
     std::lock_guard<std::mutex> lock(memo_mutex_);
     const auto it = latency_memo_.find(h);
-    if (it != latency_memo_.end()) return it->second;
+    if (it != latency_memo_.end()) {
+      hits.add();
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  misses.add();
+  memo_misses_.fetch_add(1, std::memory_order_relaxed);
   // Compute outside the lock; predict_ms is deterministic, so a racing
   // duplicate computation stores the identical value.
   const double ms = latency_.predict_ms(arch);
@@ -58,6 +68,9 @@ double EvolutionSearch::cached_latency_ms(const Arch& arch) {
 }
 
 EvolutionSearch::Candidate EvolutionSearch::evaluate(Arch arch) {
+  static obs::Counter& evaluated =
+      obs::counter("hsconas.evolution.candidates_evaluated");
+  evaluated.add();
   Candidate c;
   c.arch = std::move(arch);
   c.accuracy = accuracy_(c.arch);
@@ -134,6 +147,7 @@ Arch EvolutionSearch::mutate(Arch arch) {
 }
 
 EvolutionSearch::Result EvolutionSearch::run() {
+  HSCONAS_TRACE_SCOPE("evolution.run");
   Result result;
   std::unordered_set<std::uint64_t> seen;
 
@@ -154,6 +168,7 @@ EvolutionSearch::Result EvolutionSearch::run() {
   result.best = population.front();
 
   for (int gen = 0; gen < config_.generations; ++gen) {
+    HSCONAS_TRACE_SCOPE("evolution.generation");
     std::sort(population.begin(), population.end(),
               [](const Candidate& a, const Candidate& b) {
                 return a.score > b.score;
@@ -172,6 +187,21 @@ EvolutionSearch::Result EvolutionSearch::run() {
     stats.best_latency_ms = population.front().latency_ms;
     stats.best_accuracy = population.front().accuracy;
     result.per_generation.push_back(stats);
+
+    // Live search telemetry: last generation wins (these are per-process
+    // gauges; the trajectory lives in result.per_generation).
+    obs::gauge("hsconas.evolution.generation").set(gen);
+    obs::gauge("hsconas.evolution.best_score").set(stats.best_score);
+    obs::gauge("hsconas.evolution.best_latency_ms")
+        .set(stats.best_latency_ms);
+    const double hits = static_cast<double>(
+        memo_hits_.load(std::memory_order_relaxed));
+    const double misses = static_cast<double>(
+        memo_misses_.load(std::memory_order_relaxed));
+    if (hits + misses > 0.0) {
+      obs::gauge("hsconas.evolution.memo_hit_rate")
+          .set(hits / (hits + misses));
+    }
 
     // Top-k parents breed the next generation. Elites survive unchanged.
     const std::vector<Candidate> parents(

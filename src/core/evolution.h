@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -104,6 +106,11 @@ class EvolutionSearch {
   util::Rng rng_;
   std::unordered_map<std::uint64_t, double> latency_memo_;
   std::mutex memo_mutex_;
+  /// This search's own memo statistics (the registry counters aggregate
+  /// across all searches in the process); atomics because evaluate() runs
+  /// across the pool. Feeds the per-generation memo-hit-rate gauge.
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
 };
 
 }  // namespace hsconas::core

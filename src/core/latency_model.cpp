@@ -1,8 +1,25 @@
 #include "core/latency_model.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace hsconas::core {
+
+namespace {
+// §III-A cost accounting: every predict_ms() is a LUT lookup (cheap),
+// every device probe is a simulated on-device measurement (expensive on
+// real hardware) — the ratio is the quantity "Searching on a Budget"-style
+// analyses care about.
+obs::Counter& lut_hit_counter() {
+  static obs::Counter& c = obs::counter("hsconas.latency.lut_hits");
+  return c;
+}
+obs::Counter& device_probe_counter() {
+  static obs::Counter& c = obs::counter("hsconas.latency.device_probes");
+  return c;
+}
+}  // namespace
 
 LatencyModel::LatencyModel(const SearchSpace& space,
                            const hwsim::DeviceSimulator& device,
@@ -19,9 +36,13 @@ LatencyModel::LatencyModel(const SearchSpace& space,
 }
 
 void LatencyModel::build_lut() {
+  HSCONAS_TRACE_SCOPE("latency.build_lut");
   const int L = space_.num_layers();
   const int K = space_.config().num_ops;
   const int F = static_cast<int>(space_.config().channel_factors.size());
+  obs::counter("hsconas.latency.lut_entries_built")
+      .add(static_cast<std::uint64_t>(L) * static_cast<std::uint64_t>(K) *
+           static_cast<std::uint64_t>(F));
   lut_.assign(static_cast<std::size_t>(L) * K * F, 0.0);
 
   for (int l = 0; l < L; ++l) {
@@ -49,11 +70,13 @@ void LatencyModel::build_lut() {
 }
 
 void LatencyModel::calibrate_bias() {
+  HSCONAS_TRACE_SCOPE("latency.calibrate_bias");
   // Eq. 3: B = mean over M sampled archs of (on-device latency − LUT sum).
   util::Rng rng(config_.seed);
   double gap = 0.0;
   for (int i = 0; i < config_.bias_samples; ++i) {
     const Arch arch = Arch::random(space_, rng);
+    device_probe_counter().add();
     const double on_device = device_.network_latency_ms(
         lower_network(arch, space_), config_.batch,
         config_.measurement_noise ? &rng : nullptr);
@@ -86,10 +109,12 @@ double LatencyModel::predict_uncorrected_ms(const Arch& arch) const {
 }
 
 double LatencyModel::predict_ms(const Arch& arch) const {
+  lut_hit_counter().add();
   return predict_uncorrected_ms(arch) + bias_;
 }
 
 double LatencyModel::measure_ms(const Arch& arch) {
+  device_probe_counter().add();
   return device_.network_latency_ms(
       lower_network(arch, space_), config_.batch,
       config_.measurement_noise ? &noise_rng_ : nullptr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -86,6 +87,7 @@ Pipeline::Pipeline(PipelineConfig config)
 }
 
 PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
+  HSCONAS_TRACE_SCOPE("pipeline.run");
   PipelineResult result;
   result.constraint_ms = config_.constraint_ms;
   result.log10_space_initial = space_.log10_size();
@@ -118,7 +120,11 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
                        << " epochs (" << supernet->param_count()
                        << " params)";
     }
-    auto hist = trainer->run(config_.initial_epochs);
+    std::vector<EpochStats> hist;
+    {
+      HSCONAS_TRACE_SCOPE("pipeline.supernet_train");
+      hist = trainer->run(config_.initial_epochs);
+    }
     result.train_history.insert(result.train_history.end(), hist.begin(),
                                 hist.end());
     accuracy = [&t = *trainer, n = config_.eval_batches](const Arch& arch) {
@@ -143,9 +149,11 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
                          }());
 
   if (per_stage > 0) {
+    HSCONAS_TRACE_SCOPE("pipeline.space_shrinking");
     result.stage1_decisions = shrinker.shrink_stage(L - 1, per_stage);
     result.log10_space_after_stage1 = space_.log10_size();
     if (trainer) {
+      HSCONAS_TRACE_SCOPE("pipeline.tune_stage1");
       auto hist = trainer->run(config_.tune_epochs, config_.tune_lr_stage1);
       result.train_history.insert(result.train_history.end(), hist.begin(),
                                   hist.end());
@@ -155,6 +163,7 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
         shrinker.shrink_stage(L - 1 - per_stage, per_stage);
     result.log10_space_after_stage2 = space_.log10_size();
     if (trainer) {
+      HSCONAS_TRACE_SCOPE("pipeline.tune_stage2");
       auto hist = trainer->run(config_.tune_epochs, config_.tune_lr_stage2);
       result.train_history.insert(result.train_history.end(), hist.begin(),
                                   hist.end());
@@ -170,7 +179,10 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
   evo_cfg.parallel_eval = config_.use_surrogate;
   EvolutionSearch search(space_, accuracy, *latency_model_, objective,
                          evo_cfg);
-  result.evolution = search.run();
+  {
+    HSCONAS_TRACE_SCOPE("pipeline.evolution");
+    result.evolution = search.run();
+  }
 
   result.best_arch = result.evolution.best.arch;
   result.best_score = result.evolution.best.score;

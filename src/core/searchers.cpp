@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace hsconas::core {
@@ -22,9 +24,13 @@ RandomSearch::RandomSearch(const SearchSpace& space, AccuracyFn accuracy,
 }
 
 RandomSearch::Result RandomSearch::run() {
+  HSCONAS_TRACE_SCOPE("random_search.run");
+  static obs::Counter& evaluated =
+      obs::counter("hsconas.random_search.candidates_evaluated");
   Result result;
   result.best.score = -1e300;
   for (int i = 0; i < config_.evaluations; ++i) {
+    evaluated.add();
     EvolutionSearch::Candidate c;
     c.arch = Arch::random(space_, rng_);
     c.accuracy = accuracy_(c.arch);
@@ -55,6 +61,9 @@ AgingEvolution::AgingEvolution(const SearchSpace& space, AccuracyFn accuracy,
 }
 
 EvolutionSearch::Candidate AgingEvolution::evaluate(Arch arch) {
+  static obs::Counter& evaluated =
+      obs::counter("hsconas.aging_evolution.candidates_evaluated");
+  evaluated.add();
   EvolutionSearch::Candidate c;
   c.arch = std::move(arch);
   c.accuracy = accuracy_(c.arch);
@@ -79,6 +88,7 @@ Arch AgingEvolution::mutate(Arch arch) {
 }
 
 AgingEvolution::Result AgingEvolution::run() {
+  HSCONAS_TRACE_SCOPE("aging_evolution.run");
   Result result;
   result.best.score = -1e300;
   std::deque<EvolutionSearch::Candidate> population;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -28,7 +30,12 @@ double SpaceShrinker::subspace_quality(int layer, int op) {
   // Samples are drawn serially (one RNG stream, fixed order), then scored
   // — across the pool when configured — and reduced in index order, so
   // the mean is identical at any worker count.
+  static obs::Counter& q_samples = obs::counter("hsconas.shrink.q_samples");
+  static obs::Counter& subspaces =
+      obs::counter("hsconas.shrink.subspaces_scored");
   const std::size_t n = static_cast<std::size_t>(config_.samples_per_subspace);
+  q_samples.add(n);
+  subspaces.add();
   std::vector<Arch> samples;
   samples.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -55,6 +62,7 @@ double SpaceShrinker::subspace_quality(int layer, int op) {
 }
 
 SpaceShrinker::LayerDecision SpaceShrinker::shrink_layer(int layer) {
+  HSCONAS_TRACE_SCOPE("shrink.layer");
   const std::vector<int> candidates = space_.allowed_ops(layer);
   HSCONAS_CHECK_MSG(!candidates.empty(), "shrink_layer: no candidates");
 
@@ -79,6 +87,7 @@ SpaceShrinker::LayerDecision SpaceShrinker::shrink_layer(int layer) {
 
 std::vector<SpaceShrinker::LayerDecision> SpaceShrinker::shrink_stage(
     int from_layer, int count) {
+  HSCONAS_TRACE_SCOPE("shrink.stage");
   if (from_layer < 0 || from_layer >= space_.num_layers() || count < 1 ||
       from_layer - count + 1 < 0) {
     throw InvalidArgument("shrink_stage: bad layer range");

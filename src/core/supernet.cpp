@@ -1,5 +1,7 @@
 #include "core/supernet.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/string_util.h"
 
@@ -79,6 +81,9 @@ nn::ChoiceBlock& Supernet::block(int layer, int op) {
 }
 
 Tensor Supernet::forward(const Tensor& images, const Arch& arch) {
+  HSCONAS_TRACE_SCOPE("supernet.forward");
+  static obs::Counter& forwards = obs::counter("hsconas.supernet.forwards");
+  forwards.add();
   check_arch(arch);
   active_path_.clear();
   active_path_.push_back(stem_.get());
@@ -107,6 +112,9 @@ Tensor Supernet::forward(const Tensor& images) {
 }
 
 void Supernet::backward(const Tensor& logits_grad) {
+  HSCONAS_TRACE_SCOPE("supernet.backward");
+  static obs::Counter& backwards = obs::counter("hsconas.supernet.backwards");
+  backwards.add();
   HSCONAS_CHECK_MSG(!active_path_.empty(),
                     "Supernet::backward before forward");
   Tensor g = logits_grad;

@@ -1,7 +1,23 @@
 #include "core/trainer.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+hsconas::obs::Counter& step_counter() {
+  static hsconas::obs::Counter& c =
+      hsconas::obs::counter("hsconas.train.steps");
+  return c;
+}
+hsconas::obs::Histogram& step_histogram() {
+  static hsconas::obs::Histogram& h =
+      hsconas::obs::histogram("hsconas.train.step_ms");
+  return h;
+}
+}  // namespace
 
 namespace hsconas::core {
 
@@ -20,6 +36,8 @@ SupernetTrainer::SupernetTrainer(Supernet& supernet,
 
 double SupernetTrainer::step(const data::Batch& batch, const Arch& arch,
                              double lr) {
+  util::Timer timer;
+  step_counter().add();
   supernet_.set_training(true);
   optimizer_.set_lr(lr);
   optimizer_.zero_grad();
@@ -28,11 +46,14 @@ double SupernetTrainer::step(const data::Batch& batch, const Arch& arch,
       nn::cross_entropy(logits, batch.labels, config_.label_smoothing);
   supernet_.backward(res.grad);
   optimizer_.step();
+  step_histogram().record(timer.millis());
   return res.loss;
 }
 
 double SupernetTrainer::step_fair(const data::Batch& batch, double lr,
                                   std::vector<Arch>* sampled) {
+  util::Timer timer;
+  step_counter().add();
   HSCONAS_CHECK_MSG(!supernet_.is_standalone(),
                     "step_fair: standalone networks have a single path");
   const SearchSpace& space = supernet_.space();
@@ -75,10 +96,12 @@ double SupernetTrainer::step_fair(const data::Batch& batch, double lr,
     loss_sum += res.loss;
   }
   optimizer_.step();
+  step_histogram().record(timer.millis());
   return loss_sum / static_cast<double>(K);
 }
 
 std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr) {
+  HSCONAS_TRACE_SCOPE("train.run");
   const double base_lr = lr >= 0.0 ? lr : config_.lr;
   const long steps_per_epoch =
       static_cast<long>(train_loader_.num_batches());
@@ -90,6 +113,7 @@ std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr) {
   std::vector<EpochStats> stats;
   long step_index = 0;
   for (int e = 0; e < epochs; ++e) {
+    HSCONAS_TRACE_SCOPE("train.epoch");
     train_loader_.start_epoch();
     double loss_sum = 0.0;
     std::size_t correct = 0, total = 0;
@@ -109,6 +133,8 @@ std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr) {
       const Arch arch = supernet_.is_standalone()
                             ? supernet_.fixed_arch()
                             : Arch::random(supernet_.space(), arch_rng_);
+      util::Timer step_timer;
+      step_counter().add();
       supernet_.set_training(true);
       optimizer_.set_lr(cur_lr);
       optimizer_.zero_grad();
@@ -117,6 +143,7 @@ std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr) {
           nn::cross_entropy(logits, batch.labels, config_.label_smoothing);
       supernet_.backward(res.grad);
       optimizer_.step();
+      step_histogram().record(step_timer.millis());
 
       loss_sum += res.loss * static_cast<double>(batch.labels.size());
       correct += res.correct_top1;

@@ -1,12 +1,14 @@
 #include "eval/latency_eval.h"
 
 #include "core/lowering.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace hsconas::eval {
 
 LatencyEvalReport evaluate_latency_model(core::LatencyModel& model,
                                          int num_archs, std::uint64_t seed) {
+  HSCONAS_TRACE_SCOPE("eval.latency_model");
   util::Rng rng(seed);
   LatencyEvalReport report;
   report.bias_ms = model.bias_ms();

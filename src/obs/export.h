@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace hsconas::obs {
+
+/// Serializers for the metrics registry and the span tracer. These live
+/// in their own library (hsconas_obs_export) layered above hsconas_util,
+/// because the recording core (metrics.h/trace.h) must stay dependency-free
+/// so util/tensor hot paths can link it.
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum_ms,
+///  min_ms, max_ms, mean_ms, p50_ms, p95_ms, buckets: [{le, count}...]}}}
+util::Json metrics_to_json(const MetricsSnapshot& snap);
+
+/// metrics_snapshot() -> JSON file at `path`.
+void save_metrics(const std::string& path);
+
+/// Chrome trace-event JSON ("X" complete events, µs timestamps) loadable
+/// in chrome://tracing and https://ui.perfetto.dev.
+util::Json trace_to_json(const std::vector<TraceEvent>& events);
+
+/// Tracer::snapshot() -> trace.json at `path`.
+void save_trace(const std::string& path);
+
+/// Inverse of metrics_to_json — lets tools/obs_report re-render a saved
+/// metrics file. Throws hsconas::Error if the document shape is wrong.
+MetricsSnapshot metrics_from_json(const util::Json& doc);
+
+/// Human-readable rendering of a metrics snapshot: a counters/gauges table
+/// followed by a histogram summary table (used by tools/obs_report).
+std::string render_metrics_report(const MetricsSnapshot& snap);
+
+}  // namespace hsconas::obs

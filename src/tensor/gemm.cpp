@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
 namespace hsconas::tensor {
+
+namespace {
+
+/// Kernel-entry accounting: one relaxed counter bump per public gemm call
+/// (never per tile/chunk), so the observability cost is invisible next to
+/// the O(mnk) work.
+void count_gemm_entry(obs::Counter& calls, std::size_t m, std::size_t n,
+                      std::size_t k) {
+  static obs::Counter& flops = obs::counter("hsconas.gemm.flops");
+  calls.add();
+  flops.add(static_cast<std::uint64_t>(2) * m * n * k);
+}
+
+}  // namespace
 
 namespace {
 
@@ -254,6 +269,8 @@ void gemm_dispatch(const GemmArgs& g, float beta) {
 
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
+  static obs::Counter& calls = obs::counter("hsconas.gemm.calls");
+  count_gemm_entry(calls, m, n, k);
   gemm_dispatch({m, n, k, alpha, a, /*lda=*/k, /*atrans=*/false, b,
                  /*ldb=*/n, /*btrans=*/false, c},
                 beta);
@@ -261,6 +278,8 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
 
 void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c) {
+  static obs::Counter& calls = obs::counter("hsconas.gemm.calls_at_b");
+  count_gemm_entry(calls, m, n, k);
   gemm_dispatch({m, n, k, alpha, a, /*lda=*/m, /*atrans=*/true, b,
                  /*ldb=*/n, /*btrans=*/false, c},
                 beta);
@@ -268,6 +287,8 @@ void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
 
 void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c) {
+  static obs::Counter& calls = obs::counter("hsconas.gemm.calls_a_bt");
+  count_gemm_entry(calls, m, n, k);
   gemm_dispatch({m, n, k, alpha, a, /*lda=*/k, /*atrans=*/false, b,
                  /*ldb=*/k, /*btrans=*/true, c},
                 beta);

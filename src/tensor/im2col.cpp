@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace hsconas::tensor {
 
 namespace {
@@ -22,6 +24,8 @@ void x_bounds(long off, long stride, long in_w, long ow, long* x_lo,
 }  // namespace
 
 void im2col(const float* img, const ConvGeom& g, float* cols) {
+  static obs::Counter& calls = obs::counter("hsconas.im2col.calls");
+  calls.add();
   const long oh = g.out_h(), ow = g.out_w();
   const long hw = g.in_h * g.in_w;
   long row = 0;
@@ -59,6 +63,8 @@ void im2col(const float* img, const ConvGeom& g, float* cols) {
 }
 
 void col2im(const float* cols, const ConvGeom& g, float* img_grad) {
+  static obs::Counter& calls = obs::counter("hsconas.col2im.calls");
+  calls.add();
   const long oh = g.out_h(), ow = g.out_w();
   const long hw = g.in_h * g.in_w;
   long row = 0;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <new>
 
+#include "obs/metrics.h"
+
 namespace hsconas::tensor {
 
 namespace {
@@ -56,7 +58,9 @@ void Workspace::deallocate(float* p) {
 }
 
 Scratch Workspace::take(std::size_t n) {
+  static obs::Counter& leases = obs::counter("hsconas.workspace.leases");
   if (n == 0) n = 1;
+  leases.add();
   // Best fit: smallest pooled buffer that holds n, so big conv scratches
   // don't get burned on tiny bias rows.
   std::size_t best = free_.size();
@@ -70,9 +74,20 @@ Scratch Workspace::take(std::size_t n) {
     Block block = free_[best];
     free_[best] = free_.back();
     free_.pop_back();
+    note_lease(block.capacity);
     return Scratch(this, block.data, n, block.capacity);
   }
+  note_lease(n);
   return Scratch(this, allocate(n), n, n);
+}
+
+void Workspace::note_lease(std::size_t capacity) {
+  static obs::Gauge& peak = obs::gauge("hsconas.workspace.peak_bytes");
+  // High-water mark of scratch leased out by this thread's pool; the gauge
+  // keeps the max across all threads for bench/report context.
+  outstanding_floats_ += capacity;
+  peak.update_max(static_cast<double>(outstanding_floats_) *
+                  static_cast<double>(sizeof(float)));
 }
 
 Scratch Workspace::take_zeroed(std::size_t n) {
@@ -93,6 +108,7 @@ void Workspace::release_memory() {
 }
 
 void Workspace::give_back(float* data, std::size_t capacity) {
+  outstanding_floats_ -= std::min(outstanding_floats_, capacity);
   if (free_.size() >= kMaxPooled) {
     // Evict the smallest parked buffer; keeping the large ones maximizes
     // the chance the next lease is allocation-free.

@@ -68,6 +68,10 @@ class Workspace {
   /// Floats currently parked in the free list (for tests/diagnostics).
   std::size_t pooled_floats() const;
 
+  /// Floats currently leased out from this pool. The cross-thread peak in
+  /// bytes is published to the `hsconas.workspace.peak_bytes` gauge.
+  std::size_t outstanding_floats() const { return outstanding_floats_; }
+
   /// Number of buffers currently parked in the free list.
   std::size_t pooled_buffers() const { return free_.size(); }
 
@@ -84,8 +88,10 @@ class Workspace {
   static float* allocate(std::size_t n);
   static void deallocate(float* p);
   void give_back(float* data, std::size_t capacity);
+  void note_lease(std::size_t capacity);
 
   std::vector<Block> free_;
+  std::size_t outstanding_floats_ = 0;
 };
 
 }  // namespace hsconas::tensor

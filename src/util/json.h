@@ -7,9 +7,12 @@
 
 namespace hsconas::util {
 
-/// Tiny JSON value tree with a serializer — enough to persist search results,
-/// latency tables, and experiment manifests. (No parser by design: the
-/// library never consumes external JSON, it only emits artifacts.)
+/// Tiny JSON value tree with a serializer and a minimal parser — enough to
+/// persist search results, latency tables, and experiment manifests, and
+/// (since the observability layer) to read back its own artifacts, e.g.
+/// `obs_report` rendering a metrics snapshot. The parser accepts exactly
+/// the JSON this class emits plus standard whitespace/escapes; it is not a
+/// general-purpose validator.
 class Json {
  public:
   using Array = std::vector<Json>;
@@ -38,8 +41,34 @@ class Json {
   /// Array append (converts null to array).
   void push_back(Json v);
 
+  bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Typed readers; throw hsconas::Error on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& items() const;    ///< array elements
+  const Object& fields() const;  ///< object members
+
+  /// Object member lookup without insertion; nullptr when absent or when
+  /// this value is not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Parse a JSON document. Throws hsconas::Error on malformed input or
+  /// trailing garbage.
+  static Json parse(const std::string& text);
+
+  /// Parse the file at `path`; throws hsconas::Error on I/O failure.
+  static Json load(const std::string& path);
 
   /// Serialize with 2-space indentation.
   std::string dump(int indent = 2) const;

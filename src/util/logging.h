@@ -2,6 +2,8 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hsconas::util {
 
@@ -12,23 +14,51 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit a message at `level` to stderr with a "[LEVEL elapsed]" prefix.
-void log_message(LogLevel level, const std::string& msg);
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// throws hsconas::Error on anything else. Used by the CLI --log-level flag.
+LogLevel parse_log_level(const std::string& name);
+
+/// Structured key=value attachments for one log record.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Emit a message at `level` to stderr with a "[LEVEL elapsed]" prefix,
+/// followed by any fields rendered as " key=value". One fprintf under one
+/// mutex per record, so concurrent calls (e.g. from ThreadPool workers)
+/// never interleave mid-line. When a JSONL sink is set, the same record is
+/// appended there as {"ts_s", "level", "msg", "fields"}.
+void log_message(LogLevel level, const std::string& msg,
+                 const LogFields& fields = {});
+
+/// Mirror every emitted record to `path` as one JSON object per line
+/// (JSONL). The file is opened for append; throws hsconas::Error if it
+/// cannot be opened. Pass through clear_log_sink() to stop mirroring.
+void set_log_sink(const std::string& path);
+void clear_log_sink();
 
 namespace detail {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, os_.str()); }
+  ~LogLine() { log_message(level_, os_.str(), fields_); }
   template <typename T>
   LogLine& operator<<(const T& v) {
     os_ << v;
+    return *this;
+  }
+  /// Attach a structured field: HSCONAS_LOG_INFO << "msg" then
+  /// .kv("epoch", 3).kv("loss", 0.42). Values go through operator<<.
+  template <typename T>
+  LogLine& kv(const std::string& key, const T& value) {
+    std::ostringstream vs;
+    vs << value;
+    fields_.emplace_back(key, vs.str());
     return *this;
   }
 
  private:
   LogLevel level_;
   std::ostringstream os_;
+  LogFields fields_;
 };
 }  // namespace detail
 

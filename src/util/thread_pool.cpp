@@ -2,9 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace hsconas::util {
+
+namespace {
+// Pool health metrics: queue pressure (instantaneous + high-water) and the
+// wall-clock cost of each dequeued task. One relaxed atomic per event.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("hsconas.pool.queue_depth");
+  return g;
+}
+obs::Gauge& queue_depth_peak_gauge() {
+  static obs::Gauge& g = obs::gauge("hsconas.pool.queue_depth_peak");
+  return g;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,11 +42,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  static obs::Counter& submitted = obs::counter("hsconas.pool.tasks_submitted");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
+    const double depth = static_cast<double>(queue_.size());
+    queue_depth_gauge().set(depth);
+    queue_depth_peak_gauge().update_max(depth);
   }
+  submitted.add();
   cv_task_.notify_one();
 }
 
@@ -77,6 +98,8 @@ void run_loop_chunks(LoopState& s) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  static obs::Counter& loops = obs::counter("hsconas.pool.parallel_for_calls");
+  loops.add();
   if (n == 0) return;
   if (n == 1 || workers_.size() <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -115,6 +138,8 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  static obs::Counter& executed = obs::counter("hsconas.pool.tasks_executed");
+  static obs::Histogram& task_ms = obs::histogram("hsconas.pool.task_ms");
   for (;;) {
     std::function<void()> task;
     {
@@ -123,8 +148,14 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();
+    task_ms.record(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+    executed.add();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -4,15 +4,37 @@
 
 namespace hsconas::util {
 
-/// Simple wall-clock stopwatch.
+/// Wall-clock stopwatch on std::chrono::steady_clock (monotonic: immune to
+/// system clock adjustments, so durations are always non-negative).
+/// Starts at construction. For instrumenting named phases prefer
+/// HSCONAS_TRACE_SCOPE (obs/trace.h), which feeds the exportable trace;
+/// Timer is for ad-hoc measurement and tests.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch from zero.
   void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset/lap.
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
   double millis() const { return seconds() * 1e3; }
+
+  /// Return the elapsed seconds AND restart — one call per loop iteration
+  /// yields per-iteration durations with no drift (the restart uses the
+  /// same clock sample that produced the return value).
+  double reset_and_lap() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return elapsed;
+  }
+
+  /// reset_and_lap() in milliseconds.
+  double lap_millis() { return reset_and_lap() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;

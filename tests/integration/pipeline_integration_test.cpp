@@ -7,9 +7,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
 
 #include "core/checkpoint.h"
 #include "core/pipeline.h"
+#include "hwsim/registry.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hsconas::core {
 namespace {
@@ -133,6 +140,109 @@ TEST(PipelineIntegration, MbConvProxyPipelineEndToEnd) {
   EXPECT_TRUE(result.best_arch.in_space(pipeline.space()));
   EXPECT_NE(result.best_arch.to_string(pipeline.space()).find("mb_"),
             std::string::npos);
+}
+
+#if !defined(HSCONAS_TRACING_DISABLED)
+TEST(PipelineIntegration, TraceCoversEveryPipelinePhase) {
+  // A traced proxy-mode run must leave spans for each phase the paper's
+  // pipeline executes — the acceptance shape for `hsconas search
+  // --trace-out=...` (training, shrinking, evolution, kernel-adjacent
+  // work all visible in one Perfetto timeline).
+  obs::Tracer::clear();
+  obs::Tracer::enable();
+  const auto dataset = make_dataset();
+  Pipeline pipeline(make_config());
+  const PipelineResult result = pipeline.run(&dataset);
+  obs::Tracer::disable();
+  ASSERT_TRUE(result.best_arch.in_space(pipeline.space()));
+
+  std::set<std::string> names;
+  for (const auto& e : obs::Tracer::snapshot()) names.insert(e.name);
+  for (const char* expected :
+       {"pipeline.run", "pipeline.supernet_train", "pipeline.evolution",
+        "train.run", "train.epoch", "shrink.stage", "shrink.layer",
+        "evolution.run", "evolution.generation", "supernet.forward",
+        "supernet.backward", "latency.build_lut", "latency.calibrate_bias"}) {
+    EXPECT_TRUE(names.count(expected) == 1)
+        << "missing span: " << expected;
+  }
+
+  // The exported trace.json carries the same span names.
+  const std::string path = testing::TempDir() + "/hsconas_trace.json";
+  obs::save_trace(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::ostringstream os;
+  os << f.rdbuf();
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("pipeline.supernet_train"), std::string::npos);
+  EXPECT_NE(trace.find("evolution.generation"), std::string::npos);
+  std::remove(path.c_str());
+  obs::Tracer::clear();
+}
+#endif  // !HSCONAS_TRACING_DISABLED
+
+TEST(PipelineIntegration, MetricsCoverSearchHotPaths) {
+  // Counters are process-global; snapshot deltas isolate this run.
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  const auto dataset = make_dataset();
+  Pipeline pipeline(make_config());
+  const PipelineResult result = pipeline.run(&dataset);
+  ASSERT_TRUE(result.best_arch.in_space(pipeline.space()));
+  const obs::MetricsSnapshot after = obs::metrics_snapshot();
+
+  const auto delta = [&](const char* name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+  EXPECT_GT(delta("hsconas.supernet.forwards"), 0u);
+  EXPECT_GT(delta("hsconas.supernet.backwards"), 0u);
+  EXPECT_GT(delta("hsconas.train.steps"), 0u);
+  EXPECT_GT(delta("hsconas.gemm.calls"), 0u);
+  EXPECT_GT(delta("hsconas.im2col.calls"), 0u);
+  EXPECT_GT(delta("hsconas.latency.lut_hits"), 0u);
+  EXPECT_GT(delta("hsconas.latency.device_probes"), 0u);
+  EXPECT_GT(delta("hsconas.shrink.q_samples"), 0u);
+  EXPECT_GT(delta("hsconas.evolution.candidates_evaluated"), 0u);
+  // Every distinct candidate prices the latency memo exactly once (hits
+  // only occur when the space saturates — covered by the test below).
+  EXPECT_GT(delta("hsconas.evolution.memo_misses"), 0u);
+  EXPECT_GT(after.gauge_value("hsconas.workspace.peak_bytes"), 0.0);
+}
+
+TEST(PipelineIntegration, EvolutionMemoHitsOnSaturatedSpace) {
+  // A deliberately tiny space (2 ops, 1 factor, 3 layers = 8 archs) that
+  // the EA exhausts, forcing duplicate genotypes through evaluate() — the
+  // path the latency memo exists for. The memo-hit counters and the
+  // per-generation hit-rate gauge must both light up.
+  auto space_cfg = SearchSpaceConfig::proxy(6, 12, 1);
+  space_cfg.num_ops = 2;
+  space_cfg.channel_factors = {1.0};
+  SearchSpace space(space_cfg);
+  const hwsim::DeviceSimulator device(hwsim::device_by_name("xavier"));
+  const LatencyModel latency(space, device,
+                             LatencyModel::Config{16, 5, 1, false});
+
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  EvolutionSearch::Config cfg;
+  cfg.generations = 4;
+  cfg.population = 6;
+  cfg.parents = 3;
+  cfg.seed = 11;
+  EvolutionSearch search(
+      space,
+      [](const Arch& a) {
+        return 0.5 + static_cast<double>(a.hash() % 97) / 970.0;
+      },
+      latency, Objective{-0.3, 1.0}, cfg);
+  const auto result = search.run();
+  EXPECT_TRUE(result.best.arch.in_space(space));
+
+  const obs::MetricsSnapshot after = obs::metrics_snapshot();
+  EXPECT_GT(after.counter_value("hsconas.evolution.memo_hits"),
+            before.counter_value("hsconas.evolution.memo_hits"));
+  EXPECT_GT(after.gauge_value("hsconas.evolution.memo_hit_rate"), 0.0);
+  EXPECT_LE(after.gauge_value("hsconas.evolution.memo_hit_rate"), 1.0);
 }
 
 TEST(PipelineIntegration, SupernetSurvivesCheckpointRoundTrip) {

@@ -92,5 +92,82 @@ TEST(Csv, BadPathThrows) {
   EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/x.csv"), Error);
 }
 
+// ---- parser (added with the obs subsystem: obs_report re-reads saved
+// metrics/trace files, so Json gained a real recursive-descent parser) ----
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_double(), -250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, EscapesAndWhitespace) {
+  EXPECT_EQ(Json::parse("  \"a\\n\\t\\\"b\\\\\"  ").as_string(),
+            "a\n\t\"b\\");
+  const Json doc = Json::parse("{ \"k\" : [ 1 , 2 ] }");
+  ASSERT_NE(doc.find("k"), nullptr);
+  EXPECT_EQ(doc.find("k")->items().size(), 2u);
+}
+
+TEST(JsonParse, RoundTripsDumpedDocuments) {
+  Json doc = Json::object();
+  doc["name"] = "hsconas";
+  doc["pi"] = 3.14159;
+  doc["flag"] = true;
+  doc["none"] = Json(nullptr);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json nested = Json::object();
+  nested["deep"] = -7;
+  arr.push_back(std::move(nested));
+  doc["items"] = std::move(arr);
+
+  // indent 2 and indent 0 must parse back to the same document
+  for (int indent : {0, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back.find("name")->as_string(), "hsconas");
+    EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.14159);
+    EXPECT_EQ(back.find("flag")->as_bool(), true);
+    EXPECT_TRUE(back.find("none")->is_null());
+    const auto& items = back.find("items")->items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_DOUBLE_EQ(items[0].as_double(), 1.0);
+    EXPECT_EQ(items[1].as_string(), "two");
+    EXPECT_DOUBLE_EQ(items[2].find("deep")->as_double(), -7.0);
+  }
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1, 2"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("nul"), Error);
+  EXPECT_THROW(Json::parse("1 trailing"), Error);
+}
+
+TEST(JsonParse, TypedAccessorsThrowOnWrongType) {
+  const Json n(1.5);
+  EXPECT_THROW(n.as_string(), Error);
+  EXPECT_THROW(n.as_bool(), Error);
+  EXPECT_EQ(n.find("k"), nullptr);  // find on a non-object: absent, no throw
+}
+
+TEST(JsonParse, LoadReadsSavedFile) {
+  const std::string path = testing::TempDir() + "/hsconas_json_load.json";
+  Json doc = Json::object();
+  doc["answer"] = 42;
+  doc.save(path);
+  const Json back = Json::load(path);
+  EXPECT_DOUBLE_EQ(back.find("answer")->as_double(), 42.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(Json::load(path), Error);  // gone now
+}
+
 }  // namespace
 }  // namespace hsconas::util

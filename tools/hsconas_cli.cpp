@@ -5,15 +5,24 @@
 //   hsconas pareto   --device=cpu [--generations=25] ...
 //   hsconas baselines
 //
-// `search` runs the full pipeline (surrogate accuracy at paper scale) and
-// writes a JSON report; `predict` prices a given architecture on all
-// devices (latency, energy, compute); `pareto` evolves the
-// accuracy-latency front; `baselines` prints the Table I zoo on the
-// simulated devices.
+// `search` runs the full pipeline (surrogate accuracy at paper scale, or
+// a real proxy-scale supernet with --accuracy=proxy) and writes a JSON
+// report; `predict` prices a given architecture on all devices (latency,
+// energy, compute); `pareto` evolves the accuracy-latency front;
+// `baselines` prints the Table I zoo on the simulated devices.
+//
+// Global observability flags (any command, peeled before dispatch):
+//   --metrics-out=PATH  dump the metrics registry as JSON on exit
+//   --trace-out=PATH    enable the span tracer; write a Chrome/Perfetto
+//                       trace (load at https://ui.perfetto.dev) on exit
+//   --log-level=LVL     debug | info | warn | error | off
+//   --log-json=PATH     mirror log records to PATH as JSONL
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/zoo.h"
 #include "core/accuracy_surrogate.h"
@@ -21,10 +30,14 @@
 #include "core/lowering.h"
 #include "core/pareto.h"
 #include "core/pipeline.h"
+#include "data/synthetic.h"
 #include "hwsim/energy.h"
 #include "hwsim/registry.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -39,7 +52,12 @@ int usage() {
       "  search     run the full HSCoNAS pipeline for a target device\n"
       "  predict    price one architecture on every device\n"
       "  pareto     evolve the accuracy-latency front for a device\n"
-      "  baselines  print the Table I baseline zoo on the simulators\n",
+      "  baselines  print the Table I baseline zoo on the simulators\n\n"
+      "global flags (any command):\n"
+      "  --metrics-out=PATH  write the metrics registry as JSON on exit\n"
+      "  --trace-out=PATH    enable tracing; write a Perfetto trace on exit\n"
+      "  --log-level=LVL     debug | info | warn | error | off\n"
+      "  --log-json=PATH     mirror log records to PATH as JSONL\n",
       stdout);
   return 2;
 }
@@ -68,24 +86,59 @@ int cmd_search(int argc, char** argv) {
   cli.add_option("constraint", "0", "latency budget T ms (0 = paper default)");
   cli.add_option("layout", "A", "channel layout: A or B");
   cli.add_option("family", "shuffle", "operator family: shuffle | mbconv");
+  cli.add_option("accuracy", "surrogate",
+                 "accuracy backend: surrogate (paper-scale, fast) | proxy "
+                 "(train a real supernet on the synthetic proxy task)");
   cli.add_option("generations", "20", "EA generations");
   cli.add_option("population", "50", "EA population");
   cli.add_option("seed", "1", "seed");
   cli.add_option("report", "hsconas_search.json", "JSON report path");
   if (!cli.parse(argc, argv)) return 0;
 
+  const std::string accuracy = cli.get("accuracy");
+  if (accuracy != "surrogate" && accuracy != "proxy") {
+    throw InvalidArgument("--accuracy must be surrogate or proxy");
+  }
+
   core::PipelineConfig cfg;
-  cfg.space = layout_config(cli.get("layout"), cli.get("family"));
   cfg.device = cli.get("device");
   cfg.constraint_ms = cli.get_double("constraint");
-  cfg.use_surrogate = true;
   cfg.evolution.generations = static_cast<int>(cli.get_int("generations"));
   cfg.evolution.population = static_cast<int>(cli.get_int("population"));
   cfg.evolution.parents = cfg.evolution.population * 2 / 5;
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
+  std::unique_ptr<data::SyntheticDataset> dataset;
+  if (accuracy == "surrogate") {
+    cfg.space = layout_config(cli.get("layout"), cli.get("family"));
+    cfg.use_surrogate = true;
+  } else {
+    // Proxy mode trains a *real* supernet, so it runs at proxy scale (the
+    // synthetic stand-in task; see DESIGN.md) regardless of --layout.
+    cfg.space = core::SearchSpaceConfig::proxy(6, 12, 1);
+    if (cli.get("family") == "mbconv") {
+      cfg.space = cfg.space.with_family(nn::OpFamily::kMbConv);
+    }
+    if (cfg.constraint_ms <= 0.0) cfg.constraint_ms = 1.2;
+    cfg.use_surrogate = false;
+    cfg.initial_epochs = 2;
+    cfg.tune_epochs = 1;
+    cfg.shrink_layers_per_stage = 1;
+    cfg.shrink.samples_per_subspace = 6;
+    cfg.eval_batches = 2;
+    cfg.train.batch_size = 36;
+    cfg.train.lr = 0.08;
+    data::SyntheticConfig ds;
+    ds.num_classes = 6;
+    ds.train_size = 180;
+    ds.val_size = 90;
+    ds.image_size = 12;
+    ds.seed = 77;
+    dataset = std::make_unique<data::SyntheticDataset>(ds);
+  }
+
   core::Pipeline pipeline(cfg);
-  const core::PipelineResult result = pipeline.run();
+  const core::PipelineResult result = pipeline.run(dataset.get());
 
   const double err = (1.0 - result.best_accuracy) * 100.0;
   std::printf("winner (layout %s, %s, T=%.0fms):\n  %s\n",
@@ -217,21 +270,80 @@ int cmd_baselines(int argc, char** argv) {
 
 }  // namespace
 
+namespace {
+
+/// If `arg` is `--<key>=value`, return the value; nullptr otherwise.
+const char* flag_value(const char* arg, const char* key) {
+  const std::size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  // Shift argv so each subcommand parses its own flags.
-  argv[1] = argv[0];
+  // Peel the process-wide observability flags before subcommand dispatch
+  // (util::Cli rejects unknown keys, so they must never reach it).
+  std::string metrics_out, trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
   try {
-    if (command == "search") return cmd_search(argc - 1, argv + 1);
-    if (command == "predict") return cmd_predict(argc - 1, argv + 1);
-    if (command == "pareto") return cmd_pareto(argc - 1, argv + 1);
-    if (command == "baselines") return cmd_baselines(argc - 1, argv + 1);
+    for (int i = 0; i < argc; ++i) {
+      if (const char* v = flag_value(argv[i], "--metrics-out")) {
+        metrics_out = v;
+      } else if (const char* v = flag_value(argv[i], "--trace-out")) {
+        trace_out = v;
+        hsconas::obs::Tracer::enable();
+      } else if (const char* v = flag_value(argv[i], "--log-level")) {
+        hsconas::util::set_log_level(hsconas::util::parse_log_level(v));
+      } else if (const char* v = flag_value(argv[i], "--log-json")) {
+        hsconas::util::set_log_sink(v);
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+  } catch (const hsconas::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) return usage();
+  const std::string command = args[1];
+  // Shift argv so each subcommand parses its own flags.
+  args[1] = args[0];
+
+  // Flush observability artifacts on every exit path — including errors,
+  // where a partial trace is exactly what you want to look at.
+  const auto finish = [&](int rc) {
+    try {
+      if (!metrics_out.empty()) {
+        hsconas::obs::save_metrics(metrics_out);
+        std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+      }
+      if (!trace_out.empty()) {
+        hsconas::obs::save_trace(trace_out);
+        std::fprintf(stderr, "trace written to %s (load at ui.perfetto.dev)\n",
+                     trace_out.c_str());
+      }
+    } catch (const hsconas::Error& e) {
+      std::fprintf(stderr, "error writing observability output: %s\n",
+                   e.what());
+      if (rc == 0) rc = 1;
+    }
+    return rc;
+  };
+
+  try {
+    if (command == "search") return finish(cmd_search(nargs - 1, args.data() + 1));
+    if (command == "predict") return finish(cmd_predict(nargs - 1, args.data() + 1));
+    if (command == "pareto") return finish(cmd_pareto(nargs - 1, args.data() + 1));
+    if (command == "baselines") return finish(cmd_baselines(nargs - 1, args.data() + 1));
     if (command == "--help" || command == "-h") return usage(), 0;
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     return usage();
   } catch (const hsconas::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return finish(1);
   }
 }

@@ -1,0 +1,42 @@
+// obs_report — render a saved metrics JSON file (produced by
+// `hsconas --metrics-out=...` or `bench_kernels --json`) as tables.
+//
+//   obs_report metrics.json
+//
+// Reads the file, inverts obs::metrics_to_json, and prints the counters,
+// gauges and histogram summaries via util::Table.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export.h"
+#include "util/error.h"
+#include "util/json.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help" ||
+      std::string(argv[1]) == "-h") {
+    std::fputs("usage: obs_report <metrics.json>\n", stderr);
+    return 2;
+  }
+  try {
+    const hsconas::util::Json doc = hsconas::util::Json::load(argv[1]);
+    // bench_kernels embeds the snapshot under a "metrics" key; accept both
+    // a bare snapshot and such a wrapper.
+    const hsconas::util::Json* snap_json = doc.find("counters") != nullptr
+                                               ? &doc
+                                               : doc.find("metrics");
+    if (snap_json == nullptr) {
+      throw hsconas::Error(
+          "obs_report: no metrics snapshot found (expected a \"counters\" "
+          "or \"metrics\" key)");
+    }
+    const hsconas::obs::MetricsSnapshot snap =
+        hsconas::obs::metrics_from_json(*snap_json);
+    std::fputs(hsconas::obs::render_metrics_report(snap).c_str(), stdout);
+    return 0;
+  } catch (const hsconas::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
