@@ -1,72 +1,225 @@
 #include "core/checkpoint.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
+#include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace hsconas::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'H', 'S', 'C', 'K'};
+constexpr std::size_t kMaxSectionName = 256;
+constexpr std::size_t kMaxSections = 1024;
+constexpr std::size_t kMaxParamName = 4096;
+constexpr std::size_t kMaxParamDims = 8;
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+obs::Counter& save_counter() {
+  static obs::Counter& c = obs::counter("hsconas.checkpoint.saves");
+  return c;
+}
+obs::Counter& load_counter() {
+  static obs::Counter& c = obs::counter("hsconas.checkpoint.loads");
+  return c;
+}
+obs::Counter& load_failure_counter() {
+  static obs::Counter& c = obs::counter("hsconas.checkpoint.load_failures");
+  return c;
+}
+obs::Counter& bytes_written_counter() {
+  static obs::Counter& c = obs::counter("hsconas.checkpoint.bytes_written");
+  return c;
+}
+obs::Histogram& save_histogram() {
+  static obs::Histogram& h = obs::histogram("hsconas.checkpoint.save_ms");
+  return h;
+}
+obs::Histogram& load_histogram() {
+  static obs::Histogram& h = obs::histogram("hsconas.checkpoint.load_ms");
+  return h;
 }
 
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw Error("checkpoint: truncated file");
-  return value;
-}
+/// RAII FILE handle so error paths cannot leak the descriptor.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(std::FILE* handle) : f(handle) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  /// Close eagerly (flushing libc buffers); returns false on failure.
+  bool close() {
+    std::FILE* h = f;
+    f = nullptr;
+    return std::fclose(h) == 0;
+  }
+};
 
 }  // namespace
 
-void save_parameters(const std::vector<nn::Parameter*>& params,
-                     const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("checkpoint: cannot open " + path + " for writing");
-
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kCheckpointVersion);
-  write_pod(out, static_cast<std::uint64_t>(params.size()));
-
-  for (const nn::Parameter* p : params) {
-    HSCONAS_CHECK_MSG(p != nullptr, "save_parameters: null parameter");
-    write_pod(out, static_cast<std::uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    const auto& shape = p->value.shape();
-    write_pod(out, static_cast<std::uint32_t>(shape.size()));
-    for (long d : shape) write_pod(out, static_cast<std::int64_t>(d));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(
-                  static_cast<std::size_t>(p->value.numel()) *
-                  sizeof(float)));
+void CheckpointWriter::add_section(const std::string& name,
+                                   std::string payload) {
+  if (name.empty() || name.size() > kMaxSectionName) {
+    throw InvalidArgument("checkpoint: bad section name '" + name + "'");
   }
-  if (!out) throw Error("checkpoint: write failed for " + path);
+  sections_[name] = std::move(payload);
 }
 
-void load_parameters(const std::vector<nn::Parameter*>& params,
-                     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("checkpoint: cannot open " + path);
+void CheckpointWriter::save(const std::string& path) const {
+  HSCONAS_TRACE_SCOPE("checkpoint.save");
+  util::Timer timer;
+  if (sections_.size() > kMaxSections) {
+    throw InvalidArgument("checkpoint: too many sections");
+  }
 
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw Error("checkpoint: bad magic in " + path);
+  util::ByteWriter image;
+  image.bytes(kMagic, sizeof(kMagic));
+  image.u32(kCheckpointVersion);
+  image.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    image.str(name);
+    image.u64(payload.size());
+    const std::uint32_t crc = util::crc32(
+        payload.data(), payload.size(),
+        util::crc32(name.data(), name.size()));
+    image.u32(crc);
+    image.bytes(payload.data(), payload.size());
   }
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kCheckpointVersion) {
-    throw Error("checkpoint: unsupported version " +
-                std::to_string(version));
+
+  const std::string tmp = path + ".tmp";
+  {
+    File out(std::fopen(tmp.c_str(), "wb"));
+    if (out.f == nullptr) {
+      throw Error("checkpoint: cannot open " + tmp + " for writing");
+    }
+    const std::string& buf = image.data();
+    const bool ok =
+        std::fwrite(buf.data(), 1, buf.size(), out.f) == buf.size() &&
+        std::fflush(out.f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+    // Push the data to the device before the rename makes it the live
+    // checkpoint; otherwise a power loss could publish an empty file.
+    const bool synced = ok && ::fsync(::fileno(out.f)) == 0;
+#else
+    const bool synced = ok;
+#endif
+    if (!synced || !out.close()) {
+      std::remove(tmp.c_str());
+      throw Error("checkpoint: write failed for " + tmp);
+    }
   }
-  const auto count = read_pod<std::uint64_t>(in);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("checkpoint: rename " + tmp + " -> " + path + " failed");
+  }
+  save_counter().add();
+  bytes_written_counter().add(image.size());
+  save_histogram().record(timer.millis());
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
+  HSCONAS_TRACE_SCOPE("checkpoint.load");
+  util::Timer timer;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    load_failure_counter().add();
+    throw Error("checkpoint: cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string file = os.str();
+
+  try {
+    util::ByteReader r(file);
+    char magic[4];
+    r.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw Error("bad magic");
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion) {
+      throw Error("unsupported version " + std::to_string(version));
+    }
+    const std::uint32_t count = r.u32();
+    if (count > kMaxSections) {
+      throw Error("section count " + std::to_string(count) + " too large");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string name = r.str(kMaxSectionName);
+      if (name.empty()) throw Error("empty section name");
+      const std::uint64_t size = r.u64();
+      const std::uint32_t crc = r.u32();
+      if (size > r.remaining()) {
+        throw Error("section '" + name + "' exceeds file size");
+      }
+      std::string payload(static_cast<std::size_t>(size), '\0');
+      r.bytes(payload.data(), payload.size());
+      const std::uint32_t actual = util::crc32(
+          payload.data(), payload.size(),
+          util::crc32(name.data(), name.size()));
+      if (actual != crc) {
+        throw Error("CRC mismatch in section '" + name + "'");
+      }
+      if (!sections_.emplace(name, std::move(payload)).second) {
+        throw Error("duplicate section '" + name + "'");
+      }
+    }
+    r.expect_done();
+  } catch (const Error& e) {
+    load_failure_counter().add();
+    throw Error("checkpoint: " + std::string(e.what()) + " in " + path);
+  }
+  load_counter().add();
+  load_histogram().record(timer.millis());
+}
+
+bool CheckpointReader::has(const std::string& name) const {
+  return sections_.count(name) != 0;
+}
+
+const std::string& CheckpointReader::section(const std::string& name) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    throw Error("checkpoint: missing section '" + name + "' in " + path_);
+  }
+  return it->second;
+}
+
+std::vector<std::string> CheckpointReader::names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& [name, payload] : sections_) out.push_back(name);
+  return out;
+}
+
+std::string write_parameters_payload(
+    const std::vector<nn::Parameter*>& params) {
+  util::ByteWriter out;
+  out.u64(params.size());
+  for (const nn::Parameter* p : params) {
+    HSCONAS_CHECK_MSG(p != nullptr, "write_parameters_payload: null param");
+    out.str(p->name);
+    const auto& shape = p->value.shape();
+    out.u32(static_cast<std::uint32_t>(shape.size()));
+    for (long d : shape) out.i64(d);
+    out.vec_f32(p->value.data(),
+                static_cast<std::size_t>(p->value.numel()));
+  }
+  return out.take();
+}
+
+void read_parameters_payload(const std::vector<nn::Parameter*>& params,
+                             util::ByteReader& in) {
+  const std::uint64_t count = in.u64();
   if (count != params.size()) {
     throw Error("checkpoint: file has " + std::to_string(count) +
                 " parameters, model expects " +
@@ -75,19 +228,23 @@ void load_parameters(const std::vector<nn::Parameter*>& params,
 
   std::map<std::string, nn::Parameter*> by_name;
   for (nn::Parameter* p : params) {
-    HSCONAS_CHECK_MSG(p != nullptr, "load_parameters: null parameter");
+    HSCONAS_CHECK_MSG(p != nullptr, "read_parameters_payload: null param");
     if (!by_name.emplace(p->name, p).second) {
       throw Error("checkpoint: duplicate parameter name '" + p->name + "'");
     }
   }
 
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto ndim = read_pod<std::uint32_t>(in);
+    // str() and the dim cap bound every size before it is allocated, so a
+    // corrupt header fails cleanly instead of requesting gigabytes.
+    const std::string name = in.str(kMaxParamName);
+    const std::uint32_t ndim = in.u32();
+    if (ndim > kMaxParamDims) {
+      throw Error("checkpoint: parameter '" + name + "' claims " +
+                  std::to_string(ndim) + " dimensions");
+    }
     std::vector<long> shape(ndim);
-    for (auto& d : shape) d = static_cast<long>(read_pod<std::int64_t>(in));
+    for (auto& d : shape) d = static_cast<long>(in.i64());
 
     const auto it = by_name.find(name);
     if (it == by_name.end()) {
@@ -97,16 +254,29 @@ void load_parameters(const std::vector<nn::Parameter*>& params,
     if (p->value.shape() != shape) {
       throw Error("checkpoint: shape mismatch for '" + name + "'");
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(
-                static_cast<std::size_t>(p->value.numel()) * sizeof(float)));
-    if (!in) throw Error("checkpoint: truncated data for '" + name + "'");
+    in.vec_f32_into(p->value.data(),
+                    static_cast<std::size_t>(p->value.numel()));
     by_name.erase(it);
   }
   if (!by_name.empty()) {
     throw Error("checkpoint: parameter '" + by_name.begin()->first +
                 "' missing from file");
   }
+}
+
+void save_parameters(const std::vector<nn::Parameter*>& params,
+                     const std::string& path) {
+  CheckpointWriter writer;
+  writer.add_section("params", write_parameters_payload(params));
+  writer.save(path);
+}
+
+void load_parameters(const std::vector<nn::Parameter*>& params,
+                     const std::string& path) {
+  const CheckpointReader reader(path);
+  util::ByteReader in(reader.section("params"));
+  read_parameters_payload(params, in);
+  in.expect_done();
 }
 
 }  // namespace hsconas::core

@@ -1,24 +1,81 @@
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "nn/module.h"
+#include "util/serial.h"
 
 namespace hsconas::core {
 
-/// Binary checkpointing for trained parameters (supernet or standalone
-/// networks). Format: "HSCK" magic, u32 version, u64 parameter count, then
-/// per parameter: name (u32 length + bytes), shape (u32 ndim + i64 dims),
-/// raw fp32 data. Little-endian, as every platform this builds on is.
+/// Crash-safe sectioned checkpoint container.
 ///
-/// Loading matches strictly by name and shape — a checkpoint from a
-/// different space configuration fails loudly instead of silently
-/// misassigning weights.
+/// File layout (version 2, little-endian):
+///
+///   "HSCK" magic | u32 version | u32 section_count
+///   per section:  u32 name_len | name bytes
+///                 u64 payload_size | u32 crc32(name + payload)
+///                 payload bytes
+///
+/// Integrity: every section carries a CRC over its name and payload, so a
+/// bit flip anywhere — header fields included, since a corrupted length
+/// desynchronizes the following reads — fails the load with a clean Error.
+/// All length fields are bounds-checked against the remaining file size
+/// before any allocation, so a corrupt header cannot drive a huge
+/// allocation or an out-of-bounds read.
+///
+/// Durability: CheckpointWriter::save() writes the full image to
+/// `path.tmp`, flushes it to disk, and `std::rename`s it over `path`.
+/// rename(2) is atomic on POSIX, so a crash at *any* instant leaves either
+/// the previous complete checkpoint or the new complete checkpoint —
+/// never a torn file. A stale `.tmp` from a killed writer is overwritten
+/// by the next save and never read.
 
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
-/// Serialize `params` (values only; gradients are transient) to `path`.
+/// Accumulates named sections in memory, then writes them atomically.
+class CheckpointWriter {
+ public:
+  /// Adds (or replaces) a section. Name must be non-empty, <= 256 bytes.
+  void add_section(const std::string& name, std::string payload);
+
+  /// Atomic, durable write: path.tmp + flush + rename. Throws Error on any
+  /// I/O failure (the .tmp is removed; `path` is left untouched).
+  void save(const std::string& path) const;
+
+ private:
+  // Ordered map: deterministic section order in the file.
+  std::map<std::string, std::string> sections_;
+};
+
+/// Loads and validates a sectioned checkpoint. The constructor performs
+/// the full integrity pass (magic, version, bounds, per-section CRC); a
+/// successfully constructed reader holds only verified payloads.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path);
+
+  bool has(const std::string& name) const;
+  /// Payload of `name`; throws Error when the section is absent.
+  const std::string& section(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> sections_;
+};
+
+/// Serialize parameter values (names, shapes, fp32 data) into a payload
+/// suitable for a checkpoint section; read_parameters_payload restores it
+/// with strict name/shape matching (see load_parameters).
+std::string write_parameters_payload(
+    const std::vector<nn::Parameter*>& params);
+void read_parameters_payload(const std::vector<nn::Parameter*>& params,
+                             util::ByteReader& in);
+
+/// Serialize `params` (values only; gradients are transient) to `path` as
+/// a single-section checkpoint. The write is atomic (tmp + rename).
 void save_parameters(const std::vector<nn::Parameter*>& params,
                      const std::string& path);
 

@@ -1,12 +1,12 @@
 #include "core/evolution.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/serial.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -50,11 +50,11 @@ double EvolutionSearch::cached_latency_ms(const Arch& arch) {
   const std::uint64_t h = arch.hash();
   {
     std::lock_guard<std::mutex> lock(memo_mutex_);
-    const auto it = latency_memo_.find(h);
-    if (it != latency_memo_.end()) {
+    double ms = 0.0;
+    if (latency_memo_.lookup(h, arch, &ms)) {
       hits.add();
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return ms;
     }
   }
   misses.add();
@@ -63,7 +63,7 @@ double EvolutionSearch::cached_latency_ms(const Arch& arch) {
   // duplicate computation stores the identical value.
   const double ms = latency_.predict_ms(arch);
   std::lock_guard<std::mutex> lock(memo_mutex_);
-  latency_memo_.emplace(h, ms);
+  latency_memo_.store(h, arch, ms);
   return ms;
 }
 
@@ -146,11 +146,7 @@ Arch EvolutionSearch::mutate(Arch arch) {
   return arch;
 }
 
-EvolutionSearch::Result EvolutionSearch::run() {
-  HSCONAS_TRACE_SCOPE("evolution.run");
-  Result result;
-  std::unordered_set<std::uint64_t> seen;
-
+void EvolutionSearch::init_population() {
   // Breed-then-score: every generation's genomes are produced serially
   // (so the RNG stream is independent of the evaluation schedule), then
   // scored as one batch — in parallel when Config::parallel_eval is set.
@@ -158,112 +154,234 @@ EvolutionSearch::Result EvolutionSearch::run() {
   initial.reserve(static_cast<std::size_t>(config_.population));
   while (static_cast<int>(initial.size()) < config_.population) {
     Arch arch = Arch::random(space_, rng_);
-    if (!seen.insert(arch.hash()).second) continue;
+    if (!seen_.insert(arch.hash()).second) continue;
     initial.push_back(std::move(arch));
   }
-  std::vector<Candidate> population = evaluate_batch(std::move(initial));
-  result.evaluated.insert(result.evaluated.end(), population.begin(),
-                          population.end());
+  population_ = evaluate_batch(std::move(initial));
+  result_.evaluated.insert(result_.evaluated.end(), population_.begin(),
+                           population_.end());
+  result_.best = population_.front();
+  initialized_ = true;
+}
 
-  result.best = population.front();
-
-  for (int gen = 0; gen < config_.generations; ++gen) {
-    HSCONAS_TRACE_SCOPE("evolution.generation");
-    std::sort(population.begin(), population.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.score > b.score;
-              });
-    if (population.front().score > result.best.score) {
-      result.best = population.front();
-    }
-
-    std::vector<double> scores;
-    scores.reserve(population.size());
-    for (const Candidate& c : population) scores.push_back(c.score);
-    GenerationStats stats;
-    stats.generation = gen;
-    stats.best_score = population.front().score;
-    stats.mean_score = util::mean(scores);
-    stats.best_latency_ms = population.front().latency_ms;
-    stats.best_accuracy = population.front().accuracy;
-    result.per_generation.push_back(stats);
-
-    // Live search telemetry: last generation wins (these are per-process
-    // gauges; the trajectory lives in result.per_generation).
-    obs::gauge("hsconas.evolution.generation").set(gen);
-    obs::gauge("hsconas.evolution.best_score").set(stats.best_score);
-    obs::gauge("hsconas.evolution.best_latency_ms")
-        .set(stats.best_latency_ms);
-    const double hits = static_cast<double>(
-        memo_hits_.load(std::memory_order_relaxed));
-    const double misses = static_cast<double>(
-        memo_misses_.load(std::memory_order_relaxed));
-    if (hits + misses > 0.0) {
-      obs::gauge("hsconas.evolution.memo_hit_rate")
-          .set(hits / (hits + misses));
-    }
-
-    // Top-k parents breed the next generation. Elites survive unchanged.
-    const std::vector<Candidate> parents(
-        population.begin(), population.begin() + config_.parents);
-    std::vector<Candidate> next;
-    next.reserve(population.size());
-    const int elites = std::max(1, config_.parents / 10);
-    for (int e = 0; e < elites; ++e) next.push_back(parents[static_cast<std::size_t>(e)]);
-
-    int stagnation_guard = 0;
-    std::vector<Arch> offspring;
-    // Duplicates accepted when the space saturates are still scored (the
-    // population must reach its size) but are not recorded in
-    // result.evaluated, which lists distinct candidates only.
-    std::vector<bool> record;
-    offspring.reserve(static_cast<std::size_t>(config_.population));
-    while (static_cast<int>(next.size() + offspring.size()) <
-           config_.population) {
-      const Candidate& p1 =
-          parents[rng_.index(parents.size())];
-      Arch child = p1.arch;
-      if (rng_.bernoulli(config_.crossover_prob)) {
-        const Candidate& p2 = parents[rng_.index(parents.size())];
-        child = crossover(p1.arch, p2.arch);
-      }
-      if (rng_.bernoulli(config_.mutation_prob)) {
-        child = mutate(std::move(child));
-      }
-      if (!seen.insert(child.hash()).second) {
-        // Duplicate: force a mutation rather than re-evaluating; bail to a
-        // fresh random arch if the space is tiny or nearly exhausted.
-        if (++stagnation_guard > 20) {
-          child = Arch::random(space_, rng_);
-          if (!seen.insert(child.hash()).second) {
-            // Space saturated — accept re-evaluating a duplicate.
-            offspring.push_back(std::move(child));
-            record.push_back(false);
-            stagnation_guard = 0;
-            continue;
-          }
-        } else {
-          child = mutate(std::move(child));
-          if (!seen.insert(child.hash()).second) continue;
-        }
-      }
-      stagnation_guard = 0;
-      offspring.push_back(std::move(child));
-      record.push_back(true);
-    }
-    std::vector<Candidate> scored = evaluate_batch(std::move(offspring));
-    for (std::size_t i = 0; i < scored.size(); ++i) {
-      if (record[i]) result.evaluated.push_back(scored[i]);
-      next.push_back(std::move(scored[i]));
-    }
-    population = std::move(next);
+void EvolutionSearch::step_generation() {
+  HSCONAS_TRACE_SCOPE("evolution.generation");
+  const int gen = next_generation_;
+  std::sort(population_.begin(), population_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  if (population_.front().score > result_.best.score) {
+    result_.best = population_.front();
   }
 
-  // Final bookkeeping over the last generation.
-  for (const Candidate& c : population) {
+  std::vector<double> scores;
+  scores.reserve(population_.size());
+  for (const Candidate& c : population_) scores.push_back(c.score);
+  GenerationStats stats;
+  stats.generation = gen;
+  stats.best_score = population_.front().score;
+  stats.mean_score = util::mean(scores);
+  stats.best_latency_ms = population_.front().latency_ms;
+  stats.best_accuracy = population_.front().accuracy;
+  result_.per_generation.push_back(stats);
+
+  // Live search telemetry: last generation wins (these are per-process
+  // gauges; the trajectory lives in result.per_generation).
+  obs::gauge("hsconas.evolution.generation").set(gen);
+  obs::gauge("hsconas.evolution.best_score").set(stats.best_score);
+  obs::gauge("hsconas.evolution.best_latency_ms")
+      .set(stats.best_latency_ms);
+  const double hits = static_cast<double>(
+      memo_hits_.load(std::memory_order_relaxed));
+  const double misses = static_cast<double>(
+      memo_misses_.load(std::memory_order_relaxed));
+  if (hits + misses > 0.0) {
+    obs::gauge("hsconas.evolution.memo_hit_rate")
+        .set(hits / (hits + misses));
+  }
+
+  // Top-k parents breed the next generation. Elites survive unchanged.
+  const std::vector<Candidate> parents(
+      population_.begin(), population_.begin() + config_.parents);
+  std::vector<Candidate> next;
+  next.reserve(population_.size());
+  const int elites = std::max(1, config_.parents / 10);
+  for (int e = 0; e < elites; ++e) next.push_back(parents[static_cast<std::size_t>(e)]);
+
+  int stagnation_guard = 0;
+  std::vector<Arch> offspring;
+  // Duplicates accepted when the space saturates are still scored (the
+  // population must reach its size) but are not recorded in
+  // result.evaluated, which lists distinct candidates only.
+  std::vector<bool> record;
+  offspring.reserve(static_cast<std::size_t>(config_.population));
+  while (static_cast<int>(next.size() + offspring.size()) <
+         config_.population) {
+    const Candidate& p1 =
+        parents[rng_.index(parents.size())];
+    Arch child = p1.arch;
+    if (rng_.bernoulli(config_.crossover_prob)) {
+      const Candidate& p2 = parents[rng_.index(parents.size())];
+      child = crossover(p1.arch, p2.arch);
+    }
+    if (rng_.bernoulli(config_.mutation_prob)) {
+      child = mutate(std::move(child));
+    }
+    if (!seen_.insert(child.hash()).second) {
+      // Duplicate: force a mutation rather than re-evaluating; bail to a
+      // fresh random arch if the space is tiny or nearly exhausted.
+      if (++stagnation_guard > 20) {
+        child = Arch::random(space_, rng_);
+        if (!seen_.insert(child.hash()).second) {
+          // Space saturated — accept re-evaluating a duplicate.
+          offspring.push_back(std::move(child));
+          record.push_back(false);
+          stagnation_guard = 0;
+          continue;
+        }
+      } else {
+        child = mutate(std::move(child));
+        if (!seen_.insert(child.hash()).second) continue;
+      }
+    }
+    stagnation_guard = 0;
+    offspring.push_back(std::move(child));
+    record.push_back(true);
+  }
+  std::vector<Candidate> scored = evaluate_batch(std::move(offspring));
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (record[i]) result_.evaluated.push_back(scored[i]);
+    next.push_back(std::move(scored[i]));
+  }
+  population_ = std::move(next);
+  ++next_generation_;
+}
+
+EvolutionSearch::Result EvolutionSearch::run(
+    const GenerationCallback& on_generation) {
+  HSCONAS_TRACE_SCOPE("evolution.run");
+  if (!initialized_) {
+    init_population();
+    if (on_generation) on_generation(-1);
+  }
+  while (next_generation_ < config_.generations) {
+    step_generation();
+    if (on_generation) on_generation(next_generation_ - 1);
+  }
+  // Final bookkeeping over the last generation — on a copy, so run() stays
+  // idempotent: a resumed search that lands here directly (all generations
+  // already completed before the interruption) returns the same Result.
+  Result result = result_;
+  for (const Candidate& c : population_) {
     if (c.score > result.best.score) result.best = c;
   }
   return result;
+}
+
+namespace {
+
+void write_candidate(util::ByteWriter& out,
+                     const EvolutionSearch::Candidate& c) {
+  out.vec_i32(c.arch.ops);
+  out.vec_i32(c.arch.factors);
+  out.f64(c.accuracy);
+  out.f64(c.latency_ms);
+  out.f64(c.energy_mj);
+  out.f64(c.score);
+}
+
+EvolutionSearch::Candidate read_candidate(util::ByteReader& in,
+                                          const SearchSpace& space) {
+  EvolutionSearch::Candidate c;
+  const std::size_t L = static_cast<std::size_t>(space.num_layers());
+  c.arch.ops = in.vec_i32(L);
+  c.arch.factors = in.vec_i32(L);
+  c.accuracy = in.f64();
+  c.latency_ms = in.f64();
+  c.energy_mj = in.f64();
+  c.score = in.f64();
+  c.arch.validate(space);
+  return c;
+}
+
+}  // namespace
+
+void EvolutionSearch::export_state(util::ByteWriter& out) const {
+  out.rng_state(rng_.state());
+  out.u8(initialized_ ? 1 : 0);
+  out.i32(next_generation_);
+
+  // seen_ sorted for a byte-stable file; set iteration order never affects
+  // the search itself (only membership queries do).
+  std::vector<std::uint64_t> seen(seen_.begin(), seen_.end());
+  std::sort(seen.begin(), seen.end());
+  out.vec_u64(seen);
+
+  out.u64(population_.size());
+  for (const Candidate& c : population_) write_candidate(out, c);
+
+  // result_.best only exists once the initial population is scored; before
+  // that it is a default Candidate whose empty genome would fail
+  // validation, so it is simply omitted.
+  if (initialized_) write_candidate(out, result_.best);
+  out.u64(result_.per_generation.size());
+  for (const GenerationStats& s : result_.per_generation) {
+    out.i32(s.generation);
+    out.f64(s.best_score);
+    out.f64(s.mean_score);
+    out.f64(s.best_latency_ms);
+    out.f64(s.best_accuracy);
+  }
+  out.u64(result_.evaluated.size());
+  for (const Candidate& c : result_.evaluated) write_candidate(out, c);
+}
+
+void EvolutionSearch::import_state(util::ByteReader& in) {
+  rng_.set_state(in.rng_state());
+  initialized_ = in.u8() != 0;
+  next_generation_ = in.i32();
+  if (next_generation_ < 0 || next_generation_ > config_.generations) {
+    throw Error("EvolutionSearch: checkpointed generation " +
+                std::to_string(next_generation_) + " out of range [0, " +
+                std::to_string(config_.generations) + "]");
+  }
+
+  const std::vector<std::uint64_t> seen = in.vec_u64();
+  seen_.clear();
+  seen_.insert(seen.begin(), seen.end());
+
+  const std::size_t pop_n = static_cast<std::size_t>(in.u64());
+  if (initialized_ &&
+      pop_n != static_cast<std::size_t>(config_.population)) {
+    throw Error("EvolutionSearch: checkpointed population of " +
+                std::to_string(pop_n) + ", config wants " +
+                std::to_string(config_.population));
+  }
+  population_.clear();
+  population_.reserve(pop_n);
+  for (std::size_t i = 0; i < pop_n; ++i) {
+    population_.push_back(read_candidate(in, space_));
+  }
+
+  result_ = Result{};
+  if (initialized_) result_.best = read_candidate(in, space_);
+  const std::size_t gen_n = static_cast<std::size_t>(in.u64());
+  result_.per_generation.reserve(gen_n);
+  for (std::size_t i = 0; i < gen_n; ++i) {
+    GenerationStats s;
+    s.generation = in.i32();
+    s.best_score = in.f64();
+    s.mean_score = in.f64();
+    s.best_latency_ms = in.f64();
+    s.best_accuracy = in.f64();
+    result_.per_generation.push_back(s);
+  }
+  const std::size_t eval_n = static_cast<std::size_t>(in.u64());
+  result_.evaluated.reserve(eval_n);
+  for (std::size_t i = 0; i < eval_n; ++i) {
+    result_.evaluated.push_back(read_candidate(in, space_));
+  }
 }
 
 }  // namespace hsconas::core

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/arch.h"
@@ -17,6 +20,30 @@ class ThreadPool;
 }
 
 namespace hsconas::core {
+
+/// Latency memo keyed by Arch::hash(), made collision-safe by storing the
+/// genome each value was computed for: lookup() verifies the stored arch
+/// matches, so a hash collision falls through to a fresh prediction
+/// instead of silently returning another architecture's latency.
+class ArchLatencyMemo {
+ public:
+  /// True (and *ms set) only when `key` maps to exactly `arch`.
+  bool lookup(std::uint64_t key, const Arch& arch, double* ms) const {
+    const auto it = map_.find(key);
+    if (it == map_.end() || !(it->second.first == arch)) return false;
+    *ms = it->second.second;
+    return true;
+  }
+  /// First writer wins on collision (the colliding arch just stays
+  /// unmemoized — correctness over hit rate).
+  void store(std::uint64_t key, const Arch& arch, double ms) {
+    map_.emplace(key, std::make_pair(arch, ms));
+  }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::pair<Arch, double>> map_;
+};
 
 /// Evolutionary architecture search (§III-D, Eq. 5): generational EA over
 /// {opˡ, cˡ} genomes with top-k parent selection, uniform crossover and
@@ -85,14 +112,35 @@ class EvolutionSearch {
                   const LatencyModel& latency, const EnergyModel& energy,
                   Objective objective, Config config);
 
-  Result run();
+  /// Called after the initial population is scored (generation == -1) and
+  /// after every completed generation (0-based index) — the checkpoint
+  /// hook: at each call the search's exported state is a consistent
+  /// boundary a resumed run can continue from deterministically.
+  using GenerationCallback = std::function<void(int generation)>;
+
+  /// Run (or, after import_state, continue) the search to completion.
+  /// Bit-identical to an uninterrupted run for a fixed seed regardless of
+  /// how many export/import cycles happened at generation boundaries.
+  Result run(const GenerationCallback& on_generation = nullptr);
+
+  /// Generations fully completed so far (resume progress indicator).
+  int generations_completed() const { return next_generation_; }
+
+  /// Serialize/restore the full search state: RNG stream, dedup set,
+  /// current population, and the result-so-far. The latency memo is NOT
+  /// serialized — predictions are deterministic, so it refills on demand.
+  void export_state(util::ByteWriter& out) const;
+  void import_state(util::ByteReader& in);
 
  private:
+  void init_population();
+  void step_generation();
   Candidate evaluate(Arch arch);
   /// Score a bred batch, preserving index order; parallel when configured.
   std::vector<Candidate> evaluate_batch(std::vector<Arch> archs);
-  /// LatencyModel::predict_ms memoized on Arch::hash() — repeat genotypes
-  /// (elites, re-bred duplicates) never re-walk the LUT.
+  /// LatencyModel::predict_ms memoized via ArchLatencyMemo — repeat
+  /// genotypes (elites, re-bred duplicates) never re-walk the LUT, and a
+  /// hash collision falls through to a fresh prediction.
   double cached_latency_ms(const Arch& arch);
   Arch crossover(const Arch& a, const Arch& b);
   Arch mutate(Arch arch);
@@ -104,7 +152,15 @@ class EvolutionSearch {
   Objective objective_;
   Config config_;
   util::Rng rng_;
-  std::unordered_map<std::uint64_t, double> latency_memo_;
+
+  // ---- resumable run state (serialized by export_state) -------------------
+  bool initialized_ = false;   ///< initial population bred & scored
+  int next_generation_ = 0;    ///< generations completed so far
+  std::vector<Candidate> population_;
+  std::unordered_set<std::uint64_t> seen_;
+  Result result_;
+
+  ArchLatencyMemo latency_memo_;
   std::mutex memo_mutex_;
   /// This search's own memo statistics (the registry counters aggregate
   /// across all searches in the process); atomics because evaluate() runs

@@ -28,11 +28,75 @@ LatencyModel::LatencyModel(const SearchSpace& space,
       device_(device),
       config_(config),
       noise_rng_(config.seed ^ 0x6e6f697365ull) {
-  if (config_.batch < 1 || config_.bias_samples < 1) {
-    throw InvalidArgument("LatencyModel: batch and bias_samples must be >= 1");
-  }
+  resolve_config(device);
   build_lut();
   calibrate_bias();
+}
+
+LatencyModel::LatencyModel(const SearchSpace& space,
+                           const hwsim::DeviceSimulator& device,
+                           Config config, FromStateTag)
+    : space_(space),
+      device_(device),
+      config_(config),
+      noise_rng_(config.seed ^ 0x6e6f697365ull) {
+  resolve_config(device);
+}
+
+void LatencyModel::resolve_config(const hwsim::DeviceSimulator& device) {
+  if (config_.batch == 0) config_.batch = device.profile().default_batch;
+  if (config_.batch < 1 || config_.bias_samples < 1) {
+    throw InvalidArgument(
+        "LatencyModel: batch must be >= 1 (or 0 for the device default) "
+        "and bias_samples must be >= 1");
+  }
+}
+
+void LatencyModel::export_state(util::ByteWriter& out) const {
+  out.i32(space_.num_layers());
+  out.i32(space_.config().num_ops);
+  out.i32(static_cast<std::int32_t>(space_.config().channel_factors.size()));
+  out.i32(config_.batch);
+  out.vec_f64(lut_);
+  out.f64(stem_ms_);
+  out.f64(head_ms_);
+  out.f64(bias_);
+  out.rng_state(noise_rng_.state());
+}
+
+std::unique_ptr<LatencyModel> LatencyModel::restore(
+    const SearchSpace& space, const hwsim::DeviceSimulator& device,
+    Config config, util::ByteReader& in) {
+  std::unique_ptr<LatencyModel> model(
+      new LatencyModel(space, device, config, FromStateTag{}));
+  const int L = in.i32();
+  const int K = in.i32();
+  const int F = in.i32();
+  const int batch = in.i32();
+  if (L != space.num_layers() || K != space.config().num_ops ||
+      F != static_cast<int>(space.config().channel_factors.size())) {
+    throw Error("LatencyModel: checkpointed LUT dimensions (" +
+                std::to_string(L) + "x" + std::to_string(K) + "x" +
+                std::to_string(F) + ") do not match the space");
+  }
+  if (batch != model->config_.batch) {
+    throw Error("LatencyModel: checkpoint profiled batch " +
+                std::to_string(batch) + ", config wants " +
+                std::to_string(model->config_.batch));
+  }
+  model->lut_ = in.vec_f64(static_cast<std::size_t>(L) *
+                           static_cast<std::size_t>(K) *
+                           static_cast<std::size_t>(F));
+  if (model->lut_.size() != static_cast<std::size_t>(L) * K * F) {
+    throw Error("LatencyModel: checkpointed LUT has " +
+                std::to_string(model->lut_.size()) + " entries, expected " +
+                std::to_string(static_cast<std::size_t>(L) * K * F));
+  }
+  model->stem_ms_ = in.f64();
+  model->head_ms_ = in.f64();
+  model->bias_ = in.f64();
+  model->noise_rng_.set_state(in.rng_state());
+  return model;
 }
 
 void LatencyModel::build_lut() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/arch.h"
@@ -22,7 +23,10 @@ namespace hsconas::core {
 class LatencyModel {
  public:
   struct Config {
-    int batch = 1;             ///< batch size for profiling & measurement
+    /// Batch size for profiling & measurement. 0 means "unset": the
+    /// constructor resolves it to the device profile's default batch, so
+    /// an explicitly requested batch of 1 is honored as 1.
+    int batch = 0;
     int bias_samples = 50;     ///< M of Eq. 3
     std::uint64_t seed = 123;  ///< RNG for bias sampling + measurement noise
     bool measurement_noise = true;
@@ -32,6 +36,18 @@ class LatencyModel {
   /// calibrates B per Eq. 3. The space reference must outlive the model.
   LatencyModel(const SearchSpace& space, const hwsim::DeviceSimulator& device,
                Config config);
+
+  /// Rebuild a model from checkpointed state (export_state) WITHOUT
+  /// re-profiling the LUT or re-running the M bias probes — on real
+  /// hardware those device probes are the expensive artifact a resumed run
+  /// must not repeat. Dimensions are validated against `space`.
+  static std::unique_ptr<LatencyModel> restore(
+      const SearchSpace& space, const hwsim::DeviceSimulator& device,
+      Config config, util::ByteReader& in);
+
+  /// Serialize the LUT, stem/head constants, calibrated bias B and the
+  /// measurement-noise RNG stream.
+  void export_state(util::ByteWriter& out) const;
 
   /// Eq. 2: LUT sum + B. O(L) per call.
   double predict_ms(const Arch& arch) const;
@@ -58,8 +74,15 @@ class LatencyModel {
   double head_ms() const { return head_ms_; }
 
  private:
+  struct FromStateTag {};
+  /// Restore path: skips build_lut()/calibrate_bias(); restore() fills in
+  /// the state from the checkpoint instead.
+  LatencyModel(const SearchSpace& space, const hwsim::DeviceSimulator& device,
+               Config config, FromStateTag);
+
   void build_lut();
   void calibrate_bias();
+  void resolve_config(const hwsim::DeviceSimulator& device);
 
   const SearchSpace& space_;
   const hwsim::DeviceSimulator& device_;

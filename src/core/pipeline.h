@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -55,6 +56,22 @@ struct PipelineConfig {
 
   std::uint64_t seed = 1;
   bool verbose = false;
+
+  // ---- crash-safe checkpointing (docs/ROBUSTNESS.md) ----------------------
+  /// Directory for the run's checkpoint file (`pipeline.ckpt`, written
+  /// atomically via tmp-file + rename). Empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Snapshot cadence within a phase: every N training epochs / EA
+  /// generations. Phase boundaries always snapshot. Must be >= 1.
+  int checkpoint_every = 1;
+  /// Continue from checkpoint_dir's pipeline.ckpt when it exists (a fresh
+  /// run otherwise). The restored run replays the exact remaining work of
+  /// the interrupted one — same winner, same score.
+  bool resume = false;
+  /// Test hook, called after each snapshot is durably on disk (post-rename)
+  /// with the 0-based snapshot ordinal. Tests throw from here to simulate a
+  /// crash at an arbitrary checkpoint boundary.
+  std::function<void(int snapshot_index)> on_snapshot;
 };
 
 struct PipelineResult {
@@ -80,20 +97,40 @@ struct PipelineResult {
 util::Json pipeline_report_json(const PipelineResult& result,
                                 const SearchSpace& space);
 
+/// Where a checkpointed run is in the Fig. 1 flow. Serialized by value —
+/// append only, never renumber.
+enum class PipelinePhase : int {
+  kInitialTrain = 0,
+  kShrinkStage1 = 1,
+  kTuneStage1 = 2,
+  kShrinkStage2 = 3,
+  kTuneStage2 = 4,
+  kEvolution = 5,
+};
+
 class Pipeline {
  public:
   explicit Pipeline(PipelineConfig config);
 
-  /// Run the full flow. In proxy mode a dataset must be supplied.
+  /// Run the full flow. In proxy mode a dataset must be supplied. With
+  /// PipelineConfig::checkpoint_dir set, progress snapshots are written at
+  /// every epoch/stage/generation boundary; with resume additionally set,
+  /// an existing checkpoint is loaded and the run continues from it.
   PipelineResult run(const data::SyntheticDataset* dataset = nullptr);
 
   const SearchSpace& space() const { return space_; }
-  const LatencyModel& latency_model() const { return *latency_model_; }
+  /// Valid only after run() — the model is built (or restored from a
+  /// checkpoint) lazily. Throws Error before that.
+  const LatencyModel& latency_model() const;
+
+  /// The checkpoint file run() reads/writes: `<dir>/pipeline.ckpt`.
+  static std::string checkpoint_path(const std::string& dir);
 
  private:
   PipelineConfig config_;
   SearchSpace space_;
   hwsim::DeviceSimulator device_;
+  LatencyModel::Config latency_cfg_;
   std::unique_ptr<LatencyModel> latency_model_;
 };
 

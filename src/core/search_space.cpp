@@ -170,4 +170,41 @@ bool SearchSpace::op_allowed(int l, int op) const {
   return op >= 0 && op < config_.num_ops;
 }
 
+void SearchSpace::export_shrink_state(util::ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(layers_.size()));
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    out.vec_i32(allowed_ops_[l]);
+    out.vec_i32(allowed_factors_[l]);
+  }
+}
+
+void SearchSpace::import_shrink_state(util::ByteReader& in) {
+  const std::uint32_t L = in.u32();
+  if (L != layers_.size()) {
+    throw Error("SearchSpace: checkpoint has " + std::to_string(L) +
+                " layers, space has " + std::to_string(layers_.size()));
+  }
+  const int F = static_cast<int>(config_.channel_factors.size());
+  std::vector<std::vector<int>> ops(L), factors(L);
+  for (std::uint32_t l = 0; l < L; ++l) {
+    ops[l] = in.vec_i32(static_cast<std::size_t>(config_.num_ops));
+    factors[l] = in.vec_i32(static_cast<std::size_t>(F));
+    if (ops[l].empty() || factors[l].empty()) {
+      throw Error("SearchSpace: empty allowed list in checkpoint");
+    }
+    for (int op : ops[l]) {
+      if (op < 0 || op >= config_.num_ops) {
+        throw Error("SearchSpace: checkpoint op index out of range");
+      }
+    }
+    for (int f : factors[l]) {
+      if (f < 0 || f >= F) {
+        throw Error("SearchSpace: checkpoint factor index out of range");
+      }
+    }
+  }
+  allowed_ops_ = std::move(ops);
+  allowed_factors_ = std::move(factors);
+}
+
 }  // namespace hsconas::core

@@ -5,6 +5,7 @@
 
 #include "nn/blocks.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace hsconas::core {
 
@@ -106,6 +107,12 @@ class SearchSpace {
   /// everywhere by construction — skip lowers to a projection at stride-2
   /// layers — so this only bounds-checks; kept as an extension point.)
   bool op_allowed(int l, int op) const;
+
+  /// Serialize the shrinking state (per-layer allowed op/factor lists) for
+  /// checkpoint/resume. import_shrink_state validates layer count and
+  /// every index before touching the space.
+  void export_shrink_state(util::ByteWriter& out) const;
+  void import_shrink_state(util::ByteReader& in);
 
  private:
   SearchSpaceConfig config_;

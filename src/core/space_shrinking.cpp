@@ -85,6 +85,16 @@ SpaceShrinker::LayerDecision SpaceShrinker::shrink_layer(int layer) {
   return decision;
 }
 
+void SpaceShrinker::export_state(util::ByteWriter& out) const {
+  out.rng_state(rng_.state());
+  out.i32(total_evaluated_);
+}
+
+void SpaceShrinker::import_state(util::ByteReader& in) {
+  rng_.set_state(in.rng_state());
+  total_evaluated_ = in.i32();
+}
+
 std::vector<SpaceShrinker::LayerDecision> SpaceShrinker::shrink_stage(
     int from_layer, int count) {
   HSCONAS_TRACE_SCOPE("shrink.stage");

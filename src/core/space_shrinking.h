@@ -69,6 +69,13 @@ class SpaceShrinker {
   /// 5 × 4 per stage instead of 5⁴).
   int total_subspaces_evaluated() const { return total_evaluated_; }
 
+  /// Checkpoint/resume: the shrinker's only cross-stage state is its RNG
+  /// stream and the evaluation counter (decisions live in the space and
+  /// the pipeline result). Restoring makes the next shrink_stage() draw
+  /// the exact samples an uninterrupted run would.
+  void export_state(util::ByteWriter& out) const;
+  void import_state(util::ByteReader& in);
+
  private:
   SearchSpace& space_;
   AccuracyFn accuracy_;

@@ -3,6 +3,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/serial.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -101,18 +102,28 @@ double SupernetTrainer::step_fair(const data::Batch& batch, double lr,
 }
 
 std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr) {
+  return run(epochs, lr, /*start_epoch=*/0, /*on_epoch=*/nullptr);
+}
+
+std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr,
+                                             int start_epoch,
+                                             const EpochCallback& on_epoch) {
   HSCONAS_TRACE_SCOPE("train.run");
+  HSCONAS_CHECK_MSG(start_epoch >= 0 && start_epoch <= epochs,
+                    "SupernetTrainer::run: start_epoch out of range");
   const double base_lr = lr >= 0.0 ? lr : config_.lr;
   const long steps_per_epoch =
       static_cast<long>(train_loader_.num_batches());
+  // The schedule spans the full run: a resume at start_epoch > 0 lands on
+  // the same point of the cosine curve the uninterrupted run would be at.
   const nn::CosineSchedule schedule(
       base_lr, static_cast<long>(epochs) * steps_per_epoch,
       static_cast<long>(config_.warmup_epochs) * steps_per_epoch,
       config_.final_lr);
 
   std::vector<EpochStats> stats;
-  long step_index = 0;
-  for (int e = 0; e < epochs; ++e) {
+  long step_index = static_cast<long>(start_epoch) * steps_per_epoch;
+  for (int e = start_epoch; e < epochs; ++e) {
     HSCONAS_TRACE_SCOPE("train.epoch");
     train_loader_.start_epoch();
     double loss_sum = 0.0;
@@ -162,8 +173,39 @@ std::vector<EpochStats> SupernetTrainer::run(int epochs, double lr) {
                        << util::format("%.3f", ep.top1) << " lr "
                        << util::format("%.4f", ep.lr);
     }
+    if (on_epoch) on_epoch(e, ep);
   }
   return stats;
+}
+
+void SupernetTrainer::export_state(util::ByteWriter& out) const {
+  out.rng_state(arch_rng_.state());
+  train_loader_.export_state(out);
+  optimizer_.export_state(out);
+  out.u64(history_.size());
+  for (const EpochStats& ep : history_) {
+    out.i32(ep.epoch);
+    out.f64(ep.loss);
+    out.f64(ep.top1);
+    out.f64(ep.lr);
+  }
+}
+
+void SupernetTrainer::import_state(util::ByteReader& in) {
+  arch_rng_.set_state(in.rng_state());
+  train_loader_.import_state(in);
+  optimizer_.import_state(in);
+  const std::size_t n = static_cast<std::size_t>(in.u64());
+  history_.clear();
+  history_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EpochStats ep;
+    ep.epoch = in.i32();
+    ep.loss = in.f64();
+    ep.top1 = in.f64();
+    ep.lr = in.f64();
+    history_.push_back(ep);
+  }
 }
 
 double SupernetTrainer::evaluate(const Arch& arch,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/supernet.h"
@@ -48,9 +49,22 @@ class SupernetTrainer {
   SupernetTrainer(Supernet& supernet, const data::SyntheticDataset& dataset,
                   TrainConfig config);
 
+  /// Called after each completed epoch with its 0-based index *within this
+  /// run* and the epoch's stats — the checkpoint hook: at every call the
+  /// trainer (plus the supernet's parameters) is at a clean epoch boundary.
+  using EpochCallback = std::function<void(int epoch, const EpochStats&)>;
+
   /// Run `epochs` epochs with a cosine schedule from `lr` (overrides the
   /// config value when >= 0) down to final_lr. Appends to history().
   std::vector<EpochStats> run(int epochs, double lr = -1.0);
+
+  /// Resumable variant: the cosine schedule always spans the *full*
+  /// `epochs` run, but execution starts at `start_epoch` (epochs before it
+  /// are assumed already done by the run this trainer was restored from).
+  /// Combined with import_state + restored supernet parameters, this
+  /// replays the exact remaining steps an uninterrupted run would take.
+  std::vector<EpochStats> run(int epochs, double lr, int start_epoch,
+                              const EpochCallback& on_epoch);
 
   /// One optimizer step on one batch with the given arch; exposed so tests
   /// can drive training deterministically.
@@ -67,6 +81,13 @@ class SupernetTrainer {
 
   /// Mean validation top-1 over `eval_batches` batches for one arch.
   double evaluate(const Arch& arch, std::size_t eval_batches = 0);
+
+  /// Checkpoint/resume: both RNG streams (path sampling + loader
+  /// shuffle/augment), the optimizer's momentum buffers, and the epoch
+  /// history. Supernet *parameters* are serialized separately (they belong
+  /// to the net, not the trainer).
+  void export_state(util::ByteWriter& out) const;
+  void import_state(util::ByteReader& in);
 
  private:
   Supernet& supernet_;

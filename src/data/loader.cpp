@@ -29,6 +29,28 @@ void DataLoader::start_epoch() {
   if (train_) rng_.shuffle(order_);
 }
 
+void DataLoader::export_state(util::ByteWriter& out) const {
+  out.rng_state(rng_.state());
+  std::vector<std::uint64_t> order(order_.begin(), order_.end());
+  out.vec_u64(order);
+}
+
+void DataLoader::import_state(util::ByteReader& in) {
+  rng_.set_state(in.rng_state());
+  const std::vector<std::uint64_t> order = in.vec_u64(order_.size());
+  if (order.size() != order_.size()) {
+    throw Error("DataLoader: checkpointed order has " +
+                std::to_string(order.size()) + " samples, dataset has " +
+                std::to_string(order_.size()));
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= order_.size()) {
+      throw Error("DataLoader: checkpointed sample index out of range");
+    }
+    order_[i] = static_cast<std::size_t>(order[i]);
+  }
+}
+
 Batch DataLoader::batch(std::size_t b) {
   HSCONAS_CHECK_MSG(b < num_batches(), "DataLoader: batch index out of range");
   const std::size_t begin = b * batch_size_;

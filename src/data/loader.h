@@ -4,6 +4,7 @@
 
 #include "data/augment.h"
 #include "data/synthetic.h"
+#include "util/serial.h"
 
 namespace hsconas::data {
 
@@ -31,6 +32,15 @@ class DataLoader {
 
   /// Fetch batch `b` of the current epoch (b < num_batches()).
   Batch batch(std::size_t b);
+
+  /// Checkpoint/resume at epoch boundaries: the shuffle/augmentation RNG
+  /// *and* the current sample order. Both are needed — start_epoch()
+  /// shuffles order_ in place, so the permutation depends on the entire
+  /// shuffle history, not just the RNG position. Restoring both makes the
+  /// next start_epoch() reproduce the exact order and augmentation stream
+  /// the uninterrupted run would see.
+  void export_state(util::ByteWriter& out) const;
+  void import_state(util::ByteReader& in);
 
  private:
   const SyntheticDataset& dataset_;

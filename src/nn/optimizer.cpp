@@ -55,6 +55,25 @@ void SGD::zero_grad() {
   for (Parameter* p : params_) p->zero_grad();
 }
 
+void SGD::export_state(util::ByteWriter& out) const {
+  out.u64(velocity_.size());
+  for (const tensor::Tensor& v : velocity_) {
+    out.vec_f32(v.data(), static_cast<std::size_t>(v.numel()));
+  }
+}
+
+void SGD::import_state(util::ByteReader& in) {
+  const std::uint64_t count = in.u64();
+  if (count != velocity_.size()) {
+    throw Error("SGD::import_state: " + std::to_string(count) +
+                " velocity buffers, optimizer has " +
+                std::to_string(velocity_.size()));
+  }
+  for (tensor::Tensor& v : velocity_) {
+    in.vec_f32_into(v.data(), static_cast<std::size_t>(v.numel()));
+  }
+}
+
 CosineSchedule::CosineSchedule(double base_lr, long total_steps,
                                long warmup_steps, double final_lr)
     : base_lr_(base_lr),

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "util/serial.h"
 
 namespace hsconas::nn {
 
@@ -29,6 +30,12 @@ class SGD {
   void set_lr(double lr) { config_.lr = lr; }
   double lr() const { return config_.lr; }
   const Config& config() const { return config_; }
+
+  /// Serialize the momentum buffers (the optimizer's only state across
+  /// steps — Config is reconstructed, not checkpointed). import_state
+  /// validates count and per-buffer shape against the bound parameters.
+  void export_state(util::ByteWriter& out) const;
+  void import_state(util::ByteReader& in);
 
  private:
   std::vector<Parameter*> params_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -36,6 +37,15 @@ class Rng {
   /// Derive an independent child stream; used to give each parallel worker
   /// or pipeline stage its own deterministic sequence.
   Rng fork() { return Rng(next() ^ 0xA5A5A5A5DEADBEEFull); }
+
+  /// Raw xoshiro256** state, for checkpoint/resume: restoring via
+  /// set_state() continues the stream exactly where state() captured it.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
   std::uint64_t next() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

@@ -1,0 +1,139 @@
+#include "util/serial.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hsconas::util {
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::vec_i32(const std::vector<int>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) i32(x);
+}
+
+void ByteWriter::vec_f64(const std::vector<double>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) f64(x);
+}
+
+void ByteWriter::vec_u64(const std::vector<std::uint64_t>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t x : v) u64(x);
+}
+
+void ByteWriter::vec_f32(const float* data, std::size_t n) {
+  u32(static_cast<std::uint32_t>(n));
+  bytes(data, n * sizeof(float));
+}
+
+std::uint8_t ByteReader::u8() {
+  if (remaining() < 1) throw Error("serial: truncated buffer");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+void ByteReader::bytes(void* out, std::size_t n) {
+  if (remaining() < n) throw Error("serial: truncated buffer");
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::size_t ByteReader::checked_count(std::size_t max_elems,
+                                      std::size_t elem_size,
+                                      const char* what) {
+  const std::uint32_t n = u32();
+  if (n > max_elems) {
+    throw Error(std::string("serial: ") + what + " count " +
+                std::to_string(n) + " exceeds cap " +
+                std::to_string(max_elems));
+  }
+  if (static_cast<std::size_t>(n) * elem_size > remaining()) {
+    throw Error(std::string("serial: ") + what + " count " +
+                std::to_string(n) + " exceeds remaining bytes");
+  }
+  return n;
+}
+
+std::string ByteReader::str(std::size_t max_len) {
+  const std::size_t n = checked_count(max_len, 1, "string");
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+std::vector<int> ByteReader::vec_i32(std::size_t max_elems) {
+  const std::size_t n = checked_count(max_elems, sizeof(std::int32_t), "i32");
+  std::vector<int> v(n);
+  for (auto& x : v) x = i32();
+  return v;
+}
+
+std::vector<double> ByteReader::vec_f64(std::size_t max_elems) {
+  const std::size_t n = checked_count(max_elems, sizeof(double), "f64");
+  std::vector<double> v(n);
+  for (auto& x : v) x = f64();
+  return v;
+}
+
+std::vector<std::uint64_t> ByteReader::vec_u64(std::size_t max_elems) {
+  const std::size_t n =
+      checked_count(max_elems, sizeof(std::uint64_t), "u64");
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = u64();
+  return v;
+}
+
+void ByteReader::vec_f32_into(float* out, std::size_t expect_n) {
+  const std::size_t n = checked_count(kMaxElements, sizeof(float), "f32");
+  if (n != expect_n) {
+    throw Error("serial: f32 count " + std::to_string(n) + ", expected " +
+                std::to_string(expect_n));
+  }
+  bytes(out, n * sizeof(float));
+}
+
+std::array<std::uint64_t, 4> ByteReader::rng_state() {
+  std::array<std::uint64_t, 4> s{};
+  for (auto& w : s) w = u64();
+  return s;
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) {
+    throw Error("serial: " + std::to_string(remaining()) +
+                " trailing bytes in payload");
+  }
+}
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hsconas::util

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsconas::util {
+
+/// Little-endian binary codec for checkpoint payloads.
+///
+/// ByteWriter appends typed values to an in-memory buffer; ByteReader
+/// consumes the same buffer with every read bounds-checked *before* any
+/// allocation or copy, so a corrupt or truncated length field raises a
+/// clean Error instead of driving a multi-gigabyte allocation. All
+/// variable-length reads take an explicit cap for the same reason.
+///
+/// The codec is deliberately dumb — fixed-width PODs, length-prefixed
+/// strings and vectors, no schema — because the sectioned checkpoint
+/// container (core/checkpoint.h) supplies the structure and integrity
+/// (per-section CRC); this layer only has to be impossible to crash.
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void i32(std::int32_t v) { pod(v); }
+  void i64(std::int64_t v) { pod(v); }
+  void f32(float v) { pod(v); }
+  void f64(double v) { pod(v); }
+
+  void bytes(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+
+  /// u32 count prefix + per-element writes.
+  void vec_i32(const std::vector<int>& v);
+  void vec_f64(const std::vector<double>& v);
+  void vec_u64(const std::vector<std::uint64_t>& v);
+  void vec_f32(const float* data, std::size_t n);
+
+  void rng_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::uint64_t w : s) u64(w);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void pod(const T& v) {
+    buf_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  /// Default cap for strings read via str(); far above any parameter or
+  /// section name this library writes, far below anything that hurts.
+  static constexpr std::size_t kMaxString = 1 << 16;
+  /// Default element cap for vector reads.
+  static constexpr std::size_t kMaxElements = 1u << 28;
+
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32() { return pod<std::uint32_t>(); }
+  std::uint64_t u64() { return pod<std::uint64_t>(); }
+  std::int32_t i32() { return pod<std::int32_t>(); }
+  std::int64_t i64() { return pod<std::int64_t>(); }
+  float f32() { return pod<float>(); }
+  double f64() { return pod<double>(); }
+
+  void bytes(void* out, std::size_t n);
+
+  /// Length-checked against both `max_len` and the remaining buffer before
+  /// the string is allocated.
+  std::string str(std::size_t max_len = kMaxString);
+
+  std::vector<int> vec_i32(std::size_t max_elems = kMaxElements);
+  std::vector<double> vec_f64(std::size_t max_elems = kMaxElements);
+  std::vector<std::uint64_t> vec_u64(std::size_t max_elems = kMaxElements);
+  /// Reads a u32 count that must equal `expect_n`, then fills `out`.
+  void vec_f32_into(float* out, std::size_t expect_n);
+
+  std::array<std::uint64_t, 4> rng_state();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws if any bytes remain — payloads must be consumed exactly.
+  void expect_done() const;
+
+ private:
+  template <typename T>
+  T pod() {
+    T v{};
+    bytes(&v, sizeof(T));
+    return v;
+  }
+  /// Validates a length prefix against a cap and the remaining bytes.
+  std::size_t checked_count(std::size_t max_elems, std::size_t elem_size,
+                            const char* what);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected). `seed` chains multi-buffer checksums:
+/// pass a previous call's return value to continue it.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace hsconas::util

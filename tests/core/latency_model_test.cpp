@@ -125,8 +125,25 @@ TEST(LatencyModel, LutIndexValidation) {
 TEST(LatencyModel, ConfigValidation) {
   Fixture f;
   LatencyModel::Config cfg;
-  cfg.batch = 0;
+  cfg.batch = -1;
   EXPECT_THROW(LatencyModel(f.space, f.device, cfg), InvalidArgument);
+  cfg.batch = 4;
+  cfg.bias_samples = 0;
+  EXPECT_THROW(LatencyModel(f.space, f.device, cfg), InvalidArgument);
+}
+
+TEST(LatencyModel, BatchZeroMeansDeviceDefaultAndOneIsHonored) {
+  // batch == 0 is the "unset" sentinel (resolved to the device profile's
+  // default); an explicit batch — 1 included — is used as given.
+  Fixture f;
+  LatencyModel::Config cfg;
+  cfg.bias_samples = 4;
+  cfg.batch = 0;
+  const LatencyModel defaulted(f.space, f.device, cfg);
+  EXPECT_EQ(defaulted.batch(), f.device.profile().default_batch);
+  cfg.batch = 1;
+  const LatencyModel single(f.space, f.device, cfg);
+  EXPECT_EQ(single.batch(), 1);
 }
 
 TEST(LatencyModel, KendallTauHighOnProxySpace) {

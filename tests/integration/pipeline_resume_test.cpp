@@ -1,0 +1,298 @@
+// Kill-and-resume integration suite: a pipeline interrupted at any
+// snapshot boundary and restarted with resume=true must produce exactly
+// the winner the uninterrupted run produces, and no interruption point may
+// leave an unloadable checkpoint. The kill is simulated by throwing from
+// PipelineConfig::on_snapshot, which fires after the snapshot is durably
+// renamed into place — on-disk state is exactly what SIGKILL would leave.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/pipeline.h"
+#include "hwsim/registry.h"
+#include "util/error.h"
+
+namespace hsconas::core {
+namespace {
+
+/// Thrown from on_snapshot to simulate a crash; deliberately NOT a
+/// hsconas::Error so no library catch block can swallow it.
+struct SimulatedKill {
+  int at_snapshot = 0;
+};
+
+data::SyntheticDataset make_dataset() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 6;
+  cfg.train_size = 180;
+  cfg.val_size = 90;
+  cfg.image_size = 12;
+  cfg.seed = 77;
+  return data::SyntheticDataset(cfg);
+}
+
+/// Surrogate-mode config: fast enough to kill at *every* snapshot.
+PipelineConfig surrogate_config() {
+  PipelineConfig cfg;
+  cfg.space = SearchSpaceConfig::proxy(6, 12, 1);  // 3 layers
+  cfg.device = "edge";
+  cfg.constraint_ms = 1.2;
+  cfg.use_surrogate = true;
+  cfg.shrink_layers_per_stage = 1;
+  cfg.shrink.samples_per_subspace = 6;
+  cfg.evolution.generations = 3;
+  cfg.evolution.population = 10;
+  cfg.evolution.parents = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Proxy-mode config: a real supernet trains, so kill points are sampled
+/// rather than exhaustive.
+PipelineConfig proxy_config() {
+  PipelineConfig cfg = surrogate_config();
+  cfg.use_surrogate = false;
+  cfg.initial_epochs = 2;
+  cfg.tune_epochs = 1;
+  cfg.evolution.generations = 2;
+  cfg.evolution.population = 8;
+  cfg.evolution.parents = 3;
+  cfg.shrink.samples_per_subspace = 4;
+  cfg.train.batch_size = 36;
+  cfg.train.lr = 0.08;
+  cfg.eval_batches = 1;
+  return cfg;
+}
+
+struct ScopedDir {
+  explicit ScopedDir(const std::string& name)
+      : path((std::filesystem::path(testing::TempDir()) / name).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScopedDir() { std::filesystem::remove_all(path); }
+  const std::string path;
+};
+
+void expect_same_winner(const PipelineResult& a, const PipelineResult& b,
+                        const std::string& context) {
+  EXPECT_TRUE(a.best_arch == b.best_arch) << context;
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score) << context;
+  EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy) << context;
+  EXPECT_DOUBLE_EQ(a.predicted_latency_ms, b.predicted_latency_ms)
+      << context;
+  EXPECT_DOUBLE_EQ(a.measured_latency_ms, b.measured_latency_ms) << context;
+}
+
+/// Run cfg, killing at snapshot `kill_at`; then resume in the same dir to
+/// completion and return the resumed result. Asserts the checkpoint left
+/// by the kill is loadable.
+PipelineResult kill_then_resume(PipelineConfig cfg, const std::string& dir,
+                                int kill_at,
+                                const data::SyntheticDataset* dataset) {
+  std::filesystem::remove_all(dir);
+  cfg.checkpoint_dir = dir;
+  cfg.on_snapshot = [kill_at](int index) {
+    if (index == kill_at) throw SimulatedKill{index};
+  };
+  bool killed = false;
+  try {
+    Pipeline doomed(cfg);
+    doomed.run(dataset);
+  } catch (const SimulatedKill&) {
+    killed = true;
+  }
+  EXPECT_TRUE(killed) << "snapshot " << kill_at << " never happened";
+
+  // Acceptance: no interruption point leaves an unloadable checkpoint.
+  EXPECT_NO_THROW(CheckpointReader r(Pipeline::checkpoint_path(dir)))
+      << "kill at snapshot " << kill_at << " left a corrupt checkpoint";
+
+  cfg.on_snapshot = nullptr;
+  cfg.resume = true;
+  Pipeline pipeline(cfg);
+  return pipeline.run(dataset);
+}
+
+TEST(PipelineResume, SurrogateResumeMatchesAtEverySnapshot) {
+  const PipelineConfig base = surrogate_config();
+  const PipelineResult reference = [&] {
+    Pipeline p(base);
+    return p.run();
+  }();
+
+  // Checkpointing itself must not perturb the search; count snapshots.
+  ScopedDir count_dir("hsconas_resume_count");
+  int snapshots = 0;
+  {
+    PipelineConfig cfg = base;
+    cfg.checkpoint_dir = count_dir.path;
+    cfg.on_snapshot = [&snapshots](int) { ++snapshots; };
+    Pipeline p(cfg);
+    expect_same_winner(reference, p.run(), "checkpointing perturbed run");
+  }
+  ASSERT_GE(snapshots, 6);  // 5 phase boundaries + EA progress
+
+  ScopedDir dir("hsconas_resume_surrogate");
+  for (int k = 0; k < snapshots; ++k) {
+    const PipelineResult resumed = kill_then_resume(base, dir.path, k,
+                                                    nullptr);
+    expect_same_winner(reference, resumed,
+                       "killed at snapshot " + std::to_string(k));
+  }
+}
+
+TEST(PipelineResume, ProxyResumeMatchesAtSampledKillPoints) {
+  const auto dataset = make_dataset();
+  const PipelineConfig base = proxy_config();
+  const PipelineResult reference = [&] {
+    Pipeline p(base);
+    return p.run(&dataset);
+  }();
+
+  ScopedDir count_dir("hsconas_resume_proxy_count");
+  int snapshots = 0;
+  {
+    PipelineConfig cfg = base;
+    cfg.checkpoint_dir = count_dir.path;
+    cfg.on_snapshot = [&snapshots](int) { ++snapshots; };
+    Pipeline p(cfg);
+    expect_same_winner(reference, p.run(&dataset),
+                       "checkpointing perturbed run");
+  }
+  ASSERT_GE(snapshots, 6);
+
+  // First snapshot (mid initial training), a middle one (around the shrink
+  // stages), and the last (late in evolution) — the three regimes where
+  // restored state differs most.
+  ScopedDir dir("hsconas_resume_proxy");
+  for (const int k : {0, snapshots / 2, snapshots - 1}) {
+    const PipelineResult resumed =
+        kill_then_resume(base, dir.path, k, &dataset);
+    expect_same_winner(reference, resumed,
+                       "killed at snapshot " + std::to_string(k));
+    // Full training history survives the interruption (restored epochs +
+    // replayed epochs, no duplicates or gaps).
+    EXPECT_EQ(resumed.train_history.size(),
+              reference.train_history.size())
+        << "killed at snapshot " << k;
+    for (std::size_t i = 0; i < resumed.train_history.size(); ++i) {
+      EXPECT_DOUBLE_EQ(resumed.train_history[i].loss,
+                       reference.train_history[i].loss)
+          << "epoch " << i << ", killed at snapshot " << k;
+    }
+  }
+}
+
+TEST(PipelineResume, ResumeRejectsMismatchedRunConfig) {
+  ScopedDir dir("hsconas_resume_mismatch");
+  PipelineConfig cfg = surrogate_config();
+  cfg.checkpoint_dir = dir.path;
+  cfg.on_snapshot = [](int index) {
+    if (index == 2) throw SimulatedKill{index};
+  };
+  try {
+    Pipeline p(cfg);
+    p.run();
+  } catch (const SimulatedKill&) {
+  }
+
+  PipelineConfig other = surrogate_config();
+  other.checkpoint_dir = dir.path;
+  other.resume = true;
+  other.evolution.generations += 5;  // a different run
+  Pipeline pipeline(other);
+  EXPECT_THROW(pipeline.run(), Error);
+}
+
+TEST(PipelineResume, ResumeFailsLoudlyOnCorruptCheckpoint) {
+  // A mangled checkpoint must abort the resume, never silently restart
+  // from scratch (that would quietly discard days of paper-scale search).
+  ScopedDir dir("hsconas_resume_corrupt");
+  PipelineConfig cfg = surrogate_config();
+  cfg.checkpoint_dir = dir.path;
+  cfg.on_snapshot = [](int index) {
+    if (index == 3) throw SimulatedKill{index};
+  };
+  try {
+    Pipeline p(cfg);
+    p.run();
+  } catch (const SimulatedKill&) {
+  }
+
+  const std::string path = Pipeline::checkpoint_path(dir.path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  cfg.on_snapshot = nullptr;
+  cfg.resume = true;
+  Pipeline pipeline(cfg);
+  EXPECT_THROW(pipeline.run(), Error);
+}
+
+TEST(PipelineResume, ResumeWithoutCheckpointRunsFresh) {
+  ScopedDir dir("hsconas_resume_fresh");
+  PipelineConfig cfg = surrogate_config();
+  cfg.checkpoint_dir = dir.path;
+  cfg.resume = true;  // nothing to resume from — a fresh run, not an error
+  Pipeline p(cfg);
+  const PipelineResult result = p.run();
+  Pipeline ref(surrogate_config());
+  expect_same_winner(ref.run(), result, "resume-without-checkpoint");
+}
+
+TEST(PipelineResume, LatencyModelAccessorGuardsUnbuiltState) {
+  Pipeline pipeline(surrogate_config());
+  EXPECT_THROW(pipeline.latency_model(), Error);  // lazily built in run()
+}
+
+TEST(PipelineResume, ExplicitLatencyBatchOneIsHonored) {
+  // Regression: the pipeline used to treat batch == 1 as "unset" and
+  // silently replace it with the device default. 0 is the sentinel now.
+  PipelineConfig cfg = surrogate_config();
+  cfg.latency.batch = 1;
+  Pipeline explicit_one(cfg);
+  explicit_one.run();
+  EXPECT_EQ(explicit_one.latency_model().batch(), 1);
+
+  PipelineConfig unset = surrogate_config();
+  ASSERT_EQ(unset.latency.batch, 0);
+  Pipeline defaulted(unset);
+  defaulted.run();
+  EXPECT_EQ(defaulted.latency_model().batch(),
+            hwsim::device_by_name("edge").default_batch);
+}
+
+TEST(PipelineResume, InvalidCheckpointEveryIsRejected) {
+  PipelineConfig cfg = surrogate_config();
+  cfg.checkpoint_every = 0;
+  EXPECT_THROW(Pipeline p(cfg), InvalidArgument);
+}
+
+TEST(PipelineResume, CoarserCadenceStillResumesExactly) {
+  const PipelineConfig base = [&] {
+    PipelineConfig cfg = surrogate_config();
+    cfg.checkpoint_every = 2;
+    return cfg;
+  }();
+  const PipelineResult reference = [&] {
+    Pipeline p(surrogate_config());
+    return p.run();
+  }();
+  ScopedDir dir("hsconas_resume_cadence");
+  const PipelineResult resumed = kill_then_resume(base, dir.path, 1,
+                                                  nullptr);
+  expect_same_winner(reference, resumed, "checkpoint_every=2, kill at 1");
+}
+
+}  // namespace
+}  // namespace hsconas::core

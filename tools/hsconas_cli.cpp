@@ -93,6 +93,15 @@ int cmd_search(int argc, char** argv) {
   cli.add_option("population", "50", "EA population");
   cli.add_option("seed", "1", "seed");
   cli.add_option("report", "hsconas_search.json", "JSON report path");
+  cli.add_option("checkpoint-dir", "",
+                 "directory for crash-safe progress snapshots "
+                 "(empty = no checkpointing; see docs/ROBUSTNESS.md)");
+  cli.add_option("checkpoint-every", "1",
+                 "snapshot every N epochs/generations (stage boundaries "
+                 "always snapshot)");
+  cli.add_option("resume", "0",
+                 "1 = continue from checkpoint-dir's pipeline.ckpt if "
+                 "present");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string accuracy = cli.get("accuracy");
@@ -107,6 +116,9 @@ int cmd_search(int argc, char** argv) {
   cfg.evolution.population = static_cast<int>(cli.get_int("population"));
   cfg.evolution.parents = cfg.evolution.population * 2 / 5;
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  cfg.checkpoint_dir = cli.get("checkpoint-dir");
+  cfg.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every"));
+  cfg.resume = cli.get_int("resume") != 0;
 
   std::unique_ptr<data::SyntheticDataset> dataset;
   if (accuracy == "surrogate") {
