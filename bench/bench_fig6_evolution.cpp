@@ -102,8 +102,9 @@ int main(int argc, char** argv) {
               random_hist.render().c_str());
   const auto within = [&](const std::vector<double>& xs, double band) {
     return 100.0 *
-           std::count_if(xs.begin(), xs.end(),
-                         [&](double v) { return std::abs(v / T - 1) < band; }) /
+           static_cast<double>(std::count_if(
+               xs.begin(), xs.end(),
+               [&](double v) { return std::abs(v / T - 1) < band; })) /
            static_cast<double>(xs.size());
   };
   std::printf(

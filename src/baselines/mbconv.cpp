@@ -70,11 +70,14 @@ LayerDesc conv_bn_layer(long in_ch, long out_ch, long h, long w, long kernel,
   layer.name = name;
   layer.ops.push_back(
       OpDescriptor::conv(in_ch, out_ch, h, w, kernel, stride, 1));
-  const OpDescriptor& conv = layer.ops.back();
-  push_eltwise(layer, out_ch, conv.out_h(), conv.out_w());
+  // Copy the output geometry out before push_eltwise grows the vector:
+  // a reference to ops.back() would dangle across the reallocation.
+  const long oh = layer.ops.back().out_h();
+  const long ow = layer.ops.back().out_w();
+  push_eltwise(layer, out_ch, oh, ow);
   layer.out_channels = out_ch;
-  layer.out_h = conv.out_h();
-  layer.out_w = conv.out_w();
+  layer.out_h = oh;
+  layer.out_w = ow;
   return layer;
 }
 

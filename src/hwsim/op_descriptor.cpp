@@ -31,14 +31,15 @@ double OpDescriptor::macs() const {
     case OpKind::kConv:
       return static_cast<double>(out_channels) *
              static_cast<double>(in_channels / groups) *
-             static_cast<double>(kernel) * kernel *
-             static_cast<double>(out_h()) * out_w();
+             static_cast<double>(kernel) * static_cast<double>(kernel) *
+             static_cast<double>(out_h()) * static_cast<double>(out_w());
     case OpKind::kDepthwiseConv:
       return static_cast<double>(out_channels) *
-             static_cast<double>(kernel) * kernel *
-             static_cast<double>(out_h()) * out_w();
+             static_cast<double>(kernel) * static_cast<double>(kernel) *
+             static_cast<double>(out_h()) * static_cast<double>(out_w());
     case OpKind::kLinear:
-      return static_cast<double>(in_channels) * out_channels;
+      return static_cast<double>(in_channels) *
+             static_cast<double>(out_channels);
     case OpKind::kPool:
       // comparisons/adds, not MACs; count 0 like standard FLOPs counters
       return 0.0;
@@ -54,13 +55,14 @@ double OpDescriptor::params() const {
     case OpKind::kConv:
       return static_cast<double>(out_channels) *
              static_cast<double>(in_channels / groups) *
-             static_cast<double>(kernel) * kernel;
+             static_cast<double>(kernel) * static_cast<double>(kernel);
     case OpKind::kDepthwiseConv:
       return static_cast<double>(out_channels) *
-             static_cast<double>(kernel) * kernel;
+             static_cast<double>(kernel) * static_cast<double>(kernel);
     case OpKind::kLinear:
-      return static_cast<double>(in_channels) * out_channels +
-             out_channels;
+      return static_cast<double>(in_channels) *
+                 static_cast<double>(out_channels) +
+             static_cast<double>(out_channels);
     default:
       return 0.0;
   }
@@ -71,7 +73,7 @@ double OpDescriptor::input_bytes() const {
     return 4.0 * static_cast<double>(in_channels);
   }
   return 4.0 * static_cast<double>(in_channels) *
-         static_cast<double>(in_h) * in_w;
+         static_cast<double>(in_h) * static_cast<double>(in_w);
 }
 
 double OpDescriptor::output_bytes() const {
@@ -79,7 +81,7 @@ double OpDescriptor::output_bytes() const {
     return 4.0 * static_cast<double>(out_channels);
   }
   return 4.0 * static_cast<double>(out_channels) *
-         static_cast<double>(out_h()) * out_w();
+         static_cast<double>(out_h()) * static_cast<double>(out_w());
 }
 
 double OpDescriptor::weight_bytes() const { return 4.0 * params(); }

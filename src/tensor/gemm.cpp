@@ -138,6 +138,9 @@ void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
   VecNR acc[kMR] = {};
   for (std::size_t p = 0; p < kc; ++p) {
     VecNR bv;
+    // Unaligned vector load, not deserialization: memcpy is the only
+    // UB-free float→VecNR pun and compiles to a single vmovups.
+    // hsconas-lint-allow(serial-raw-memcpy)
     std::memcpy(&bv, bp + p * kNR, sizeof(bv));
     const float* HSCONAS_RESTRICT arow = ap + p * kMR;
     for (std::size_t i = 0; i < kMR; ++i) acc[i] += arow[i] * bv;
@@ -146,8 +149,10 @@ void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
     for (std::size_t i = 0; i < kMR; ++i) {
       float* crow = c + i * ldc;
       VecNR cv;
+      // hsconas-lint-allow(serial-raw-memcpy) — vector load/store puns.
       std::memcpy(&cv, crow, sizeof(cv));
       cv += acc[i];
+      // hsconas-lint-allow(serial-raw-memcpy)
       std::memcpy(crow, &cv, sizeof(cv));
     }
   } else {

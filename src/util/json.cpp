@@ -56,8 +56,11 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
   } else if (const bool* b = std::get_if<bool>(&value_)) {
     out += *b ? "true" : "false";
   } else if (const double* d = std::get_if<double>(&value_)) {
-    if (std::isfinite(*d) && *d == std::floor(*d) &&
-        std::abs(*d) < 1e15) {
+    if (!std::isfinite(*d)) {
+      // JSON has no NaN/Inf tokens and Json::parse rejects them; emitting
+      // null keeps every dump() round-trippable.
+      out += "null";
+    } else if (*d == std::floor(*d) && std::abs(*d) < 1e15) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%lld",
                     static_cast<long long>(*d));
@@ -305,10 +308,45 @@ class Parser {
     }
     if (pos_ == start) fail("expected a value");
     const std::string tok = text_.substr(start, pos_ - start);
+    // Enforce the JSON number grammar rather than trusting strtod, which
+    // also accepts "nan"/"inf"/hex and locale forms: metrics and LUT
+    // files are parsed by tools that trust every number they read, so
+    // non-finite and malformed values must die here.
+    if (!matches_number_grammar(tok)) fail("bad number '" + tok + "'");
     char* end = nullptr;
     const double v = std::strtod(tok.c_str(), &end);
     if (end != tok.c_str() + tok.size()) fail("bad number '" + tok + "'");
+    if (!std::isfinite(v)) fail("non-finite number '" + tok + "'");
     return Json(v);
+  }
+
+  /// RFC 8259: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][-+]?[0-9]+)? — no
+  /// leading '+', no bare '.', no "nan"/"inf", no hex.
+  static bool matches_number_grammar(const std::string& tok) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t j) {
+      return j < tok.size() &&
+             std::isdigit(static_cast<unsigned char>(tok[j])) != 0;
+    };
+    if (i < tok.size() && tok[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (tok[i] == '0') {
+      ++i;  // a leading zero must stand alone ("0", "0.5"; not "01")
+    } else {
+      while (digit(i)) ++i;
+    }
+    if (i < tok.size() && tok[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+      ++i;
+      if (i < tok.size() && (tok[i] == '+' || tok[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == tok.size();
   }
 
   const std::string& text_;

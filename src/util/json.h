@@ -63,8 +63,11 @@ class Json {
   /// this value is not an object.
   const Json* find(const std::string& key) const;
 
-  /// Parse a JSON document. Throws hsconas::Error on malformed input or
-  /// trailing garbage.
+  /// Parse a JSON document. Throws hsconas::Error on malformed input,
+  /// trailing garbage, and numbers outside the RFC 8259 grammar —
+  /// including "nan"/"inf" spellings and values that overflow to
+  /// infinity (e.g. "1e999"). Non-finite doubles serialize as null, so
+  /// every dump() output parses back.
   static Json parse(const std::string& text);
 
   /// Parse the file at `path`; throws hsconas::Error on I/O failure.

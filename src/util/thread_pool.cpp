@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <limits>
 #include <memory>
 
 #include "obs/metrics.h"
@@ -32,10 +34,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    // Exactly-once join: a second shutdown (explicit call followed by the
+    // destructor, or two racing callers) must not touch the threads
+    // again. The winner flips joined_ under the lock and does the joins.
+    if (joined_) return;
+    joined_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
@@ -66,6 +75,11 @@ namespace {
 /// alive via shared_ptr, so a helper that wakes up after the loop already
 /// finished just observes next >= n and returns without touching fn.
 struct LoopState {
+  /// Sentinel stored into `next` when an iteration throws: far above any
+  /// real n, far enough below SIZE_MAX that racing fetch_adds cannot wrap.
+  static constexpr std::size_t kAbort =
+      std::numeric_limits<std::size_t>::max() / 2;
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   std::size_t n = 0;
@@ -73,7 +87,21 @@ struct LoopState {
   std::function<void(std::size_t)> fn;
   std::mutex mutex;
   std::condition_variable cv_done;
+  std::exception_ptr error;  ///< first thrown exception (guarded by mutex)
 };
+
+/// Mark `count` iterations finished and wake the issuing thread when the
+/// whole range is accounted for.
+void finish_iterations(LoopState& s, std::size_t count) {
+  const std::size_t done =
+      s.completed.fetch_add(count, std::memory_order_acq_rel) + count;
+  if (done == s.n) {
+    // The lock pairs with the cv wait so the notification cannot slip
+    // between the waiter's predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.cv_done.notify_all();
+  }
+}
 
 void run_loop_chunks(LoopState& s) {
   for (;;) {
@@ -81,16 +109,27 @@ void run_loop_chunks(LoopState& s) {
         s.next.fetch_add(s.chunk, std::memory_order_relaxed);
     if (begin >= s.n) return;
     const std::size_t end = std::min(begin + s.chunk, s.n);
-    for (std::size_t i = begin; i < end; ++i) s.fn(i);
-    const std::size_t done =
-        s.completed.fetch_add(end - begin, std::memory_order_acq_rel) +
-        (end - begin);
-    if (done == s.n) {
-      // Wake the issuing thread. The lock pairs with the cv wait so the
-      // notification cannot slip between its predicate check and sleep.
-      std::lock_guard<std::mutex> lock(s.mutex);
-      s.cv_done.notify_all();
+    try {
+      for (std::size_t i = begin; i < end; ++i) s.fn(i);
+    } catch (...) {
+      // Record the first exception, stop handing out new chunks, and
+      // account for both this chunk and the never-to-be-claimed tail so
+      // completed still sums to exactly n and the join below wakes up.
+      // Claimed-but-unfinished chunks on other threads finish and count
+      // themselves; a second thrower sees tail >= kAbort and contributes
+      // only its own chunk.
+      {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.error) s.error = std::current_exception();
+      }
+      const std::size_t tail = s.next.exchange(LoopState::kAbort,
+                                               std::memory_order_acq_rel);
+      const std::size_t unclaimed =
+          tail < s.n ? s.n - tail : 0;
+      finish_iterations(s, (end - begin) + unclaimed);
+      return;
     }
+    finish_iterations(s, end - begin);
   }
 }
 
@@ -102,6 +141,8 @@ void ThreadPool::parallel_for(std::size_t n,
   loops.add();
   if (n == 0) return;
   if (n == 1 || workers_.size() <= 1) {
+    // Inline fallback: exceptions propagate directly, matching the
+    // rethrow-after-quiesce contract of the threaded path.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -126,10 +167,15 @@ void ThreadPool::parallel_for(std::size_t n,
   // task that is still sitting in the queue — that is what makes nested
   // parallel_for calls from pool threads deadlock-free.
   run_loop_chunks(*state);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv_done.wait(lock, [&] {
-    return state->completed.load(std::memory_order_acquire) == state->n;
-  });
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv_done.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == state->n;
+    });
+  }
+  // The loop has fully quiesced: no thread holds a chunk, so rethrowing
+  // here cannot leave an iteration running behind the caller's back.
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -12,14 +12,22 @@ namespace hsconas::util {
 
 /// Fixed-size worker pool with a parallel_for helper. Used by the tensor
 /// GEMM, the Conv2d im2col packing loops, and batch evaluation of
-/// architecture populations. Work items must not throw; exceptions escaping
-/// a task terminate (tasks wrap their own error handling where needed).
+/// architecture populations. Raw submit() tasks must not throw (an
+/// exception escaping one terminates); parallel_for bodies MAY throw —
+/// see below.
 ///
 /// parallel_for is re-entrant: a task running on a pool thread may itself
 /// call parallel_for on the same pool (e.g. a GEMM inside a parallel
 /// candidate evaluation). The calling thread always participates in the
 /// loop's work and only waits for chunks that are actively executing on
 /// other threads, so nested calls can never deadlock on pool capacity.
+///
+/// Exception safety: if fn throws on any participating thread, no further
+/// chunks are handed out, every in-flight iteration finishes, and the
+/// first exception is rethrown on the calling thread once the loop has
+/// fully quiesced. The pool itself stays healthy: workers never die, and
+/// the destructor joins each worker exactly once regardless of how many
+/// loops failed.
 class ThreadPool {
  public:
   /// `threads == 0` means hardware_concurrency (at least 1).
@@ -43,8 +51,14 @@ class ThreadPool {
   /// Falls back to inline execution for n <= 1 or single-worker pools.
   /// `fn` must be safe to invoke concurrently from multiple threads; the
   /// iteration-to-thread assignment is nondeterministic but every index
-  /// runs exactly once.
+  /// runs at most once (exactly once when no iteration throws). Rethrows
+  /// the first exception any iteration raised, after the loop quiesces.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Stop accepting queued work and join every worker. Idempotent and
+  /// safe to call concurrently; the destructor calls it, so a pool that
+  /// was shut down explicitly destructs without a second join.
+  void shutdown();
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
@@ -59,6 +73,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  bool joined_ = false;  ///< workers_ already joined (guarded by mutex_)
 };
 
 }  // namespace hsconas::util

@@ -1,0 +1,6 @@
+// Fixture: deliberate include-relative-parent violation.
+#include "../util/no_pragma.h"  // line 2: parent-relative include
+
+namespace fixture {
+inline int use() { return guarded(); }
+}  // namespace fixture

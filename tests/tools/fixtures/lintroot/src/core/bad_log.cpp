@@ -1,0 +1,13 @@
+// Fixture: deliberate log-no-stdio violations in library code.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void chatter(int epoch) {
+  std::cout << "epoch " << epoch << "\n";  // line 8: std::cout
+  printf("loss=%d\n", epoch);              // line 9: printf
+  std::fprintf(stdout, "done\n");          // line 10: fprintf(stdout
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: deliberate rng-discipline violations.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::random_device entropy;                    // line 8: random_device
+  std::mt19937 gen(entropy());                   // line 9: mt19937
+  return static_cast<int>(gen() % 6u) + rand();  // line 10: rand()
+}
+
+}  // namespace fixture

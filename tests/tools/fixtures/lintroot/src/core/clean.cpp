@@ -1,0 +1,11 @@
+// Fixture: a file with no violations; mentions of banned patterns inside
+// comments and string literals must not be flagged:
+//   std::memcpy(dst, src, n); std::mt19937 gen; std::cout << "hi";
+namespace fixture {
+
+const char* kDoc =
+    "call memcpy( or rand() or printf( — these are just words in a string";
+
+inline const char* doc() { return kDoc; }
+
+}  // namespace fixture

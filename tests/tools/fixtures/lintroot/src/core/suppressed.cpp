@@ -1,0 +1,14 @@
+// Fixture: every violation here carries an inline allow, so this file
+// must lint clean — it exercises both suppression comment placements.
+#include <cstring>
+
+namespace fixture {
+
+void copy_block(const float* src, float* dst) {
+  // Contiguous float block copy, not deserialization.
+  // hsconas-lint-allow(serial-raw-memcpy)
+  std::memcpy(dst, src, 16 * sizeof(float));
+  std::memmove(dst, src, 8 * sizeof(float));  // hsconas-lint-allow(serial-raw-memcpy)
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: deliberate trace-scope-in-header violation.
+
+namespace fixture {
+
+inline void hot_path() {
+  HSCONAS_TRACE_SCOPE("fixture.hot_path");  // line 7: span in a header
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: deliberate scratch-discipline violations in a kernel TU.
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+void kernel(std::size_t n) {
+  float* a = new float[n];                       // line 8: array new
+  void* b = std::malloc(n * sizeof(float));      // line 9: malloc
+  std::vector<float> scratch(n);                 // line 10: ad-hoc vector
+  scratch[0] = a[0];
+  std::free(b);
+  delete[] a;
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: deliberate include-iostream-in-header violation.
+#include <iostream>
+
+namespace fixture {
+inline void shout() { std::cerr << "loud header\n"; }
+}  // namespace fixture

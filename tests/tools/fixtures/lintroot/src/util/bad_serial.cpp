@@ -1,0 +1,15 @@
+// Fixture: deliberate serial-raw-memcpy and serial-pointer-cast
+// violations. Never compiled — scanned by lint_test only.
+#include <cstring>
+
+namespace fixture {
+
+void decode(const char* wire, float* out) {
+  std::memcpy(out, wire, 4 * sizeof(float));  // line 8: raw-memcpy
+}
+
+double pun(const char* wire) {
+  return *reinterpret_cast<const double*>(wire);  // line 12: pointer-cast
+}
+
+}  // namespace fixture

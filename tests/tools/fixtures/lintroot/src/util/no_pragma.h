@@ -1,0 +1,10 @@
+// Fixture: deliberate include-pragma-once violation — the first code line
+// below is not `#pragma once`.
+#ifndef FIXTURE_NO_PRAGMA_H
+#define FIXTURE_NO_PRAGMA_H
+
+namespace fixture {
+inline int guarded() { return 1; }
+}  // namespace fixture
+
+#endif

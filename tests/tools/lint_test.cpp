@@ -1,0 +1,220 @@
+// hsconas_lint engine tests: every rule is demonstrated against the
+// fixture tree under tests/tools/fixtures/lintroot (one deliberate
+// violation per rule), and shown to vanish when that rule is disabled.
+// The suppression-comment and baseline-ratchet mechanisms are exercised
+// the same way. The production scan skips directories named `fixtures`,
+// which is what keeps these deliberately bad files out of `ctest -L lint`.
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lint = hsconas::lint;
+
+namespace {
+
+const char* fixtures_root() { return HSCONAS_LINT_FIXTURES_DIR "/lintroot"; }
+
+std::vector<lint::Violation> tree(const lint::Options& opts = {}) {
+  return lint::lint_tree(fixtures_root(), opts);
+}
+
+std::size_t count_rule(const std::vector<lint::Violation>& vs,
+                       const std::string& rule, const std::string& file) {
+  return static_cast<std::size_t>(
+      std::count_if(vs.begin(), vs.end(), [&](const lint::Violation& v) {
+        return v.rule == rule && v.file == file;
+      }));
+}
+
+bool has_violation(const std::vector<lint::Violation>& vs,
+                   const std::string& rule, const std::string& file,
+                   std::size_t line) {
+  return std::any_of(vs.begin(), vs.end(), [&](const lint::Violation& v) {
+    return v.rule == rule && v.file == file && v.line == line;
+  });
+}
+
+/// One fixture expectation per rule: with the rule enabled the exact
+/// (file, line, rule-id) triple is reported; with it disabled, nothing is.
+struct RuleFixture {
+  const char* rule;
+  const char* file;
+  std::size_t line;
+};
+
+const RuleFixture kRuleFixtures[] = {
+    {"serial-raw-memcpy", "src/util/bad_serial.cpp", 8},
+    {"serial-pointer-cast", "src/util/bad_serial.cpp", 12},
+    {"scratch-discipline", "src/tensor/bad_kernel.cpp", 8},
+    {"rng-discipline", "src/core/bad_rng.cpp", 8},
+    {"log-no-stdio", "src/core/bad_log.cpp", 8},
+    {"trace-scope-in-header", "src/nn/bad_trace.h", 7},
+    {"include-pragma-once", "src/util/no_pragma.h", 3},
+    {"include-relative-parent", "src/core/bad_include.cpp", 2},
+    {"include-iostream-in-header", "src/util/bad_iostream.h", 3},
+};
+
+TEST(LintRules, EveryRuleHasAFixtureViolation) {
+  const auto all = tree();
+  for (const RuleFixture& f : kRuleFixtures) {
+    EXPECT_TRUE(has_violation(all, f.rule, f.file, f.line))
+        << f.rule << " expected at " << f.file << ":" << f.line;
+  }
+}
+
+TEST(LintRules, DisablingARuleSilencesExactlyThatRule) {
+  for (const RuleFixture& f : kRuleFixtures) {
+    lint::Options opts;
+    opts.disabled.push_back(f.rule);
+    const auto vs = tree(opts);
+    EXPECT_FALSE(has_violation(vs, f.rule, f.file, f.line))
+        << f.rule << " should be silenced by --disable";
+    // Every *other* rule's fixture violation must survive.
+    for (const RuleFixture& other : kRuleFixtures) {
+      if (std::string(other.rule) == f.rule) continue;
+      EXPECT_TRUE(has_violation(vs, other.rule, other.file, other.line))
+          << other.rule << " must not be affected by disabling " << f.rule;
+    }
+  }
+}
+
+TEST(LintRules, OnlyRestrictsToListedRules) {
+  lint::Options opts;
+  opts.only = {"rng-discipline"};
+  const auto vs = tree(opts);
+  EXPECT_GE(count_rule(vs, "rng-discipline", "src/core/bad_rng.cpp"), 1u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "rng-discipline");
+}
+
+TEST(LintRules, RuleIdsAreStableAndListed) {
+  std::vector<std::string> ids;
+  for (const auto& r : lint::rules()) ids.push_back(r.id);
+  for (const RuleFixture& f : kRuleFixtures) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), f.rule), ids.end())
+        << f.rule << " missing from rules()";
+  }
+  EXPECT_GE(ids.size(), 6u);
+}
+
+TEST(LintRules, ExactReportFormat) {
+  const auto all = tree();
+  const auto it =
+      std::find_if(all.begin(), all.end(), [](const lint::Violation& v) {
+        return v.rule == "serial-pointer-cast";
+      });
+  ASSERT_NE(it, all.end());
+  const std::string line = lint::format_violation(*it);
+  EXPECT_EQ(line.rfind("src/util/bad_serial.cpp:12 serial-pointer-cast ", 0),
+            0u)
+      << line;
+}
+
+TEST(LintSuppression, InlineAllowsSilenceSameLineAndLineAbove) {
+  const auto all = tree();
+  EXPECT_EQ(count_rule(all, "serial-raw-memcpy", "src/core/suppressed.cpp"),
+            0u);
+}
+
+TEST(LintSuppression, CleanFileWithBannedWordsInCommentsAndStrings) {
+  const auto all = tree();
+  for (const auto& v : all) EXPECT_NE(v.file, "src/core/clean.cpp");
+}
+
+TEST(LintFile, CommentAndStringStrippingIsLineAccurate) {
+  const std::string src =
+      "#pragma once\n"
+      "/* std::mt19937 in a block comment\n"
+      "   spanning lines: rand() */\n"
+      "inline int f() { return 0; }  // memcpy(a, b, n)\n"
+      "const char* s = \"std::random_device\";\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.h", src).empty());
+}
+
+TEST(LintFile, RawStringsAreStripped) {
+  const std::string src =
+      "#pragma once\n"
+      "const char* kBlob = R\"json({\"cmd\": \"rand()\"})json\";\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.h", src).empty());
+}
+
+TEST(LintFile, IdentifierBoundariesRespected) {
+  // "operand(" must not trip the rand() matcher; "memcpy_impl" is not
+  // memcpy.
+  const std::string src =
+      "#pragma once\n"
+      "int operand(int x);\n"
+      "void memcpy_impl();\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.h", src).empty());
+}
+
+TEST(LintFile, SerialItselfIsExempt) {
+  const std::string src =
+      "#include <cstring>\n"
+      "void f(char* d, const char* s) { std::memcpy(d, s, 4); }\n"
+      "double g(const char* p) { return *reinterpret_cast<const double*>(p); }\n";
+  EXPECT_TRUE(lint::lint_file("src/util/serial.cpp", src).empty());
+  EXPECT_FALSE(lint::lint_file("src/core/checkpoint.cpp", src).empty());
+}
+
+TEST(LintFile, TestsAreExemptFromLibraryOnlyRules) {
+  // Printing and memcpy are fine in tests; determinism discipline is not.
+  const std::string src =
+      "#include <cstdio>\n"
+      "void t() { printf(\"ok\\n\"); }\n";
+  EXPECT_TRUE(lint::lint_file("tests/core/x_test.cpp", src).empty());
+  const std::string rng_src = "#include <random>\nstd::mt19937 gen;\n";
+  const auto vs = lint::lint_file("tests/core/x_test.cpp", rng_src);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "rng-discipline");
+}
+
+TEST(LintBaseline, RoundTripAndExactCountSuppression) {
+  const auto all = tree();
+  // A baseline written from the current tree makes the tree clean.
+  const lint::Baseline baseline =
+      lint::parse_baseline(lint::format_baseline(all));
+  std::vector<std::string> notes;
+  EXPECT_TRUE(lint::apply_baseline(all, baseline, &notes).empty());
+  EXPECT_TRUE(notes.empty());
+}
+
+TEST(LintBaseline, ExceedingTheCountReportsEveryOccurrence) {
+  // bad_kernel.cpp has 3 scratch-discipline violations. Baseline 2 of
+  // them: all 3 must be reported (new debt cannot hide in the group).
+  const auto all = tree();
+  const std::size_t actual =
+      count_rule(all, "scratch-discipline", "src/tensor/bad_kernel.cpp");
+  ASSERT_GE(actual, 3u);
+  lint::Baseline baseline;
+  baseline[{"src/tensor/bad_kernel.cpp", "scratch-discipline"}] = actual - 1;
+  const auto active = lint::apply_baseline(all, baseline);
+  EXPECT_EQ(count_rule(active, "scratch-discipline",
+                       "src/tensor/bad_kernel.cpp"),
+            actual);
+}
+
+TEST(LintBaseline, StaleEntriesProduceRatchetNotes) {
+  lint::Baseline baseline;
+  baseline[{"src/core/clean.cpp", "serial-raw-memcpy"}] = 4;
+  std::vector<std::string> notes;
+  lint::apply_baseline(tree(), baseline, &notes);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].find("ratchet"), std::string::npos);
+}
+
+TEST(LintBaseline, MalformedLinesThrow) {
+  EXPECT_THROW(lint::parse_baseline("not a baseline line\n"),
+               hsconas::Error);
+  EXPECT_THROW(lint::parse_baseline("0 rule path\n"), hsconas::Error);
+  // Comments and blanks are fine.
+  EXPECT_TRUE(lint::parse_baseline("# header\n\n").empty());
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.h"
@@ -149,6 +150,57 @@ TEST(JsonParse, MalformedInputThrows) {
   EXPECT_THROW(Json::parse("\"unterminated"), Error);
   EXPECT_THROW(Json::parse("nul"), Error);
   EXPECT_THROW(Json::parse("1 trailing"), Error);
+}
+
+// obs_report and the latency-LUT tooling feed every parsed number into
+// arithmetic without re-checking it, so the parser is the line of defense
+// against NaN/Inf and lookalike tokens strtod would happily accept.
+TEST(JsonParse, RejectsNaNAndInfSpellings) {
+  for (const char* bad :
+       {"nan", "NaN", "-nan", "inf", "-inf", "Infinity", "-Infinity",
+        "[1, nan]", "{\"v\": inf}"}) {
+    EXPECT_THROW(Json::parse(bad), Error) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsOverflowToInfinity) {
+  EXPECT_THROW(Json::parse("1e999"), Error);
+  EXPECT_THROW(Json::parse("-1e999"), Error);
+  EXPECT_THROW(Json::parse("{\"sum_ms\": 2e308}"), Error);
+  // Underflow to zero is representable and fine.
+  EXPECT_DOUBLE_EQ(Json::parse("1e-999").as_double(), 0.0);
+}
+
+TEST(JsonParse, EnforcesStrictNumberGrammar) {
+  for (const char* bad : {"+1", "-", ".5", "1.", "01", "0x10", "1e",
+                          "1e+", "--2", "1.2.3", "2e3e4"}) {
+    EXPECT_THROW(Json::parse(bad), Error) << bad;
+  }
+  // The awkward-but-legal corners stay accepted.
+  EXPECT_DOUBLE_EQ(Json::parse("0").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5").as_double(), -0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("0.25e+2").as_double(), 25.0);
+  EXPECT_DOUBLE_EQ(Json::parse("9e-2").as_double(), 0.09);
+}
+
+TEST(JsonParse, RejectsTrailingGarbageEverywhere) {
+  for (const char* bad : {"1 trailing", "{} x", "[] []", "42,",
+                          "\"s\" \"t\"", "null null", "3.5e2 7"}) {
+    EXPECT_THROW(Json::parse(bad), Error) << bad;
+  }
+  // Pure trailing whitespace is not garbage.
+  EXPECT_DOUBLE_EQ(Json::parse(" 42 \n\t").as_double(), 42.0);
+}
+
+TEST(JsonDump, NonFiniteValuesSerializeAsNull) {
+  Json doc = Json::object();
+  doc["bad"] = std::numeric_limits<double>::quiet_NaN();
+  doc["worse"] = std::numeric_limits<double>::infinity();
+  doc["fine"] = 1.5;
+  const Json back = Json::parse(doc.dump());  // must not throw
+  EXPECT_TRUE(back.find("bad")->is_null());
+  EXPECT_TRUE(back.find("worse")->is_null());
+  EXPECT_DOUBLE_EQ(back.find("fine")->as_double(), 1.5);
 }
 
 TEST(JsonParse, TypedAccessorsThrowOnWrongType) {

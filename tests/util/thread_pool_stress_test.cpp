@@ -1,0 +1,143 @@
+// ThreadPool / obs concurrency stress tests. These exist primarily for
+// the -DHSCONAS_SANITIZE=thread configuration (docs/STATIC_ANALYSIS.md):
+// they force real multi-thread interleavings over the pool queue, the
+// metrics registry and the per-thread trace rings even on single-core
+// CI machines (every pool here is constructed with an explicit thread
+// count, never hardware_concurrency).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace hsconas {
+namespace {
+
+TEST(ThreadPoolStress, ParallelForCoversEveryIndexUnderContention) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 257;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " round " << round;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, NestedParallelForUnderContention) {
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ThreadPoolStress, WorkerExceptionPropagatesToCaller) {
+  util::ThreadPool pool(4);
+  // Repeat: the throwing index lands on different threads across rounds.
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::size_t> ran{0};
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        if (i == 31) throw std::runtime_error("iteration 31 failed");
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "iteration 31 failed");
+    }
+    // No iteration ran twice, and the loop quiesced before rethrow.
+    EXPECT_LE(ran.load(), 63u);
+  }
+  // The pool is still healthy after every failed loop.
+  std::atomic<std::size_t> ok{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    ok.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ok.load(), 32u);
+}
+
+TEST(ThreadPoolStress, EveryIterationThrowingStillRethrowsOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   128, [](std::size_t) { throw std::runtime_error("all"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolStress, ExplicitShutdownThenDestructorJoinsOnce) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  EXPECT_EQ(done.load(), 16);
+  // Destructor runs next and must not join again (would terminate).
+}
+
+TEST(ThreadPoolStress, MetricsHammeredFromManyThreads) {
+  util::ThreadPool pool(4);
+  obs::Counter& c = obs::counter("test.stress.counter");
+  obs::Gauge& g = obs::gauge("test.stress.gauge");
+  obs::Histogram& h = obs::histogram("test.stress.histogram");
+  c.reset();
+  h.reset();
+  pool.parallel_for(4096, [&](std::size_t i) {
+    c.add();
+    g.set(static_cast<double>(i));
+    g.update_max(static_cast<double>(i));
+    h.record(static_cast<double>(i % 7) * 0.01);
+    // Registration racing against updates must also be clean.
+    obs::counter("test.stress.registered." + std::to_string(i % 16)).add();
+  });
+  EXPECT_EQ(c.value(), 4096u);
+  EXPECT_EQ(h.count(), 4096u);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counter_value("test.stress.counter"), 4096u);
+}
+
+#if !defined(HSCONAS_TRACING_DISABLED)
+TEST(ThreadPoolStress, TraceRingsWithConcurrentSnapshotAndClear) {
+  util::ThreadPool pool(4);
+  obs::Tracer::clear();
+  obs::Tracer::enable();
+  // Writers fill per-thread rings past capacity (forcing wraparound)
+  // while other iterations snapshot and clear concurrently.
+  pool.parallel_for(512, [&](std::size_t i) {
+    if (i % 97 == 0) {
+      (void)obs::Tracer::snapshot();
+      (void)obs::Tracer::dropped();
+    } else if (i % 131 == 0) {
+      obs::Tracer::clear();
+    } else {
+      HSCONAS_TRACE_SCOPE("stress.outer");
+      HSCONAS_TRACE_SCOPE("stress.inner");
+    }
+  });
+  obs::Tracer::disable();
+  // Post-quiesce snapshot must be internally consistent.
+  for (const obs::TraceEvent& ev : obs::Tracer::snapshot()) {
+    EXPECT_GT(ev.tid, 0u);
+    EXPECT_LT(ev.depth, 3u);
+  }
+  obs::Tracer::clear();
+}
+#endif
+
+}  // namespace
+}  // namespace hsconas

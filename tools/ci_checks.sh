@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# ci_checks.sh — the full correctness-tooling gate, as CI runs it.
+#
+#   tools/ci_checks.sh [--fast]
+#
+# Stages (each fails the script on first error):
+#   1. dev-warnings build: configure + build everything with
+#      -DHSCONAS_DEV_WARNINGS=ON (-Wall -Wextra -Wshadow -Wconversion,
+#      -Werror) and run the full ctest suite.
+#   2. hsconas_lint over the tree against the checked-in baseline.
+#   3. clang-tidy over src/ and tools/ (skipped when not installed).
+#   4. ASan+UBSan build + full ctest (skipped with --fast).
+#   5. TSan build + full ctest (skipped with --fast).
+#
+# Build trees live under ci-build-* in the repo root and are reused
+# across runs, so local re-runs are incremental. See
+# docs/STATIC_ANALYSIS.md for running any stage by hand.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+stage() { printf '\n==== ci_checks: %s ====\n' "$1"; }
+
+stage "dev-warnings build (-Werror) + full test suite"
+cmake -S "$root" -B "$root/ci-build-warn" -DHSCONAS_DEV_WARNINGS=ON \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$root/ci-build-warn" -j "$jobs"
+(cd "$root/ci-build-warn" && ctest --output-on-failure -j "$jobs")
+
+stage "hsconas_lint invariant check"
+"$root/ci-build-warn/tools/hsconas_lint" --root "$root" \
+  --baseline "$root/tools/lint/baseline.txt"
+
+stage "clang-tidy (if installed)"
+"$root/tools/run_clang_tidy.sh" "$root/ci-build-warn"
+
+if [ "$fast" -eq 1 ]; then
+  stage "done (--fast: sanitizer stages skipped)"
+  exit 0
+fi
+
+stage "address,undefined sanitizer build + full test suite"
+cmake -S "$root" -B "$root/ci-build-asan" \
+  -DHSCONAS_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHSCONAS_BUILD_BENCHES=OFF -DHSCONAS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$root/ci-build-asan" -j "$jobs"
+(cd "$root/ci-build-asan" && ctest --output-on-failure -j "$jobs")
+
+stage "thread sanitizer build + full test suite"
+cmake -S "$root" -B "$root/ci-build-tsan" \
+  -DHSCONAS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHSCONAS_BUILD_BENCHES=OFF -DHSCONAS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$root/ci-build-tsan" -j "$jobs"
+(cd "$root/ci-build-tsan" && ctest --output-on-failure -j "$jobs")
+
+stage "all checks passed"

@@ -301,15 +301,15 @@ int main(int argc, char** argv) {
   args.reserve(static_cast<std::size_t>(argc));
   try {
     for (int i = 0; i < argc; ++i) {
-      if (const char* v = flag_value(argv[i], "--metrics-out")) {
-        metrics_out = v;
-      } else if (const char* v = flag_value(argv[i], "--trace-out")) {
-        trace_out = v;
+      if (const char* metrics = flag_value(argv[i], "--metrics-out")) {
+        metrics_out = metrics;
+      } else if (const char* trace = flag_value(argv[i], "--trace-out")) {
+        trace_out = trace;
         hsconas::obs::Tracer::enable();
-      } else if (const char* v = flag_value(argv[i], "--log-level")) {
-        hsconas::util::set_log_level(hsconas::util::parse_log_level(v));
-      } else if (const char* v = flag_value(argv[i], "--log-json")) {
-        hsconas::util::set_log_sink(v);
+      } else if (const char* level = flag_value(argv[i], "--log-level")) {
+        hsconas::util::set_log_level(hsconas::util::parse_log_level(level));
+      } else if (const char* sink = flag_value(argv[i], "--log-json")) {
+        hsconas::util::set_log_sink(sink);
       } else {
         args.push_back(argv[i]);
       }

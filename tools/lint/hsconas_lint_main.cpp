@@ -1,0 +1,120 @@
+// hsconas_lint — walk src/, tools/ and tests/ and enforce the project's
+// correctness invariants as named, individually suppressible lint rules.
+//
+//   hsconas_lint --root <repo> [--baseline <file>] [--disable a,b]
+//                [--only a,b] [--write-baseline <file>] [--list-rules]
+//
+// Exit status: 0 clean, 1 non-baselined violations found, 2 usage/IO
+// error. Output format: `file:line rule-id message`, one per line. See
+// docs/STATIC_ANALYSIS.md for the rule catalog and suppression syntax.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/error.h"
+
+namespace {
+
+void split_csv(const std::string& csv, std::vector<std::string>* out) {
+  std::string id;
+  for (char c : csv + ",") {
+    if (c == ',') {
+      if (!id.empty()) out->push_back(id);
+      id.clear();
+    } else {
+      id += c;
+    }
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root <dir> [--baseline <file>] [--disable a,b]\n"
+               "       [--only a,b] [--write-baseline <file>] [--list-rules]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  hsconas::lint::Options opts;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return {};
+    };
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root" || arg.rfind("--root=", 0) == 0) {
+      root = value("--root");
+    } else if (arg == "--baseline" || arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline" ||
+               arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = value("--write-baseline");
+    } else if (arg == "--disable" || arg.rfind("--disable=", 0) == 0) {
+      split_csv(value("--disable"), &opts.disabled);
+    } else if (arg == "--only" || arg.rfind("--only=", 0) == 0) {
+      split_csv(value("--only"), &opts.only);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : hsconas::lint::rules()) {
+      std::printf("%-28s %s\n", rule.id.c_str(), rule.description.c_str());
+    }
+    return 0;
+  }
+
+  try {
+    const std::vector<hsconas::lint::Violation> all =
+        hsconas::lint::lint_tree(root, opts);
+
+    if (!write_baseline_path.empty()) {
+      std::ofstream f(write_baseline_path);
+      if (!f) {
+        std::fprintf(stderr, "hsconas_lint: cannot write %s\n",
+                     write_baseline_path.c_str());
+        return 2;
+      }
+      f << hsconas::lint::format_baseline(all);
+      std::printf("hsconas_lint: wrote baseline (%zu entries) to %s\n",
+                  all.size(), write_baseline_path.c_str());
+      return 0;
+    }
+
+    const hsconas::lint::Baseline baseline =
+        baseline_path.empty() ? hsconas::lint::Baseline{}
+                              : hsconas::lint::load_baseline(baseline_path);
+    std::vector<std::string> ratchet_notes;
+    const std::vector<hsconas::lint::Violation> active =
+        hsconas::lint::apply_baseline(all, baseline, &ratchet_notes);
+
+    for (const auto& v : active) {
+      std::printf("%s\n", hsconas::lint::format_violation(v).c_str());
+    }
+    for (const auto& note : ratchet_notes) {
+      std::fprintf(stderr, "hsconas_lint: note: %s\n", note.c_str());
+    }
+    std::printf("hsconas_lint: %zu violation(s), %zu baselined\n",
+                active.size(), all.size() - active.size());
+    return active.empty() ? 0 : 1;
+  } catch (const hsconas::Error& e) {
+    std::fprintf(stderr, "hsconas_lint: error: %s\n", e.what());
+    return 2;
+  }
+}

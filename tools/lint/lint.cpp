@@ -1,0 +1,609 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hsconas::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool is_header(const std::string& path) { return ends_with(path, ".h"); }
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Find `ident` as a whole identifier in `line` starting at `from`;
+/// npos when absent. "rand" does not match inside "operand".
+std::size_t find_identifier(const std::string& line, const std::string& ident,
+                            std::size_t from = 0) {
+  for (std::size_t pos = line.find(ident, from); pos != std::string::npos;
+       pos = line.find(ident, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& line, std::size_t pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// `ident` used as a call: identifier immediately (modulo spaces)
+/// followed by '('.
+bool has_call(const std::string& line, const std::string& ident) {
+  for (std::size_t pos = find_identifier(line, ident); pos != std::string::npos;
+       pos = find_identifier(line, ident, pos + 1)) {
+    const std::size_t after = skip_spaces(line, pos + ident.size());
+    if (after < line.size() && line[after] == '(') return true;
+  }
+  return false;
+}
+
+/// `fprintf`/`fputs`-style call whose first argument is `stdout`.
+bool has_stdout_call(const std::string& line, const std::string& ident) {
+  for (std::size_t pos = find_identifier(line, ident); pos != std::string::npos;
+       pos = find_identifier(line, ident, pos + 1)) {
+    std::size_t after = skip_spaces(line, pos + ident.size());
+    if (after >= line.size() || line[after] != '(') continue;
+    after = skip_spaces(line, after + 1);
+    if (find_identifier(line.substr(after, 6), "stdout") == 0) return true;
+  }
+  return false;
+}
+
+/// `new` expression that allocates an array: `new` then '[' before any
+/// '(' or ';' (so `new Foo(a[i])` does not match but `new float[n]` does).
+bool has_array_new(const std::string& line) {
+  for (std::size_t pos = find_identifier(line, "new"); pos != std::string::npos;
+       pos = find_identifier(line, "new", pos + 1)) {
+    for (std::size_t i = pos + 3; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '[') return true;
+      if (c == '(' || c == ';' || c == ',') break;
+    }
+  }
+  return false;
+}
+
+/// Split text into lines (without terminators). A trailing newline does
+/// not produce an empty final line.
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Replace comments, string literals and char literals with spaces so the
+/// rule matchers only ever see code. Handles // and /* */ across lines,
+/// escape sequences, and R"delim(...)delim" raw strings. Line structure
+/// (count and lengths) is preserved.
+std::vector<std::string> strip_to_code(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: )delim"
+
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            i = line.size();  // rest of line is a comment
+          } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+          } else if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+                     (i == 0 || !is_ident_char(line[i - 1]))) {
+            const std::size_t open = line.find('(', i + 2);
+            if (open == std::string::npos) {
+              i = line.size();  // malformed; treat rest as literal
+            } else {
+              raw_delim.assign(1, ')');
+              raw_delim.append(line, i + 2, open - (i + 2));
+              raw_delim += '"';
+              state = State::kRawString;
+              i = open + 1;
+            }
+          } else if (c == '"') {
+            state = State::kString;
+            ++i;
+          } else if (c == '\'') {
+            state = State::kChar;
+            ++i;
+          } else {
+            code[i] = c;
+            ++i;
+          }
+          break;
+        case State::kBlockComment: {
+          const std::size_t close = line.find("*/", i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = close + 2;
+          }
+          break;
+        }
+        case State::kString:
+        case State::kChar: {
+          const char quote = state == State::kString ? '"' : '\'';
+          if (c == '\\') {
+            i += 2;
+          } else if (c == quote) {
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kRawString: {
+          const std::size_t close = line.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated ordinary string/char literals do not span lines.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool line_is_blank_or_stripped(const std::string& code_line) {
+  return code_line.find_first_not_of(" \t") == std::string::npos;
+}
+
+/// Parse every rule id named by `hsconas-lint-allow(a,b,...)` occurrences
+/// in `line` into `out`.
+void collect_allows(const std::string& line, std::vector<std::string>* out) {
+  static const std::string kTag = "hsconas-lint-allow(";
+  for (std::size_t pos = line.find(kTag); pos != std::string::npos;
+       pos = line.find(kTag, pos + 1)) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string id;
+    for (std::size_t i = open; i <= close; ++i) {
+      if (i == close || line[i] == ',') {
+        if (!id.empty()) out->push_back(id);
+        id.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(line[i]))) {
+        id += line[i];
+      }
+    }
+  }
+}
+
+struct FileContext {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  /// allows[i]: rule ids suppressed for raw line i+1 (same line or the
+  /// line directly above carries the comment).
+  std::vector<std::vector<std::string>> allows;
+};
+
+bool is_suppressed(const FileContext& ctx, std::size_t line,
+                   const std::string& rule) {
+  if (line == 0 || line > ctx.allows.size()) return false;
+  const auto& ids = ctx.allows[line - 1];
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+void report(const FileContext& ctx, std::vector<Violation>* out,
+            const Options& opts, std::size_t line, const char* rule,
+            const std::string& message) {
+  if (!rule_enabled(opts, rule)) return;
+  if (is_suppressed(ctx, line, rule)) return;
+  out->push_back(Violation{ctx.path, line, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each takes the preprocessed file and appends violations.
+
+constexpr const char* kSerialRawMemcpy = "serial-raw-memcpy";
+constexpr const char* kSerialPointerCast = "serial-pointer-cast";
+constexpr const char* kScratchDiscipline = "scratch-discipline";
+constexpr const char* kRngDiscipline = "rng-discipline";
+constexpr const char* kLogNoStdio = "log-no-stdio";
+constexpr const char* kTraceScopeInHeader = "trace-scope-in-header";
+constexpr const char* kIncludePragmaOnce = "include-pragma-once";
+constexpr const char* kIncludeRelativeParent = "include-relative-parent";
+constexpr const char* kIncludeIostreamInHeader = "include-iostream-in-header";
+
+bool in_library_or_tools(const std::string& p) {
+  return starts_with(p, "src/") || starts_with(p, "tools/");
+}
+
+bool is_serial_impl(const std::string& p) {
+  return starts_with(p, "src/util/serial");
+}
+
+void rule_serial_raw_memcpy(const FileContext& ctx, const Options& opts,
+                            std::vector<Violation>* out) {
+  if (!in_library_or_tools(ctx.path) || is_serial_impl(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (has_call(ctx.code[i], "memcpy") || has_call(ctx.code[i], "memmove")) {
+      report(ctx, out, opts, i + 1, kSerialRawMemcpy,
+             "raw memcpy/memmove outside util/serial; deserialization must "
+             "go through the bounds-checked util::ByteReader");
+    }
+  }
+}
+
+void rule_serial_pointer_cast(const FileContext& ctx, const Options& opts,
+                              std::vector<Violation>* out) {
+  if (!in_library_or_tools(ctx.path) || is_serial_impl(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (find_identifier(ctx.code[i], "reinterpret_cast") !=
+        std::string::npos) {
+      report(ctx, out, opts, i + 1, kSerialPointerCast,
+             "reinterpret_cast outside util/serial; type-punning "
+             "deserialization must go through util::ByteReader");
+    }
+  }
+}
+
+void rule_scratch_discipline(const FileContext& ctx, const Options& opts,
+                             std::vector<Violation>* out) {
+  const bool kernel_dir = starts_with(ctx.path, "src/tensor/") ||
+                          starts_with(ctx.path, "src/nn/");
+  if (!kernel_dir) return;
+  // The tensor container and the arena itself are the two owners allowed
+  // to allocate.
+  if (starts_with(ctx.path, "src/tensor/tensor") ||
+      starts_with(ctx.path, "src/tensor/workspace")) {
+    return;
+  }
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (has_call(line, "malloc") || has_call(line, "calloc") ||
+        has_call(line, "realloc") || has_array_new(line)) {
+      report(ctx, out, opts, i + 1, kScratchDiscipline,
+             "heap allocation in a kernel hot path; lease scratch from "
+             "tensor::Workspace::tls() instead");
+    }
+    if (!is_header(ctx.path) &&
+        line.find("std::vector<float>") != std::string::npos) {
+      report(ctx, out, opts, i + 1, kScratchDiscipline,
+             "ad-hoc std::vector<float> scratch in a kernel translation "
+             "unit; lease from tensor::Workspace::tls() instead");
+    }
+  }
+}
+
+void rule_rng_discipline(const FileContext& ctx, const Options& opts,
+                         std::vector<Violation>* out) {
+  if (starts_with(ctx.path, "src/util/rng")) return;
+  static const char* kBanned[] = {"random_device", "mt19937", "mt19937_64",
+                                  "default_random_engine"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    bool hit = has_call(line, "rand") || has_call(line, "srand");
+    for (const char* ident : kBanned) {
+      hit = hit || find_identifier(line, ident) != std::string::npos;
+    }
+    if (hit) {
+      report(ctx, out, opts, i + 1, kRngDiscipline,
+             "non-deterministic randomness source; all randomness must "
+             "flow from seeded util::Rng streams");
+    }
+  }
+}
+
+void rule_log_no_stdio(const FileContext& ctx, const Options& opts,
+                       std::vector<Violation>* out) {
+  if (!starts_with(ctx.path, "src/")) return;  // CLIs/tests may print
+  if (starts_with(ctx.path, "src/util/logging")) return;  // the sink itself
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    const bool stream_hit =
+        line.find("std::cout") != std::string::npos ||
+        line.find("std::cerr") != std::string::npos ||
+        line.find("std::clog") != std::string::npos;
+    const bool call_hit = has_call(line, "printf") || has_call(line, "puts") ||
+                          has_stdout_call(line, "fprintf") ||
+                          has_stdout_call(line, "fputs");
+    if (stream_hit || call_hit) {
+      report(ctx, out, opts, i + 1, kLogNoStdio,
+             "direct stdout/stderr output in library code; use the "
+             "structured HSCONAS_LOG_* macros (util/logging.h)");
+    }
+  }
+}
+
+void rule_trace_scope_in_header(const FileContext& ctx, const Options& opts,
+                                std::vector<Violation>* out) {
+  if (!is_header(ctx.path) || ctx.path == "src/obs/trace.h") return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (find_identifier(ctx.code[i], "HSCONAS_TRACE_SCOPE") !=
+        std::string::npos) {
+      report(ctx, out, opts, i + 1, kTraceScopeInHeader,
+             "HSCONAS_TRACE_SCOPE in a header; spans belong in .cpp files "
+             "so the compile-time kill switch stays effective");
+    }
+  }
+}
+
+void rule_include_pragma_once(const FileContext& ctx, const Options& opts,
+                              std::vector<Violation>* out) {
+  if (!is_header(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    if (line_is_blank_or_stripped(ctx.code[i])) continue;
+    const std::size_t first =
+        ctx.raw[i].find_first_not_of(" \t");
+    if (first == std::string::npos ||
+        ctx.raw[i].compare(first, 12, "#pragma once") != 0) {
+      report(ctx, out, opts, i + 1, kIncludePragmaOnce,
+             "header does not open with #pragma once");
+    }
+    return;  // only the first code line matters
+  }
+  report(ctx, out, opts, 1, kIncludePragmaOnce,
+         "header does not open with #pragma once");
+}
+
+void rule_include_relative_parent(const FileContext& ctx, const Options& opts,
+                                  std::vector<Violation>* out) {
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    const std::string& line = ctx.raw[i];
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '#') continue;
+    if (line.find("#include") == std::string::npos) continue;
+    if (line.find("\"../") != std::string::npos) {
+      report(ctx, out, opts, i + 1, kIncludeRelativeParent,
+             "parent-relative #include; use a root-relative path "
+             "(\"subsystem/header.h\")");
+    }
+  }
+}
+
+void rule_include_iostream_in_header(const FileContext& ctx,
+                                     const Options& opts,
+                                     std::vector<Violation>* out) {
+  if (!is_header(ctx.path) || !starts_with(ctx.path, "src/")) return;
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    if (ctx.raw[i].find("#include <iostream>") != std::string::npos) {
+      report(ctx, out, opts, i + 1, kIncludeIostreamInHeader,
+             "<iostream> in a library header drags static iostream "
+             "initialization into every includer; include it in the .cpp");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {kSerialRawMemcpy,
+       "memcpy/memmove outside util/serial (ByteReader-only deserialization)"},
+      {kSerialPointerCast,
+       "reinterpret_cast outside util/serial (no pointer-cast decoding)"},
+      {kScratchDiscipline,
+       "no malloc/new[]/ad-hoc vector<float> scratch in tensor/nn kernels "
+       "(Workspace-only)"},
+      {kRngDiscipline,
+       "no rand()/std::random_device/std::mt19937 outside util/rng "
+       "(seeded util::Rng streams only)"},
+      {kLogNoStdio,
+       "no stdout/stderr printing in library code (structured logging only)"},
+      {kTraceScopeInHeader, "no HSCONAS_TRACE_SCOPE in headers"},
+      {kIncludePragmaOnce, "headers must open with #pragma once"},
+      {kIncludeRelativeParent, "no parent-relative #include paths"},
+      {kIncludeIostreamInHeader, "no <iostream> in library headers"},
+  };
+  return kRules;
+}
+
+bool rule_enabled(const Options& opts, const std::string& rule) {
+  if (std::find(opts.disabled.begin(), opts.disabled.end(), rule) !=
+      opts.disabled.end()) {
+    return false;
+  }
+  return opts.only.empty() ||
+         std::find(opts.only.begin(), opts.only.end(), rule) !=
+             opts.only.end();
+}
+
+std::vector<Violation> lint_file(const std::string& path,
+                                 const std::string& contents,
+                                 const Options& opts) {
+  FileContext ctx;
+  ctx.path = path;
+  ctx.raw = split_lines(contents);
+  ctx.code = strip_to_code(ctx.raw);
+  ctx.allows.resize(ctx.raw.size());
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    std::vector<std::string> ids;
+    collect_allows(ctx.raw[i], &ids);
+    for (const std::string& id : ids) {
+      ctx.allows[i].push_back(id);                          // same line
+      if (i + 1 < ctx.raw.size()) ctx.allows[i + 1].push_back(id);  // next
+    }
+  }
+
+  std::vector<Violation> out;
+  rule_serial_raw_memcpy(ctx, opts, &out);
+  rule_serial_pointer_cast(ctx, opts, &out);
+  rule_scratch_discipline(ctx, opts, &out);
+  rule_rng_discipline(ctx, opts, &out);
+  rule_log_no_stdio(ctx, opts, &out);
+  rule_trace_scope_in_header(ctx, opts, &out);
+  rule_include_pragma_once(ctx, opts, &out);
+  rule_include_relative_parent(ctx, opts, &out);
+  rule_include_iostream_in_header(ctx, opts, &out);
+  return out;
+}
+
+namespace {
+
+bool lintable_file(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+bool skip_directory(const std::string& name) {
+  return name == "fixtures" || starts_with(name, "build") || name[0] == '.';
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) throw Error("hsconas_lint: cannot read " + p.string());
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+std::vector<Violation> lint_tree(const std::string& root,
+                                 const Options& opts) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  for (const char* top : {"src", "tools", "tests"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    fs::recursive_directory_iterator it(dir), end;
+    for (; it != end; ++it) {
+      if (it->is_directory()) {
+        if (skip_directory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (!it->is_regular_file() || !lintable_file(it->path())) continue;
+      const std::string rel =
+          fs::relative(it->path(), fs::path(root)).generic_string();
+      const std::vector<Violation> file_violations =
+          lint_file(rel, read_file(it->path()), opts);
+      out.insert(out.end(), file_violations.begin(), file_violations.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::size_t count = 0;
+    std::string rule, path;
+    if (!(fields >> count >> rule >> path) || count == 0) {
+      throw Error("hsconas_lint: malformed baseline line " +
+                  std::to_string(lineno) + ": '" + line + "'");
+    }
+    baseline[{path, rule}] += count;
+  }
+  return baseline;
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  return parse_baseline(std::string(std::istreambuf_iterator<char>(f),
+                                    std::istreambuf_iterator<char>()));
+}
+
+std::string format_baseline(const std::vector<Violation>& violations) {
+  Baseline counts;
+  for (const Violation& v : violations) ++counts[{v.file, v.rule}];
+  std::string out =
+      "# hsconas_lint baseline — accepted pre-existing debt, one\n"
+      "# `count rule-id path` entry per (file, rule). Regenerate with\n"
+      "# `hsconas_lint --root . --write-baseline <path>` after paying\n"
+      "# debt down; new violations must not be added here.\n";
+  for (const auto& [key, count] : counts) {
+    out += std::to_string(count) + " " + key.second + " " + key.first + "\n";
+  }
+  return out;
+}
+
+std::vector<Violation> apply_baseline(
+    const std::vector<Violation>& violations, const Baseline& baseline,
+    std::vector<std::string>* ratchet_notes) {
+  Baseline counts;
+  for (const Violation& v : violations) ++counts[{v.file, v.rule}];
+
+  std::vector<Violation> out;
+  for (const Violation& v : violations) {
+    const auto it = baseline.find({v.file, v.rule});
+    const std::size_t allowed = it == baseline.end() ? 0 : it->second;
+    // All-or-nothing per (file, rule): a count over baseline reports every
+    // occurrence, because line numbers cannot identify which one is new.
+    if (counts[{v.file, v.rule}] > allowed) out.push_back(v);
+  }
+  if (ratchet_notes != nullptr) {
+    for (const auto& [key, allowed] : baseline) {
+      const auto it = counts.find(key);
+      const std::size_t actual = it == counts.end() ? 0 : it->second;
+      if (actual < allowed) {
+        ratchet_notes->push_back(
+            key.first + ": " + key.second + " baseline is " +
+            std::to_string(allowed) + " but only " + std::to_string(actual) +
+            " remain; ratchet the baseline down");
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_violation(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + " " + v.rule + " " +
+         v.message;
+}
+
+}  // namespace hsconas::lint

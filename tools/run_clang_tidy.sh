@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the library and tool sources using the compilation
+# database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS is always ON).
+#
+#   tools/run_clang_tidy.sh [build-dir] [clang-tidy-binary]
+#
+# Exits nonzero if clang-tidy reports an error-severity diagnostic (see
+# WarningsAsErrors in .clang-tidy). Skips cleanly when clang-tidy is not
+# installed so the `lint` target still works on minimal toolchains.
+set -eu
+
+build_dir="${1:-build}"
+tidy="${2:-clang-tidy}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy not found; skipping (install clang-tidy to enable)" >&2
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing; configure first" >&2
+  exit 2
+fi
+
+# Library + tools only: tests and benches follow gtest/benchmark idioms
+# that trip style checks without telling us anything about the library.
+find "$root/src" "$root/tools" -name '*.cpp' \
+  ! -path '*/fixtures/*' -print | sort | \
+  xargs "$tidy" -p "$build_dir" --quiet
