@@ -10,10 +10,16 @@
 // entry counters (GEMM/im2col calls, accumulated FLOPs) and the workspace
 // high-water mark accumulated over the benchmark session, so a saved run
 // records not just how fast the kernels were but how often each path ran.
+//
+// Pass `--threads N` to size the global ThreadPool for the whole session
+// (recorded in the JSON as "threads"); BM_GemmThreads additionally sweeps
+// 1/2/4/8 workers in-process via ThreadPool::configure_global to expose
+// the macro-kernel's scaling curve in a single run.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,12 +28,15 @@
 #include "core/supernet.h"
 #include "core/trainer.h"
 #include "hwsim/registry.h"
+#include "nn/activation.h"
 #include "nn/blocks.h"
 #include "nn/conv2d.h"
+#include "nn/fused_conv.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "tensor/gemm.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -47,6 +56,32 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Same kernel, explicit worker-count sweep: range(0) is the square size,
+// range(1) the pool width. The global pool is resized for the duration of
+// the run and restored afterwards so the remaining benchmarks keep the
+// session-level --threads setting.
+void BM_GemmThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t prev = util::ThreadPool::global().size();
+  util::ThreadPool::configure_global(threads);
+  util::Rng rng(1);
+  const Tensor a = Tensor::uniform({static_cast<long>(n), static_cast<long>(n)}, -1, 1, rng);
+  const Tensor b = Tensor::uniform({static_cast<long>(n), static_cast<long>(n)}, -1, 1, rng);
+  Tensor c({static_cast<long>(n), static_cast<long>(n)});
+  for (auto _ : state) {
+    tensor::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n * n * n));
+  util::ThreadPool::configure_global(prev);
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
 
 void BM_ConvForward(benchmark::State& state) {
   util::Rng rng(2);
@@ -71,6 +106,39 @@ void BM_ConvBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvBackward);
+
+// conv → BN → ReLU priced as three composed eval-mode module passes —
+// the pre-fusion baseline for BM_ConvBnReluFused below.
+void BM_ConvBnReluUnfused(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Conv2d conv(16, 32, 3, 1, 1, 1, false, rng);
+  nn::BatchNorm2d bn(32);
+  nn::ReLU relu;
+  conv.set_training(false);
+  bn.set_training(false);
+  relu.set_training(false);
+  const Tensor x = Tensor::uniform({4, 16, 16, 16}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor y = relu.forward(bn.forward(conv.forward(x)));
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvBnReluUnfused);
+
+// Same computation, bias/BN/ReLU folded into the GEMM writeback epilogue.
+void BM_ConvBnReluFused(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Conv2d conv(16, 32, 3, 1, 1, 1, false, rng);
+  nn::BatchNorm2d bn(32);
+  conv.set_training(false);
+  bn.set_training(false);
+  const Tensor x = Tensor::uniform({4, 16, 16, 16}, -1, 1, rng);
+  for (auto _ : state) {
+    Tensor y = nn::fused_conv_bn_act(conv, bn, tensor::EpilogueAct::kReLU, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvBnReluFused);
 
 void BM_DepthwiseConvForward(benchmark::State& state) {
   util::Rng rng(4);
@@ -177,11 +245,12 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
   }
 
-  void save(const std::string& path) const {
+  void save(const std::string& path, std::size_t threads) const {
     hsconas::util::Json results = hsconas::util::Json::array();
     for (const auto& r : records_) results.push_back(r);
     hsconas::util::Json doc = hsconas::util::Json::object();
     doc["results"] = std::move(results);
+    doc["threads"] = static_cast<double>(threads);
     doc["metrics"] =
         hsconas::obs::metrics_to_json(hsconas::obs::metrics_snapshot());
     doc.save(path);
@@ -194,16 +263,26 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off our --json flag before google-benchmark sees the arguments.
+  // Peel off our --json / --threads flags before google-benchmark sees the
+  // arguments. --threads sizes the global pool for the whole session (the
+  // in-process BM_GemmThreads sweep overrides it temporarily per run).
   std::string json_path;
+  long threads = 0;
   std::vector<char*> args(argv, argv + argc);
   for (auto it = args.begin(); it != args.end();) {
     if (std::strcmp(*it, "--json") == 0 && it + 1 != args.end()) {
       json_path = *(it + 1);
       it = args.erase(it, it + 2);
+    } else if (std::strcmp(*it, "--threads") == 0 && it + 1 != args.end()) {
+      threads = std::strtol(*(it + 1), nullptr, 10);
+      it = args.erase(it, it + 2);
     } else {
       ++it;
     }
+  }
+  if (threads > 0) {
+    hsconas::util::ThreadPool::configure_global(
+        static_cast<std::size_t>(threads));
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
@@ -215,7 +294,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (!json_path.empty()) {
     try {
-      reporter.save(json_path);
+      reporter.save(json_path, hsconas::util::ThreadPool::global().size());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bench_kernels: --json: %s\n", e.what());
       return 1;

@@ -61,11 +61,13 @@ LayerDesc mbconv_layer(const MbConvSpec& spec, long h, long w,
   layer.out_channels = spec.out_channels;
   layer.out_h = oh;
   layer.out_w = ow;
+  if (spec.fused_epilogue) hwsim::fuse_conv_epilogues(layer);
   return layer;
 }
 
 LayerDesc conv_bn_layer(long in_ch, long out_ch, long h, long w, long kernel,
-                        long stride, const std::string& name) {
+                        long stride, const std::string& name,
+                        bool fused_epilogue) {
   LayerDesc layer;
   layer.name = name;
   layer.ops.push_back(
@@ -78,11 +80,13 @@ LayerDesc conv_bn_layer(long in_ch, long out_ch, long h, long w, long kernel,
   layer.out_channels = out_ch;
   layer.out_h = oh;
   layer.out_w = ow;
+  if (fused_epilogue) hwsim::fuse_conv_epilogues(layer);
   return layer;
 }
 
 LayerDesc sepconv_layer(long in_ch, long out_ch, long h, long w, long kernel,
-                        long stride, const std::string& name) {
+                        long stride, const std::string& name,
+                        bool fused_epilogue) {
   LayerDesc layer;
   layer.name = name;
   layer.ops.push_back(OpDescriptor::depthwise(in_ch, h, w, kernel, stride));
@@ -93,6 +97,7 @@ LayerDesc sepconv_layer(long in_ch, long out_ch, long h, long w, long kernel,
   layer.out_channels = out_ch;
   layer.out_h = oh;
   layer.out_w = ow;
+  if (fused_epilogue) hwsim::fuse_conv_epilogues(layer);
   return layer;
 }
 

@@ -18,21 +18,29 @@ struct MbConvSpec {
   long stride = 1;
   double expand = 6.0;  ///< expansion ratio t
   bool squeeze_excite = false;
+  /// Price BN/activation inside each conv's writeback (the fused-epilogue
+  /// runtime, hwsim::fuse_conv_epilogues) instead of as separate
+  /// elementwise passes. The residual add and squeeze-excite scale stay
+  /// standalone ops either way.
+  bool fused_epilogue = false;
 };
 
 /// Lower one MBConv at input resolution h×w.
 hwsim::LayerDesc mbconv_layer(const MbConvSpec& spec, long h, long w,
                               const std::string& name);
 
-/// Plain conv + BN/act layer (stems and heads).
+/// Plain conv + BN/act layer (stems and heads). `fused_epilogue` drops the
+/// trailing elementwise op, pricing the fused-writeback runtime.
 hwsim::LayerDesc conv_bn_layer(long in_ch, long out_ch, long h, long w,
                                long kernel, long stride,
-                               const std::string& name);
+                               const std::string& name,
+                               bool fused_epilogue = false);
 
 /// Depthwise-separable conv layer (MobileNet stem follow-up, MnasNet SepConv).
 hwsim::LayerDesc sepconv_layer(long in_ch, long out_ch, long h, long w,
                                long kernel, long stride,
-                               const std::string& name);
+                               const std::string& name,
+                               bool fused_epilogue = false);
 
 /// Classifier head: 1×1 conv to `head_ch`, global pool, FC to classes.
 hwsim::LayerDesc head_layer(long in_ch, long head_ch, long classes, long h,

@@ -191,6 +191,13 @@ LayerDesc lower_head(const SearchSpaceConfig& config, long body_out_size) {
   return head;
 }
 
+NetworkDesc lower_network(const Arch& arch, const SearchSpace& space,
+                          const LoweringOptions& opts) {
+  NetworkDesc net = lower_network(arch, space);
+  if (opts.fuse_conv_epilogues) hwsim::fuse_conv_epilogues(net);
+  return net;
+}
+
 NetworkDesc lower_network(const Arch& arch, const SearchSpace& space) {
   arch.validate(space);
   NetworkDesc net;

@@ -37,6 +37,19 @@ hwsim::LayerDesc lower_head(const SearchSpaceConfig& config,
 /// Whole network: stem + L searchable layers + head.
 hwsim::NetworkDesc lower_network(const Arch& arch, const SearchSpace& space);
 
+/// Lowering knobs. Defaults reproduce the classic lowering exactly.
+struct LoweringOptions {
+  /// Price conv→bn→act as one fused writeback (the nn fused-epilogue
+  /// path): each conv's trailing kElementwise op is dropped via
+  /// hwsim::fuse_conv_epilogues. MACs are unchanged; the memory-bound op
+  /// count and activation traffic shrink.
+  bool fuse_conv_epilogues = false;
+};
+
+/// Whole network with explicit lowering options.
+hwsim::NetworkDesc lower_network(const Arch& arch, const SearchSpace& space,
+                                 const LoweringOptions& opts);
+
 /// Analytic compute/parameter counters (per sample).
 double arch_macs(const Arch& arch, const SearchSpace& space);
 double arch_params(const Arch& arch, const SearchSpace& space);

@@ -136,6 +136,37 @@ double LayerDesc::params() const {
   return total;
 }
 
+std::size_t fuse_conv_epilogues(LayerDesc& layer) {
+  std::vector<OpDescriptor> kept;
+  kept.reserve(layer.ops.size());
+  std::size_t fused = 0;
+  for (std::size_t i = 0; i < layer.ops.size(); ++i) {
+    const OpDescriptor& op = layer.ops[i];
+    if (op.kind == OpKind::kElementwise && i > 0) {
+      // Fusion keys off the *original* predecessor: after a BN elementwise
+      // fuses into its conv, a following residual-add elementwise still
+      // sees the elementwise as its predecessor and survives.
+      const OpDescriptor& prev = layer.ops[i - 1];
+      const bool prev_is_conv = prev.kind == OpKind::kConv ||
+                                prev.kind == OpKind::kDepthwiseConv;
+      if (prev_is_conv && op.in_channels == prev.out_channels &&
+          op.in_h == prev.out_h() && op.in_w == prev.out_w()) {
+        ++fused;
+        continue;
+      }
+    }
+    kept.push_back(op);
+  }
+  layer.ops = std::move(kept);
+  return fused;
+}
+
+std::size_t fuse_conv_epilogues(NetworkDesc& net) {
+  std::size_t fused = 0;
+  for (LayerDesc& layer : net) fused += fuse_conv_epilogues(layer);
+  return fused;
+}
+
 double network_macs(const NetworkDesc& net) {
   double total = 0.0;
   for (const auto& layer : net) total += layer.macs();

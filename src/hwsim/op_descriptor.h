@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -86,5 +87,16 @@ using NetworkDesc = std::vector<LayerDesc>;
 
 double network_macs(const NetworkDesc& net);
 double network_params(const NetworkDesc& net);
+
+/// Epilogue-fusion post-pass: drops every kElementwise op that directly
+/// follows a kConv/kDepthwiseConv whose output geometry it matches,
+/// modeling a runtime whose conv kernels apply bias/BN/activation during
+/// the C-writeback (nn::fused_conv_bn_act) instead of in a separate
+/// memory pass. Decisions are made against the original op sequence, so
+/// a residual-add elementwise sitting behind a fused BN elementwise is
+/// preserved. Returns the number of ops removed. MACs are unchanged
+/// (elementwise ops price at 0 MACs); activation-byte totals shrink.
+std::size_t fuse_conv_epilogues(LayerDesc& layer);
+std::size_t fuse_conv_epilogues(NetworkDesc& net);
 
 }  // namespace hsconas::hwsim

@@ -1,8 +1,14 @@
 #include "nn/activation.h"
 
+#include "tensor/gemm.h"
+
 namespace hsconas::nn {
 
 using tensor::Tensor;
+
+// Both activations evaluate through tensor::epilogue_apply — the same
+// inline scalar formula the fused GEMM writeback uses — so the composed
+// modules and the fused conv epilogue can never drift apart.
 
 Tensor ReLU::forward(const Tensor& x) {
   Tensor y(x.shape());
@@ -11,9 +17,8 @@ Tensor ReLU::forward(const Tensor& x) {
   float* out = y.data();
   float* m = mask_.data();
   for (long i = 0; i < x.numel(); ++i) {
-    const bool pos = in[i] > 0.0f;
-    out[i] = pos ? in[i] : 0.0f;
-    m[i] = pos ? 1.0f : 0.0f;
+    out[i] = tensor::epilogue_apply(tensor::EpilogueAct::kReLU, in[i]);
+    m[i] = in[i] > 0.0f ? 1.0f : 0.0f;
   }
   return y;
 }
@@ -32,10 +37,7 @@ Tensor HSwish::forward(const Tensor& x) {
   const float* in = x.data();
   float* out = y.data();
   for (long i = 0; i < x.numel(); ++i) {
-    const float v = in[i];
-    float r6 = v + 3.0f;
-    r6 = r6 < 0.0f ? 0.0f : (r6 > 6.0f ? 6.0f : r6);
-    out[i] = v * r6 / 6.0f;
+    out[i] = tensor::epilogue_apply(tensor::EpilogueAct::kHSwish, in[i]);
   }
   return y;
 }

@@ -32,6 +32,10 @@ class BatchNorm2d : public Module {
   const tensor::Tensor& running_mean() const { return running_mean_; }
   const tensor::Tensor& running_var() const { return running_var_; }
 
+  /// Variance stabilizer, needed to fold eval-mode BN into a conv
+  /// epilogue scale/shift (see nn/fused_conv.h).
+  double eps() const { return eps_; }
+
   /// Reset running statistics to (0, 1) — used when re-calibrating BN after
   /// the search picks a subnet (standard one-shot NAS practice).
   void reset_running_stats();

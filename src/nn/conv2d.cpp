@@ -44,12 +44,31 @@ Conv2d::Conv2d(long in_channels, long out_channels, long kernel, long stride,
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
+  // Fold the bias into the GEMM epilogue (scale 1, shift b, no act): the
+  // sum and the single bias add happen in the same order as a separate
+  // bias pass would do them, so training numbers are unchanged — minus
+  // one full pass over the output tensor.
+  tensor::GemmEpilogue ep;
+  if (has_bias_) ep.shift = bias_.value.data();
+  Tensor y = forward_impl(x, has_bias_ ? &ep : nullptr);
+  cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::forward_fused(const Tensor& x, const float* scale,
+                             const float* shift, tensor::EpilogueAct act) {
+  tensor::GemmEpilogue ep;
+  ep.scale = scale;
+  ep.shift = shift;
+  ep.act = act;
+  return forward_impl(x, &ep);
+}
+
+Tensor Conv2d::forward_impl(const Tensor& x, const tensor::GemmEpilogue* ep) {
   if (x.ndim() != 4 || x.dim(1) != in_channels_) {
     throw InvalidArgument("Conv2d " + display_name_ + ": bad input shape " +
                           x.shape_str());
   }
-  cached_input_ = x;
-
   const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const long cin_g = in_channels_ / groups_;
   const long cout_g = out_channels_ / groups_;
@@ -63,6 +82,51 @@ Tensor Conv2d::forward(const Tensor& x) {
   Tensor y({n, out_channels_, oh, ow});
   const long col_rows = cin_g * kernel_ * kernel_;
   const long ohw = oh * ow;
+  auto& pool = util::ThreadPool::global();
+
+  if (cin_g == 1 && cout_g == 1) {
+    // Depthwise: skip im2col + per-group m==1 GEMMs entirely and compute
+    // each (sample, channel) plane directly, in parallel — planes are
+    // disjoint, the (ky, kx) accumulation order is fixed, and the fused
+    // epilogue lands on the accumulator while it is still in a register.
+    const long k = kernel_;
+    pool.parallel_for(static_cast<std::size_t>(n * out_channels_),
+                      [&](std::size_t t) {
+      const long s = static_cast<long>(t) / out_channels_;
+      const long c = static_cast<long>(t) % out_channels_;
+      const float* img = x.data() + ((s * in_channels_ + c) * h * w);
+      const float* wk = weight_.value.data() + c * k * k;
+      float* out = y.data() + ((s * out_channels_ + c) * ohw);
+      const float es = (ep != nullptr && ep->scale != nullptr)
+                           ? ep->scale[c] : 1.0f;
+      const float et = (ep != nullptr && ep->shift != nullptr)
+                           ? ep->shift[c] : 0.0f;
+      for (long oy = 0; oy < oh; ++oy) {
+        const long iy0 = oy * stride_ - pad_;
+        for (long ox = 0; ox < ow; ++ox) {
+          const long ix0 = ox * stride_ - pad_;
+          float acc = 0.0f;
+          for (long ky = 0; ky < k; ++ky) {
+            const long iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const float* irow = img + iy * w;
+            const float* wrow = wk + ky * k;
+            for (long kx = 0; kx < k; ++kx) {
+              const long ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += wrow[kx] * irow[ix];
+            }
+          }
+          out[oy * ow + ox] =
+              ep != nullptr
+                  ? tensor::epilogue_apply(
+                        ep->act, tensor::epilogue_affine(es, acc, et))
+                  : acc;
+        }
+      }
+    });
+    return y;
+  }
 
   // Batch the GEMM across samples: one (cout_g × col_rows)·(col_rows ×
   // N·ohw) product per group instead of N skinny ones. The column matrix
@@ -74,7 +138,6 @@ Tensor Conv2d::forward(const Tensor& x) {
   tensor::Scratch cols = ws.take(static_cast<std::size_t>(col_rows * n * ohw));
   tensor::Scratch out_panel =
       ws.take(static_cast<std::size_t>(cout_g * n * ohw));
-  auto& pool = util::ThreadPool::global();
 
   for (long g = 0; g < groups_; ++g) {
     // Per-sample im2col panels are independent and each sample writes a
@@ -95,10 +158,24 @@ Tensor Conv2d::forward(const Tensor& x) {
     });
     const float* wgt =
         weight_.value.data() + g * cout_g * cin_g * kernel_ * kernel_;
-    tensor::gemm(static_cast<std::size_t>(cout_g),
-                 static_cast<std::size_t>(n * ohw),
-                 static_cast<std::size_t>(col_rows), 1.0f, wgt, cols.data(),
-                 0.0f, out_panel.data());
+    if (ep != nullptr) {
+      // The GEMM row axis is the output channel within this group, so the
+      // per-row epilogue is exactly the per-channel bias/BN/act — sliced
+      // to this group's channel range.
+      tensor::GemmEpilogue gep;
+      gep.scale = ep->scale != nullptr ? ep->scale + g * cout_g : nullptr;
+      gep.shift = ep->shift != nullptr ? ep->shift + g * cout_g : nullptr;
+      gep.act = ep->act;
+      tensor::gemm_fused(static_cast<std::size_t>(cout_g),
+                         static_cast<std::size_t>(n * ohw),
+                         static_cast<std::size_t>(col_rows), 1.0f, wgt,
+                         cols.data(), out_panel.data(), gep);
+    } else {
+      tensor::gemm(static_cast<std::size_t>(cout_g),
+                   static_cast<std::size_t>(n * ohw),
+                   static_cast<std::size_t>(col_rows), 1.0f, wgt, cols.data(),
+                   0.0f, out_panel.data());
+    }
     pool.parallel_for(static_cast<std::size_t>(cout_g), [&](std::size_t ci) {
       const long c = static_cast<long>(ci);
       for (long s = 0; s < n; ++s) {
@@ -107,15 +184,6 @@ Tensor Conv2d::forward(const Tensor& x) {
                   y.data() + ((s * out_channels_ + g * cout_g + c) * ohw));
       }
     });
-  }
-  if (has_bias_) {
-    for (long s = 0; s < n; ++s) {
-      for (long c = 0; c < out_channels_; ++c) {
-        float* out = y.data() + ((s * out_channels_ + c) * ohw);
-        const float b = bias_.value.at(c);
-        for (long i = 0; i < ohw; ++i) out[i] += b;
-      }
-    }
   }
   return y;
 }

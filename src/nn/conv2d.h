@@ -1,6 +1,7 @@
 #pragma once
 
 #include "nn/module.h"
+#include "tensor/gemm.h"
 #include "tensor/im2col.h"
 
 namespace hsconas::nn {
@@ -23,6 +24,17 @@ class Conv2d : public Module {
   void collect_params(std::vector<Parameter*>& out) override;
   std::string name() const override { return display_name_; }
 
+  /// Inference-only fused forward: y = act(scale[c] * conv_raw + shift[c])
+  /// per output channel, applied inside the GEMM's C-writeback (one memory
+  /// pass for conv + bias + BN + activation). `scale`/`shift` have
+  /// out_channels entries and must already fold the conv bias and any
+  /// BatchNorm terms — this layer's own bias_ is intentionally ignored
+  /// (see nn/fused_conv.h for the folding helper). Null scale means 1,
+  /// null shift means 0. Does not cache the input: backward() after a
+  /// fused forward is a contract violation.
+  tensor::Tensor forward_fused(const tensor::Tensor& x, const float* scale,
+                               const float* shift, tensor::EpilogueAct act);
+
   long in_channels() const { return in_channels_; }
   long out_channels() const { return out_channels_; }
   long kernel() const { return kernel_; }
@@ -38,6 +50,13 @@ class Conv2d : public Module {
   long macs(long in_h, long in_w) const;
 
  private:
+  /// Shared forward body. `ep`, when non-null, spans all out_channels
+  /// (per-group slices are taken internally) and is applied during the
+  /// GEMM writeback / depthwise accumulation. Does not touch
+  /// cached_input_.
+  tensor::Tensor forward_impl(const tensor::Tensor& x,
+                              const tensor::GemmEpilogue* ep);
+
   long in_channels_, out_channels_, kernel_, stride_, pad_, groups_;
   bool has_bias_;
   std::string display_name_;

@@ -1,5 +1,10 @@
 #include "nn/module.h"
 
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/fused_conv.h"
+
 namespace hsconas::nn {
 
 void Module::collect_params(std::vector<Parameter*>& out) { (void)out; }
@@ -14,7 +19,37 @@ long Module::param_count() {
 
 tensor::Tensor Sequential::forward(const tensor::Tensor& x) {
   tensor::Tensor h = x;
-  for (auto& child : children_) h = child->forward(h);
+  const bool fuse = !training_ && inference_fusion_enabled();
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    // Eval-mode peephole (opt-in via set_inference_fusion): a
+    // Conv2d → BatchNorm2d [→ ReLU | HSwish] run collapses into one
+    // fused epilogue pass. Never taken in training mode — the fused path
+    // caches no activations for backward.
+    if (fuse && i + 1 < children_.size()) {
+      auto* conv = dynamic_cast<Conv2d*>(children_[i].get());
+      auto* bn = conv != nullptr
+                     ? dynamic_cast<BatchNorm2d*>(children_[i + 1].get())
+                     : nullptr;
+      if (conv != nullptr && bn != nullptr) {
+        tensor::EpilogueAct act = tensor::EpilogueAct::kNone;
+        std::size_t consumed = 2;
+        if (i + 2 < children_.size()) {
+          if (dynamic_cast<ReLU*>(children_[i + 2].get()) != nullptr) {
+            act = tensor::EpilogueAct::kReLU;
+            consumed = 3;
+          } else if (dynamic_cast<HSwish*>(children_[i + 2].get()) !=
+                     nullptr) {
+            act = tensor::EpilogueAct::kHSwish;
+            consumed = 3;
+          }
+        }
+        h = fused_conv_bn_act(*conv, *bn, act, h);
+        i += consumed - 1;
+        continue;
+      }
+    }
+    h = children_[i]->forward(h);
+  }
   return h;
 }
 

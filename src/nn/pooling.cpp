@@ -2,9 +2,15 @@
 
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace hsconas::nn {
 
 using tensor::Tensor;
+
+// Pooling parallelizes over (sample, channel) planes: every plane reads
+// and writes disjoint memory and the within-plane loops are serial, so
+// outputs are identical at any thread count.
 
 Tensor GlobalAvgPool::forward(const Tensor& x) {
   if (x.ndim() != 4) {
@@ -14,14 +20,15 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   cached_shape_ = x.shape();
   const long n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
   Tensor y({n, c});
-  for (long s = 0; s < n; ++s) {
-    for (long ch = 0; ch < c; ++ch) {
-      const float* chan = x.data() + ((s * c + ch) * spatial);
-      double acc = 0.0;
-      for (long i = 0; i < spatial; ++i) acc += chan[i];
-      y.at(s, ch) = static_cast<float>(acc / static_cast<double>(spatial));
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(n * c), [&](std::size_t t) {
+        const long s = static_cast<long>(t) / c;
+        const long ch = static_cast<long>(t) % c;
+        const float* chan = x.data() + ((s * c + ch) * spatial);
+        double acc = 0.0;
+        for (long i = 0; i < spatial; ++i) acc += chan[i];
+        y.at(s, ch) = static_cast<float>(acc / static_cast<double>(spatial));
+      });
   return y;
 }
 
@@ -34,13 +41,14 @@ Tensor GlobalAvgPool::backward(const Tensor& dy) {
                     "GlobalAvgPool::backward: dy shape mismatch");
   Tensor dx(cached_shape_);
   const float scale = 1.0f / static_cast<float>(spatial);
-  for (long s = 0; s < n; ++s) {
-    for (long ch = 0; ch < c; ++ch) {
-      const float g = dy.at(s, ch) * scale;
-      float* chan = dx.data() + ((s * c + ch) * spatial);
-      for (long i = 0; i < spatial; ++i) chan[i] = g;
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(n * c), [&](std::size_t t) {
+        const long s = static_cast<long>(t) / c;
+        const long ch = static_cast<long>(t) % c;
+        const float g = dy.at(s, ch) * scale;
+        float* chan = dx.data() + ((s * c + ch) * spatial);
+        for (long i = 0; i < spatial; ++i) chan[i] = g;
+      });
   return dx;
 }
 
@@ -65,35 +73,36 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   Tensor y({n, c, oh, ow});
   argmax_.assign(static_cast<std::size_t>(n * c * oh * ow), -1);
 
-  for (long s = 0; s < n; ++s) {
-    for (long ch = 0; ch < c; ++ch) {
-      const float* chan = x.data() + ((s * c + ch) * h * w);
-      float* out = y.data() + ((s * c + ch) * oh * ow);
-      long* amax =
-          argmax_.data() + static_cast<std::size_t>((s * c + ch) * oh * ow);
-      for (long oy = 0; oy < oh; ++oy) {
-        for (long ox = 0; ox < ow; ++ox) {
-          float best = -std::numeric_limits<float>::infinity();
-          long best_idx = -1;
-          for (long ky = 0; ky < kernel_; ++ky) {
-            const long iy = oy * stride_ + ky - pad_;
-            if (iy < 0 || iy >= h) continue;
-            for (long kx = 0; kx < kernel_; ++kx) {
-              const long ix = ox * stride_ + kx - pad_;
-              if (ix < 0 || ix >= w) continue;
-              const long idx = iy * w + ix;
-              if (chan[idx] > best) {
-                best = chan[idx];
-                best_idx = idx;
+  util::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(n * c), [&](std::size_t t) {
+        const long s = static_cast<long>(t) / c;
+        const long ch = static_cast<long>(t) % c;
+        const float* chan = x.data() + ((s * c + ch) * h * w);
+        float* out = y.data() + ((s * c + ch) * oh * ow);
+        long* amax = argmax_.data() +
+                     static_cast<std::size_t>((s * c + ch) * oh * ow);
+        for (long oy = 0; oy < oh; ++oy) {
+          for (long ox = 0; ox < ow; ++ox) {
+            float best = -std::numeric_limits<float>::infinity();
+            long best_idx = -1;
+            for (long ky = 0; ky < kernel_; ++ky) {
+              const long iy = oy * stride_ + ky - pad_;
+              if (iy < 0 || iy >= h) continue;
+              for (long kx = 0; kx < kernel_; ++kx) {
+                const long ix = ox * stride_ + kx - pad_;
+                if (ix < 0 || ix >= w) continue;
+                const long idx = iy * w + ix;
+                if (chan[idx] > best) {
+                  best = chan[idx];
+                  best_idx = idx;
+                }
               }
             }
+            out[oy * ow + ox] = best_idx >= 0 ? best : 0.0f;
+            amax[oy * ow + ox] = best_idx;
           }
-          out[oy * ow + ox] = best_idx >= 0 ? best : 0.0f;
-          amax[oy * ow + ox] = best_idx;
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
@@ -104,17 +113,20 @@ Tensor MaxPool2d::backward(const Tensor& dy) {
   const long h = cached_in_shape_[2], w = cached_in_shape_[3];
   const long oh = dy.dim(2), ow = dy.dim(3);
   Tensor dx(cached_in_shape_);
-  for (long s = 0; s < n; ++s) {
-    for (long ch = 0; ch < c; ++ch) {
-      const float* grad = dy.data() + ((s * c + ch) * oh * ow);
-      float* out = dx.data() + ((s * c + ch) * h * w);
-      const long* amax =
-          argmax_.data() + static_cast<std::size_t>((s * c + ch) * oh * ow);
-      for (long i = 0; i < oh * ow; ++i) {
-        if (amax[i] >= 0) out[amax[i]] += grad[i];
-      }
-    }
-  }
+  // amax entries are plane-local input indices, so the scatter for plane
+  // (s, ch) only ever touches that plane's slab of dx.
+  util::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(n * c), [&](std::size_t t) {
+        const long s = static_cast<long>(t) / c;
+        const long ch = static_cast<long>(t) % c;
+        const float* grad = dy.data() + ((s * c + ch) * oh * ow);
+        float* out = dx.data() + ((s * c + ch) * h * w);
+        const long* amax = argmax_.data() +
+                           static_cast<std::size_t>((s * c + ch) * oh * ow);
+        for (long i = 0; i < oh * ow; ++i) {
+          if (amax[i] >= 0) out[amax[i]] += grad[i];
+        }
+      });
   return dx;
 }
 

@@ -1,7 +1,11 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "obs/metrics.h"
 #include "tensor/workspace.h"
@@ -21,6 +25,15 @@ void count_gemm_entry(obs::Counter& calls, std::size_t m, std::size_t n,
   flops.add(static_cast<std::uint64_t>(2) * m * n * k);
 }
 
+/// Per-thread count of packed A panels (`hsconas.gemm.a_panels.t<id>`).
+/// One gauge-free relaxed add per macro-task, keyed by a stable per-thread
+/// ordinal, so packing imbalance across pool workers is observable.
+obs::Counter& a_panel_counter() {
+  thread_local obs::Counter& c = obs::counter(
+      "hsconas.gemm.a_panels.t" + std::to_string(obs::thread_ordinal()));
+  return c;
+}
+
 }  // namespace
 
 namespace {
@@ -38,11 +51,16 @@ namespace {
 constexpr std::size_t kMR = 6;
 constexpr std::size_t kNR = 16;
 
-// Cache blocking: an A block (kMC×kKC) plus the B panel the microkernel
-// streams (kKC×kNR) stay resident while a kMC×kNC block of C is updated.
-constexpr std::size_t kMC = 96;   // 16 MR-panels
+// Cache blocking: the shared packed B block (kKC×kNC) stays L2/L3-resident
+// for a whole K step while every M chunk streams over it; each worker's
+// private packed A chunk (kMChunk×kKC ≈ 11 KB) stays in L1.
 constexpr std::size_t kKC = 240;
 constexpr std::size_t kNC = 512;  // 32 NR-panels
+
+// Parallel task granularity along M: two register tiles tall. Chunk
+// boundaries are MR-aligned, so the set of packed A panels (and therefore
+// every accumulated value) is independent of how chunks land on threads.
+constexpr std::size_t kMChunk = 2 * kMR;
 
 // Problems below this many FLOPs skip packing entirely — the scratch lease
 // and panel copies would dominate.
@@ -87,40 +105,37 @@ void pack_a_block(const float* a, std::size_t lda, bool trans, std::size_t ic,
   }
 }
 
-/// Pack the (kc×nc) block of B starting at logical (pc, jc) into NR-column
-/// panels: panel jp holds kc runs of NR row-adjacent values, zero-padded
-/// past nc. `trans` means B is stored n×k and the logical matrix is its
-/// transpose (the gemm_a_bt layout).
-void pack_b_block(const float* b, std::size_t ldb, bool trans, std::size_t pc,
-                  std::size_t jc, std::size_t kc, std::size_t nc,
-                  float* HSCONAS_RESTRICT bp) {
-  for (std::size_t jp = 0; jp < nc; jp += kNR) {
-    const std::size_t nr = std::min(kNR, nc - jp);
-    if (!trans) {
-      for (std::size_t p = 0; p < kc; ++p) {
-        const float* src = b + (pc + p) * ldb + jc + jp;
-        for (std::size_t j = 0; j < nr; ++j) bp[j] = src[j];
-        for (std::size_t j = nr; j < kNR; ++j) bp[j] = 0.0f;
-        bp += kNR;
-      }
-    } else {
-      // Transpose during packing: column j of the logical B is row
-      // (jc+jp+j) of the stored matrix.
-      for (std::size_t p = 0; p < kc; ++p) {
-        for (std::size_t j = 0; j < kNR; ++j) bp[j] = 0.0f;
-        bp += kNR;
-      }
-      bp -= kc * kNR;
-      for (std::size_t j = 0; j < nr; ++j) {
-        const float* src = b + (jc + jp + j) * ldb + pc;
-        for (std::size_t p = 0; p < kc; ++p) bp[p * kNR + j] = src[p];
-      }
-      bp += kc * kNR;
+/// Pack one kc×NR panel of B (columns [jc+jp, jc+jp+nr)) starting at row
+/// pc into `bp`: kc runs of NR row-adjacent values, zero-padded past nr.
+/// `trans` means B is stored n×k and the logical matrix is its transpose
+/// (the gemm_a_bt layout). Panels are independent, so a K block's panels
+/// can be packed concurrently into disjoint slices of the shared buffer.
+void pack_b_panel(const float* b, std::size_t ldb, bool trans, std::size_t pc,
+                  std::size_t jc, std::size_t kc, std::size_t jp,
+                  std::size_t nr, float* HSCONAS_RESTRICT bp) {
+  if (!trans) {
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = b + (pc + p) * ldb + jc + jp;
+      for (std::size_t j = 0; j < nr; ++j) bp[j] = src[j];
+      for (std::size_t j = nr; j < kNR; ++j) bp[j] = 0.0f;
+      bp += kNR;
+    }
+  } else {
+    // Transpose during packing: column j of the logical B is row
+    // (jc+jp+j) of the stored matrix.
+    std::memset(bp, 0, kc * kNR * sizeof(float));
+    for (std::size_t j = 0; j < nr; ++j) {
+      const float* src = b + (jc + jp + j) * ldb + pc;
+      for (std::size_t p = 0; p < kc; ++p) bp[p * kNR + j] = src[p];
     }
   }
 }
 
-/// C_tile (mr×nr) += Ap_panel (MR×kc) · Bp_panel (kc×NR).
+/// C_tile (mr×nr) += Ap_panel (MR×kc) · Bp_panel (kc×NR), with the fused
+/// per-row epilogue applied during the store when `ep` is non-null (the
+/// dispatch passes it only on the final K block, when the tile's
+/// accumulation is complete). `row0` is the tile's absolute C row, the
+/// index into the epilogue's scale/shift vectors.
 ///
 /// The accumulator tile is kMR vectors of kNR floats held in registers for
 /// the whole k loop; each k step is one B vector load plus kMR
@@ -134,7 +149,8 @@ typedef float VecNR __attribute__((vector_size(kNR * sizeof(float))));
 
 void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
                   const float* HSCONAS_RESTRICT bp, float* HSCONAS_RESTRICT c,
-                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  const GemmEpilogue* ep, std::size_t row0) {
   VecNR acc[kMR] = {};
   for (std::size_t p = 0; p < kc; ++p) {
     VecNR bv;
@@ -144,6 +160,22 @@ void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
     std::memcpy(&bv, bp + p * kNR, sizeof(bv));
     const float* HSCONAS_RESTRICT arow = ap + p * kMR;
     for (std::size_t i = 0; i < kMR; ++i) acc[i] += arow[i] * bv;
+  }
+  if (ep != nullptr) {
+    // Fused writeback: finish the accumulation, then apply the per-row
+    // affine + activation while the tile is still register/L1 hot — the
+    // epilogue costs zero extra passes over C. Scalar lane math keeps it
+    // the same formula as epilogue_apply at every tile shape.
+    for (std::size_t i = 0; i < mr; ++i) {
+      const float s = ep->scale != nullptr ? ep->scale[row0 + i] : 1.0f;
+      const float t = ep->shift != nullptr ? ep->shift[row0 + i] : 0.0f;
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] = epilogue_apply(
+            ep->act, epilogue_affine(s, crow[j] + acc[i][j], t));
+      }
+    }
+    return;
   }
   if (mr == kMR && nr == kNR) {
     for (std::size_t i = 0; i < kMR; ++i) {
@@ -165,7 +197,8 @@ void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
 #else
 void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
                   const float* HSCONAS_RESTRICT bp, float* HSCONAS_RESTRICT c,
-                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  const GemmEpilogue* ep, std::size_t row0) {
   float acc[kMR][kNR] = {};
   for (std::size_t p = 0; p < kc; ++p) {
     const float* HSCONAS_RESTRICT arow = ap + p * kMR;
@@ -175,6 +208,18 @@ void micro_kernel(std::size_t kc, const float* HSCONAS_RESTRICT ap,
         acc[i][j] += arow[i] * brow[j];
       }
     }
+  }
+  if (ep != nullptr) {
+    for (std::size_t i = 0; i < mr; ++i) {
+      const float s = ep->scale != nullptr ? ep->scale[row0 + i] : 1.0f;
+      const float t = ep->shift != nullptr ? ep->shift[row0 + i] : 0.0f;
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] = epilogue_apply(
+            ep->act, epilogue_affine(s, crow[j] + acc[i][j], t));
+      }
+    }
+    return;
   }
   for (std::size_t i = 0; i < mr; ++i) {
     float* crow = c + i * ldc;
@@ -192,30 +237,34 @@ struct GemmArgs {
   const float* b;
   std::size_t ldb;
   bool btrans;
-  float* c;  // ldc == n
+  float* c;                        // ldc == n
+  const GemmEpilogue* ep = nullptr;  // null: plain accumulate
 };
 
-/// Compute one (mc×nc) block of C at (ic, jc): serial k loop (fixed
-/// accumulation order keeps results bit-identical at any thread count),
-/// packing A and B blocks into this thread's workspace.
-void run_block(const GemmArgs& g, std::size_t ic, std::size_t jc) {
-  const std::size_t mc = std::min(kMC, g.m - ic);
-  const std::size_t nc = std::min(kNC, g.n - jc);
+/// Compute the kMChunk-row M chunk starting at row `i0` against the shared
+/// packed B block `bp` (kc×nc panels at logical column jc): pack this
+/// chunk's A panels into the calling thread's workspace, then run the
+/// microkernel over every (MR, NR) tile. `last_k` selects the fused
+/// epilogue writeback on the final K block. Each C element is written by
+/// exactly one chunk per K step and the chunk grid is MR-aligned, so the
+/// computed values are independent of which thread runs which chunk.
+void run_m_chunk(const GemmArgs& g, std::size_t i0, std::size_t jc,
+                 std::size_t nc, std::size_t pc, std::size_t kc,
+                 const float* HSCONAS_RESTRICT bp, bool last_k) {
+  const std::size_t mc = std::min(kMChunk, g.m - i0);
   Workspace& ws = Workspace::tls();
-  Scratch ap = ws.take(round_up(mc, kMR) * kKC);
-  Scratch bp = ws.take(kKC * round_up(nc, kNR));
-  for (std::size_t pc = 0; pc < g.k; pc += kKC) {
-    const std::size_t kc = std::min(kKC, g.k - pc);
-    pack_a_block(g.a, g.lda, g.atrans, ic, pc, mc, kc, g.alpha, ap.data());
-    pack_b_block(g.b, g.ldb, g.btrans, pc, jc, kc, nc, bp.data());
-    for (std::size_t jp = 0; jp < nc; jp += kNR) {
-      const std::size_t nr = std::min(kNR, nc - jp);
-      const float* bpanel = bp.data() + (jp / kNR) * kc * kNR;
-      for (std::size_t ip = 0; ip < mc; ip += kMR) {
-        const std::size_t mr = std::min(kMR, mc - ip);
-        micro_kernel(kc, ap.data() + (ip / kMR) * kc * kMR, bpanel,
-                     g.c + (ic + ip) * g.n + jc + jp, g.n, mr, nr);
-      }
+  Scratch ap = ws.take(round_up(mc, kMR) * kc);
+  pack_a_block(g.a, g.lda, g.atrans, i0, pc, mc, kc, g.alpha, ap.data());
+  a_panel_counter().add((mc + kMR - 1) / kMR);
+  const GemmEpilogue* ep = last_k ? g.ep : nullptr;
+  for (std::size_t jp = 0; jp < nc; jp += kNR) {
+    const std::size_t nr = std::min(kNR, nc - jp);
+    const float* bpanel = bp + (jp / kNR) * kc * kNR;
+    for (std::size_t ip = 0; ip < mc; ip += kMR) {
+      const std::size_t mr = std::min(kMR, mc - ip);
+      micro_kernel(kc, ap.data() + (ip / kMR) * kc * kMR, bpanel,
+                   g.c + (i0 + ip) * g.n + jc + jp, g.n, mr, nr, ep,
+                   i0 + ip);
     }
   }
 }
@@ -237,12 +286,99 @@ void gemm_small(const GemmArgs& g) {
         for (std::size_t j = 0; j < g.n; ++j) crow[j] += av * g.b[j * g.ldb + p];
       }
     }
+    if (g.ep != nullptr) {
+      const float s = g.ep->scale != nullptr ? g.ep->scale[i] : 1.0f;
+      const float t = g.ep->shift != nullptr ? g.ep->shift[i] : 0.0f;
+      for (std::size_t j = 0; j < g.n; ++j) {
+        crow[j] = epilogue_apply(g.ep->act, epilogue_affine(s, crow[j], t));
+      }
+    }
+  }
+}
+
+/// Macro-kernel: for each (NC, KC) block, pack B once into a shared
+/// read-only buffer (panels packed concurrently — they are disjoint — and
+/// the parallel_for join publishes them to the compute tasks), then
+/// distribute MR-aligned M chunks over the pool. Workers pack their own A
+/// panels from their thread-local Workspace; C rows are partitioned by
+/// chunk, so no two threads ever write the same C element and no atomics
+/// touch C. The K loop stays serial — fixed accumulation order is the
+/// bit-determinism guarantee (docs/PERFORMANCE.md).
+void gemm_blocked(const GemmArgs& g, bool parallel) {
+  auto& pool = util::ThreadPool::global();
+  const std::size_t mchunks = (g.m + kMChunk - 1) / kMChunk;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t wall_ns = 0;
+  Workspace& ws = Workspace::tls();
+  for (std::size_t jc = 0; jc < g.n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, g.n - jc);
+    const std::size_t npanels = (nc + kNR - 1) / kNR;
+    Scratch bp = ws.take(npanels * kKC * kNR);
+    for (std::size_t pc = 0; pc < g.k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, g.k - pc);
+      const bool last_k = pc + kc == g.k;
+      auto pack_panel = [&](std::size_t t) {
+        pack_b_panel(g.b, g.ldb, g.btrans, pc, jc, kc, t * kNR,
+                     std::min(kNR, nc - t * kNR), bp.data() + t * kc * kNR);
+      };
+      auto run_chunk = [&](std::size_t t) {
+        run_m_chunk(g, t * kMChunk, jc, nc, pc, kc, bp.data(), last_k);
+      };
+      if (!parallel) {
+        for (std::size_t t = 0; t < npanels; ++t) pack_panel(t);
+        for (std::size_t t = 0; t < mchunks; ++t) run_chunk(t);
+        continue;
+      }
+      pool.parallel_for(npanels, pack_panel);
+      // Parallel-efficiency accounting: per-chunk busy time summed with a
+      // relaxed atomic vs the section's wall time. Timing never feeds back
+      // into the computation, so determinism is untouched.
+      std::atomic<std::uint64_t> busy{0};
+      const auto w0 = std::chrono::steady_clock::now();
+      pool.parallel_for(mchunks, [&](std::size_t t) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run_chunk(t);
+        busy.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+      });
+      wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - w0)
+              .count());
+      busy_ns += busy.load(std::memory_order_relaxed);
+    }
+  }
+  if (parallel && wall_ns > 0) {
+    // busy/(wall·threads): 1.0 = every thread computing the whole time.
+    static obs::Gauge& eff = obs::gauge("hsconas.gemm.parallel_efficiency");
+    eff.set(static_cast<double>(busy_ns) /
+            (static_cast<double>(wall_ns) *
+             static_cast<double>(std::max<std::size_t>(1, pool.size()))));
   }
 }
 
 void gemm_dispatch(const GemmArgs& g, float beta) {
   scale_c(g.m, g.n, beta, g.c);
-  if (g.m == 0 || g.n == 0 || g.k == 0 || g.alpha == 0.0f) return;
+  if (g.m == 0 || g.n == 0) return;
+  if (g.k == 0 || g.alpha == 0.0f) {
+    if (g.ep != nullptr) {
+      // The product is identically zero, but the epilogue still applies:
+      // C = act(shift) row-wise over the beta-scaled (here: zeroed) C.
+      for (std::size_t i = 0; i < g.m; ++i) {
+        const float s = g.ep->scale != nullptr ? g.ep->scale[i] : 1.0f;
+        const float t = g.ep->shift != nullptr ? g.ep->shift[i] : 0.0f;
+        float* crow = g.c + i * g.n;
+        for (std::size_t j = 0; j < g.n; ++j) {
+          crow[j] = epilogue_apply(g.ep->act, epilogue_affine(s, crow[j], t));
+        }
+      }
+    }
+    return;
+  }
 
   // Degenerate row counts waste most of the MR-tall register tile (a
   // depthwise conv's per-group GEMM has m == 1), so they also take the
@@ -252,22 +388,9 @@ void gemm_dispatch(const GemmArgs& g, float beta) {
     gemm_small(g);
     return;
   }
-
-  const std::size_t mblocks = (g.m + kMC - 1) / kMC;
-  const std::size_t nblocks = (g.n + kNC - 1) / kNC;
-  const std::size_t blocks = mblocks * nblocks;
   auto& pool = util::ThreadPool::global();
-  if (blocks == 1 || pool.size() <= 1 || flops < kParallelThresholdFlops) {
-    for (std::size_t t = 0; t < blocks; ++t) {
-      run_block(g, (t / nblocks) * kMC, (t % nblocks) * kNC);
-    }
-    return;
-  }
-  // Disjoint C blocks per task and a serial k loop inside each, so the
-  // result is independent of how tasks land on threads.
-  pool.parallel_for(blocks, [&](std::size_t t) {
-    run_block(g, (t / nblocks) * kMC, (t % nblocks) * kNC);
-  });
+  const bool parallel = pool.size() > 1 && flops >= kParallelThresholdFlops;
+  gemm_blocked(g, parallel);
 }
 
 }  // namespace
@@ -297,6 +420,16 @@ void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
   gemm_dispatch({m, n, k, alpha, a, /*lda=*/k, /*atrans=*/false, b,
                  /*ldb=*/k, /*btrans=*/true, c},
                 beta);
+}
+
+void gemm_fused(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                const float* a, const float* b, float* c,
+                const GemmEpilogue& ep) {
+  static obs::Counter& calls = obs::counter("hsconas.gemm.calls_fused");
+  count_gemm_entry(calls, m, n, k);
+  gemm_dispatch({m, n, k, alpha, a, /*lda=*/k, /*atrans=*/false, b,
+                 /*ldb=*/n, /*btrans=*/false, c, &ep},
+                /*beta=*/0.0f);
 }
 
 }  // namespace hsconas::tensor

@@ -4,14 +4,68 @@
 
 namespace hsconas::tensor {
 
+/// Activation applied by a fused GEMM epilogue. The scalar formulas are
+/// shared with nn/activation via epilogue_apply() below, so the fused
+/// conv→bn→act path is bit-identical to the composed modules.
+enum class EpilogueAct { kNone, kReLU, kHSwish };
+
+/// Scalar epilogue activation. This is the single definition of the ReLU
+/// and h-swish forward math: nn::ReLU / nn::HSwish forward and the fused
+/// microkernel writeback all call it, so "fused vs composed" parity is a
+/// property of the code, not of two formulas happening to agree.
+inline float epilogue_apply(EpilogueAct act, float v) {
+  switch (act) {
+    case EpilogueAct::kReLU:
+      return v > 0.0f ? v : 0.0f;
+    case EpilogueAct::kHSwish: {
+      float r6 = v + 3.0f;
+      r6 = r6 < 0.0f ? 0.0f : (r6 > 6.0f ? 6.0f : r6);
+      return v * r6 / 6.0f;
+    }
+    case EpilogueAct::kNone:
+      break;
+  }
+  return v;
+}
+
+/// scale*v + shift with both roundings materialized. The epilogue TUs are
+/// compiled with -march=native, where the compiler would contract this to
+/// one FMA; module code (batchnorm, activation) built with baseline flags
+/// rounds the multiply and the add separately. The barrier pins the
+/// two-rounding form everywhere so fused-vs-composed parity is exact, and
+/// costs nothing measurable on a memory-bound writeback.
+inline float epilogue_affine(float scale, float v, float shift) {
+  float scaled = scale * v;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  asm("" : "+x"(scaled));  // opaque to the optimizer: no FMA contraction
+#elif defined(__GNUC__) && defined(__aarch64__)
+  asm("" : "+w"(scaled));
+#endif
+  return scaled + shift;
+}
+
+/// Per-output-row affine + activation fused into the GEMM C-writeback:
+///   C[i, j] = act(scale[i] * acc[i, j] + shift[i])
+/// where acc is the full alpha·A·B accumulation for that element. Row i is
+/// the GEMM m axis — for a conv lowered as (out_channels × patches) it is
+/// the output channel, which is exactly the axis bias and inference-mode
+/// BatchNorm broadcast over. Null scale means 1, null shift means 0.
+struct GemmEpilogue {
+  const float* scale = nullptr;  ///< length m, or null for identity
+  const float* shift = nullptr;  ///< length m, or null for zero
+  EpilogueAct act = EpilogueAct::kNone;
+};
+
 /// C (m×n) = alpha * A (m×k) · B (k×n) + beta * C.
-/// Row-major, contiguous. All three variants share one packed,
-/// register-blocked implementation: A and B blocks are copied into
-/// cache-aligned MR×k / k×NR panels (transposing on the fly for the
-/// ᵀ variants), a branch-free 6×16 microkernel accumulates in registers,
-/// and independent C blocks are distributed over the global thread pool
-/// when the problem is large enough to amortize the dispatch. The k-loop
-/// accumulation order is fixed, so results are bit-identical at any
+/// Row-major, contiguous. All variants share one packed, register-blocked
+/// implementation: A and B blocks are copied into cache-aligned MR×k /
+/// k×NR panels (transposing on the fly for the ᵀ variants), a branch-free
+/// 6×16 microkernel accumulates in registers, and the M panel space is
+/// distributed over the global thread pool when the problem is large
+/// enough to amortize the dispatch. Packed B blocks are shared read-only
+/// across workers; each worker packs its own A panels from its thread's
+/// Workspace. The k-loop accumulation order is fixed and the task
+/// decomposition is MR-aligned, so results are bit-identical at any
 /// thread count. See docs/PERFORMANCE.md.
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, const float* b, float beta, float* c);
@@ -25,5 +79,14 @@ void gemm_at_b(std::size_t m, std::size_t n, std::size_t k, float alpha,
 /// Used in the convolution backward pass for weight gradients.
 void gemm_a_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, const float* b, float beta, float* c);
+
+/// C (m×n) = ep(alpha * A (m×k) · B (k×n)): the beta == 0 product with the
+/// per-row epilogue applied during the final K block's C-writeback, so
+/// conv + bias + BatchNorm + activation is one pass over C instead of
+/// four. Bit-identical to gemm(..., beta=0, ...) followed by an
+/// elementwise act(scale[i]*c+shift[i]) sweep, at every thread count.
+void gemm_fused(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                const float* a, const float* b, float* c,
+                const GemmEpilogue& ep);
 
 }  // namespace hsconas::tensor

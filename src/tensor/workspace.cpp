@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <new>
+#include <string>
 
 #include "obs/metrics.h"
 
@@ -45,6 +46,13 @@ Workspace::~Workspace() { release_memory(); }
 
 Workspace& Workspace::tls() {
   thread_local Workspace ws;
+  if (ws.thread_peak_gauge_ == nullptr) {
+    // Lazy per-thread registration: one registry lookup per thread, then
+    // every note_lease updates the thread's own high-water gauge.
+    ws.thread_peak_gauge_ =
+        &obs::gauge("hsconas.workspace.peak_bytes.t" +
+                    std::to_string(obs::thread_ordinal()));
+  }
   return ws;
 }
 
@@ -83,11 +91,15 @@ Scratch Workspace::take(std::size_t n) {
 
 void Workspace::note_lease(std::size_t capacity) {
   static obs::Gauge& peak = obs::gauge("hsconas.workspace.peak_bytes");
-  // High-water mark of scratch leased out by this thread's pool; the gauge
-  // keeps the max across all threads for bench/report context.
+  // High-water mark of scratch leased out by this thread's pool; the
+  // shared gauge keeps the max across all threads for bench/report
+  // context, and tls() pools also publish their own per-thread peak.
   outstanding_floats_ += capacity;
-  peak.update_max(static_cast<double>(outstanding_floats_) *
-                  static_cast<double>(sizeof(float)));
+  peak_floats_ = std::max(peak_floats_, outstanding_floats_);
+  const double bytes = static_cast<double>(outstanding_floats_) *
+                       static_cast<double>(sizeof(float));
+  peak.update_max(bytes);
+  if (thread_peak_gauge_ != nullptr) thread_peak_gauge_->update_max(bytes);
 }
 
 Scratch Workspace::take_zeroed(std::size_t n) {

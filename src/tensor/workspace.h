@@ -3,6 +3,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace hsconas::obs {
+class Gauge;
+}
+
 namespace hsconas::tensor {
 
 class Workspace;
@@ -69,8 +73,14 @@ class Workspace {
   std::size_t pooled_floats() const;
 
   /// Floats currently leased out from this pool. The cross-thread peak in
-  /// bytes is published to the `hsconas.workspace.peak_bytes` gauge.
+  /// bytes is published to the `hsconas.workspace.peak_bytes` gauge;
+  /// tls() pools additionally publish their own high-water mark to
+  /// `hsconas.workspace.peak_bytes.t<id>` so per-thread packing-buffer
+  /// sizing is observable.
   std::size_t outstanding_floats() const { return outstanding_floats_; }
+
+  /// High-water mark of outstanding_floats() over this pool's life.
+  std::size_t peak_floats() const { return peak_floats_; }
 
   /// Number of buffers currently parked in the free list.
   std::size_t pooled_buffers() const { return free_.size(); }
@@ -92,6 +102,9 @@ class Workspace {
 
   std::vector<Block> free_;
   std::size_t outstanding_floats_ = 0;
+  std::size_t peak_floats_ = 0;
+  /// Per-thread peak gauge, set by tls() only (null for ad-hoc pools).
+  obs::Gauge* thread_peak_gauge_ = nullptr;
 };
 
 }  // namespace hsconas::tensor

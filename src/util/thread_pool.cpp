@@ -178,9 +178,50 @@ void ThreadPool::parallel_for(std::size_t n,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+namespace {
+
+/// Global-pool slot: an atomic current pointer plus a graveyard that owns
+/// every pool ever installed. Retired pools are shut down (workers
+/// joined) but not freed until exit, so code that cached a global()
+/// reference across a configure_global() keeps a valid — merely inert —
+/// pool whose parallel_for falls back to caller-inline execution.
+std::atomic<ThreadPool*>& global_slot() {
+  static std::atomic<ThreadPool*> slot{nullptr};
+  return slot;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<std::unique_ptr<ThreadPool>>& pool_graveyard() {
+  static std::vector<std::unique_ptr<ThreadPool>> g;
+  return g;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  ThreadPool* p = global_slot().load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  std::lock_guard<std::mutex> lock(global_mutex());
+  p = global_slot().load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    pool_graveyard().push_back(std::make_unique<ThreadPool>());
+    p = pool_graveyard().back().get();
+    global_slot().store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+void ThreadPool::configure_global(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  ThreadPool* old = global_slot().load(std::memory_order_relaxed);
+  if (old != nullptr) old->shutdown();
+  pool_graveyard().push_back(std::make_unique<ThreadPool>(threads));
+  global_slot().store(pool_graveyard().back().get(),
+                      std::memory_order_release);
 }
 
 void ThreadPool::worker_loop() {

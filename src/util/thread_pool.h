@@ -63,6 +63,13 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
+  /// Replace the process-wide pool with a fresh one of `threads` workers
+  /// (0 = hardware_concurrency). For benches and tests that sweep thread
+  /// counts; call only when no pool work is in flight. The previous pool
+  /// is shut down but kept alive until process exit, so a stale global()
+  /// reference degrades to inline execution instead of dangling.
+  static void configure_global(std::size_t threads);
+
  private:
   void worker_loop();
 

@@ -1,0 +1,223 @@
+// Fused conv→BN→activation epilogue parity suite. The fused path folds
+// eval-mode BN (and the conv bias) into a per-channel affine applied
+// inside the GEMM writeback; these tests pin it against the composed
+// module pipeline across strides, padding, groups, depthwise and both
+// activations — including the case where the fold is arithmetically
+// exact (gamma == 1, running_mean == 0, no conv bias: tolerance 0) —
+// plus the Sequential eval-mode peephole and thread-count determinism.
+
+#include "nn/fused_conv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "nn/activation.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hsconas::nn {
+namespace {
+
+using tensor::EpilogueAct;
+using tensor::Tensor;
+
+/// Populate running statistics (and perturb gamma/beta) so the eval-mode
+/// fold has non-trivial terms: one training-mode forward pushes data
+/// through the momentum update, then randomized affine params.
+void randomize_bn(BatchNorm2d& bn, const Tensor& warmup, util::Rng& rng) {
+  bn.set_training(true);
+  (void)bn.forward(warmup);
+  bn.set_training(false);
+  for (long c = 0; c < bn.channels(); ++c) {
+    bn.gamma().value.at(c) = static_cast<float>(rng.uniform(0.5, 1.5));
+    bn.beta().value.at(c) = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+}
+
+Tensor composed_forward(Conv2d& conv, BatchNorm2d& bn, EpilogueAct act,
+                        const Tensor& x) {
+  Tensor y = bn.forward(conv.forward(x));
+  if (act == EpilogueAct::kReLU) {
+    ReLU relu;
+    relu.set_training(false);
+    return relu.forward(y);
+  }
+  if (act == EpilogueAct::kHSwish) {
+    HSwish hswish;
+    hswish.set_training(false);
+    return hswish.forward(y);
+  }
+  return y;
+}
+
+struct ConvCase {
+  long in_ch, out_ch, kernel, stride, pad, groups;
+  bool bias;
+  EpilogueAct act;
+};
+
+// Strided, padded, grouped, depthwise (both kernels/strides), both
+// activations, with and without conv bias.
+const ConvCase kCases[] = {
+    {8, 12, 3, 1, 1, 1, true, EpilogueAct::kReLU},
+    {8, 12, 3, 2, 0, 1, true, EpilogueAct::kHSwish},
+    {8, 12, 1, 1, 0, 4, false, EpilogueAct::kReLU},
+    {6, 6, 3, 1, 1, 6, true, EpilogueAct::kReLU},     // depthwise
+    {6, 6, 5, 2, 2, 6, false, EpilogueAct::kHSwish},  // depthwise strided
+    {8, 12, 3, 1, 2, 2, false, EpilogueAct::kNone},   // over-padded, grouped
+};
+
+TEST(FusedConv, MatchesComposedModulesAcrossGeometries) {
+  std::uint64_t seed = 200;
+  for (const ConvCase& c : kCases) {
+    util::Rng rng(++seed);
+    Conv2d conv(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad, c.groups,
+                c.bias, rng);
+    if (c.bias) {
+      for (long i = 0; i < c.out_ch; ++i) {
+        conv.bias()->value.at(i) = static_cast<float>(rng.uniform(-0.3, 0.3));
+      }
+    }
+    BatchNorm2d bn(c.out_ch);
+    conv.set_training(false);
+    const Tensor x = Tensor::uniform({3, c.in_ch, 9, 9}, -1, 1, rng);
+    randomize_bn(bn, conv.forward(x), rng);
+
+    const Tensor want = composed_forward(conv, bn, c.act, x);
+    const Tensor got = fused_conv_bn_act(conv, bn, c.act, x);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (long i = 0; i < got.numel(); ++i) {
+      // The fold refactors (x - m)*inv_std*g + b into s*x + t; only float
+      // rounding of that refactoring separates the two paths.
+      EXPECT_NEAR(got.data()[i], want.data()[i], 2e-4f)
+          << "case in=" << c.in_ch << " out=" << c.out_ch
+          << " k=" << c.kernel << " s=" << c.stride << " g=" << c.groups
+          << " at " << i;
+    }
+  }
+}
+
+TEST(FusedConv, ExactWhenFoldIsArithmeticallyNeutral) {
+  // gamma == 1, running_mean == 0, no conv bias: scale = inv_std and
+  // shift = beta with no refactoring, so fused and composed execute the
+  // same float ops — the parity is bit-exact, tolerance 0.
+  util::Rng rng(300);
+  Conv2d conv(8, 12, 3, 1, 1, 1, /*bias=*/false, rng);
+  conv.set_training(false);
+  BatchNorm2d bn(12);
+  bn.set_training(false);
+  for (long c = 0; c < 12; ++c) {
+    bn.beta().value.at(c) = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  const Tensor x = Tensor::uniform({2, 8, 9, 9}, -1, 1, rng);
+  for (const EpilogueAct act :
+       {EpilogueAct::kNone, EpilogueAct::kReLU, EpilogueAct::kHSwish}) {
+    const Tensor want = composed_forward(conv, bn, act, x);
+    const Tensor got = fused_conv_bn_act(conv, bn, act, x);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (long i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(got.data()[i], want.data()[i]) << "act mismatch at " << i;
+    }
+  }
+}
+
+TEST(FusedConv, BitIdenticalAcrossThreadCounts) {
+  util::Rng rng(400);
+  Conv2d conv(16, 32, 3, 1, 1, 1, /*bias=*/true, rng);
+  conv.set_training(false);
+  BatchNorm2d bn(32);
+  const Tensor x = Tensor::uniform({4, 16, 16, 16}, -1, 1, rng);
+  randomize_bn(bn, conv.forward(x), rng);
+
+  const std::size_t prev = util::ThreadPool::global().size();
+  util::ThreadPool::configure_global(1);
+  const Tensor base = fused_conv_bn_act(conv, bn, EpilogueAct::kReLU, x);
+  for (const std::size_t threads : {2u, 8u}) {
+    util::ThreadPool::configure_global(threads);
+    const Tensor y = fused_conv_bn_act(conv, bn, EpilogueAct::kReLU, x);
+    ASSERT_EQ(0, std::memcmp(base.data(), y.data(),
+                             static_cast<std::size_t>(base.numel()) *
+                                 sizeof(float)))
+        << "thread count " << threads;
+  }
+  util::ThreadPool::configure_global(prev);
+}
+
+/// RAII toggle so a failing assertion cannot leak fusion-enabled state
+/// into unrelated tests.
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool on) : prev_(inference_fusion_enabled()) {
+    set_inference_fusion(on);
+  }
+  ~FusionGuard() { set_inference_fusion(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(FusedConv, SequentialPeepholeFusesInEvalOnly) {
+  util::Rng rng(500);
+  Sequential seq;
+  Conv2d* conv = seq.add(std::make_unique<Conv2d>(8, 12, 3, 1, 1, 1,
+                                                  /*bias=*/true, rng));
+  seq.add(std::make_unique<BatchNorm2d>(12));
+  seq.add(std::make_unique<ReLU>());
+  const Tensor x = Tensor::uniform({2, 8, 9, 9}, -1, 1, rng);
+  seq.forward(x);  // training-mode pass gives BN real running stats
+  seq.set_training(false);
+
+  obs::Counter& fused_calls = obs::counter("hsconas.nn.fused_conv_calls");
+
+  const Tensor plain = seq.forward(x);
+  FusionGuard guard(true);
+
+  const std::uint64_t before = fused_calls.value();
+  const Tensor fused = seq.forward(x);
+  EXPECT_EQ(fused_calls.value(), before + 1)
+      << "eval-mode Sequential should route conv+bn+relu through the "
+         "fused path when fusion is enabled";
+  ASSERT_EQ(fused.shape(), plain.shape());
+  for (long i = 0; i < fused.numel(); ++i) {
+    EXPECT_NEAR(fused.data()[i], plain.data()[i], 2e-4f) << "at " << i;
+  }
+
+  // Fusion off: the composed path runs, and it still matches.
+  {
+    FusionGuard off(false);
+    const std::uint64_t before_off = fused_calls.value();
+    const Tensor y = seq.forward(x);
+    EXPECT_EQ(fused_calls.value(), before_off);
+    for (long i = 0; i < y.numel(); ++i) {
+      ASSERT_EQ(y.data()[i], plain.data()[i]);
+    }
+  }
+
+  // Training mode must never peephole (backward needs module caches).
+  // Last, because a training-mode forward updates BN's running stats and
+  // would invalidate the comparisons against `plain` above.
+  seq.set_training(true);
+  const std::uint64_t before_train = fused_calls.value();
+  seq.forward(x);
+  EXPECT_EQ(fused_calls.value(), before_train);
+  (void)conv;
+}
+
+TEST(FusedConv, ChannelMismatchThrows) {
+  util::Rng rng(600);
+  Conv2d conv(4, 6, 3, 1, 1, 1, false, rng);
+  conv.set_training(false);
+  BatchNorm2d bn(8);  // wrong width
+  bn.set_training(false);
+  const Tensor x = Tensor::uniform({1, 4, 5, 5}, -1, 1, rng);
+  EXPECT_THROW(fused_conv_bn_act(conv, bn, EpilogueAct::kReLU, x),
+               hsconas::Error);
+}
+
+}  // namespace
+}  // namespace hsconas::nn

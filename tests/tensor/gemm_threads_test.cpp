@@ -1,0 +1,189 @@
+// Thread-count determinism and fused-epilogue exactness for the GEMM
+// macro-kernel. The contract under test: the parallel decomposition
+// (shared packed-B panels, per-thread A packing, MR-aligned M chunks)
+// never changes what is computed — results are bit-identical at any
+// worker count — and gemm_fused's in-writeback epilogue is bit-identical
+// to running gemm and then sweeping the same per-row affine + activation
+// over C.
+
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hsconas::tensor {
+namespace {
+
+std::vector<float> random_matrix(std::size_t size, util::Rng& rng) {
+  std::vector<float> m(size);
+  for (float& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+/// Resize the global pool for one scope, restoring the prior width on
+/// exit so later tests (and other suites in this binary) are unaffected.
+class PoolGuard {
+ public:
+  explicit PoolGuard(std::size_t threads)
+      : prev_(util::ThreadPool::global().size()) {
+    util::ThreadPool::configure_global(threads);
+  }
+  ~PoolGuard() { util::ThreadPool::configure_global(prev_); }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+// Big enough to take the parallel blocked path (>= 2^21 flops) and to
+// cross both the NC (512) and KC (240) block boundaries, so the test
+// exercises shared-B reuse across K blocks and multi-panel J loops.
+constexpr std::size_t kM = 100, kN = 530, kK = 300;
+
+std::vector<float> run_gemm_with_threads(std::size_t threads,
+                                         const std::vector<float>& a,
+                                         const std::vector<float>& b) {
+  PoolGuard guard(threads);
+  std::vector<float> c(kM * kN, 0.0f);
+  gemm(kM, kN, kK, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+TEST(GemmThreads, BitIdenticalAcrossThreadCounts) {
+  util::Rng rng(11);
+  const auto a = random_matrix(kM * kK, rng);
+  const auto b = random_matrix(kK * kN, rng);
+  const auto c1 = run_gemm_with_threads(1, a, b);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto ct = run_gemm_with_threads(threads, a, b);
+    ASSERT_EQ(0,
+              std::memcmp(c1.data(), ct.data(), c1.size() * sizeof(float)))
+        << "thread count " << threads
+        << " changed the result — decomposition is leaking into the "
+           "accumulation order";
+  }
+}
+
+TEST(GemmThreads, FusedBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(12);
+  const auto a = random_matrix(kM * kK, rng);
+  const auto b = random_matrix(kK * kN, rng);
+  const auto scale = random_matrix(kM, rng);
+  const auto shift = random_matrix(kM, rng);
+  GemmEpilogue ep;
+  ep.scale = scale.data();
+  ep.shift = shift.data();
+  ep.act = EpilogueAct::kHSwish;
+
+  std::vector<float> c1(kM * kN, 0.0f);
+  {
+    PoolGuard guard(1);
+    gemm_fused(kM, kN, kK, 1.0f, a.data(), b.data(), c1.data(), ep);
+  }
+  for (const std::size_t threads : {2u, 8u}) {
+    PoolGuard guard(threads);
+    std::vector<float> ct(kM * kN, 0.0f);
+    gemm_fused(kM, kN, kK, 1.0f, a.data(), b.data(), ct.data(), ep);
+    ASSERT_EQ(0,
+              std::memcmp(c1.data(), ct.data(), c1.size() * sizeof(float)))
+        << "thread count " << threads;
+  }
+}
+
+/// gemm_fused must equal gemm followed by a per-row
+/// `c = act(scale*c + shift)` sweep, bit for bit: the epilogue is applied
+/// to the finished accumulator value, so moving it into the writeback
+/// cannot change any float operation.
+void check_fused_matches_manual(std::size_t m, std::size_t n, std::size_t k,
+                                bool with_scale, bool with_shift,
+                                EpilogueAct act, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  const auto scale = random_matrix(m, rng);
+  const auto shift = random_matrix(m, rng);
+
+  GemmEpilogue ep;
+  ep.scale = with_scale ? scale.data() : nullptr;
+  ep.shift = with_shift ? shift.data() : nullptr;
+  ep.act = act;
+
+  std::vector<float> fused(m * n, -1e30f);  // gemm_fused has beta=0 semantics
+  gemm_fused(m, n, k, 1.0f, a.data(), b.data(), fused.data(), ep);
+
+  std::vector<float> manual(m * n, 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, manual.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    const float s = with_scale ? scale[i] : 1.0f;
+    const float t = with_shift ? shift[i] : 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      manual[i * n + j] = epilogue_apply(act, s * manual[i * n + j] + t);
+    }
+  }
+
+  for (std::size_t i = 0; i < m * n; ++i) {
+    ASSERT_EQ(fused[i], manual[i])
+        << "m=" << m << " n=" << n << " k=" << k << " at " << i;
+  }
+}
+
+TEST(GemmFused, MatchesManualEpilogueBitExact) {
+  // Small path (below the packing threshold), blocked path, and a tall
+  // panel-edge shape; every scale/shift/activation combination.
+  const struct {
+    std::size_t m, n, k;
+  } shapes[] = {{3, 5, 7}, {64, 48, 96}, {130, 70, 250}};
+  std::uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    for (const EpilogueAct act :
+         {EpilogueAct::kNone, EpilogueAct::kReLU, EpilogueAct::kHSwish}) {
+      for (const bool with_scale : {false, true}) {
+        for (const bool with_shift : {false, true}) {
+          check_fused_matches_manual(s.m, s.n, s.k, with_scale, with_shift,
+                                     act, ++seed);
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmFused, DegenerateKAppliesEpilogueToZero) {
+  // k == 0: the product contributes nothing, so C = act(scale*0 + shift).
+  util::Rng rng(42);
+  const auto scale = random_matrix(2, rng);
+  const auto shift = random_matrix(2, rng);
+  GemmEpilogue ep;
+  ep.scale = scale.data();
+  ep.shift = shift.data();
+  ep.act = EpilogueAct::kReLU;
+  std::vector<float> c(2 * 3, 1e30f);
+  gemm_fused(2, 3, 0, 1.0f, nullptr, nullptr, c.data(), ep);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const float want =
+        epilogue_apply(EpilogueAct::kReLU, scale[i] * 0.0f + shift[i]);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(c[i * 3 + j], want);
+  }
+}
+
+TEST(GemmFused, NullEpilogueFieldsAreIdentity) {
+  // All-default epilogue: gemm_fused degenerates to gemm with beta=0.
+  util::Rng rng(43);
+  const std::size_t m = 20, n = 30, k = 40;
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> plain(m * n, 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, plain.data());
+  std::vector<float> fused(m * n, 7.0f);
+  gemm_fused(m, n, k, 1.0f, a.data(), b.data(), fused.data(),
+             GemmEpilogue{});
+  for (std::size_t i = 0; i < m * n; ++i) ASSERT_EQ(plain[i], fused[i]);
+}
+
+}  // namespace
+}  // namespace hsconas::tensor

@@ -1,0 +1,16 @@
+// Fixture: raw std::thread in a kernel translation unit. Parallelism in
+// src/tensor// and src/nn// must go through util::ThreadPool so the
+// deterministic decomposition and nested-safety guarantees hold.
+#include <thread>
+
+namespace hsconas::tensor {
+
+void spin_up(int n) {
+  std::thread worker([n] { (void)n; });
+  worker.join();
+  // std::this_thread is fine (not a thread spawn), as is the word
+  // thread_local — only the std::thread token itself is banned.
+  std::this_thread::yield();
+}
+
+}  // namespace hsconas::tensor

@@ -53,6 +53,7 @@ const RuleFixture kRuleFixtures[] = {
     {"serial-raw-memcpy", "src/util/bad_serial.cpp", 8},
     {"serial-pointer-cast", "src/util/bad_serial.cpp", 12},
     {"scratch-discipline", "src/tensor/bad_kernel.cpp", 8},
+    {"thread-discipline", "src/tensor/bad_thread.cpp", 9},
     {"rng-discipline", "src/core/bad_rng.cpp", 8},
     {"log-no-stdio", "src/core/bad_log.cpp", 8},
     {"trace-scope-in-header", "src/nn/bad_trace.h", 7},
@@ -152,6 +153,23 @@ TEST(LintFile, IdentifierBoundariesRespected) {
       "int operand(int x);\n"
       "void memcpy_impl();\n";
   EXPECT_TRUE(lint::lint_file("src/core/x.h", src).empty());
+}
+
+TEST(LintFile, ThreadDisciplineTokenBoundaries) {
+  // Only the std::thread token is banned, and only in kernel directories:
+  // std::this_thread, thread_local and a bare <thread> include are fine,
+  // and util/ (home of ThreadPool itself) is out of scope.
+  const std::string clean =
+      "#include <thread>\n"
+      "thread_local int tls_slot = 0;\n"
+      "void pause() { std::this_thread::yield(); }\n";
+  EXPECT_TRUE(lint::lint_file("src/tensor/x.cpp", clean).empty());
+  const std::string bad = "#include <thread>\nstd::thread t;\n";
+  const auto vs = lint::lint_file("src/nn/x.cpp", bad);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "thread-discipline");
+  EXPECT_EQ(vs[0].line, 2u);
+  EXPECT_TRUE(lint::lint_file("src/util/thread_pool.cpp", bad).empty());
 }
 
 TEST(LintFile, SerialItselfIsExempt) {

@@ -10,7 +10,9 @@
 #   2. hsconas_lint over the tree against the checked-in baseline.
 #   3. clang-tidy over src/ and tools/ (skipped when not installed).
 #   4. ASan+UBSan build + full ctest (skipped with --fast).
-#   5. TSan build + full ctest (skipped with --fast).
+#   5. TSan build + full ctest, then an explicit `ctest -L kernels`
+#      re-run of the GEMM/fused-conv determinism suites under TSan
+#      (skipped with --fast).
 #
 # Build trees live under ci-build-* in the repo root and are reused
 # across runs, so local re-runs are incremental. See
@@ -55,5 +57,11 @@ cmake -S "$root" -B "$root/ci-build-tsan" \
   -DHSCONAS_BUILD_BENCHES=OFF -DHSCONAS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$root/ci-build-tsan" -j "$jobs"
 (cd "$root/ci-build-tsan" && ctest --output-on-failure -j "$jobs")
+
+stage "kernel determinism suites under TSan (ctest -L kernels)"
+# The full suite above already ran these once; the dedicated -L kernels
+# pass runs them serially so the multi-worker GEMM/conv interleavings are
+# not starved by concurrent test processes on small CI machines.
+(cd "$root/ci-build-tsan" && ctest --output-on-failure -L kernels)
 
 stage "all checks passed"

@@ -247,6 +247,7 @@ void report(const FileContext& ctx, std::vector<Violation>* out,
 constexpr const char* kSerialRawMemcpy = "serial-raw-memcpy";
 constexpr const char* kSerialPointerCast = "serial-pointer-cast";
 constexpr const char* kScratchDiscipline = "scratch-discipline";
+constexpr const char* kThreadDiscipline = "thread-discipline";
 constexpr const char* kRngDiscipline = "rng-discipline";
 constexpr const char* kLogNoStdio = "log-no-stdio";
 constexpr const char* kTraceScopeInHeader = "trace-scope-in-header";
@@ -311,6 +312,33 @@ void rule_scratch_discipline(const FileContext& ctx, const Options& opts,
       report(ctx, out, opts, i + 1, kScratchDiscipline,
              "ad-hoc std::vector<float> scratch in a kernel translation "
              "unit; lease from tensor::Workspace::tls() instead");
+    }
+  }
+}
+
+/// `std::thread` as a whole token (so `std::this_thread` and
+/// `thread_local` do not match): "std::" directly before an identifier
+/// occurrence of "thread".
+bool has_std_thread(const std::string& line) {
+  for (std::size_t pos = find_identifier(line, "thread");
+       pos != std::string::npos;
+       pos = find_identifier(line, "thread", pos + 1)) {
+    if (pos >= 5 && line.compare(pos - 5, 5, "std::") == 0) return true;
+  }
+  return false;
+}
+
+void rule_thread_discipline(const FileContext& ctx, const Options& opts,
+                            std::vector<Violation>* out) {
+  const bool kernel_dir = starts_with(ctx.path, "src/tensor/") ||
+                          starts_with(ctx.path, "src/nn/");
+  if (!kernel_dir) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (has_std_thread(ctx.code[i])) {
+      report(ctx, out, opts, i + 1, kThreadDiscipline,
+             "raw std::thread in a kernel; parallelism must go through "
+             "util::ThreadPool (nested-safe parallel_for, deterministic "
+             "decomposition)");
     }
   }
 }
@@ -425,6 +453,8 @@ const std::vector<Rule>& rules() {
       {kScratchDiscipline,
        "no malloc/new[]/ad-hoc vector<float> scratch in tensor/nn kernels "
        "(Workspace-only)"},
+      {kThreadDiscipline,
+       "no raw std::thread in tensor/nn kernels (util::ThreadPool only)"},
       {kRngDiscipline,
        "no rand()/std::random_device/std::mt19937 outside util/rng "
        "(seeded util::Rng streams only)"},
@@ -469,6 +499,7 @@ std::vector<Violation> lint_file(const std::string& path,
   rule_serial_raw_memcpy(ctx, opts, &out);
   rule_serial_pointer_cast(ctx, opts, &out);
   rule_scratch_discipline(ctx, opts, &out);
+  rule_thread_discipline(ctx, opts, &out);
   rule_rng_discipline(ctx, opts, &out);
   rule_log_no_stdio(ctx, opts, &out);
   rule_trace_scope_in_header(ctx, opts, &out);
