@@ -1,0 +1,338 @@
+#include "eval/profile_runner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "core/latency_model.h"
+#include "core/supernet.h"
+#include "hwsim/registry.h"
+#include "nn/fused_conv.h"
+#include "obs/profiler.h"
+#include "obs/timing.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace hsconas::eval {
+
+namespace {
+
+using tensor::Tensor;
+
+/// Pool per-signature stats across architectures: identical geometries
+/// recur between archs (stem, head, repeated blocks), and the overall
+/// correlation should weight them by everything that was measured.
+void merge_stats(std::unordered_map<std::string, obs::OpStats>& pooled,
+                 const std::vector<obs::OpStats>& add) {
+  for (const obs::OpStats& st : add) {
+    auto [it, inserted] = pooled.emplace(st.signature, st);
+    if (inserted) continue;
+    obs::OpStats& dst = it->second;
+    dst.calls += st.calls;
+    dst.wall_ms_total += st.wall_ms_total;
+    dst.wall_ms_min = std::min(dst.wall_ms_min, st.wall_ms_min);
+    dst.wall_ms_max = std::max(dst.wall_ms_max, st.wall_ms_max);
+    dst.cpu_ms_total += st.cpu_ms_total;
+    dst.workspace_peak_bytes =
+        std::max(dst.workspace_peak_bytes, st.workspace_peak_bytes);
+    for (double s : st.wall_ms_samples) {
+      if (dst.wall_ms_samples.size() >= obs::Profiler::kMaxSamples) break;
+      dst.wall_ms_samples.push_back(s);
+    }
+  }
+}
+
+util::Json op_row_json(const hwsim::OpComparison& cmp) {
+  const obs::OpStats& st = cmp.measured;
+  util::Json o = util::Json::object();
+  o["signature"] = st.signature;
+  o["op"] = st.key.op;
+  o["kind"] = st.key.kind;
+  o["calls"] = static_cast<unsigned long long>(st.calls);
+  o["wall_ms_mean"] = st.wall_ms_mean();
+  o["wall_ms_p50"] = st.wall_ms_percentile(0.5);
+  o["wall_ms_p95"] = st.wall_ms_percentile(0.95);
+  o["wall_ms_total"] = st.wall_ms_total;
+  o["cpu_ms_total"] = st.cpu_ms_total;
+  o["flops_per_call"] = st.flops_per_call;
+  o["bytes_per_call"] = st.bytes_per_call;
+  o["arithmetic_intensity"] = st.arithmetic_intensity();
+  o["achieved_gflops"] = st.achieved_gflops();
+  o["achieved_gbs"] = st.achieved_gbs();
+  o["workspace_peak_bytes"] = st.workspace_peak_bytes;
+  o["priced"] = cmp.priced;
+  if (cmp.priced) {
+    o["predicted_ms"] = cmp.predicted_ms;
+    o["ratio"] = cmp.ratio;
+    o["drift"] = cmp.drift;
+    o["bound"] = cmp.compute_bound ? "compute" : "memory";
+  }
+  return o;
+}
+
+util::Json calibration_json(const hwsim::CalibrationReport& report) {
+  util::Json c = util::Json::object();
+  c["op_kendall_tau"] = report.kendall_tau;
+  c["op_spearman_rho"] = report.spearman_rho;
+  c["median_ratio"] = report.median_ratio;
+  c["measured_total_ms"] = report.measured_total_ms;
+  c["predicted_total_ms"] = report.predicted_total_ms;
+  c["priced_ops"] = static_cast<unsigned long long>(report.priced_ops);
+  c["unpriced_ops"] = static_cast<unsigned long long>(report.unpriced_ops);
+  util::Json ops = util::Json::array();
+  for (const hwsim::OpComparison& cmp : report.ops) {
+    ops.push_back(op_row_json(cmp));
+  }
+  c["ops"] = std::move(ops);
+  return c;
+}
+
+}  // namespace
+
+ProfileReport run_profile(const ProfileConfig& config) {
+  if (config.num_archs < 1) {
+    throw InvalidArgument("profile: need at least one architecture");
+  }
+  if (config.iters < 1) {
+    throw InvalidArgument("profile: need at least one counted iteration");
+  }
+  if (config.warmup < 0 || config.batch < 1) {
+    throw InvalidArgument("profile: bad warmup/batch");
+  }
+  if (config.fused && config.backward) {
+    throw InvalidArgument(
+        "profile: --fused is inference-only (backward through a fused "
+        "forward is a contract violation)");
+  }
+  config.space.validate();
+
+  ProfileReport report;
+  report.config = config;
+  report.profiler_compiled_in = obs::Profiler::compiled_in();
+
+  const core::SearchSpace space(config.space);
+  const hwsim::DeviceSimulator device(hwsim::device_by_name(config.device));
+  core::LatencyModel::Config model_cfg;
+  model_cfg.batch = config.batch;
+  model_cfg.bias_samples = 20;
+  model_cfg.seed = config.seed;
+  model_cfg.measurement_noise = false;
+  core::LatencyModel model(space, device, model_cfg);
+
+  util::Rng rng(config.seed);
+  const bool fusion_was_on = nn::inference_fusion_enabled();
+  nn::set_inference_fusion(config.fused);
+  obs::Profiler::disable();
+
+  std::unordered_map<std::string, obs::OpStats> pooled;
+  try {
+    for (int a = 0; a < config.num_archs; ++a) {
+      ArchProfile ap;
+      ap.arch = core::Arch::random(space, rng);
+      ap.arch_string = ap.arch.to_string(space);
+      core::Supernet net(space, config.seed + static_cast<std::uint64_t>(a),
+                         ap.arch);
+      net.set_training(config.backward);
+
+      Tensor images = Tensor::uniform(
+          {config.batch, config.space.input_channels, config.space.input_size,
+           config.space.input_size},
+          -1.0f, 1.0f, rng);
+      Tensor logits_grad = Tensor::uniform(
+          {config.batch, config.space.num_classes}, -0.1f, 0.1f, rng);
+
+      auto run_iteration = [&] {
+        Tensor logits = net.forward(images);
+        if (config.backward) net.backward(logits_grad);
+      };
+
+      // Warm-up excluded: Workspace pools and BN caches settle, profiler
+      // stays off so nothing from these iterations enters the aggregates.
+      for (int w = 0; w < config.warmup; ++w) run_iteration();
+
+      obs::Profiler::clear();
+      obs::Profiler::enable();
+      std::vector<double> iter_ms;
+      iter_ms.reserve(static_cast<std::size_t>(config.iters));
+      for (int i = 0; i < config.iters; ++i) {
+        const std::uint64_t t0 = obs::monotonic_ns();
+        run_iteration();
+        iter_ms.push_back(static_cast<double>(obs::monotonic_ns() - t0) /
+                          1e6);
+      }
+      obs::Profiler::disable();
+      const std::vector<obs::OpStats> stats = obs::Profiler::snapshot();
+      obs::Profiler::clear();
+      merge_stats(pooled, stats);
+
+      double sum = 0.0;
+      for (double ms : iter_ms) sum += ms;
+      ap.measured_ms = sum / static_cast<double>(iter_ms.size());
+      ap.measured_p50_ms = util::percentile(iter_ms, 50.0);
+      ap.measured_p95_ms = util::percentile(iter_ms, 95.0);
+      ap.predicted_ms = model.predict_ms(ap.arch);
+      ap.predicted_uncorrected_ms = model.predict_uncorrected_ms(ap.arch);
+      ap.ops = hwsim::compare_profile(stats, device);
+      report.archs.push_back(std::move(ap));
+    }
+  } catch (...) {
+    obs::Profiler::disable();
+    nn::set_inference_fusion(fusion_was_on);
+    throw;
+  }
+  nn::set_inference_fusion(fusion_was_on);
+
+  std::vector<obs::OpStats> pooled_vec;
+  pooled_vec.reserve(pooled.size());
+  for (auto& [sig, st] : pooled) pooled_vec.push_back(std::move(st));
+  std::sort(pooled_vec.begin(), pooled_vec.end(),
+            [](const obs::OpStats& x, const obs::OpStats& y) {
+              if (x.wall_ms_total != y.wall_ms_total) {
+                return x.wall_ms_total > y.wall_ms_total;
+              }
+              return x.signature < y.signature;
+            });
+  report.overall = hwsim::compare_profile(pooled_vec, device);
+
+  if (report.archs.size() >= 2) {
+    std::vector<double> predicted, measured;
+    for (const ArchProfile& ap : report.archs) {
+      predicted.push_back(ap.predicted_ms);
+      measured.push_back(ap.measured_ms);
+    }
+    report.arch_kendall_tau = util::kendall_tau(predicted, measured);
+    report.arch_spearman_rho = util::spearman(predicted, measured);
+  }
+  return report;
+}
+
+util::Json profile_report_json(const ProfileReport& report) {
+  util::Json doc = util::Json::object();
+  doc["schema"] = "hsconas.profile.v1";
+  doc["device"] = report.config.device;
+  doc["batch"] = static_cast<double>(report.config.batch);
+  doc["iters"] = static_cast<double>(report.config.iters);
+  doc["warmup"] = static_cast<double>(report.config.warmup);
+  doc["fused"] = report.config.fused;
+  doc["backward"] = report.config.backward;
+  doc["profiler_compiled_in"] = report.profiler_compiled_in;
+
+  util::Json archs = util::Json::array();
+  for (const ArchProfile& ap : report.archs) {
+    util::Json a = util::Json::object();
+    a["arch"] = ap.arch_string;
+    a["measured_ms"] = ap.measured_ms;
+    a["measured_p50_ms"] = ap.measured_p50_ms;
+    a["measured_p95_ms"] = ap.measured_p95_ms;
+    a["predicted_ms"] = ap.predicted_ms;
+    a["predicted_uncorrected_ms"] = ap.predicted_uncorrected_ms;
+    a["calibration"] = calibration_json(ap.ops);
+    archs.push_back(std::move(a));
+  }
+  doc["archs"] = std::move(archs);
+  doc["overall"] = calibration_json(report.overall);
+
+  util::Json corr = util::Json::object();
+  corr["arch_kendall_tau"] = report.arch_kendall_tau;
+  corr["arch_spearman_rho"] = report.arch_spearman_rho;
+  corr["op_kendall_tau"] = report.overall.kendall_tau;
+  corr["op_spearman_rho"] = report.overall.spearman_rho;
+  doc["correlation"] = std::move(corr);
+
+  util::Json worst = util::Json::array();
+  for (const hwsim::OpComparison& cmp : report.overall.worst_offenders()) {
+    worst.push_back(op_row_json(cmp));
+  }
+  doc["worst_offenders"] = std::move(worst);
+  return doc;
+}
+
+std::string render_profile_report(const ProfileReport& report) {
+  std::string out;
+  out += util::format(
+      "profile: device=%s batch=%d iters=%d warmup=%d fused=%d backward=%d\n",
+      report.config.device.c_str(), report.config.batch, report.config.iters,
+      report.config.warmup, report.config.fused ? 1 : 0,
+      report.config.backward ? 1 : 0);
+  if (!report.profiler_compiled_in) {
+    out += "note: profiler compiled out (HSCONAS_ENABLE_TRACING=OFF) — "
+           "per-op sections are empty\n";
+  }
+
+  util::Table archs({"arch", "measured (ms)", "p50", "p95",
+                     "predicted (ms)", "uncorrected", "op τ"});
+  for (std::size_t i = 0; i < report.archs.size(); ++i) {
+    const ArchProfile& ap = report.archs[i];
+    archs.add_row({util::format("#%zu", i),
+                   util::format("%.3f", ap.measured_ms),
+                   util::format("%.3f", ap.measured_p50_ms),
+                   util::format("%.3f", ap.measured_p95_ms),
+                   util::format("%.4f", ap.predicted_ms),
+                   util::format("%.4f", ap.predicted_uncorrected_ms),
+                   util::format("%.3f", ap.ops.kendall_tau)});
+  }
+  out += "\nper-arch predicted vs measured:\n" + archs.render();
+
+  constexpr std::size_t kTopOps = 12;
+  util::Table roofline({"op signature", "calls", "mean (ms)", "GFLOP/s",
+                        "GB/s", "AI", "bound", "ws peak (KiB)",
+                        "pred (ms)", "ratio"});
+  std::size_t shown = 0;
+  for (const hwsim::OpComparison& cmp : report.overall.ops) {
+    if (shown++ >= kTopOps) break;
+    const obs::OpStats& st = cmp.measured;
+    roofline.add_row(
+        {st.signature,
+         util::format("%llu", static_cast<unsigned long long>(st.calls)),
+         util::format("%.4f", st.wall_ms_mean()),
+         util::format("%.2f", st.achieved_gflops()),
+         util::format("%.2f", st.achieved_gbs()),
+         util::format("%.2f", st.arithmetic_intensity()),
+         cmp.compute_bound ? "compute" : "memory",
+         util::format("%.1f", st.workspace_peak_bytes / 1024.0),
+         cmp.priced ? util::format("%.4f", cmp.predicted_ms) : "-",
+         cmp.priced ? util::format("%.1f", cmp.ratio) : "-"});
+  }
+  if (!report.overall.ops.empty()) {
+    out += util::format("\nroofline, pooled across archs (top %zu of %zu by "
+                        "wall time):\n",
+                        std::min(kTopOps, report.overall.ops.size()),
+                        report.overall.ops.size());
+    out += roofline.render();
+  }
+
+  const auto offenders = report.overall.worst_offenders();
+  if (!offenders.empty()) {
+    util::Table worst(
+        {"op signature", "measured (ms)", "pred (ms)", "ratio", "drift"});
+    for (const hwsim::OpComparison& cmp : offenders) {
+      worst.add_row({cmp.measured.signature,
+                     util::format("%.4f", cmp.measured.wall_ms_mean()),
+                     util::format("%.4f", cmp.predicted_ms),
+                     util::format("%.1f", cmp.ratio),
+                     util::format("%.3f", cmp.drift)});
+    }
+    out += "\nworst offenders (deviation from the median host/device "
+           "ratio):\n" +
+           worst.render();
+  }
+
+  out += util::format(
+      "\ncorrelation: arch kendall_tau=%.3f spearman_rho=%.3f (n=%zu) | "
+      "per-op kendall_tau=%.3f spearman_rho=%.3f (n=%zu priced, %zu "
+      "unpriced)\n",
+      report.arch_kendall_tau, report.arch_spearman_rho, report.archs.size(),
+      report.overall.kendall_tau, report.overall.spearman_rho,
+      report.overall.priced_ops, report.overall.unpriced_ops);
+  out += util::format(
+      "scale: median measured/predicted ratio=%.2f (host kernels vs "
+      "simulated device; ordering, not scale, is what the search needs)\n",
+      report.overall.median_ratio);
+  return out;
+}
+
+}  // namespace hsconas::eval

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arch.h"
+#include "core/search_space.h"
+#include "hwsim/calibration.h"
+#include "util/json.h"
+
+namespace hsconas::eval {
+
+/// The measurement side of the latency-model validation loop behind
+/// `hsconas profile`: run N sampled architectures as standalone networks
+/// with the per-operator profiler armed, then compare what the kernels
+/// actually did (per-op wall/CPU time, FLOP/s, bytes, Workspace peak)
+/// against the hwsim roofline prices and the LatencyModel's Eq. 2
+/// prediction — per op and per arch, with Kendall-τ / Spearman-ρ rank
+/// correlation (docs/OBSERVABILITY.md describes the report format).
+
+struct ProfileConfig {
+  std::string device = "xavier";
+  core::SearchSpaceConfig space = core::SearchSpaceConfig::proxy();
+  int num_archs = 3;   ///< sampled architectures
+  int iters = 10;      ///< counted (profiled) iterations per arch
+  int warmup = 2;      ///< excluded iterations, profiler disabled
+  int batch = 4;
+  std::uint64_t seed = 1;
+  bool fused = false;     ///< eval-mode fused conv/BN/act execution
+  bool backward = false;  ///< profile forward+backward (training mode)
+};
+
+struct ArchProfile {
+  core::Arch arch;
+  std::string arch_string;
+  double measured_ms = 0.0;  ///< mean per-iteration wall time
+  double measured_p50_ms = 0.0;
+  double measured_p95_ms = 0.0;
+  double predicted_ms = 0.0;  ///< LatencyModel Eq. 2: LUT sum + B
+  double predicted_uncorrected_ms = 0.0;
+  hwsim::CalibrationReport ops;  ///< per-op predicted vs measured
+};
+
+struct ProfileReport {
+  ProfileConfig config;
+  bool profiler_compiled_in = false;
+  std::vector<ArchProfile> archs;
+  /// Per-op comparison pooled across every arch's iterations.
+  hwsim::CalibrationReport overall;
+  /// Rank correlation of (predicted, measured) at the *architecture*
+  /// level — the quantity that decides whether the LUT model can steer
+  /// the search (needs >= 2 archs).
+  double arch_kendall_tau = 0.0;
+  double arch_spearman_rho = 0.0;
+};
+
+/// Throws InvalidArgument on nonsense configs (fused training, zero
+/// iterations, unknown device). Works with the profiler compiled out:
+/// arch-level timings and correlations still fill in, op sections are
+/// empty and `profiler_compiled_in` is false.
+ProfileReport run_profile(const ProfileConfig& config);
+
+/// Schema "hsconas.profile.v1": config echo, per-arch op rooflines,
+/// pooled ops, worst offenders, correlation block.
+util::Json profile_report_json(const ProfileReport& report);
+
+/// Human-readable tables: per-arch predicted-vs-measured, the pooled
+/// roofline, worst offenders, correlation summary.
+std::string render_profile_report(const ProfileReport& report);
+
+}  // namespace hsconas::eval

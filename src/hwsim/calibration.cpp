@@ -1,0 +1,147 @@
+#include "hwsim/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <string>
+
+#include "util/stats.h"
+
+namespace hsconas::hwsim {
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+bool op_from_key(const obs::OpKey& key, OpDescriptor* out) {
+  // Backward passes have no forward-inference analogue in the device
+  // model (it prices deployment, not training) — leave them unpriced.
+  if (ends_with(key.op, ".bwd")) return false;
+  const bool spatial_ok = key.in_h > 0 && key.in_w > 0;
+  if (key.kind == "conv") {
+    if (!spatial_ok || key.in_ch <= 0 || key.out_ch <= 0) return false;
+    *out = OpDescriptor::conv(key.in_ch, key.out_ch, key.in_h, key.in_w,
+                              key.kernel, key.stride, key.groups);
+    return true;
+  }
+  if (key.kind == "dwconv") {
+    if (!spatial_ok || key.in_ch <= 0) return false;
+    *out = OpDescriptor::depthwise(key.in_ch, key.in_h, key.in_w, key.kernel,
+                                   key.stride);
+    return true;
+  }
+  if (key.kind == "linear") {
+    if (key.in_ch <= 0 || key.out_ch <= 0) return false;
+    *out = OpDescriptor::linear(key.in_ch, key.out_ch);
+    return true;
+  }
+  if (key.kind == "pool") {
+    if (!spatial_ok || key.in_ch <= 0) return false;
+    *out = OpDescriptor::pool(key.in_ch, key.in_h, key.in_w, key.kernel,
+                              key.stride);
+    return true;
+  }
+  if (key.kind == "eltwise") {
+    if (!spatial_ok || key.in_ch <= 0) return false;
+    *out = OpDescriptor::elementwise(key.in_ch, key.in_h, key.in_w);
+    return true;
+  }
+  if (key.kind == "shuffle") {
+    if (!spatial_ok || key.in_ch <= 0) return false;
+    *out = OpDescriptor::shuffle(key.in_ch, key.in_h, key.in_w);
+    return true;
+  }
+  return false;
+}
+
+std::vector<OpComparison> CalibrationReport::worst_offenders(
+    std::size_t top_n) const {
+  std::vector<OpComparison> priced;
+  for (const OpComparison& op : ops) {
+    if (op.priced) priced.push_back(op);
+  }
+  std::sort(priced.begin(), priced.end(),
+            [](const OpComparison& a, const OpComparison& b) {
+              if (a.drift != b.drift) return a.drift > b.drift;
+              return a.measured.signature < b.measured.signature;
+            });
+  if (priced.size() > top_n) priced.resize(top_n);
+  return priced;
+}
+
+CalibrationReport compare_profile(const std::vector<obs::OpStats>& stats,
+                                  const DeviceSimulator& device) {
+  CalibrationReport report;
+  const DeviceProfile& profile = device.profile();
+  const double ridge =
+      profile.mem_bandwidth_gbs > 0.0
+          ? profile.peak_gflops / profile.mem_bandwidth_gbs
+          : 0.0;
+
+  std::vector<OpComparison> priced, unpriced;
+  for (const obs::OpStats& st : stats) {
+    if (st.calls == 0) continue;
+    OpComparison cmp;
+    cmp.measured = st;
+    cmp.compute_bound = st.arithmetic_intensity() >= ridge;
+    OpDescriptor desc;
+    if (op_from_key(st.key, &desc)) {
+      cmp.priced = true;
+      cmp.descriptor = desc;
+      const int batch = static_cast<int>(std::max<long>(1, st.key.batch));
+      cmp.predicted_ms = device.op_latency_ms(desc, batch);
+      if (cmp.predicted_ms > 0.0) {
+        cmp.ratio = st.wall_ms_mean() / cmp.predicted_ms;
+      }
+      report.measured_total_ms += st.wall_ms_total;
+      report.predicted_total_ms +=
+          cmp.predicted_ms * static_cast<double>(st.calls);
+      priced.push_back(std::move(cmp));
+    } else {
+      unpriced.push_back(std::move(cmp));
+    }
+  }
+  report.priced_ops = priced.size();
+  report.unpriced_ops = unpriced.size();
+
+  // Global host-vs-device scale: the median measured/predicted ratio.
+  // Per-op drift is distance from it in log space, so a predictor that is
+  // uniformly 100× fast shows zero drift everywhere (perfect ordering).
+  std::vector<double> ratios;
+  for (const OpComparison& op : priced) {
+    if (op.ratio > 0.0) ratios.push_back(op.ratio);
+  }
+  if (!ratios.empty()) {
+    report.median_ratio = util::percentile(ratios, 50.0);
+  }
+  for (OpComparison& op : priced) {
+    if (op.ratio > 0.0 && report.median_ratio > 0.0) {
+      op.drift = std::abs(std::log(op.ratio / report.median_ratio));
+    }
+  }
+
+  if (priced.size() >= 2) {
+    std::vector<double> measured, predicted;
+    measured.reserve(priced.size());
+    predicted.reserve(priced.size());
+    for (const OpComparison& op : priced) {
+      measured.push_back(op.measured.wall_ms_mean());
+      predicted.push_back(op.predicted_ms);
+    }
+    report.kendall_tau = util::kendall_tau(measured, predicted);
+    report.spearman_rho = util::spearman(measured, predicted);
+  }
+
+  report.ops = std::move(priced);
+  report.ops.insert(report.ops.end(),
+                    std::make_move_iterator(unpriced.begin()),
+                    std::make_move_iterator(unpriced.end()));
+  return report;
+}
+
+}  // namespace hsconas::hwsim

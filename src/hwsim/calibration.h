@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hwsim/device.h"
+#include "hwsim/op_descriptor.h"
+#include "obs/profiler.h"
+
+namespace hsconas::hwsim {
+
+/// Calibration-drift analysis: compare the profiler's measured per-op
+/// latencies (obs::Profiler::snapshot()) against what the device
+/// simulator's roofline predicts for the same geometry. Rank correlation
+/// (Kendall-τ / Spearman-ρ) is the headline number — "One Proxy Device Is
+/// Enough" shows it is *ordering*, not absolute scale, that makes a
+/// latency predictor usable for hardware-aware search. The absolute scale
+/// gap between host kernels and the simulated device is folded out through
+/// the median measured/predicted ratio; per-op deviation from that median
+/// (in log space) is the "drift" that ranks the worst offenders.
+
+struct OpComparison {
+  obs::OpStats measured;
+  bool priced = false;        ///< false for backward / unpriceable ops
+  OpDescriptor descriptor;    ///< valid only when priced
+  double predicted_ms = 0.0;  ///< simulator price at the measured batch
+  double ratio = 0.0;         ///< measured mean / predicted
+  double drift = 0.0;         ///< |log(ratio / median ratio)|
+  bool compute_bound = false;  ///< measured AI >= the device's ridge point
+};
+
+struct CalibrationReport {
+  /// Priced rows first (measured wall-total order), then unpriced rows.
+  std::vector<OpComparison> ops;
+  double kendall_tau = 0.0;   ///< over priced (measured mean, predicted)
+  double spearman_rho = 0.0;
+  double median_ratio = 0.0;  ///< global host-vs-device scale factor
+  double measured_total_ms = 0.0;   ///< Σ measured wall totals (priced)
+  double predicted_total_ms = 0.0;  ///< Σ predicted × calls (priced)
+  std::size_t priced_ops = 0;
+  std::size_t unpriced_ops = 0;
+
+  /// Priced rows sorted by drift, worst first.
+  std::vector<OpComparison> worst_offenders(std::size_t top_n = 5) const;
+};
+
+/// Map a profiled op key onto a simulator-priceable descriptor. Returns
+/// false for backward passes (op ending in ".bwd") and for geometries the
+/// analytic device model has no category for.
+bool op_from_key(const obs::OpKey& key, OpDescriptor* out);
+
+CalibrationReport compare_profile(const std::vector<obs::OpStats>& stats,
+                                  const DeviceSimulator& device);
+
+}  // namespace hsconas::hwsim

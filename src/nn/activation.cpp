@@ -1,5 +1,6 @@
 #include "nn/activation.h"
 
+#include "nn/op_profile.h"
 #include "tensor/gemm.h"
 
 namespace hsconas::nn {
@@ -11,6 +12,8 @@ using tensor::Tensor;
 // modules and the fused conv epilogue can never drift apart.
 
 Tensor ReLU::forward(const Tensor& x) {
+  obs::OpScope prof(
+      [&] { return detail::elementwise_op_info("relu", "eltwise", x, 1.0); });
   Tensor y(x.shape());
   mask_ = Tensor(x.shape());
   const float* in = x.data();
@@ -24,6 +27,9 @@ Tensor ReLU::forward(const Tensor& x) {
 }
 
 Tensor ReLU::backward(const Tensor& dy) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("relu.bwd", "eltwise", dy, 1.0);
+  });
   HSCONAS_CHECK_MSG(!mask_.empty(), "ReLU::backward before forward");
   dy.check_same_shape(mask_, "ReLU::backward");
   Tensor dx = dy;
@@ -32,6 +38,9 @@ Tensor ReLU::backward(const Tensor& dy) {
 }
 
 Tensor HSwish::forward(const Tensor& x) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("hswish", "eltwise", x, 4.0);
+  });
   cached_input_ = x;
   Tensor y(x.shape());
   const float* in = x.data();
@@ -43,6 +52,9 @@ Tensor HSwish::forward(const Tensor& x) {
 }
 
 Tensor HSwish::backward(const Tensor& dy) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("hswish.bwd", "eltwise", dy, 4.0);
+  });
   HSCONAS_CHECK_MSG(!cached_input_.empty(),
                     "HSwish::backward before forward");
   dy.check_same_shape(cached_input_, "HSwish::backward");

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/op_profile.h"
+
 namespace hsconas::nn {
 
 using tensor::Tensor;
@@ -26,6 +28,11 @@ void BatchNorm2d::reset_running_stats() {
 }
 
 Tensor BatchNorm2d::forward(const Tensor& x) {
+  // ~4 ops/element (subtract, scale, gamma, beta); stats passes push the
+  // traffic above the plain read+write default.
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("bn", "eltwise", x, 4.0, 12.0);
+  });
   if (x.ndim() != 4 || x.dim(1) != channels_) {
     throw InvalidArgument("BatchNorm2d " + display_name_ +
                           ": bad input shape " + x.shape_str());
@@ -85,6 +92,9 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
 }
 
 Tensor BatchNorm2d::backward(const Tensor& dy) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("bn.bwd", "eltwise", dy, 8.0, 16.0);
+  });
   HSCONAS_CHECK_MSG(!cached_xhat_.empty(),
                     "BatchNorm2d::backward before forward");
   const long n = cached_n_, h = cached_h_, w = cached_w_;

@@ -1,7 +1,9 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "nn/op_profile.h"
 #include "tensor/gemm.h"
 #include "tensor/workspace.h"
 #include "util/thread_pool.h"
@@ -10,6 +12,49 @@ namespace hsconas::nn {
 
 using tensor::ConvGeom;
 using tensor::Tensor;
+
+namespace {
+
+/// Profiler describe callback payload. `work_mult` scales the analytic
+/// single-pass work: 1 for forward, 2 for backward (dW and dX GEMMs).
+/// Defensive about shapes — forward_impl's own validation throws after
+/// the scope opens, so a malformed input must not crash the hook.
+obs::OpInfo conv_op_info(const Conv2d& conv, const Tensor& x, const char* op,
+                         double work_mult) {
+  obs::OpInfo info;
+  info.key.op = op;
+  const bool depthwise = conv.groups() == conv.in_channels() &&
+                         conv.groups() == conv.out_channels();
+  info.key.kind = depthwise ? "dwconv" : "conv";
+  info.key.in_ch = conv.in_channels();
+  info.key.out_ch = conv.out_channels();
+  info.key.kernel = conv.kernel();
+  info.key.stride = conv.stride();
+  info.key.groups = conv.groups();
+  if (x.ndim() != 4 || x.dim(1) != conv.in_channels()) return info;
+  const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  info.key.batch = n;
+  info.key.in_h = h;
+  info.key.in_w = w;
+  ConvGeom geom{conv.in_channels() / conv.groups(), h, w, conv.kernel(),
+                conv.stride(), conv.pad()};
+  if (geom.out_h() <= 0 || geom.out_w() <= 0) return info;
+  const double batch = static_cast<double>(n);
+  const double macs = static_cast<double>(conv.macs(h, w));
+  const double out_numel = batch * static_cast<double>(conv.out_channels()) *
+                           static_cast<double>(geom.out_h()) *
+                           static_cast<double>(geom.out_w());
+  const double weight_numel =
+      static_cast<double>(conv.out_channels()) *
+      static_cast<double>(conv.in_channels() / conv.groups()) *
+      static_cast<double>(conv.kernel() * conv.kernel());
+  info.flops = work_mult * 2.0 * macs * batch;
+  info.bytes = work_mult * 4.0 *
+               (static_cast<double>(x.numel()) + out_numel + weight_numel);
+  return info;
+}
+
+}  // namespace
 
 Conv2d::Conv2d(long in_channels, long out_channels, long kernel, long stride,
                long pad, long groups, bool bias, util::Rng& rng,
@@ -44,6 +89,7 @@ Conv2d::Conv2d(long in_channels, long out_channels, long kernel, long stride,
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
+  obs::OpScope prof([&] { return conv_op_info(*this, x, "conv2d", 1.0); });
   // Fold the bias into the GEMM epilogue (scale 1, shift b, no act): the
   // sum and the single bias add happen in the same order as a separate
   // bias pass would do them, so training numbers are unchanged — minus
@@ -57,6 +103,8 @@ Tensor Conv2d::forward(const Tensor& x) {
 
 Tensor Conv2d::forward_fused(const Tensor& x, const float* scale,
                              const float* shift, tensor::EpilogueAct act) {
+  obs::OpScope prof(
+      [&] { return conv_op_info(*this, x, "conv2d.fused", 1.0); });
   tensor::GemmEpilogue ep;
   ep.scale = scale;
   ep.shift = shift;
@@ -191,6 +239,8 @@ Tensor Conv2d::forward_impl(const Tensor& x, const tensor::GemmEpilogue* ep) {
 Tensor Conv2d::backward(const Tensor& dy) {
   const Tensor& x = cached_input_;
   HSCONAS_CHECK_MSG(!x.empty(), "Conv2d::backward before forward");
+  obs::OpScope prof(
+      [&] { return conv_op_info(*this, x, "conv2d.bwd", 2.0); });
   const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const long cin_g = in_channels_ / groups_;
   const long cout_g = out_channels_ / groups_;

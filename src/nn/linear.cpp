@@ -2,11 +2,36 @@
 
 #include <cmath>
 
+#include "nn/op_profile.h"
 #include "tensor/gemm.h"
 
 namespace hsconas::nn {
 
 using tensor::Tensor;
+
+namespace {
+
+obs::OpInfo linear_op_info(const Linear& lin, const Tensor& x, const char* op,
+                           double work_mult) {
+  obs::OpInfo info;
+  info.key.op = op;
+  info.key.kind = "linear";
+  info.key.in_ch = lin.in_features();
+  info.key.out_ch = lin.out_features();
+  info.key.in_h = 1;
+  info.key.in_w = 1;
+  if (x.ndim() != 2 || x.dim(1) != lin.in_features()) return info;
+  const double n = static_cast<double>(x.dim(0));
+  info.key.batch = x.dim(0);
+  const double in_f = static_cast<double>(lin.in_features());
+  const double out_f = static_cast<double>(lin.out_features());
+  info.flops = work_mult * 2.0 * n * in_f * out_f;
+  info.bytes =
+      work_mult * 4.0 * (n * in_f + n * out_f + in_f * out_f + out_f);
+  return info;
+}
+
+}  // namespace
 
 Linear::Linear(long in_features, long out_features, util::Rng& rng,
                std::string display_name)
@@ -27,6 +52,7 @@ Linear::Linear(long in_features, long out_features, util::Rng& rng,
 }
 
 Tensor Linear::forward(const Tensor& x) {
+  obs::OpScope prof([&] { return linear_op_info(*this, x, "linear", 1.0); });
   if (x.ndim() != 2 || x.dim(1) != in_features_) {
     throw InvalidArgument("Linear " + display_name_ + ": bad input shape " +
                           x.shape_str());
@@ -50,6 +76,9 @@ Tensor Linear::forward(const Tensor& x) {
 Tensor Linear::backward(const Tensor& dy) {
   HSCONAS_CHECK_MSG(!cached_input_.empty(),
                     "Linear::backward before forward");
+  obs::OpScope prof([&] {
+    return linear_op_info(*this, cached_input_, "linear.bwd", 2.0);
+  });
   const long n = cached_input_.dim(0);
   HSCONAS_CHECK_MSG(dy.ndim() == 2 && dy.dim(0) == n &&
                         dy.dim(1) == out_features_,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/op_profile.h"
+
 namespace hsconas::nn {
 
 using tensor::Tensor;
@@ -39,10 +41,16 @@ Tensor mask_impl(const Tensor& x, long channels, long active) {
 }  // namespace
 
 Tensor ChannelMask::forward(const Tensor& x) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("channel_mask", "eltwise", x, 1.0);
+  });
   return mask_impl(x, channels_, active_);
 }
 
 Tensor ChannelMask::backward(const Tensor& dy) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("channel_mask.bwd", "eltwise", dy, 1.0);
+  });
   return mask_impl(dy, channels_, active_);
 }
 

@@ -2,17 +2,72 @@
 
 #include <limits>
 
+#include "nn/op_profile.h"
 #include "util/thread_pool.h"
 
 namespace hsconas::nn {
 
 using tensor::Tensor;
 
+namespace {
+
+/// Global average pool: one add per input element, output is (N, C).
+/// Takes the NCHW shape (not the tensor) so backward can describe itself
+/// from the cached input shape without materializing anything.
+obs::OpInfo gap_op_info(const char* op, const std::vector<long>& shape) {
+  obs::OpInfo info;
+  info.key.op = op;
+  info.key.kind = "pool";
+  if (shape.size() != 4) return info;
+  info.key.batch = shape[0];
+  info.key.in_ch = shape[1];
+  info.key.out_ch = shape[1];
+  info.key.in_h = shape[2];
+  info.key.in_w = shape[3];
+  info.key.kernel = shape[2];  // window spans the whole plane
+  info.key.stride = shape[2];
+  const double numel = static_cast<double>(shape[0] * shape[1]) *
+                       static_cast<double>(shape[2] * shape[3]);
+  info.flops = numel;
+  info.bytes = 4.0 * (numel + static_cast<double>(shape[0] * shape[1]));
+  return info;
+}
+
+/// Max pool: kernel² compares per output element.
+obs::OpInfo maxpool_op_info(const char* op, const std::vector<long>& shape,
+                            long kernel, long stride, long pad) {
+  obs::OpInfo info;
+  info.key.op = op;
+  info.key.kind = "pool";
+  info.key.kernel = kernel;
+  info.key.stride = stride;
+  if (shape.size() != 4) return info;
+  const long h = shape[2], w = shape[3];
+  const long oh = (h + 2 * pad - kernel) / stride + 1;
+  const long ow = (w + 2 * pad - kernel) / stride + 1;
+  info.key.batch = shape[0];
+  info.key.in_ch = shape[1];
+  info.key.out_ch = shape[1];
+  info.key.in_h = h;
+  info.key.in_w = w;
+  if (oh <= 0 || ow <= 0) return info;
+  const double in_numel = static_cast<double>(shape[0] * shape[1]) *
+                          static_cast<double>(h * w);
+  const double out_numel = static_cast<double>(shape[0] * shape[1]) *
+                           static_cast<double>(oh * ow);
+  info.flops = out_numel * static_cast<double>(kernel * kernel);
+  info.bytes = 4.0 * (in_numel + out_numel);
+  return info;
+}
+
+}  // namespace
+
 // Pooling parallelizes over (sample, channel) planes: every plane reads
 // and writes disjoint memory and the within-plane loops are serial, so
 // outputs are identical at any thread count.
 
 Tensor GlobalAvgPool::forward(const Tensor& x) {
+  obs::OpScope prof([&] { return gap_op_info("gap", x.shape()); });
   if (x.ndim() != 4) {
     throw InvalidArgument("GlobalAvgPool: expected NCHW, got " +
                           x.shape_str());
@@ -35,6 +90,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
 Tensor GlobalAvgPool::backward(const Tensor& dy) {
   HSCONAS_CHECK_MSG(!cached_shape_.empty(),
                     "GlobalAvgPool::backward before forward");
+  obs::OpScope prof([&] { return gap_op_info("gap.bwd", cached_shape_); });
   const long n = cached_shape_[0], c = cached_shape_[1];
   const long spatial = cached_shape_[2] * cached_shape_[3];
   HSCONAS_CHECK_MSG(dy.ndim() == 2 && dy.dim(0) == n && dy.dim(1) == c,
@@ -60,6 +116,9 @@ MaxPool2d::MaxPool2d(long kernel, long stride, long pad)
 }
 
 Tensor MaxPool2d::forward(const Tensor& x) {
+  obs::OpScope prof([&] {
+    return maxpool_op_info("maxpool", x.shape(), kernel_, stride_, pad_);
+  });
   if (x.ndim() != 4) {
     throw InvalidArgument("MaxPool2d: expected NCHW, got " + x.shape_str());
   }
@@ -109,6 +168,10 @@ Tensor MaxPool2d::forward(const Tensor& x) {
 Tensor MaxPool2d::backward(const Tensor& dy) {
   HSCONAS_CHECK_MSG(!cached_in_shape_.empty(),
                     "MaxPool2d::backward before forward");
+  obs::OpScope prof([&] {
+    return maxpool_op_info("maxpool.bwd", cached_in_shape_, kernel_, stride_,
+                           pad_);
+  });
   const long n = cached_in_shape_[0], c = cached_in_shape_[1];
   const long h = cached_in_shape_[2], w = cached_in_shape_[3];
   const long oh = dy.dim(2), ow = dy.dim(3);

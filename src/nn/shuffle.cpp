@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "nn/op_profile.h"
+
 namespace hsconas::nn {
 
 using tensor::Tensor;
@@ -43,10 +45,17 @@ Tensor shuffle_impl(const Tensor& x, long groups, bool inverse) {
 }  // namespace
 
 Tensor ChannelShuffle::forward(const Tensor& x) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("channel_shuffle", "shuffle", x, 0.0);
+  });
   return shuffle_impl(x, groups_, /*inverse=*/false);
 }
 
 Tensor ChannelShuffle::backward(const Tensor& dy) {
+  obs::OpScope prof([&] {
+    return detail::elementwise_op_info("channel_shuffle.bwd", "shuffle", dy,
+                                      0.0);
+  });
   return shuffle_impl(dy, groups_, /*inverse=*/true);
 }
 

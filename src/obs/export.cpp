@@ -27,6 +27,7 @@ util::Json metrics_to_json(const MetricsSnapshot& snap) {
     entry["mean_ms"] = h.mean_ms();
     entry["p50_ms"] = h.percentile_ms(0.5);
     entry["p95_ms"] = h.percentile_ms(0.95);
+    entry["p99_ms"] = h.percentile_ms(0.99);
     util::Json buckets = util::Json::array();
     const auto& edges = Histogram::edges();
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
@@ -46,7 +47,8 @@ void save_metrics(const std::string& path) {
   metrics_to_json(metrics_snapshot()).save(path);
 }
 
-util::Json trace_to_json(const std::vector<TraceEvent>& events) {
+util::Json trace_to_json(const std::vector<TraceEvent>& events,
+                         std::uint64_t dropped) {
   // Chrome trace-event format: "X" (complete) events with microsecond
   // timestamps. Perfetto and chrome://tracing reconstruct nesting from
   // ts/dur overlap per (pid, tid) track.
@@ -65,11 +67,12 @@ util::Json trace_to_json(const std::vector<TraceEvent>& events) {
   util::Json doc = util::Json::object();
   doc["traceEvents"] = std::move(trace_events);
   doc["displayTimeUnit"] = "ms";
+  doc["droppedEvents"] = static_cast<unsigned long long>(dropped);
   return doc;
 }
 
 void save_trace(const std::string& path) {
-  trace_to_json(Tracer::snapshot()).save(path);
+  trace_to_json(Tracer::snapshot(), Tracer::dropped()).save(path);
 }
 
 MetricsSnapshot metrics_from_json(const util::Json& doc) {
@@ -132,7 +135,7 @@ std::string render_metrics_report(const MetricsSnapshot& snap) {
 
   if (!snap.histograms.empty()) {
     util::Table table({"histogram", "count", "mean (ms)", "p50 (ms)",
-                       "p95 (ms)", "min (ms)", "max (ms)"});
+                       "p95 (ms)", "p99 (ms)", "min (ms)", "max (ms)"});
     for (const auto& h : snap.histograms) {
       table.add_row({h.name,
                      util::format("%llu",
@@ -140,6 +143,7 @@ std::string render_metrics_report(const MetricsSnapshot& snap) {
                      util::format("%.4g", h.mean_ms()),
                      util::format("%.4g", h.percentile_ms(0.5)),
                      util::format("%.4g", h.percentile_ms(0.95)),
+                     util::format("%.4g", h.percentile_ms(0.99)),
                      util::format("%.4g", h.min_ms),
                      util::format("%.4g", h.max_ms)});
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "obs/metrics.h"
@@ -15,17 +16,21 @@ namespace hsconas::obs {
 /// so util/tensor hot paths can link it.
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum_ms,
-///  min_ms, max_ms, mean_ms, p50_ms, p95_ms, buckets: [{le, count}...]}}}
+///  min_ms, max_ms, mean_ms, p50_ms, p95_ms, p99_ms,
+///  buckets: [{le, count}...]}}}
 util::Json metrics_to_json(const MetricsSnapshot& snap);
 
 /// metrics_snapshot() -> JSON file at `path`.
 void save_metrics(const std::string& path);
 
 /// Chrome trace-event JSON ("X" complete events, µs timestamps) loadable
-/// in chrome://tracing and https://ui.perfetto.dev.
-util::Json trace_to_json(const std::vector<TraceEvent>& events);
+/// in chrome://tracing and https://ui.perfetto.dev. `dropped` is the
+/// ring-overflow count, emitted as top-level "droppedEvents" so a viewer
+/// (and obs_report) can tell a quiet run from a saturated ring.
+util::Json trace_to_json(const std::vector<TraceEvent>& events,
+                         std::uint64_t dropped = 0);
 
-/// Tracer::snapshot() -> trace.json at `path`.
+/// Tracer::snapshot() + Tracer::dropped() -> trace.json at `path`.
 void save_trace(const std::string& path);
 
 /// Inverse of metrics_to_json — lets tools/obs_report re-render a saved

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
@@ -334,21 +334,13 @@ void gemm_blocked(const GemmArgs& g, bool parallel) {
       // relaxed atomic vs the section's wall time. Timing never feeds back
       // into the computation, so determinism is untouched.
       std::atomic<std::uint64_t> busy{0};
-      const auto w0 = std::chrono::steady_clock::now();
+      const std::uint64_t w0 = obs::monotonic_ns();
       pool.parallel_for(mchunks, [&](std::size_t t) {
-        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = obs::monotonic_ns();
         run_chunk(t);
-        busy.fetch_add(
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count()),
-            std::memory_order_relaxed);
+        busy.fetch_add(obs::monotonic_ns() - t0, std::memory_order_relaxed);
       });
-      wall_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - w0)
-              .count());
+      wall_ns += obs::monotonic_ns() - w0;
       busy_ns += busy.load(std::memory_order_relaxed);
     }
   }

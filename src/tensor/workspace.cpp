@@ -6,12 +6,29 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace hsconas::tensor {
 
 namespace {
 constexpr std::size_t kAlign = 64;  // one cache line / AVX-512 vector
 constexpr std::size_t kMaxPooled = 16;  // buffers parked per thread
+
+/// obs sits below tensor, so the profiler can't call Workspace::tls()
+/// itself — register probe functions instead (see obs::WorkspaceProbe).
+/// The registrar only stores plain function pointers into obs globals, so
+/// static-init order across TUs is harmless; workspace.o is always pulled
+/// into the link by the kernels that lease scratch.
+[[maybe_unused]] const bool g_workspace_probe_registered = [] {
+  obs::WorkspaceProbe probe;
+  probe.reset_scope_peak = [] { Workspace::tls().reset_scope_peak(); };
+  probe.scope_peak_bytes = []() -> std::uint64_t {
+    return static_cast<std::uint64_t>(Workspace::tls().scope_peak_floats()) *
+           sizeof(float);
+  };
+  obs::set_workspace_probe(probe);
+  return true;
+}();
 }  // namespace
 
 Scratch::Scratch(Scratch&& other) noexcept
@@ -96,6 +113,7 @@ void Workspace::note_lease(std::size_t capacity) {
   // context, and tls() pools also publish their own per-thread peak.
   outstanding_floats_ += capacity;
   peak_floats_ = std::max(peak_floats_, outstanding_floats_);
+  scope_peak_floats_ = std::max(scope_peak_floats_, outstanding_floats_);
   const double bytes = static_cast<double>(outstanding_floats_) *
                        static_cast<double>(sizeof(float));
   peak.update_max(bytes);

@@ -82,6 +82,13 @@ class Workspace {
   /// High-water mark of outstanding_floats() over this pool's life.
   std::size_t peak_floats() const { return peak_floats_; }
 
+  /// Resettable watermark window for per-operator attribution: the
+  /// profiler (obs::OpScope) calls reset_scope_peak() when a profiled op
+  /// opens and reads scope_peak_floats() when it closes, giving the op's
+  /// own scratch high-water mark without disturbing the lifetime peak.
+  void reset_scope_peak() { scope_peak_floats_ = outstanding_floats_; }
+  std::size_t scope_peak_floats() const { return scope_peak_floats_; }
+
   /// Number of buffers currently parked in the free list.
   std::size_t pooled_buffers() const { return free_.size(); }
 
@@ -103,6 +110,7 @@ class Workspace {
   std::vector<Block> free_;
   std::size_t outstanding_floats_ = 0;
   std::size_t peak_floats_ = 0;
+  std::size_t scope_peak_floats_ = 0;
   /// Per-thread peak gauge, set by tls() only (null for ad-hoc pools).
   obs::Gauge* thread_peak_gauge_ = nullptr;
 };

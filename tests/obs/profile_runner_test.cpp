@@ -1,0 +1,151 @@
+// End-to-end contract for eval::run_profile — the engine behind
+// `hsconas profile`: sampled archs run with the per-op profiler armed, per
+// op and per arch predicted-vs-measured with rank correlations, JSON
+// round-trip, and config validation. Proxy-scale spaces keep it fast.
+
+#include "eval/profile_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/profiler.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace eval = hsconas::eval;
+
+namespace {
+
+eval::ProfileConfig tiny_config() {
+  eval::ProfileConfig cfg;
+  cfg.space = hsconas::core::SearchSpaceConfig::proxy(6, 12, 1);
+  cfg.num_archs = 3;
+  cfg.iters = 3;
+  cfg.warmup = 1;
+  cfg.batch = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ProfileRunner, ThreeArchReportHasFullShape) {
+  const eval::ProfileReport report = eval::run_profile(tiny_config());
+
+  ASSERT_EQ(report.archs.size(), 3u);
+  for (const eval::ArchProfile& ap : report.archs) {
+    EXPECT_FALSE(ap.arch_string.empty());
+    EXPECT_GT(ap.measured_ms, 0.0);
+    EXPECT_GT(ap.measured_p50_ms, 0.0);
+    EXPECT_GE(ap.measured_p95_ms, ap.measured_p50_ms);
+    EXPECT_GT(ap.predicted_ms, 0.0);
+    if (report.profiler_compiled_in) {
+      EXPECT_GT(ap.ops.priced_ops, 0u);
+      EXPECT_GE(ap.ops.kendall_tau, -1.0);
+      EXPECT_LE(ap.ops.kendall_tau, 1.0);
+    } else {
+      EXPECT_TRUE(ap.ops.ops.empty());
+    }
+  }
+
+  EXPECT_GE(report.arch_kendall_tau, -1.0);
+  EXPECT_LE(report.arch_kendall_tau, 1.0);
+  EXPECT_GE(report.arch_spearman_rho, -1.0);
+  EXPECT_LE(report.arch_spearman_rho, 1.0);
+
+  if (report.profiler_compiled_in) {
+    EXPECT_GT(report.overall.priced_ops, 0u);
+    EXPECT_GT(report.overall.median_ratio, 0.0);
+    // Backward was off, so every op has an inference-side price.
+    EXPECT_EQ(report.overall.unpriced_ops, 0u);
+  }
+
+  // The runner must leave the profiler off for whoever runs next.
+  EXPECT_FALSE(hsconas::obs::Profiler::enabled());
+}
+
+TEST(ProfileRunner, BackwardOpsStayUnpriced) {
+  eval::ProfileConfig cfg = tiny_config();
+  cfg.num_archs = 1;
+  cfg.backward = true;
+  const eval::ProfileReport report = eval::run_profile(cfg);
+  if (!report.profiler_compiled_in) GTEST_SKIP();
+  EXPECT_GT(report.overall.unpriced_ops, 0u);
+  bool saw_bwd = false;
+  for (const auto& cmp : report.overall.ops) {
+    const bool is_bwd =
+        cmp.measured.key.op.size() > 4 &&
+        cmp.measured.key.op.compare(cmp.measured.key.op.size() - 4, 4,
+                                    ".bwd") == 0;
+    if (is_bwd) {
+      saw_bwd = true;
+      EXPECT_FALSE(cmp.priced) << cmp.measured.signature;
+    }
+  }
+  EXPECT_TRUE(saw_bwd);
+}
+
+TEST(ProfileRunner, FusedVariantCoversFusedConvPath) {
+  eval::ProfileConfig cfg = tiny_config();
+  cfg.num_archs = 1;
+  cfg.fused = true;
+  const eval::ProfileReport report = eval::run_profile(cfg);
+  if (!report.profiler_compiled_in) GTEST_SKIP();
+  bool saw_fused = false;
+  for (const auto& cmp : report.overall.ops) {
+    if (cmp.measured.key.op == "conv2d.fused") saw_fused = true;
+  }
+  EXPECT_TRUE(saw_fused);
+}
+
+TEST(ProfileRunner, JsonRoundTripsAndCarriesSchema) {
+  eval::ProfileConfig cfg = tiny_config();
+  cfg.iters = 2;
+  const eval::ProfileReport report = eval::run_profile(cfg);
+  const hsconas::util::Json doc = eval::profile_report_json(report);
+
+  const hsconas::util::Json reparsed = hsconas::util::Json::parse(doc.dump());
+  ASSERT_NE(reparsed.find("schema"), nullptr);
+  EXPECT_EQ(reparsed.find("schema")->as_string(), "hsconas.profile.v1");
+  ASSERT_NE(reparsed.find("archs"), nullptr);
+  EXPECT_EQ(reparsed.find("archs")->items().size(), 3u);
+  ASSERT_NE(reparsed.find("correlation"), nullptr);
+  ASSERT_NE(reparsed.find("overall"), nullptr);
+  ASSERT_NE(reparsed.find("worst_offenders"), nullptr);
+
+  const std::string rendered = eval::render_profile_report(report);
+  EXPECT_NE(rendered.find("per-arch predicted vs measured"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("kendall_tau"), std::string::npos);
+}
+
+TEST(ProfileRunner, RejectsNonsenseConfigs) {
+  eval::ProfileConfig cfg = tiny_config();
+  cfg.num_archs = 0;
+  EXPECT_THROW(eval::run_profile(cfg), hsconas::InvalidArgument);
+
+  cfg = tiny_config();
+  cfg.iters = 0;
+  EXPECT_THROW(eval::run_profile(cfg), hsconas::InvalidArgument);
+
+  cfg = tiny_config();
+  cfg.fused = true;
+  cfg.backward = true;
+  EXPECT_THROW(eval::run_profile(cfg), hsconas::InvalidArgument);
+
+  cfg = tiny_config();
+  cfg.device = "no-such-device";
+  EXPECT_THROW(eval::run_profile(cfg), hsconas::Error);
+}
+
+TEST(ProfileRunner, SameSeedIsDeterministicInStructure) {
+  const eval::ProfileReport a = eval::run_profile(tiny_config());
+  const eval::ProfileReport b = eval::run_profile(tiny_config());
+  ASSERT_EQ(a.archs.size(), b.archs.size());
+  for (std::size_t i = 0; i < a.archs.size(); ++i) {
+    EXPECT_EQ(a.archs[i].arch_string, b.archs[i].arch_string);
+    EXPECT_DOUBLE_EQ(a.archs[i].predicted_ms, b.archs[i].predicted_ms);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Per-operator profiler contracts: zero-cost disabled scopes, signature
+// aggregation, percentile samples, clear semantics, and the Workspace
+// probe indirection. Uses synthetic OpScopes (no nn modules) so the suite
+// pins the obs layer alone.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "tensor/workspace.h"
+
+namespace obs = hsconas::obs;
+
+namespace {
+
+obs::OpInfo conv_info(long cin, long cout, long hw, double flops,
+                      double bytes) {
+  obs::OpInfo info;
+  info.key.op = "conv2d";
+  info.key.kind = "conv";
+  info.key.batch = 2;
+  info.key.in_ch = cin;
+  info.key.out_ch = cout;
+  info.key.in_h = hw;
+  info.key.in_w = hw;
+  info.key.kernel = 3;
+  info.flops = flops;
+  info.bytes = bytes;
+  return info;
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Profiler::disable();
+    obs::Profiler::clear();
+  }
+  void TearDown() override {
+    obs::Profiler::disable();
+    obs::Profiler::clear();
+  }
+};
+
+TEST_F(ProfilerTest, CompiledInMatchesBuildConfig) {
+#if defined(HSCONAS_TRACING_DISABLED)
+  EXPECT_FALSE(obs::Profiler::compiled_in());
+  EXPECT_FALSE(obs::Profiler::enabled());
+#else
+  EXPECT_TRUE(obs::Profiler::compiled_in());
+#endif
+}
+
+TEST_F(ProfilerTest, DisabledScopeNeverInvokesDescribe) {
+  bool invoked = false;
+  {
+    obs::OpScope scope([&] {
+      invoked = true;
+      return conv_info(8, 8, 16, 1e6, 1e4);
+    });
+  }
+  EXPECT_FALSE(invoked);
+  EXPECT_TRUE(obs::Profiler::snapshot().empty());
+}
+
+TEST_F(ProfilerTest, EnableDisableGateRecording) {
+  if (!obs::Profiler::compiled_in()) GTEST_SKIP();
+  obs::Profiler::enable();
+  { obs::OpScope scope([&] { return conv_info(8, 8, 16, 1e6, 1e4); }); }
+  obs::Profiler::disable();
+  { obs::OpScope scope([&] { return conv_info(9, 9, 16, 1e6, 1e4); }); }
+
+  const auto stats = obs::Profiler::snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].key.in_ch, 8);
+  EXPECT_EQ(stats[0].calls, 1u);
+}
+
+TEST_F(ProfilerTest, SignatureIsStableAndDescriptive) {
+  obs::OpInfo info = conv_info(32, 64, 56, 0, 0);
+  info.key.stride = 2;
+  EXPECT_EQ(info.key.signature(),
+            "conv2d(cin=32,cout=64,k=3,s=2,g=1,in=56x56,b=2)");
+}
+
+TEST_F(ProfilerTest, IdenticalSignaturesAggregate) {
+  if (!obs::Profiler::compiled_in()) GTEST_SKIP();
+  obs::Profiler::enable();
+  constexpr int kCalls = 5;
+  for (int i = 0; i < kCalls; ++i) {
+    obs::OpScope scope([&] { return conv_info(8, 8, 16, 2e6, 4e4); });
+  }
+  { obs::OpScope scope([&] { return conv_info(16, 16, 8, 1e6, 2e4); }); }
+
+  const auto stats = obs::Profiler::snapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t total_calls = 0;
+  bool found_aggregate = false;
+  for (const auto& st : stats) {
+    total_calls += st.calls;
+    if (st.key.in_ch == 8) {
+      found_aggregate = true;
+      EXPECT_EQ(st.calls, static_cast<std::uint64_t>(kCalls));
+      EXPECT_EQ(st.wall_ms_samples.size(), static_cast<std::size_t>(kCalls));
+      EXPECT_DOUBLE_EQ(st.flops_per_call, 2e6);
+      EXPECT_DOUBLE_EQ(st.bytes_per_call, 4e4);
+      EXPECT_GE(st.wall_ms_total, 0.0);
+      EXPECT_LE(st.wall_ms_min, st.wall_ms_max);
+      EXPECT_NEAR(st.arithmetic_intensity(), 2e6 / 4e4, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_aggregate);
+  EXPECT_EQ(total_calls, static_cast<std::uint64_t>(kCalls) + 1);
+}
+
+TEST_F(ProfilerTest, SnapshotSortedByWallTotalDescending) {
+  if (!obs::Profiler::compiled_in()) GTEST_SKIP();
+  obs::Profiler::enable();
+  for (int i = 0; i < 8; ++i) {
+    obs::OpScope scope([&] { return conv_info(8, 8, 16, 1e6, 1e4); });
+  }
+  { obs::OpScope scope([&] { return conv_info(16, 16, 8, 1e6, 1e4); }); }
+  const auto stats = obs::Profiler::snapshot();
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_GE(stats[i - 1].wall_ms_total, stats[i].wall_ms_total);
+  }
+}
+
+TEST_F(ProfilerTest, ClearDropsStatsButKeepsEnabledState) {
+  if (!obs::Profiler::compiled_in()) GTEST_SKIP();
+  obs::Profiler::enable();
+  { obs::OpScope scope([&] { return conv_info(8, 8, 16, 1e6, 1e4); }); }
+  EXPECT_FALSE(obs::Profiler::snapshot().empty());
+  obs::Profiler::clear();
+  EXPECT_TRUE(obs::Profiler::snapshot().empty());
+  EXPECT_TRUE(obs::Profiler::enabled());
+  { obs::OpScope scope([&] { return conv_info(8, 8, 16, 1e6, 1e4); }); }
+  EXPECT_EQ(obs::Profiler::snapshot().size(), 1u);
+}
+
+TEST_F(ProfilerTest, PercentilesInterpolateOverSamples) {
+  obs::OpStats st;
+  st.wall_ms_samples = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(st.wall_ms_percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st.wall_ms_percentile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(st.wall_ms_percentile(0.5), 2.5);
+}
+
+TEST_F(ProfilerTest, RecordCapsRetainedSamples) {
+  if (!obs::Profiler::compiled_in()) GTEST_SKIP();
+  const obs::OpInfo info = conv_info(8, 8, 16, 1e6, 1e4);
+  for (std::size_t i = 0; i < obs::Profiler::kMaxSamples + 10; ++i) {
+    obs::detail::profiler_record(info, 0.5, 0.1, 0.0);
+  }
+  const auto stats = obs::Profiler::snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].calls, obs::Profiler::kMaxSamples + 10);
+  EXPECT_EQ(stats[0].wall_ms_samples.size(), obs::Profiler::kMaxSamples);
+}
+
+TEST_F(ProfilerTest, WorkspaceProbeAttributesScratchPeak) {
+  if (!obs::Profiler::compiled_in()) GTEST_SKIP();
+  obs::Profiler::enable();
+  {
+    obs::OpScope scope([&] { return conv_info(8, 8, 16, 1e6, 1e4); });
+    // Lease scratch inside the scope; workspace.cpp's registered probe
+    // must surface the high-water mark in this signature's stats.
+    auto lease = hsconas::tensor::Workspace::tls().take(1024);
+    (void)lease;
+  }
+  const auto stats = obs::Profiler::snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GE(stats[0].workspace_peak_bytes, 1024.0 * sizeof(float));
+}
+
+TEST_F(ProfilerTest, AchievedRatesScaleWithMeasuredTime) {
+  obs::OpStats st;
+  st.calls = 2;
+  st.flops_per_call = 2e9;
+  st.bytes_per_call = 1e9;
+  st.wall_ms_total = 2.0;  // 1 ms mean
+  EXPECT_NEAR(st.achieved_gflops(), 2e9 / 1e6, 1e-6);
+  EXPECT_NEAR(st.achieved_gbs(), 1e9 / 1e6, 1e-6);
+}
+
+}  // namespace

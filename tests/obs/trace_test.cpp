@@ -129,6 +129,56 @@ TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
   EXPECT_GE(events_named("unit.flood").size(), Tracer::kRingCapacity - 1);
 }
 
+TEST_F(TraceTest, OverflowDropsExactlyTheOldestWithoutCorruption) {
+  // Uniquely named spans make the survivor set checkable: after capacity+N
+  // single-thread spans, exactly the first N are gone, the remaining ring
+  // is dense (every index present once) and still start-time ordered.
+  constexpr std::size_t kExtra = 100;
+  const std::uint64_t dropped_before = Tracer::dropped();
+  for (std::size_t i = 0; i < Tracer::kRingCapacity + kExtra; ++i) {
+    TraceScope scope("unit.seq_" + std::to_string(i));
+  }
+  EXPECT_EQ(Tracer::dropped() - dropped_before, kExtra);
+
+  std::vector<std::size_t> indices;
+  std::uint64_t prev_start = 0;
+  for (const TraceEvent& e : Tracer::snapshot()) {
+    const std::string name(e.name);
+    ASSERT_EQ(name.rfind("unit.seq_", 0), 0u) << name;
+    indices.push_back(std::stoul(name.substr(9)));
+    EXPECT_GE(e.start_ns, prev_start);
+    prev_start = e.start_ns;
+  }
+  ASSERT_EQ(indices.size(), Tracer::kRingCapacity);
+  // Oldest kExtra events were overwritten; survivors are contiguous,
+  // in-order, and each appears exactly once.
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], kExtra + i);
+  }
+}
+
+TEST_F(TraceTest, ClearResetsTheDroppedCounter) {
+  for (std::size_t i = 0; i < Tracer::kRingCapacity + 10; ++i) {
+    TraceScope scope("unit.drop_reset");
+  }
+  EXPECT_GE(Tracer::dropped(), 10u);
+  Tracer::clear();
+  EXPECT_EQ(Tracer::dropped(), 0u);
+  EXPECT_TRUE(Tracer::snapshot().empty());
+}
+
+TEST_F(TraceTest, ExportCarriesTheDroppedEventCount) {
+  { TraceScope scope("unit.drop_export"); }
+  const util::Json doc = trace_to_json(Tracer::snapshot(), 42);
+  const util::Json* dropped = doc.find("droppedEvents");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->as_double(), 42.0);
+  // Default: a quiet ring exports zero, not a missing key.
+  const util::Json quiet = trace_to_json(Tracer::snapshot());
+  ASSERT_NE(quiet.find("droppedEvents"), nullptr);
+  EXPECT_DOUBLE_EQ(quiet.find("droppedEvents")->as_double(), 0.0);
+}
+
 TEST_F(TraceTest, ChromeTraceExportShape) {
   {
     TraceScope outer("unit.export_outer");

@@ -1,0 +1,13 @@
+// Fixture: direct std::chrono timing in a kernel translation unit.
+// Timestamps in src/tensor// and src/nn// must come from obs/timing.h so
+// every reading shares one clock and epoch.
+#include <chrono>
+
+namespace hsconas::tensor {
+
+long long stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace hsconas::tensor

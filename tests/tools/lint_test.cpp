@@ -54,6 +54,7 @@ const RuleFixture kRuleFixtures[] = {
     {"serial-pointer-cast", "src/util/bad_serial.cpp", 12},
     {"scratch-discipline", "src/tensor/bad_kernel.cpp", 8},
     {"thread-discipline", "src/tensor/bad_thread.cpp", 9},
+    {"timing-discipline", "src/tensor/bad_chrono.cpp", 9},
     {"rng-discipline", "src/core/bad_rng.cpp", 8},
     {"log-no-stdio", "src/core/bad_log.cpp", 8},
     {"trace-scope-in-header", "src/nn/bad_trace.h", 7},

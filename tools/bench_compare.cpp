@@ -1,0 +1,153 @@
+// bench_compare — diff two kernel benchmark dumps and fail on regressions.
+//
+//   bench_compare <old.json> <new.json> [--tolerance=0.10]
+//
+// Both inputs may be either a raw `bench_kernels --json` dump
+// ({"results": [{"op", "shape", "ns_per_iter", ...}, ...]}) or the checked-in
+// BENCH_kernels.json ledger (whose freshest column is "current"). Rows are
+// matched by (op, shape); for each match the relative change in ns_per_iter
+// is printed, and any slowdown beyond the tolerance (default +10%) makes the
+// exit code nonzero so tools/ci_checks.sh can gate on it. Rows present on
+// only one side are reported but never fail the run — benches come and go.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using hsconas::util::Json;
+
+/// (op, shape) -> ns_per_iter for whichever result array the file carries.
+std::map<std::pair<std::string, std::string>, double> load_results(
+    const std::string& path) {
+  const Json doc = Json::load(path);
+  const Json* rows = doc.find("results");
+  if (rows == nullptr) rows = doc.find("current");
+  if (rows == nullptr || !rows->is_array()) {
+    throw hsconas::Error(hsconas::util::format(
+        "bench_compare: '%s' has neither a \"results\" nor a \"current\" "
+        "benchmark array",
+        path.c_str()));
+  }
+  std::map<std::pair<std::string, std::string>, double> out;
+  for (const Json& row : rows->items()) {
+    const Json* op = row.find("op");
+    const Json* ns = row.find("ns_per_iter");
+    if (op == nullptr || !op->is_string() || ns == nullptr ||
+        !ns->is_number()) {
+      continue;
+    }
+    std::string shape;
+    if (const Json* s = row.find("shape"); s != nullptr && s->is_string()) {
+      shape = s->as_string();
+    }
+    out[{op->as_string(), shape}] = ns->as_double();
+  }
+  if (out.empty()) {
+    throw hsconas::Error(hsconas::util::format(
+        "bench_compare: '%s' contains no usable benchmark rows", path.c_str()));
+  }
+  return out;
+}
+
+int usage() {
+  std::fputs(
+      "usage: bench_compare <old.json> <new.json> [--tolerance=0.10]\n"
+      "exits 1 when any shared benchmark slowed down by more than the\n"
+      "tolerance (fraction of old ns_per_iter)\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string old_path, new_path;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return usage();
+    }
+    if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      try {
+        tolerance = std::stod(arg + 12);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: bad --tolerance value '%s'\n", arg + 12);
+        return 2;
+      }
+      if (!(tolerance >= 0.0)) {
+        std::fprintf(stderr, "error: --tolerance must be >= 0\n");
+        return 2;
+      }
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (old_path.empty() || new_path.empty()) return usage();
+
+  try {
+    const auto old_results = load_results(old_path);
+    const auto new_results = load_results(new_path);
+
+    hsconas::util::Table table(
+        {"benchmark", "old (ns)", "new (ns)", "change", "verdict"});
+    int regressions = 0;
+    std::size_t shared = 0;
+    for (const auto& [key, old_ns] : old_results) {
+      const auto it = new_results.find(key);
+      const std::string name =
+          key.second.empty() ? key.first : key.first + "/" + key.second;
+      if (it == new_results.end()) {
+        table.add_row({name, hsconas::util::format("%.0f", old_ns), "-", "-",
+                       "removed"});
+        continue;
+      }
+      ++shared;
+      const double new_ns = it->second;
+      const double change = old_ns > 0.0 ? (new_ns - old_ns) / old_ns : 0.0;
+      const bool regressed = change > tolerance;
+      if (regressed) ++regressions;
+      table.add_row({name, hsconas::util::format("%.0f", old_ns),
+                     hsconas::util::format("%.0f", new_ns),
+                     hsconas::util::format("%+.1f%%", change * 100.0),
+                     regressed ? "REGRESSED"
+                               : (change < -tolerance ? "improved" : "ok")});
+    }
+    for (const auto& [key, new_ns] : new_results) {
+      if (old_results.count(key) != 0) continue;
+      const std::string name =
+          key.second.empty() ? key.first : key.first + "/" + key.second;
+      table.add_row({name, "-", hsconas::util::format("%.0f", new_ns), "-",
+                     "new"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("%zu shared benchmarks, tolerance +%.0f%%: %d regression%s\n",
+                shared, tolerance * 100.0, regressions,
+                regressions == 1 ? "" : "s");
+    if (shared == 0) {
+      std::fprintf(stderr,
+                   "error: no shared benchmarks between '%s' and '%s'\n",
+                   old_path.c_str(), new_path.c_str());
+      return 1;
+    }
+    return regressions > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,12 +7,14 @@
 #   1. dev-warnings build: configure + build everything with
 #      -DHSCONAS_DEV_WARNINGS=ON (-Wall -Wextra -Wshadow -Wconversion,
 #      -Werror) and run the full ctest suite.
-#   2. hsconas_lint over the tree against the checked-in baseline.
-#   3. clang-tidy over src/ and tools/ (skipped when not installed).
-#   4. ASan+UBSan build + full ctest (skipped with --fast).
-#   5. TSan build + full ctest, then an explicit `ctest -L kernels`
-#      re-run of the GEMM/fused-conv determinism suites under TSan
-#      (skipped with --fast).
+#   2. bench_compare self-diff smoke: the checked-in BENCH_kernels.json
+#      ledger diffed against itself must report zero regressions.
+#   3. hsconas_lint over the tree against the checked-in baseline.
+#   4. clang-tidy over src/ and tools/ (skipped when not installed).
+#   5. ASan+UBSan build + full ctest (skipped with --fast).
+#   6. TSan build + full ctest, then explicit `ctest -L kernels` and
+#      `ctest -L obs` re-runs (GEMM/fused-conv determinism and the
+#      tracer/profiler suites) under TSan (skipped with --fast).
 #
 # Build trees live under ci-build-* in the repo root and are reused
 # across runs, so local re-runs are incremental. See
@@ -31,6 +33,12 @@ cmake -S "$root" -B "$root/ci-build-warn" -DHSCONAS_DEV_WARNINGS=ON \
   -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$root/ci-build-warn" -j "$jobs"
 (cd "$root/ci-build-warn" && ctest --output-on-failure -j "$jobs")
+
+stage "bench_compare self-diff smoke"
+# Diffing the ledger against itself exercises the whole parse/match/report
+# path and must come out clean; a real old-vs-new diff is a release step.
+"$root/ci-build-warn/tools/bench_compare" \
+  "$root/BENCH_kernels.json" "$root/BENCH_kernels.json"
 
 stage "hsconas_lint invariant check"
 "$root/ci-build-warn/tools/hsconas_lint" --root "$root" \
@@ -63,5 +71,11 @@ stage "kernel determinism suites under TSan (ctest -L kernels)"
 # pass runs them serially so the multi-worker GEMM/conv interleavings are
 # not starved by concurrent test processes on small CI machines.
 (cd "$root/ci-build-tsan" && ctest --output-on-failure -L kernels)
+
+stage "tracer/profiler suites under TSan (ctest -L obs)"
+# Same reasoning: the trace-ring and per-op profiler tests hammer the
+# cross-thread recording paths; a serial re-run under TSan gives the
+# watcher thread interleavings room to fire.
+(cd "$root/ci-build-tsan" && ctest --output-on-failure -L obs)
 
 stage "all checks passed"

@@ -3,6 +3,7 @@
 //   hsconas search   --device=edge [--constraint=34] [--layout=A] ...
 //   hsconas predict  --arch="shuffle_k3@0.5 | ..." [--device=gpu] ...
 //   hsconas pareto   --device=cpu [--generations=25] ...
+//   hsconas profile  --device=xavier [--archs=3] [--iters=10] ...
 //   hsconas baselines
 //
 // `search` runs the full pipeline (surrogate accuracy at paper scale, or
@@ -18,6 +19,7 @@
 //   --log-level=LVL     debug | info | warn | error | off
 //   --log-json=PATH     mirror log records to PATH as JSONL
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -31,6 +33,7 @@
 #include "core/pareto.h"
 #include "core/pipeline.h"
 #include "data/synthetic.h"
+#include "eval/profile_runner.h"
 #include "hwsim/energy.h"
 #include "hwsim/registry.h"
 #include "obs/export.h"
@@ -52,6 +55,8 @@ int usage() {
       "  search     run the full HSCoNAS pipeline for a target device\n"
       "  predict    price one architecture on every device\n"
       "  pareto     evolve the accuracy-latency front for a device\n"
+      "  profile    measure sampled archs per-op and validate the\n"
+      "             latency model (roofline + Kendall-tau report)\n"
       "  baselines  print the Table I baseline zoo on the simulators\n\n"
       "global flags (any command):\n"
       "  --metrics-out=PATH  write the metrics registry as JSON on exit\n"
@@ -253,6 +258,42 @@ int cmd_pareto(int argc, char** argv) {
   return 0;
 }
 
+int cmd_profile(int argc, char** argv) {
+  util::Cli cli(
+      "hsconas profile: run sampled archs with the per-op profiler and "
+      "report predicted-vs-measured latency (per op and per arch)");
+  cli.add_option("device", "xavier", "target: gpu | cpu | edge | name");
+  cli.add_option("archs", "3", "architectures to sample (>= 1)");
+  cli.add_option("iters", "10", "counted iterations per arch");
+  cli.add_option("warmup", "2", "warm-up iterations (excluded)");
+  cli.add_option("batch", "4", "batch size");
+  cli.add_option("seed", "1", "sampling seed");
+  cli.add_option("out", "profile.json", "per-op roofline report path");
+  cli.add_flag("fused", "eval-mode fused conv/BN/act execution");
+  cli.add_flag("backward", "profile forward+backward (training mode)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  eval::ProfileConfig cfg;
+  cfg.device = cli.get("device");
+  cfg.num_archs = static_cast<int>(cli.get_int("archs"));
+  cfg.iters = static_cast<int>(cli.get_int("iters"));
+  cfg.warmup = static_cast<int>(cli.get_int("warmup"));
+  cfg.batch = static_cast<int>(cli.get_int("batch"));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  cfg.fused = cli.get_bool("fused");
+  cfg.backward = cli.get_bool("backward");
+
+  const eval::ProfileReport report = eval::run_profile(cfg);
+  std::fputs(eval::render_profile_report(report).c_str(), stdout);
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    eval::profile_report_json(report).save(out);
+    std::printf("profile report written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int cmd_baselines(int argc, char** argv) {
   util::Cli cli("hsconas baselines: the Table I zoo on the simulators");
   if (!cli.parse(argc, argv)) return 0;
@@ -350,6 +391,7 @@ int main(int argc, char** argv) {
     if (command == "search") return finish(cmd_search(nargs - 1, args.data() + 1));
     if (command == "predict") return finish(cmd_predict(nargs - 1, args.data() + 1));
     if (command == "pareto") return finish(cmd_pareto(nargs - 1, args.data() + 1));
+    if (command == "profile") return finish(cmd_profile(nargs - 1, args.data() + 1));
     if (command == "baselines") return finish(cmd_baselines(nargs - 1, args.data() + 1));
     if (command == "--help" || command == "-h") return usage(), 0;
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());

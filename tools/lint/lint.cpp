@@ -249,6 +249,7 @@ constexpr const char* kSerialPointerCast = "serial-pointer-cast";
 constexpr const char* kScratchDiscipline = "scratch-discipline";
 constexpr const char* kThreadDiscipline = "thread-discipline";
 constexpr const char* kRngDiscipline = "rng-discipline";
+constexpr const char* kTimingDiscipline = "timing-discipline";
 constexpr const char* kLogNoStdio = "log-no-stdio";
 constexpr const char* kTraceScopeInHeader = "trace-scope-in-header";
 constexpr const char* kIncludePragmaOnce = "include-pragma-once";
@@ -339,6 +340,26 @@ void rule_thread_discipline(const FileContext& ctx, const Options& opts,
              "raw std::thread in a kernel; parallelism must go through "
              "util::ThreadPool (nested-safe parallel_for, deterministic "
              "decomposition)");
+    }
+  }
+}
+
+void rule_timing_discipline(const FileContext& ctx, const Options& opts,
+                            std::vector<Violation>* out) {
+  // Kernel code must take timestamps through obs/timing.h so every reading
+  // shares one epoch/clock (and shows up coherently in traces and the
+  // profiler). Direct std::chrono / clock_gettime use in src/tensor or
+  // src/nn silently forks the time base.
+  const bool kernel_dir = starts_with(ctx.path, "src/tensor/") ||
+                          starts_with(ctx.path, "src/nn/");
+  if (!kernel_dir) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (find_identifier(ctx.code[i], "chrono") != std::string::npos ||
+        has_call(ctx.code[i], "clock_gettime")) {
+      report(ctx, out, opts, i + 1, kTimingDiscipline,
+             "direct std::chrono/clock_gettime in a kernel; take timestamps "
+             "via obs/timing.h (monotonic_ns, process_cpu_ms) so all "
+             "readings share one clock and epoch");
     }
   }
 }
@@ -458,6 +479,9 @@ const std::vector<Rule>& rules() {
       {kRngDiscipline,
        "no rand()/std::random_device/std::mt19937 outside util/rng "
        "(seeded util::Rng streams only)"},
+      {kTimingDiscipline,
+       "no direct std::chrono/clock_gettime in tensor/nn kernels "
+       "(obs/timing.h clocks only)"},
       {kLogNoStdio,
        "no stdout/stderr printing in library code (structured logging only)"},
       {kTraceScopeInHeader, "no HSCONAS_TRACE_SCOPE in headers"},
@@ -500,6 +524,7 @@ std::vector<Violation> lint_file(const std::string& path,
   rule_serial_pointer_cast(ctx, opts, &out);
   rule_scratch_discipline(ctx, opts, &out);
   rule_thread_discipline(ctx, opts, &out);
+  rule_timing_discipline(ctx, opts, &out);
   rule_rng_discipline(ctx, opts, &out);
   rule_log_no_stdio(ctx, opts, &out);
   rule_trace_scope_in_header(ctx, opts, &out);
