@@ -1,0 +1,97 @@
+// Closed-loop serving benchmark: stand up the batch-scheduled server on a
+// proxy-scale arch and drive it with the load generator across a small
+// sweep of (workers, batch_max) points. Emits BENCH_serving.json (schema
+// hsconas.serving.v1 runs) for the performance ledger; ci_checks.sh runs
+// a reduced smoke configuration.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/arch.h"
+#include "core/search_space.h"
+#include "serve/batch_server.h"
+#include "serve/load_gen.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace hsconas;
+
+int main(int argc, char** argv) {
+  util::Cli cli(
+      "bench_serving: closed-loop load generation against the batch "
+      "server; one row per (workers, batch_max) sweep point");
+  cli.add_option("clients", "8", "closed-loop clients");
+  cli.add_option("requests", "40", "measured requests per client");
+  cli.add_option("warmup", "5", "warm-up requests per client");
+  cli.add_option("deadline-us", "2000", "batching window");
+  cli.add_option("workers", "1,2", "comma-separated lane counts to sweep");
+  cli.add_option("batch-max", "1,8", "comma-separated batch sizes to sweep");
+  cli.add_option("seed", "42", "weight/arch/input seed");
+  cli.add_option("out", "BENCH_serving.json", "report path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::SearchSpace space(core::SearchSpaceConfig::proxy());
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  util::Rng rng(seed);
+  const core::Arch arch = core::Arch::random(space, rng);
+
+  serve::LoadGenConfig load_cfg;
+  load_cfg.clients = static_cast<std::size_t>(cli.get_int("clients"));
+  load_cfg.requests_per_client =
+      static_cast<std::size_t>(cli.get_int("requests"));
+  load_cfg.warmup_per_client =
+      static_cast<std::size_t>(cli.get_int("warmup"));
+  load_cfg.seed = seed;
+
+  std::vector<std::size_t> workers_sweep, batch_sweep;
+  for (const std::string& tok : util::split(cli.get("workers"), ',')) {
+    workers_sweep.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  }
+  for (const std::string& tok : util::split(cli.get("batch-max"), ',')) {
+    batch_sweep.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  }
+
+  util::Table table({"workers", "batch_max", "req/s", "p50 ms", "p95 ms",
+                     "p99 ms", "occupancy", "heap allocs"});
+  util::Json runs = util::Json::array();
+  int errors = 0;
+  for (std::size_t workers : workers_sweep) {
+    for (std::size_t batch_max : batch_sweep) {
+      serve::ServerConfig server_cfg;
+      server_cfg.batch_max = batch_max;
+      server_cfg.deadline_us =
+          static_cast<std::uint64_t>(cli.get_int("deadline-us"));
+      server_cfg.workers = workers;
+      server_cfg.seed = seed;
+
+      serve::BatchServer server(space, arch, server_cfg);
+      const serve::LoadGenReport report = serve::run_load(server, load_cfg);
+      server.shutdown();
+
+      errors += static_cast<int>(report.errors);
+      table.add_row({util::format("%zu", workers),
+                     util::format("%zu", batch_max),
+                     util::format("%.1f", report.throughput_rps),
+                     util::format("%.3f", report.latency_p50_ms),
+                     util::format("%.3f", report.latency_p95_ms),
+                     util::format("%.3f", report.latency_p99_ms),
+                     util::format("%.2f", report.batch_occupancy_mean),
+                     util::format("%.0f", report.pool_heap_allocs)});
+      runs.push_back(report.to_json());
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = "hsconas.serving.v1";
+  doc["arch"] = arch.to_string(space);
+  doc["runs"] = std::move(runs);
+  const std::string out = cli.get("out");
+  doc.save(out);
+  std::printf("serving benchmark written to %s\n", out.c_str());
+  return errors == 0 ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "nn/pooling.h"
 
 #include <limits>
+#include <span>
 
 #include "nn/op_profile.h"
 #include "util/thread_pool.h"
@@ -14,7 +15,7 @@ namespace {
 /// Global average pool: one add per input element, output is (N, C).
 /// Takes the NCHW shape (not the tensor) so backward can describe itself
 /// from the cached input shape without materializing anything.
-obs::OpInfo gap_op_info(const char* op, const std::vector<long>& shape) {
+obs::OpInfo gap_op_info(const char* op, std::span<const long> shape) {
   obs::OpInfo info;
   info.key.op = op;
   info.key.kind = "pool";
@@ -34,7 +35,7 @@ obs::OpInfo gap_op_info(const char* op, const std::vector<long>& shape) {
 }
 
 /// Max pool: kernel² compares per output element.
-obs::OpInfo maxpool_op_info(const char* op, const std::vector<long>& shape,
+obs::OpInfo maxpool_op_info(const char* op, std::span<const long> shape,
                             long kernel, long stride, long pad) {
   obs::OpInfo info;
   info.key.op = op;

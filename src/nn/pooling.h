@@ -12,7 +12,7 @@ class GlobalAvgPool : public Module {
   std::string name() const override { return "gap"; }
 
  private:
-  std::vector<long> cached_shape_;
+  tensor::ShapeVec cached_shape_;
 };
 
 /// Max pooling with square window/stride and symmetric padding
@@ -27,7 +27,7 @@ class MaxPool2d : public Module {
 
  private:
   long kernel_, stride_, pad_;
-  std::vector<long> cached_in_shape_;
+  tensor::ShapeVec cached_in_shape_;
   std::vector<long> argmax_;  // flat input index per output element
 };
 

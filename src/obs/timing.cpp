@@ -48,4 +48,10 @@ double thread_cpu_ms() {
 #endif
 }
 
+bool wait_for_ns(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock, std::uint64_t ns) {
+  return cv.wait_for(lock, std::chrono::nanoseconds(ns)) ==
+         std::cv_status::no_timeout;
+}
+
 }  // namespace hsconas::obs

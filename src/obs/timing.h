@@ -1,6 +1,8 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 
 namespace hsconas::obs {
 
@@ -24,5 +26,13 @@ double process_cpu_ms();
 /// CPU time consumed by the calling thread, in milliseconds. Returns 0
 /// on platforms without a per-thread CPU clock.
 double thread_cpu_ms();
+
+/// Timed condition wait in the monotonic_ns() time base, so timing-
+/// disciplined code (src/serve batching windows) never touches
+/// std::chrono directly. Returns true if the wait was notified, false on
+/// timeout; spurious wakeups are possible either way — callers must
+/// re-check their predicate, exactly as with condition_variable::wait_for.
+bool wait_for_ns(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock, std::uint64_t ns);
 
 }  // namespace hsconas::obs

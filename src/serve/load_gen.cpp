@@ -1,0 +1,182 @@
+#include "serve/load_gen.h"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timing.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace hsconas::serve {
+
+namespace {
+
+/// Deterministic input for (client, request): reproducible runs, and the
+/// response check below can at least pin finiteness.
+void synthesize_input(std::vector<float>& input, std::uint64_t seed,
+                      std::size_t client, std::size_t request) {
+  util::Rng rng(seed + client * 1000003 + request);
+  for (float& v : input) {
+    v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+}
+
+bool all_finite(const std::vector<float>& xs) {
+  for (float v : xs) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Json LoadGenReport::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["schema"] = "hsconas.serving.v1";
+
+  util::Json srv = util::Json::object();
+  srv["batch_max"] = static_cast<double>(server.batch_max);
+  srv["deadline_us"] = static_cast<double>(server.deadline_us);
+  srv["workers"] = static_cast<double>(server.workers);
+  srv["queue_capacity"] = static_cast<double>(server.queue_capacity);
+  srv["fused"] = server.fuse;
+  doc["server"] = std::move(srv);
+
+  util::Json lg = util::Json::object();
+  lg["clients"] = static_cast<double>(load.clients);
+  lg["requests_per_client"] = static_cast<double>(load.requests_per_client);
+  lg["warmup_per_client"] = static_cast<double>(load.warmup_per_client);
+  doc["load"] = std::move(lg);
+
+  util::Json res = util::Json::object();
+  res["total_requests"] = static_cast<double>(total_requests);
+  res["errors"] = static_cast<double>(errors);
+  res["duration_ms"] = duration_ms;
+  res["throughput_rps"] = throughput_rps;
+  res["latency_mean_ms"] = latency_mean_ms;
+  res["latency_p50_ms"] = latency_p50_ms;
+  res["latency_p95_ms"] = latency_p95_ms;
+  res["latency_p99_ms"] = latency_p99_ms;
+  res["latency_max_ms"] = latency_max_ms;
+  res["batches"] = batches;
+  res["batch_occupancy_mean"] = batch_occupancy_mean;
+  res["queue_depth_peak"] = queue_depth_peak;
+  res["pool_heap_allocs"] = pool_heap_allocs;
+  res["pool_hits"] = pool_hits;
+  doc["results"] = std::move(res);
+  return doc;
+}
+
+LoadGenReport run_load(BatchServer& server, const LoadGenConfig& config) {
+  if (config.clients == 0) {
+    throw InvalidArgument("run_load: need at least one client");
+  }
+  if (config.requests_per_client == 0) {
+    throw InvalidArgument("run_load: need at least one request per client");
+  }
+
+  LoadGenReport report;
+  report.load = config;
+  report.server = server.config();
+
+  util::ThreadPool clients(config.clients);
+  std::atomic<std::size_t> errors{0};
+
+  // Per-client latency pools, preallocated so the measured loop only
+  // writes into existing storage.
+  std::vector<std::vector<double>> latencies(config.clients);
+  for (auto& v : latencies) v.assign(config.requests_per_client, 0.0);
+
+  const auto client_wave = [&](std::size_t per_client, bool measured) {
+    for (std::size_t c = 0; c < config.clients; ++c) {
+      clients.submit([&, c, per_client, measured] {
+        std::vector<float> input(server.input_size());
+        std::vector<float> output(server.output_size());
+        for (std::size_t r = 0; r < per_client; ++r) {
+          synthesize_input(input, config.seed, c,
+                           measured ? 1000000 + r : r);
+          try {
+            const Receipt receipt = server.infer(input, output);
+            if (!all_finite(output)) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            } else if (measured) {
+              latencies[c][r] = receipt.latency_ms;
+            }
+          } catch (const std::exception&) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    clients.wait();
+  };
+
+  // Warm-up wave: populate the tensor/scratch pools and fault in every
+  // code path, all outside the measured window.
+  if (config.warmup_per_client > 0) {
+    client_wave(config.warmup_per_client, /*measured=*/false);
+  }
+
+  // Counter snapshot marks the steady-state window boundary.
+  obs::Counter& batches_ctr = obs::counter("hsconas.serve.batches");
+  obs::Histogram& occupancy = obs::histogram("hsconas.serve.batch_occupancy");
+  obs::Counter& pool_heap =
+      obs::counter("hsconas.tensor.pool.heap_allocs");
+  obs::Counter& pool_hits = obs::counter("hsconas.tensor.pool.hits");
+  const std::uint64_t batches0 = batches_ctr.value();
+  const std::uint64_t occ_count0 = occupancy.count();
+  const double occ_sum0 = occupancy.sum_ms();
+  const std::uint64_t heap0 = pool_heap.value();
+  const std::uint64_t hits0 = pool_hits.value();
+
+  const std::uint64_t t0 = obs::monotonic_ns();
+  client_wave(config.requests_per_client, /*measured=*/true);
+  const std::uint64_t t1 = obs::monotonic_ns();
+
+  report.total_requests = config.clients * config.requests_per_client;
+  report.errors = errors.load();
+  report.duration_ms = static_cast<double>(t1 - t0) / 1e6;
+  report.throughput_rps =
+      report.duration_ms > 0.0
+          ? static_cast<double>(report.total_requests - report.errors) *
+                1e3 / report.duration_ms
+          : 0.0;
+
+  std::vector<double> all;
+  all.reserve(report.total_requests);
+  double sum = 0.0, mx = 0.0;
+  for (const auto& per_client : latencies) {
+    for (double ms : per_client) {
+      if (ms <= 0.0) continue;  // errored or unmeasured slot
+      all.push_back(ms);
+      sum += ms;
+      if (ms > mx) mx = ms;
+    }
+  }
+  if (!all.empty()) {
+    report.latency_mean_ms = sum / static_cast<double>(all.size());
+    report.latency_p50_ms = util::percentile(all, 50.0);
+    report.latency_p95_ms = util::percentile(all, 95.0);
+    report.latency_p99_ms = util::percentile(all, 99.0);
+    report.latency_max_ms = mx;
+  }
+
+  report.batches = static_cast<double>(batches_ctr.value() - batches0);
+  const std::uint64_t occ_count = occupancy.count() - occ_count0;
+  report.batch_occupancy_mean =
+      occ_count > 0
+          ? (occupancy.sum_ms() - occ_sum0) / static_cast<double>(occ_count)
+          : 0.0;
+  report.queue_depth_peak =
+      obs::gauge("hsconas.serve.queue_depth_peak").value();
+  report.pool_heap_allocs =
+      static_cast<double>(pool_heap.value() - heap0);
+  report.pool_hits = static_cast<double>(pool_hits.value() - hits0);
+  return report;
+}
+
+}  // namespace hsconas::serve

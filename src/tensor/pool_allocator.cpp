@@ -1,0 +1,142 @@
+#include "tensor/pool_allocator.h"
+
+#include <new>
+
+#include "obs/metrics.h"
+
+namespace hsconas::tensor {
+
+namespace {
+
+/// Bucket granularity: 64 bytes keeps the bucket count small (adjacent
+/// activation sizes coalesce) without wasting more than a cache line per
+/// block.
+constexpr std::size_t kGranule = 64;
+
+/// Blocks parked per bucket before overflow goes back to the heap. Serving
+/// touches each distinct size a handful of times per in-flight batch, so
+/// this bounds pool growth when tensors migrate between threads.
+constexpr std::size_t kMaxBlocksPerBucket = 64;
+
+std::size_t round_up(std::size_t bytes) {
+  if (bytes == 0) return kGranule;
+  return (bytes + kGranule - 1) / kGranule * kGranule;
+}
+
+struct Bucket {
+  std::size_t bytes = 0;  ///< rounded block size for every entry
+  std::vector<void*> blocks;
+};
+
+/// Per-thread pool state. Bucket lookup is a linear scan: a full network
+/// forward touches a few dozen distinct sizes, and the scan is branch-cheap
+/// compared to the malloc it replaces.
+struct ThreadPoolState {
+  bool enabled = false;
+  std::vector<Bucket> buckets;
+
+  ~ThreadPoolState() {
+    for (Bucket& b : buckets) {
+      for (void* p : b.blocks) ::operator delete(p);
+    }
+  }
+
+  Bucket* find(std::size_t bytes) {
+    for (Bucket& b : buckets) {
+      if (b.bytes == bytes) return &b;
+    }
+    return nullptr;
+  }
+};
+
+ThreadPoolState& tls() {
+  thread_local ThreadPoolState state;
+  return state;
+}
+
+obs::Counter& heap_allocs_counter() {
+  static obs::Counter& c = obs::counter("hsconas.tensor.pool.heap_allocs");
+  return c;
+}
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::counter("hsconas.tensor.pool.hits");
+  return c;
+}
+
+}  // namespace
+
+ScopedTensorPool::ScopedTensorPool() {
+  ThreadPoolState& s = tls();
+  prev_ = s.enabled;
+  s.enabled = true;
+}
+
+ScopedTensorPool::~ScopedTensorPool() { tls().enabled = prev_; }
+
+bool tensor_pool_enabled() { return tls().enabled; }
+
+std::uint64_t tensor_pool_heap_allocs() {
+  return heap_allocs_counter().value();
+}
+
+std::uint64_t tensor_pool_hits() { return hits_counter().value(); }
+
+std::size_t tensor_pool_parked_bytes() {
+  std::size_t total = 0;
+  for (const Bucket& b : tls().buckets) total += b.bytes * b.blocks.size();
+  return total;
+}
+
+void tensor_pool_release_thread_memory() {
+  ThreadPoolState& s = tls();
+  for (Bucket& b : s.buckets) {
+    for (void* p : b.blocks) ::operator delete(p);
+    b.blocks.clear();
+  }
+  s.buckets.clear();
+}
+
+void* tensor_pool_allocate(std::size_t bytes) {
+  ThreadPoolState& s = tls();
+  if (!s.enabled) return ::operator new(round_up(bytes));
+  const std::size_t rounded = round_up(bytes);
+  if (Bucket* b = s.find(rounded); b != nullptr && !b->blocks.empty()) {
+    void* p = b->blocks.back();
+    b->blocks.pop_back();
+    hits_counter().add();
+    return p;
+  }
+  heap_allocs_counter().add();
+  return ::operator new(rounded);
+}
+
+void tensor_pool_deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  ThreadPoolState& s = tls();
+  if (!s.enabled) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t rounded = round_up(bytes);
+  // Bookkeeping growth (new bucket, blocks capacity) can itself throw
+  // bad_alloc; inside a noexcept deallocation path the block just goes
+  // back to the heap instead.
+  try {
+    Bucket* b = s.find(rounded);
+    if (b == nullptr) {
+      s.buckets.push_back(Bucket{rounded, {}});
+      b = &s.buckets.back();
+      b->blocks.reserve(kMaxBlocksPerBucket);
+    }
+    if (b->blocks.size() >= kMaxBlocksPerBucket) {
+      ::operator delete(p);
+      return;
+    }
+    b->blocks.push_back(p);
+  } catch (...) {
+    ::operator delete(p);
+  }
+}
+
+}  // namespace hsconas::tensor

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hsconas::tensor {
+
+/// Thread-local recycling pool for Tensor heap buffers.
+///
+/// The serving lanes (src/serve) must not touch the heap in steady state:
+/// every forward pass constructs activation Tensors whose std::vector
+/// storage would otherwise be a malloc/free pair per layer. PooledAllocator
+/// routes those vectors through a per-thread pool of size-bucketed blocks,
+/// so after a warm-up batch every construction is served from recycled
+/// memory.
+///
+/// The pool is *opt-in per thread* via ScopedTensorPool. Threads that never
+/// opt in (training, search, tests) pay one thread-local bool load per
+/// allocation and otherwise go straight to the heap — no pooling, no
+/// counters, no behavior change.
+///
+/// Verification contract: while a thread is opted in, every allocation that
+/// falls through to the heap increments `hsconas.tensor.pool.heap_allocs`
+/// and every recycled block increments `hsconas.tensor.pool.hits`. The
+/// zero-allocation steady-state test (tests/serve) pins heap_allocs flat
+/// across a post-warm-up serving window.
+///
+/// Thread-safety: blocks are plain ::operator new allocations and are
+/// fungible across threads — a block may be allocated on one thread and
+/// parked on another's pool (request/response buffers crossing lanes).
+/// Each thread's bucket list is touched only by that thread.
+
+/// RAII opt-in: pooling is active on the calling thread for the lifetime of
+/// the object (nestable; restores the previous state on destruction).
+class ScopedTensorPool {
+ public:
+  ScopedTensorPool();
+  ~ScopedTensorPool();
+  ScopedTensorPool(const ScopedTensorPool&) = delete;
+  ScopedTensorPool& operator=(const ScopedTensorPool&) = delete;
+
+ private:
+  bool prev_ = false;
+};
+
+/// True while the calling thread is inside a ScopedTensorPool scope.
+bool tensor_pool_enabled();
+
+/// Process-wide count of heap allocations made by opted-in threads. Flat
+/// across a serving window == the window was allocation-free.
+std::uint64_t tensor_pool_heap_allocs();
+
+/// Process-wide count of allocations served from recycled blocks.
+std::uint64_t tensor_pool_hits();
+
+/// Bytes currently parked in the calling thread's pool (diagnostics).
+std::size_t tensor_pool_parked_bytes();
+
+/// Free every block parked on the calling thread's pool. Outstanding
+/// allocations are unaffected.
+void tensor_pool_release_thread_memory();
+
+/// Allocation hooks behind PooledAllocator. `bytes` is rounded up to a
+/// 64-byte granule so adjacent sizes share a bucket; take/park use the same
+/// rounding, so a block is always returned to the bucket it came from.
+void* tensor_pool_allocate(std::size_t bytes);
+void tensor_pool_deallocate(void* p, std::size_t bytes) noexcept;
+
+/// Minimal C++20 allocator over the thread-local pool. Stateless — all
+/// instances are interchangeable, so vector moves/swaps stay O(1) and
+/// noexcept exactly as with std::allocator.
+template <class T>
+class PooledAllocator {
+ public:
+  using value_type = T;
+
+  PooledAllocator() = default;
+  template <class U>
+  PooledAllocator(const PooledAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(tensor_pool_allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    tensor_pool_deallocate(p, n * sizeof(T));
+  }
+
+  template <class U>
+  bool operator==(const PooledAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace hsconas::tensor

@@ -6,7 +6,7 @@
 
 namespace hsconas::tensor {
 
-long shape_numel(const std::vector<long>& shape) {
+long shape_numel(std::span<const long> shape) {
   long n = 1;
   for (long d : shape) {
     if (d < 0) throw InvalidArgument("negative dimension in tensor shape");
@@ -15,17 +15,17 @@ long shape_numel(const std::vector<long>& shape) {
   return n;
 }
 
-Tensor::Tensor(std::vector<long> shape)
+Tensor::Tensor(ShapeVec shape)
     : shape_(std::move(shape)),
       data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
 
-Tensor Tensor::full(std::vector<long> shape, float value) {
+Tensor Tensor::full(ShapeVec shape, float value) {
   Tensor t(std::move(shape));
   t.fill(value);
   return t;
 }
 
-Tensor Tensor::uniform(std::vector<long> shape, float lo, float hi,
+Tensor Tensor::uniform(ShapeVec shape, float lo, float hi,
                        util::Rng& rng) {
   Tensor t(std::move(shape));
   for (float& v : t.data_) {
@@ -34,7 +34,7 @@ Tensor Tensor::uniform(std::vector<long> shape, float lo, float hi,
   return t;
 }
 
-Tensor Tensor::normal(std::vector<long> shape, float mean, float stddev,
+Tensor Tensor::normal(ShapeVec shape, float mean, float stddev,
                       util::Rng& rng) {
   Tensor t(std::move(shape));
   for (float& v : t.data_) {
@@ -73,7 +73,7 @@ float& Tensor::at(long n, long c, long h, long w) {
       ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
 }
 
-Tensor Tensor::reshaped(std::vector<long> shape) const {
+Tensor Tensor::reshaped(ShapeVec shape) const {
   if (shape_numel(shape) != numel()) {
     throw InvalidArgument("reshape: numel mismatch " + shape_str());
   }

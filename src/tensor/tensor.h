@@ -1,15 +1,29 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "tensor/pool_allocator.h"
 #include "util/error.h"
 #include "util/rng.h"
 
 namespace hsconas::tensor {
+
+/// Shape storage. Pooled like the element buffer so that constructing a
+/// Tensor on an opted-in thread (see ScopedTensorPool) touches the heap
+/// zero times in steady state.
+using ShapeVec = std::vector<long, PooledAllocator<long>>;
+
+/// Shapes compare against plain std::vector<long> literals (tests, call
+/// sites predating the pooled allocator). C++20 synthesizes the swapped
+/// and != forms.
+inline bool operator==(const ShapeVec& a, const std::vector<long>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
 
 /// Dense row-major float32 tensor with up to 4 logical dimensions.
 ///
@@ -27,22 +41,56 @@ class Tensor {
   Tensor() = default;
 
   /// Construct zero-filled with the given shape.
-  explicit Tensor(std::vector<long> shape);
-  Tensor(std::initializer_list<long> shape)
-      : Tensor(std::vector<long>(shape)) {}
+  explicit Tensor(ShapeVec shape);
+  explicit Tensor(const std::vector<long>& shape)
+      : Tensor(ShapeVec(shape.begin(), shape.end())) {}
+  Tensor(std::initializer_list<long> shape) : Tensor(ShapeVec(shape)) {}
 
-  static Tensor zeros(std::vector<long> shape) { return Tensor(std::move(shape)); }
-  static Tensor full(std::vector<long> shape, float value);
-  static Tensor ones(std::vector<long> shape) { return full(std::move(shape), 1.0f); }
+  // Every factory accepts the pooled ShapeVec (the type shape() returns),
+  // a plain std::vector<long>, or a braced list; the last two delegate.
+  static Tensor zeros(ShapeVec shape) { return Tensor(std::move(shape)); }
+  static Tensor zeros(const std::vector<long>& shape) { return Tensor(shape); }
+  static Tensor zeros(std::initializer_list<long> shape) {
+    return Tensor(ShapeVec(shape));
+  }
+  static Tensor full(ShapeVec shape, float value);
+  static Tensor full(const std::vector<long>& shape, float value) {
+    return full(ShapeVec(shape.begin(), shape.end()), value);
+  }
+  static Tensor full(std::initializer_list<long> shape, float value) {
+    return full(ShapeVec(shape), value);
+  }
+  static Tensor ones(ShapeVec shape) { return full(std::move(shape), 1.0f); }
+  static Tensor ones(const std::vector<long>& shape) {
+    return ones(ShapeVec(shape.begin(), shape.end()));
+  }
+  static Tensor ones(std::initializer_list<long> shape) {
+    return ones(ShapeVec(shape));
+  }
 
   /// I.i.d. uniform in [lo, hi).
-  static Tensor uniform(std::vector<long> shape, float lo, float hi,
-                        util::Rng& rng);
+  static Tensor uniform(ShapeVec shape, float lo, float hi, util::Rng& rng);
+  static Tensor uniform(const std::vector<long>& shape, float lo, float hi,
+                        util::Rng& rng) {
+    return uniform(ShapeVec(shape.begin(), shape.end()), lo, hi, rng);
+  }
+  static Tensor uniform(std::initializer_list<long> shape, float lo, float hi,
+                        util::Rng& rng) {
+    return uniform(ShapeVec(shape), lo, hi, rng);
+  }
   /// I.i.d. normal(mean, stddev).
-  static Tensor normal(std::vector<long> shape, float mean, float stddev,
+  static Tensor normal(ShapeVec shape, float mean, float stddev,
                        util::Rng& rng);
+  static Tensor normal(const std::vector<long>& shape, float mean,
+                       float stddev, util::Rng& rng) {
+    return normal(ShapeVec(shape.begin(), shape.end()), mean, stddev, rng);
+  }
+  static Tensor normal(std::initializer_list<long> shape, float mean,
+                       float stddev, util::Rng& rng) {
+    return normal(ShapeVec(shape), mean, stddev, rng);
+  }
 
-  const std::vector<long>& shape() const { return shape_; }
+  const ShapeVec& shape() const { return shape_; }
   long dim(std::size_t i) const;
   std::size_t ndim() const { return shape_.size(); }
   long numel() const { return static_cast<long>(data_.size()); }
@@ -67,7 +115,13 @@ class Tensor {
   }
 
   /// Reinterpret the buffer with a new shape of equal numel.
-  Tensor reshaped(std::vector<long> shape) const;
+  Tensor reshaped(ShapeVec shape) const;
+  Tensor reshaped(const std::vector<long>& shape) const {
+    return reshaped(ShapeVec(shape.begin(), shape.end()));
+  }
+  Tensor reshaped(std::initializer_list<long> shape) const {
+    return reshaped(ShapeVec(shape));
+  }
 
   // ---- in-place arithmetic -------------------------------------------------
   void fill(float v);
@@ -93,11 +147,11 @@ class Tensor {
   void check_same_shape(const Tensor& other, const char* op) const;
 
  private:
-  std::vector<long> shape_;
-  std::vector<float> data_;
+  ShapeVec shape_;
+  std::vector<float, PooledAllocator<float>> data_;
 };
 
 /// numel of a shape vector; validates non-negative dims.
-long shape_numel(const std::vector<long>& shape);
+long shape_numel(std::span<const long> shape);
 
 }  // namespace hsconas::tensor

@@ -74,6 +74,11 @@ Workspace& Workspace::tls() {
 }
 
 float* Workspace::allocate(std::size_t n) {
+  // Companion to hsconas.tensor.pool.heap_allocs: a flat value across a
+  // serving window proves the scratch arena (GEMM packing, im2col panels)
+  // is also allocation-free in steady state.
+  static obs::Counter& heap = obs::counter("hsconas.workspace.heap_allocs");
+  heap.add();
   return static_cast<float*>(::operator new(
       n * sizeof(float), std::align_val_t{kAlign}));
 }

@@ -154,8 +154,8 @@ const Json* Json::find(const std::string& key) const {
 
 namespace {
 
-/// Recursive-descent parser over the subset this class emits (which is
-/// standard JSON minus exotic escapes like \uXXXX surrogate pairs).
+/// Recursive-descent parser over standard (RFC 8259) JSON, including
+/// \uXXXX escapes and UTF-16 surrogate pairs (decoded to UTF-8).
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -261,6 +261,48 @@ class Parser {
     }
   }
 
+  /// Exactly four hex digits at pos_ (strict: no sign, no whitespace,
+  /// unlike strtol). Returns the code unit and advances past it.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+      code = code * 16 + digit;
+    }
+    return code;
+  }
+
+  /// Encode one Unicode scalar value (surrogates already resolved) as
+  /// UTF-8.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -284,13 +326,26 @@ class Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          const long code = std::strtol(hex.c_str(), nullptr, 16);
-          // The serializer only emits \u00XX control codes; anything in
-          // the BMP below 0x80 round-trips, others degrade to '?'.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: RFC 8259 requires an immediately following
+            // \uXXXX low surrogate; together they name one supplementary
+            // code point.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate followed by non-low-surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, code);
           break;
         }
         default: fail("bad escape");

@@ -116,8 +116,11 @@ double max_of(std::span<const double> xs) {
 }
 
 double percentile(std::span<const double> xs, double p) {
-  HSCONAS_CHECK_MSG(!xs.empty(), "percentile: empty");
   HSCONAS_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  // An empty window is a normal runtime condition for serving/metrics
+  // paths (e.g. a histogram snapshot taken before the first request), not
+  // a library bug — degrade to quiet NaN instead of aborting the server.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
   if (v.size() == 1) return v[0];

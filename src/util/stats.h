@@ -35,7 +35,9 @@ double kendall_tau(std::span<const double> a, std::span<const double> b);
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 
-/// p-th percentile (p in [0,100]) with linear interpolation; copies + sorts.
+/// p-th percentile (p in [0,100]) with linear interpolation; copies +
+/// sorts. An empty input yields quiet NaN (an empty latency window must
+/// not kill a server); p outside [0,100] still throws InternalError.
 double percentile(std::span<const double> xs, double p);
 
 /// Fractional ranks with average tie-handling (1-based ranks).

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "util/error.h"
 
 namespace hsconas::util {
 
@@ -50,12 +51,32 @@ void ThreadPool::shutdown() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::busy() {
+  if (active_loops_.load(std::memory_order_acquire) > 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return external_in_flight_ > 0;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  enqueue(std::move(task), /*external=*/true);
+}
+
+void ThreadPool::enqueue(std::function<void()> task, bool external) {
   static obs::Counter& submitted = obs::counter("hsconas.pool.tasks_submitted");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) {
+      // The pool is shut down (e.g. retired by configure_global while the
+      // caller held a stale reference): no worker will ever drain the
+      // queue, so parking the task there would lose it and leak
+      // in_flight_. Degrade to inline execution.
+      lock.unlock();
+      task();
+      return;
+    }
+    queue_.push(Task{std::move(task), external});
     ++in_flight_;
+    if (external) ++external_in_flight_;
     const double depth = static_cast<double>(queue_.size());
     queue_depth_gauge().set(depth);
     queue_depth_peak_gauge().update_max(depth);
@@ -140,12 +161,28 @@ void ThreadPool::parallel_for(std::size_t n,
   static obs::Counter& loops = obs::counter("hsconas.pool.parallel_for_calls");
   loops.add();
   if (n == 0) return;
-  if (n == 1 || workers_.size() <= 1) {
-    // Inline fallback: exceptions propagate directly, matching the
-    // rethrow-after-quiesce contract of the threaded path.
+  bool stopped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped = stop_;
+  }
+  if (n == 1 || workers_.size() <= 1 || stopped) {
+    // Inline fallback (trivial loop, single worker, or a pool that was
+    // shut down under a cached reference): exceptions propagate directly,
+    // matching the rethrow-after-quiesce contract of the threaded path.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+
+  // Marks this pool busy() for the whole handout-to-quiescence window so
+  // configure_global can refuse to retire a pool mid-loop.
+  struct LoopGuard {
+    std::atomic<std::size_t>& loops_count;
+    explicit LoopGuard(std::atomic<std::size_t>& c) : loops_count(c) {
+      loops_count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~LoopGuard() { loops_count.fetch_sub(1, std::memory_order_acq_rel); }
+  } loop_guard(active_loops_);
 
   auto state = std::make_shared<LoopState>();
   state->n = n;
@@ -158,7 +195,7 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t helpers =
       std::min(workers_.size(), total_chunks > 0 ? total_chunks - 1 : 0);
   for (std::size_t t = 0; t < helpers; ++t) {
-    submit([state] { run_loop_chunks(*state); });
+    enqueue([state] { run_loop_chunks(*state); }, /*external=*/false);
   }
 
   // Work-first join: drain chunks on this thread, then sleep only while
@@ -218,7 +255,22 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::configure_global(std::size_t threads) {
   std::lock_guard<std::mutex> lock(global_mutex());
   ThreadPool* old = global_slot().load(std::memory_order_relaxed);
-  if (old != nullptr) old->shutdown();
+  if (old != nullptr) {
+    // Mid-flight reconfiguration is a checked error, not a race: a caller
+    // that is inside parallel_for (or has tasks queued) on the current
+    // pool would have its workers joined out from under it. Long-lived
+    // pool users — serving lanes above all — must be stopped first.
+    // The window between this check and shutdown() is still covered by
+    // the stale-reference degradation: submit()/parallel_for on a
+    // stopped pool run inline.
+    if (old->busy()) {
+      throw Error(
+          "ThreadPool::configure_global: global pool has work in flight; "
+          "stop serving lanes / drain parallel_for callers before "
+          "resizing");
+    }
+    old->shutdown();
+  }
   pool_graveyard().push_back(std::make_unique<ThreadPool>(threads));
   global_slot().store(pool_graveyard().back().get(),
                       std::memory_order_release);
@@ -228,7 +280,7 @@ void ThreadPool::worker_loop() {
   static obs::Counter& executed = obs::counter("hsconas.pool.tasks_executed");
   static obs::Histogram& task_ms = obs::histogram("hsconas.pool.task_ms");
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -238,7 +290,7 @@ void ThreadPool::worker_loop() {
       queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
     const auto t0 = std::chrono::steady_clock::now();
-    task();
+    task.fn();
     task_ms.record(std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count());
@@ -246,6 +298,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
+      if (task.external) --external_in_flight_;
       if (in_flight_ == 0) cv_done_.notify_all();
     }
   }

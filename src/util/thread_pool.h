@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -39,7 +40,18 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; fire-and-forget (pair with wait()).
+  /// True while the pool has work in flight: queued or running submitted
+  /// tasks, or a parallel_for that has not yet quiesced. Instantaneous —
+  /// new work may arrive right after it returns false — so it is a
+  /// precondition check (see configure_global), not a synchronization
+  /// primitive.
+  bool busy();
+
+  /// Enqueue a task; fire-and-forget (pair with wait()). On a pool that
+  /// has been shut down the task runs inline on the calling thread
+  /// instead of being silently parked in a queue no worker will drain —
+  /// the degradation mode for stale global() references held across a
+  /// configure_global().
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks have completed. Must not be called
@@ -48,7 +60,9 @@ class ThreadPool {
   void wait();
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until done.
-  /// Falls back to inline execution for n <= 1 or single-worker pools.
+  /// Falls back to inline execution for n <= 1, single-worker pools, or a
+  /// pool that has been shut down (a stale global() reference degrades to
+  /// caller-inline execution instead of dangling or deadlocking).
   /// `fn` must be safe to invoke concurrently from multiple threads; the
   /// iteration-to-thread assignment is nondeterministic but every index
   /// runs at most once (exactly once when no iteration throws). Rethrows
@@ -65,22 +79,42 @@ class ThreadPool {
 
   /// Replace the process-wide pool with a fresh one of `threads` workers
   /// (0 = hardware_concurrency). For benches and tests that sweep thread
-  /// counts; call only when no pool work is in flight. The previous pool
-  /// is shut down but kept alive until process exit, so a stale global()
-  /// reference degrades to inline execution instead of dangling.
+  /// counts. Mid-flight reconfiguration is rejected: if the current
+  /// global pool has work in flight (busy()), this throws hsconas::Error
+  /// and leaves the pool untouched — long-lived concurrent pool users
+  /// (the serving lanes) must be stopped before resizing. The previous
+  /// pool is shut down but kept alive until process exit, so a stale
+  /// global() reference degrades to inline execution instead of
+  /// dangling.
   static void configure_global(std::size_t threads);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// submit()ed by a caller (counts toward busy()) vs an internal
+    /// parallel_for helper (wind-down is covered by shutdown's join).
+    bool external = true;
+  };
+
   void worker_loop();
+  void enqueue(std::function<void()> task, bool external);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   bool joined_ = false;  ///< workers_ already joined (guarded by mutex_)
+  /// parallel_for calls currently between first chunk handout and full
+  /// quiescence (any participating thread). Feeds busy().
+  std::atomic<std::size_t> active_loops_{0};
+  /// Queued or running submit()ed tasks (guarded by mutex_). Loop helper
+  /// tasks are excluded: they outlive their loop by microseconds at most
+  /// and are joined by shutdown(), so they must not make a quiesced pool
+  /// look busy.
+  std::size_t external_in_flight_ = 0;
 };
 
 }  // namespace hsconas::util

@@ -1,0 +1,135 @@
+// Unit contracts for the thread-local tensor pool behind serving's
+// zero-allocation steady state: opt-in scoping, recycling and granule
+// rounding, counter semantics, cross-thread block fungibility, and Tensor
+// integration.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/pool_allocator.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace hsconas;
+
+TEST(TensorPool, DisabledByDefaultAndScopedOptInNests) {
+  EXPECT_FALSE(tensor::tensor_pool_enabled());
+  {
+    tensor::ScopedTensorPool outer;
+    EXPECT_TRUE(tensor::tensor_pool_enabled());
+    {
+      tensor::ScopedTensorPool inner;
+      EXPECT_TRUE(tensor::tensor_pool_enabled());
+    }
+    EXPECT_TRUE(tensor::tensor_pool_enabled());  // restored, not cleared
+  }
+  EXPECT_FALSE(tensor::tensor_pool_enabled());
+}
+
+TEST(TensorPool, DisabledThreadsBypassCountersEntirely) {
+  const std::uint64_t heap0 = tensor::tensor_pool_heap_allocs();
+  const std::uint64_t hits0 = tensor::tensor_pool_hits();
+  void* p = tensor::tensor_pool_allocate(256);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 256);
+  tensor::tensor_pool_deallocate(p, 256);
+  EXPECT_EQ(tensor::tensor_pool_heap_allocs(), heap0);
+  EXPECT_EQ(tensor::tensor_pool_hits(), hits0);
+  EXPECT_EQ(tensor::tensor_pool_parked_bytes(), 0u);
+}
+
+TEST(TensorPool, RecyclesParkedBlocks) {
+  tensor::ScopedTensorPool scope;
+  const std::uint64_t heap0 = tensor::tensor_pool_heap_allocs();
+  const std::uint64_t hits0 = tensor::tensor_pool_hits();
+
+  void* p = tensor::tensor_pool_allocate(1024);
+  EXPECT_EQ(tensor::tensor_pool_heap_allocs(), heap0 + 1);
+  tensor::tensor_pool_deallocate(p, 1024);
+  EXPECT_GE(tensor::tensor_pool_parked_bytes(), 1024u);
+
+  void* q = tensor::tensor_pool_allocate(1024);
+  EXPECT_EQ(q, p);  // LIFO reuse of the parked block
+  EXPECT_EQ(tensor::tensor_pool_heap_allocs(), heap0 + 1);  // no new heap trip
+  EXPECT_EQ(tensor::tensor_pool_hits(), hits0 + 1);
+  tensor::tensor_pool_deallocate(q, 1024);
+  tensor::tensor_pool_release_thread_memory();
+  EXPECT_EQ(tensor::tensor_pool_parked_bytes(), 0u);
+}
+
+TEST(TensorPool, GranuleRoundingSharesBucketsAcrossAdjacentSizes) {
+  tensor::ScopedTensorPool scope;
+  const std::uint64_t hits0 = tensor::tensor_pool_hits();
+
+  // 1 and 64 bytes round to the same 64-byte granule: a block parked from
+  // a 1-byte request must satisfy a 64-byte request.
+  void* p = tensor::tensor_pool_allocate(1);
+  tensor::tensor_pool_deallocate(p, 1);
+  void* q = tensor::tensor_pool_allocate(64);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(tensor::tensor_pool_hits(), hits0 + 1);
+  tensor::tensor_pool_deallocate(q, 64);
+
+  // 65 bytes rounds up to the next granule: different bucket, no hit.
+  void* r = tensor::tensor_pool_allocate(65);
+  EXPECT_NE(r, q);
+  EXPECT_EQ(tensor::tensor_pool_hits(), hits0 + 1);
+  tensor::tensor_pool_deallocate(r, 65);
+  tensor::tensor_pool_release_thread_memory();
+}
+
+TEST(TensorPool, BlocksAreFungibleAcrossThreads) {
+  // Allocate on a pooled thread, free on an unpooled one (and vice versa):
+  // blocks are plain ::operator new storage, so ownership can cross
+  // threads without corruption. TSan runs this test via `ctest -L serving`.
+  void* from_pooled = nullptr;
+  std::thread producer([&] {
+    tensor::ScopedTensorPool scope;
+    from_pooled = tensor::tensor_pool_allocate(512);
+    std::memset(from_pooled, 0x5a, 512);
+  });
+  producer.join();
+  ASSERT_NE(from_pooled, nullptr);
+  tensor::tensor_pool_deallocate(from_pooled, 512);  // unpooled: heap free
+
+  void* from_unpooled = tensor::tensor_pool_allocate(512);
+  std::thread consumer([&] {
+    tensor::ScopedTensorPool scope;
+    tensor::tensor_pool_deallocate(from_unpooled, 512);  // parks here
+    EXPECT_GE(tensor::tensor_pool_parked_bytes(), 512u);
+    tensor::tensor_pool_release_thread_memory();
+  });
+  consumer.join();
+}
+
+TEST(TensorPool, TensorChurnIsAllocationFreeOnceWarm) {
+  tensor::ScopedTensorPool scope;
+  // Warm: first construction faults in data + shape blocks.
+  { tensor::Tensor warm({2, 3, 8, 8}); }
+  const std::uint64_t heap0 = tensor::tensor_pool_heap_allocs();
+  const std::uint64_t hits0 = tensor::tensor_pool_hits();
+  for (int i = 0; i < 20; ++i) {
+    tensor::Tensor t({2, 3, 8, 8});
+    t.data()[0] = static_cast<float>(i);
+  }
+  EXPECT_EQ(tensor::tensor_pool_heap_allocs(), heap0)
+      << "same-shape Tensor churn should be served entirely from the pool";
+  EXPECT_GT(tensor::tensor_pool_hits(), hits0);
+  tensor::tensor_pool_release_thread_memory();
+}
+
+TEST(TensorPool, PooledVectorsInteroperateWithPlainVectors) {
+  tensor::ScopedTensorPool scope;
+  tensor::ShapeVec pooled = {1, 3, 32, 32};
+  const std::vector<long> plain = {1, 3, 32, 32};
+  EXPECT_TRUE(pooled == plain);
+  const std::vector<long> shorter = {1, 3, 32};
+  EXPECT_FALSE(pooled == shorter);
+  tensor::tensor_pool_release_thread_memory();
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// Deliberate violations: the serving lanes are bound to the same thread-
+// and timing-discipline rules as the kernels (raw std::thread and direct
+// std::chrono both fork the ThreadPool/obs-timing infrastructure).
+
+#include <chrono>
+#include <thread>
+
+void bad_lane() {
+  std::thread lane([] {});
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  lane.join();
+}

@@ -54,7 +54,9 @@ const RuleFixture kRuleFixtures[] = {
     {"serial-pointer-cast", "src/util/bad_serial.cpp", 12},
     {"scratch-discipline", "src/tensor/bad_kernel.cpp", 8},
     {"thread-discipline", "src/tensor/bad_thread.cpp", 9},
+    {"thread-discipline", "src/serve/bad_lane.cpp", 9},
     {"timing-discipline", "src/tensor/bad_chrono.cpp", 9},
+    {"timing-discipline", "src/serve/bad_lane.cpp", 10},
     {"rng-discipline", "src/core/bad_rng.cpp", 8},
     {"log-no-stdio", "src/core/bad_log.cpp", 8},
     {"trace-scope-in-header", "src/nn/bad_trace.h", 7},
@@ -171,6 +173,22 @@ TEST(LintFile, ThreadDisciplineTokenBoundaries) {
   EXPECT_EQ(vs[0].rule, "thread-discipline");
   EXPECT_EQ(vs[0].line, 2u);
   EXPECT_TRUE(lint::lint_file("src/util/thread_pool.cpp", bad).empty());
+}
+
+TEST(LintFile, ServingLanesObeyThreadAndTimingDiscipline) {
+  // src/serve is bound to the same hot-path disciplines as the kernels.
+  const std::string bad_thread = "std::thread lane;\n";
+  auto vs = lint::lint_file("src/serve/batch_server.cpp", bad_thread);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "thread-discipline");
+  const std::string bad_clock = "auto t = std::chrono::steady_clock::now();\n";
+  vs = lint::lint_file("src/serve/load_gen.cpp", bad_clock);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "timing-discipline");
+  // Scratch discipline stays kernel-only: preallocated client buffers in
+  // serving code are by design.
+  const std::string buffers = "std::vector<float> input(64);\n";
+  EXPECT_TRUE(lint::lint_file("src/serve/load_gen.cpp", buffers).empty());
 }
 
 TEST(LintFile, SerialItselfIsExempt) {

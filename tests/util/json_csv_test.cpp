@@ -152,6 +152,45 @@ TEST(JsonParse, MalformedInputThrows) {
   EXPECT_THROW(Json::parse("1 trailing"), Error);
 }
 
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(Json::parse("\"\\u20AC\"").as_string(), "\xe2\x82\xac");  // €
+  EXPECT_EQ(Json::parse("\"\\u0000\"").as_string(), std::string(1, '\0'));
+  // Surrogate pair: U+1F600 as \uD83D\uDE00 -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Escapes mix freely with literal text and other escapes.
+  EXPECT_EQ(Json::parse("\"a\\u0042c\\n\"").as_string(), "aBc\n");
+  // Both hex cases are legal.
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(),
+            Json::parse("\"\\u20AC\"").as_string());
+}
+
+TEST(JsonParse, MalformedUnicodeEscapesThrow) {
+  // Lone surrogates (either half) and broken pairs.
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), Error);        // lone high
+  EXPECT_THROW(Json::parse("\"\\ude00\""), Error);        // lone low
+  EXPECT_THROW(Json::parse("\"\\ud83d x\""), Error);      // high then text
+  EXPECT_THROW(Json::parse("\"\\ud83d\\n\""), Error);     // high then escape
+  EXPECT_THROW(Json::parse("\"\\ud83d\\u0041\""), Error); // high then BMP
+  EXPECT_THROW(Json::parse("\"\\ud83d\\ud83d\""), Error); // high then high
+  // Short or non-hex digit runs.
+  EXPECT_THROW(Json::parse("\"\\u12\""), Error);
+  EXPECT_THROW(Json::parse("\"\\u12g4\""), Error);
+  EXPECT_THROW(Json::parse("\"\\u 123\""), Error);
+  EXPECT_THROW(Json::parse("\"\\u-123\""), Error);
+  EXPECT_THROW(Json::parse("\"\\u123\""), Error);  // closing quote eats slot
+}
+
+TEST(JsonParse, DumpedControlCharactersRoundTrip) {
+  // dump() emits control characters as \u00XX; parse must invert that.
+  Json doc = Json::object();
+  doc["ctl"] = std::string("a\x01\x1f") + "b";
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.find("ctl")->as_string(), std::string("a\x01\x1f") + "b");
+}
+
 // obs_report and the latency-LUT tooling feed every parsed number into
 // arithmetic without re-checking it, so the parser is the line of defense
 // against NaN/Inf and lookalike tokens strtod would happily accept.

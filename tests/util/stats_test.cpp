@@ -89,8 +89,15 @@ TEST(Stats, PercentileInterpolates) {
 
 TEST(Stats, PercentileValidation) {
   const std::vector<double> xs{1.0};
-  EXPECT_THROW(percentile({}, 50), hsconas::InternalError);
+  // Empty windows are a normal runtime condition on serving/metrics paths
+  // (no samples yet) — quiet NaN, never an abort that kills a server.
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100)));
+  // A p outside [0,100] is still a caller bug.
   EXPECT_THROW(percentile(xs, 101), hsconas::InternalError);
+  EXPECT_THROW(percentile(xs, -1), hsconas::InternalError);
+  EXPECT_THROW(percentile({}, 101), hsconas::InternalError);
 }
 
 TEST(Stats, LinearFitRecoversLine) {

@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
         {"benchmark", "old (ns)", "new (ns)", "change", "verdict"});
     int regressions = 0;
     std::size_t shared = 0;
+    std::size_t incomparable = 0;
     for (const auto& [key, old_ns] : old_results) {
       const auto it = new_results.find(key);
       const std::string name =
@@ -117,9 +118,25 @@ int main(int argc, char** argv) {
                        "removed"});
         continue;
       }
-      ++shared;
       const double new_ns = it->second;
-      const double change = old_ns > 0.0 ? (new_ns - old_ns) / old_ns : 0.0;
+      // A zero or negative baseline has no meaningful relative change —
+      // dividing by it would emit inf/NaN or silently pass a real
+      // regression. Same for a nonpositive new reading (ns_per_iter is a
+      // duration). Report such rows as incomparable and leave them out of
+      // the shared count and the verdict.
+      if (!(old_ns > 0.0) || !(new_ns > 0.0)) {
+        ++incomparable;
+        std::fprintf(stderr,
+                     "warning: %s has nonpositive ns_per_iter "
+                     "(old=%g, new=%g); skipping comparison\n",
+                     name.c_str(), old_ns, new_ns);
+        table.add_row({name, hsconas::util::format("%.0f", old_ns),
+                       hsconas::util::format("%.0f", new_ns), "-",
+                       "incomparable"});
+        continue;
+      }
+      ++shared;
+      const double change = (new_ns - old_ns) / old_ns;
       const bool regressed = change > tolerance;
       if (regressed) ++regressions;
       table.add_row({name, hsconas::util::format("%.0f", old_ns),
@@ -136,9 +153,13 @@ int main(int argc, char** argv) {
                      "new"});
     }
     std::fputs(table.render().c_str(), stdout);
-    std::printf("%zu shared benchmarks, tolerance +%.0f%%: %d regression%s\n",
+    std::printf("%zu shared benchmarks, tolerance +%.0f%%: %d regression%s",
                 shared, tolerance * 100.0, regressions,
                 regressions == 1 ? "" : "s");
+    if (incomparable > 0) {
+      std::printf(" (%zu incomparable)", incomparable);
+    }
+    std::printf("\n");
     if (shared == 0) {
       std::fprintf(stderr,
                    "error: no shared benchmarks between '%s' and '%s'\n",

@@ -12,9 +12,13 @@
 #   3. hsconas_lint over the tree against the checked-in baseline.
 #   4. clang-tidy over src/ and tools/ (skipped when not installed).
 #   5. ASan+UBSan build + full ctest (skipped with --fast).
-#   6. TSan build + full ctest, then explicit `ctest -L kernels` and
-#      `ctest -L obs` re-runs (GEMM/fused-conv determinism and the
-#      tracer/profiler suites) under TSan (skipped with --fast).
+#   6. TSan build + full ctest, then explicit `ctest -L kernels`,
+#      `ctest -L obs`, and `ctest -L serving` re-runs (GEMM/fused-conv
+#      determinism, tracer/profiler, and batch-serving suites) under TSan
+#      (skipped with --fast).
+#   7. bench_serving closed-loop smoke: a reduced load-generation run
+#      through the batch server must finish error-free (skipped with
+#      --fast).
 #
 # Build trees live under ci-build-* in the repo root and are reused
 # across runs, so local re-runs are incremental. See
@@ -77,5 +81,19 @@ stage "tracer/profiler suites under TSan (ctest -L obs)"
 # cross-thread recording paths; a serial re-run under TSan gives the
 # watcher thread interleavings room to fire.
 (cd "$root/ci-build-tsan" && ctest --output-on-failure -L obs)
+
+stage "batch-serving suites under TSan (ctest -L serving)"
+# The serving lanes, the dynamic-batching queue, the thread-local tensor
+# pool, and the ThreadPool reconfiguration guard are all cross-thread by
+# construction; the serial -L serving re-run gives TSan clean
+# interleavings to watch.
+(cd "$root/ci-build-tsan" && ctest --output-on-failure -L serving)
+
+stage "serving load-generator smoke (bench_serving, reduced load)"
+# Closed-loop end-to-end pass through the batch server: nonzero exit means
+# a request errored or produced non-finite logits.
+"$root/ci-build-warn/bench/bench_serving" --clients=4 --requests=10 \
+  --warmup=4 --workers=1,2 --batch-max=1,4 \
+  --out="$root/ci-build-warn/BENCH_serving_smoke.json"
 
 stage "all checks passed"

@@ -38,7 +38,11 @@
 #include "hwsim/registry.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "serve/batch_server.h"
+#include "serve/load_gen.h"
 #include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -57,6 +61,8 @@ int usage() {
       "  pareto     evolve the accuracy-latency front for a device\n"
       "  profile    measure sampled archs per-op and validate the\n"
       "             latency model (roofline + Kendall-tau report)\n"
+      "  serve      batch-scheduled inference server for a discovered\n"
+      "             arch, driven by a closed-loop load generator\n"
       "  baselines  print the Table I baseline zoo on the simulators\n\n"
       "global flags (any command):\n"
       "  --metrics-out=PATH  write the metrics registry as JSON on exit\n"
@@ -294,6 +300,99 @@ int cmd_profile(int argc, char** argv) {
   return 0;
 }
 
+/// `--arch` accepts an arch string ("shuffle_k3@0.5 | ..."), a search
+/// report JSON path (reads its "winner_string"), or "" for a seeded
+/// random sample.
+core::Arch serve_arch(const core::SearchSpace& space, const std::string& spec,
+                      std::uint64_t seed) {
+  if (spec.empty()) {
+    util::Rng rng(seed);
+    return core::Arch::random(space, rng);
+  }
+  const bool is_json = spec.size() > 5 &&
+                       spec.compare(spec.size() - 5, 5, ".json") == 0;
+  if (is_json) {
+    const util::Json doc = util::Json::load(spec);
+    const util::Json* winner = doc.find("winner_string");
+    if (winner == nullptr) {
+      throw InvalidArgument("--arch report " + spec +
+                            " has no \"winner_string\" key");
+    }
+    return core::Arch::from_string(space, winner->as_string());
+  }
+  return core::Arch::from_string(space, spec);
+}
+
+int cmd_serve(int argc, char** argv) {
+  util::Cli cli(
+      "hsconas serve: batch-scheduled inference server over a standalone "
+      "proxy-scale network, measured by a closed-loop load generator");
+  cli.add_option("arch", "", "arch string, search-report JSON, or empty "
+                             "for a seeded random arch");
+  cli.add_option("batch-max", "8", "flush a batch at this occupancy");
+  cli.add_option("deadline-us", "2000",
+                 "flush when the oldest request has waited this long");
+  cli.add_option("workers", "2", "concurrent serving lanes");
+  cli.add_option("clients", "8", "closed-loop load-generator clients");
+  cli.add_option("requests", "50", "measured requests per client");
+  cli.add_option("warmup", "5", "warm-up requests per client");
+  cli.add_option("seed", "42", "weight-init / sampling seed");
+  cli.add_option("out", "", "write the hsconas.serving.v1 report JSON here");
+  cli.add_flag("no-fuse", "disable the fused conv/BN/act inference path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::SearchSpace space(core::SearchSpaceConfig::proxy());
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const core::Arch arch = serve_arch(space, cli.get("arch"), seed);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.batch_max = static_cast<std::size_t>(cli.get_int("batch-max"));
+  server_cfg.deadline_us =
+      static_cast<std::uint64_t>(cli.get_int("deadline-us"));
+  server_cfg.workers = static_cast<std::size_t>(cli.get_int("workers"));
+  server_cfg.fuse = !cli.get_bool("no-fuse");
+  server_cfg.seed = seed;
+
+  serve::LoadGenConfig load_cfg;
+  load_cfg.clients = static_cast<std::size_t>(cli.get_int("clients"));
+  load_cfg.requests_per_client =
+      static_cast<std::size_t>(cli.get_int("requests"));
+  load_cfg.warmup_per_client =
+      static_cast<std::size_t>(cli.get_int("warmup"));
+  load_cfg.seed = seed;
+
+  serve::BatchServer server(space, arch, server_cfg);
+  const serve::LoadGenReport report = serve::run_load(server, load_cfg);
+  server.shutdown();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"arch", arch.to_string(space)});
+  table.add_row({"requests", util::format("%zu", report.total_requests)});
+  table.add_row({"errors", util::format("%zu", report.errors)});
+  table.add_row({"throughput (req/s)",
+                 util::format("%.1f", report.throughput_rps)});
+  table.add_row({"latency p50 (ms)",
+                 util::format("%.3f", report.latency_p50_ms)});
+  table.add_row({"latency p95 (ms)",
+                 util::format("%.3f", report.latency_p95_ms)});
+  table.add_row({"latency p99 (ms)",
+                 util::format("%.3f", report.latency_p99_ms)});
+  table.add_row({"batch occupancy (mean)",
+                 util::format("%.2f", report.batch_occupancy_mean)});
+  table.add_row({"queue depth (peak)",
+                 util::format("%.0f", report.queue_depth_peak)});
+  table.add_row({"steady-state heap allocs",
+                 util::format("%.0f", report.pool_heap_allocs)});
+  std::fputs(table.render().c_str(), stdout);
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    report.to_json().save(out);
+    std::printf("serving report written to %s\n", out.c_str());
+  }
+  return report.errors == 0 ? 0 : 1;
+}
+
 int cmd_baselines(int argc, char** argv) {
   util::Cli cli("hsconas baselines: the Table I zoo on the simulators");
   if (!cli.parse(argc, argv)) return 0;
@@ -392,6 +491,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return finish(cmd_predict(nargs - 1, args.data() + 1));
     if (command == "pareto") return finish(cmd_pareto(nargs - 1, args.data() + 1));
     if (command == "profile") return finish(cmd_profile(nargs - 1, args.data() + 1));
+    if (command == "serve") return finish(cmd_serve(nargs - 1, args.data() + 1));
     if (command == "baselines") return finish(cmd_baselines(nargs - 1, args.data() + 1));
     if (command == "--help" || command == "-h") return usage(), 0;
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());

@@ -289,15 +289,26 @@ void rule_serial_pointer_cast(const FileContext& ctx, const Options& opts,
   }
 }
 
+/// Directories bound to the thread/timing hot-path disciplines: the
+/// compute kernels themselves plus the serving lanes, whose parallelism
+/// must stay on util::ThreadPool and whose timestamps feed the same
+/// traces. (Scratch discipline stays kernel-only: serving client/request
+/// buffers are preallocated vectors by design, not Workspace leases.)
+bool is_discipline_dir(const std::string& p) {
+  return starts_with(p, "src/tensor/") || starts_with(p, "src/nn/") ||
+         starts_with(p, "src/serve/");
+}
+
 void rule_scratch_discipline(const FileContext& ctx, const Options& opts,
                              std::vector<Violation>* out) {
   const bool kernel_dir = starts_with(ctx.path, "src/tensor/") ||
                           starts_with(ctx.path, "src/nn/");
   if (!kernel_dir) return;
-  // The tensor container and the arena itself are the two owners allowed
-  // to allocate.
+  // The tensor container, the scratch arena, and the recycling pool are
+  // the three owners allowed to allocate.
   if (starts_with(ctx.path, "src/tensor/tensor") ||
-      starts_with(ctx.path, "src/tensor/workspace")) {
+      starts_with(ctx.path, "src/tensor/workspace") ||
+      starts_with(ctx.path, "src/tensor/pool_allocator")) {
     return;
   }
   for (std::size_t i = 0; i < ctx.code.size(); ++i) {
@@ -331,35 +342,35 @@ bool has_std_thread(const std::string& line) {
 
 void rule_thread_discipline(const FileContext& ctx, const Options& opts,
                             std::vector<Violation>* out) {
-  const bool kernel_dir = starts_with(ctx.path, "src/tensor/") ||
-                          starts_with(ctx.path, "src/nn/");
-  if (!kernel_dir) return;
+  if (!is_discipline_dir(ctx.path)) return;
   for (std::size_t i = 0; i < ctx.code.size(); ++i) {
     if (has_std_thread(ctx.code[i])) {
       report(ctx, out, opts, i + 1, kThreadDiscipline,
-             "raw std::thread in a kernel; parallelism must go through "
-             "util::ThreadPool (nested-safe parallel_for, deterministic "
-             "decomposition)");
+             "raw std::thread in a kernel/serving path; parallelism must "
+             "go through util::ThreadPool (nested-safe parallel_for, "
+             "deterministic decomposition)");
     }
   }
 }
 
 void rule_timing_discipline(const FileContext& ctx, const Options& opts,
                             std::vector<Violation>* out) {
-  // Kernel code must take timestamps through obs/timing.h so every reading
-  // shares one epoch/clock (and shows up coherently in traces and the
-  // profiler). Direct std::chrono / clock_gettime use in src/tensor or
-  // src/nn silently forks the time base.
-  const bool kernel_dir = starts_with(ctx.path, "src/tensor/") ||
-                          starts_with(ctx.path, "src/nn/");
-  if (!kernel_dir) return;
+  // Kernel and serving code must take timestamps through obs/timing.h so
+  // every reading shares one epoch/clock (and shows up coherently in
+  // traces and the profiler). Direct std::chrono / clock_gettime use in
+  // src/tensor, src/nn, or src/serve silently forks the time base —
+  // serving deadlines and latency percentiles must come off the same
+  // clock the kernels are profiled on (obs::wait_for_ns exists for
+  // deadline waits).
+  if (!is_discipline_dir(ctx.path)) return;
   for (std::size_t i = 0; i < ctx.code.size(); ++i) {
     if (find_identifier(ctx.code[i], "chrono") != std::string::npos ||
         has_call(ctx.code[i], "clock_gettime")) {
       report(ctx, out, opts, i + 1, kTimingDiscipline,
-             "direct std::chrono/clock_gettime in a kernel; take timestamps "
-             "via obs/timing.h (monotonic_ns, process_cpu_ms) so all "
-             "readings share one clock and epoch");
+             "direct std::chrono/clock_gettime in a kernel/serving path; "
+             "take timestamps via obs/timing.h (monotonic_ns, "
+             "process_cpu_ms, wait_for_ns) so all readings share one clock "
+             "and epoch");
     }
   }
 }
