@@ -35,6 +35,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_i8.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,33 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The quantized twin of BM_Gemm at the same square sizes: int8×uint8 →
+// int32 with the requantize epilogue folded into the C writeback — the
+// exact kernel the int8 inference path runs. The (op, shape) keys mirror
+// BM_Gemm so the ledger's dtype column prices the fp32 → int8 step
+// directly (target >= 1.5x; see docs/QUANTIZATION.md).
+void BM_GemmInt8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::int8_t> a(n * n);
+  std::vector<std::uint8_t> b(n * n);
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.randint(-127, 127));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.randint(0, 255));
+  std::vector<float> scales(n, 0.02f);
+  std::vector<std::int32_t> bias(n, 0);
+  tensor::QuantEpilogue ep;
+  ep.scale = scales.data();
+  ep.acc_bias = bias.data();
+  Tensor c({static_cast<long>(n), static_cast<long>(n)});
+  for (auto _ : state) {
+    tensor::gemm_i8_requant(n, n, n, a.data(), b.data(), c.data(), ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
 
 // Same kernel, explicit worker-count sweep: range(0) is the square size,
 // range(1) the pool width. The global pool is resized for the duration of
@@ -234,8 +262,14 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
       const std::string name = run.benchmark_name();
       const std::size_t slash = name.find('/');
       hsconas::util::Json rec = hsconas::util::Json::object();
-      rec["op"] = slash == std::string::npos ? name : name.substr(0, slash);
+      const std::string op =
+          slash == std::string::npos ? name : name.substr(0, slash);
+      rec["op"] = op;
       rec["shape"] = slash == std::string::npos ? "" : name.substr(slash + 1);
+      // Benchmarks of quantized kernels carry the dtype axis of their key
+      // (bench_compare matches on (op, shape, dtype); absent means f32).
+      rec["dtype"] = std::string(
+          op.find("Int8") != std::string::npos ? "int8" : "f32");
       rec["ns_per_iter"] = run.GetAdjustedRealTime();  // ns: the unit set below
       const auto items = run.counters.find("items_per_second");
       rec["gflops"] =

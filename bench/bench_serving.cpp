@@ -10,6 +10,7 @@
 
 #include "core/arch.h"
 #include "core/search_space.h"
+#include "nn/quantize.h"
 #include "serve/batch_server.h"
 #include "serve/load_gen.h"
 #include "util/cli.h"
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   cli.add_option("deadline-us", "2000", "batching window");
   cli.add_option("workers", "1,2", "comma-separated lane counts to sweep");
   cli.add_option("batch-max", "1,8", "comma-separated batch sizes to sweep");
+  cli.add_option("dtype", "f32,int8",
+                 "comma-separated lane datapaths to sweep (f32 | int8)");
   cli.add_option("seed", "42", "weight/arch/input seed");
   cli.add_option("out", "BENCH_serving.json", "report path");
   if (!cli.parse(argc, argv)) return 0;
@@ -54,34 +57,44 @@ int main(int argc, char** argv) {
   for (const std::string& tok : util::split(cli.get("batch-max"), ',')) {
     batch_sweep.push_back(static_cast<std::size_t>(std::stoul(tok)));
   }
+  std::vector<nn::InferenceDType> dtype_sweep;
+  for (const std::string& tok : util::split(cli.get("dtype"), ',')) {
+    dtype_sweep.push_back(nn::parse_inference_dtype(util::trim(tok)));
+  }
 
-  util::Table table({"workers", "batch_max", "req/s", "p50 ms", "p95 ms",
-                     "p99 ms", "occupancy", "heap allocs"});
+  util::Table table({"dtype", "workers", "batch_max", "req/s", "p50 ms",
+                     "p95 ms", "p99 ms", "occupancy", "heap allocs"});
   util::Json runs = util::Json::array();
   int errors = 0;
-  for (std::size_t workers : workers_sweep) {
-    for (std::size_t batch_max : batch_sweep) {
-      serve::ServerConfig server_cfg;
-      server_cfg.batch_max = batch_max;
-      server_cfg.deadline_us =
-          static_cast<std::uint64_t>(cli.get_int("deadline-us"));
-      server_cfg.workers = workers;
-      server_cfg.seed = seed;
+  for (nn::InferenceDType dtype : dtype_sweep) {
+    for (std::size_t workers : workers_sweep) {
+      for (std::size_t batch_max : batch_sweep) {
+        serve::ServerConfig server_cfg;
+        server_cfg.batch_max = batch_max;
+        server_cfg.deadline_us =
+            static_cast<std::uint64_t>(cli.get_int("deadline-us"));
+        server_cfg.workers = workers;
+        server_cfg.seed = seed;
+        server_cfg.dtype = dtype;
 
-      serve::BatchServer server(space, arch, server_cfg);
-      const serve::LoadGenReport report = serve::run_load(server, load_cfg);
-      server.shutdown();
+        serve::BatchServer server(space, arch, server_cfg);
+        const serve::LoadGenReport report = serve::run_load(server, load_cfg);
+        server.shutdown();
 
-      errors += static_cast<int>(report.errors);
-      table.add_row({util::format("%zu", workers),
-                     util::format("%zu", batch_max),
-                     util::format("%.1f", report.throughput_rps),
-                     util::format("%.3f", report.latency_p50_ms),
-                     util::format("%.3f", report.latency_p95_ms),
-                     util::format("%.3f", report.latency_p99_ms),
-                     util::format("%.2f", report.batch_occupancy_mean),
-                     util::format("%.0f", report.pool_heap_allocs)});
-      runs.push_back(report.to_json());
+        errors += static_cast<int>(report.errors);
+        table.add_row({nn::inference_dtype_name(dtype),
+                       util::format("%zu", workers),
+                       util::format("%zu", batch_max),
+                       util::format("%.1f", report.throughput_rps),
+                       util::format("%.3f", report.latency_p50_ms),
+                       util::format("%.3f", report.latency_p95_ms),
+                       util::format("%.3f", report.latency_p99_ms),
+                       util::format("%.2f", report.batch_occupancy_mean),
+                       util::format("%.0f", report.pool_heap_allocs)});
+        util::Json run = report.to_json();
+        run["dtype"] = std::string(nn::inference_dtype_name(dtype));
+        runs.push_back(std::move(run));
+      }
     }
   }
   std::fputs(table.render().c_str(), stdout);

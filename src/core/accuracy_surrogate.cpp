@@ -43,6 +43,11 @@ double AccuracySurrogate::top1_error(const Arch& arch) const {
   err += config_.skip_penalty *
          std::max(0, skips - config_.skip_budget);
 
+  // Post-training quantization gap: a fixed toll, not compute-dependent —
+  // per-channel int8 PTQ loses roughly the same fraction of a point across
+  // the mobile-network families the paper searches over.
+  if (arch.quant != 0) err += config_.int8_error;
+
   // Deterministic per-arch residual: same arch, same answer.
   util::Rng rng(arch.hash());
   err += config_.noise_sigma * rng.normal();

@@ -28,6 +28,10 @@ class AccuracySurrogate {
     double skip_penalty = 0.25;       ///< per skip beyond the budget
     int skip_budget = 4;
     double noise_sigma = 0.15;  ///< deterministic residual stddev (%)
+    /// Top-1 error added when the arch runs int8 post-training-quantized
+    /// inference (Arch::quant == 1) — the typical PTQ gap of mobile-class
+    /// networks with per-channel weight quantization.
+    double int8_error = 0.8;
   };
 
   explicit AccuracySurrogate(const SearchSpace& space);

@@ -19,6 +19,10 @@ std::uint64_t Arch::hash() const {
     mix(static_cast<std::uint64_t>(ops[i]) + 1);
     mix((static_cast<std::uint64_t>(factors[i]) + 1) << 8);
   }
+  // Mixed only when set, so every pre-quantization fp32 hash — dedup sets
+  // in existing checkpoints, the surrogate's hash-seeded residuals — is
+  // unchanged by the quant gene's existence.
+  if (quant != 0) mix((static_cast<std::uint64_t>(quant) + 1) << 16);
   return h;
 }
 
@@ -30,7 +34,8 @@ std::string Arch::to_string(const SearchSpace& space) const {
         space.config().channel_factors.at(static_cast<std::size_t>(factors[l]));
     parts.push_back(util::format("%s@%.1f", space.op_name(ops[l]), factor));
   }
-  return util::join(parts, " | ");
+  const std::string body = util::join(parts, " | ");
+  return quant != 0 ? "int8:: " + body : body;
 }
 
 util::Json Arch::to_json(const SearchSpace& space) const {
@@ -45,6 +50,7 @@ util::Json Arch::to_json(const SearchSpace& space) const {
   }
   util::Json out = util::Json::object();
   out["layers"] = std::move(layers);
+  out["dtype"] = std::string(quant != 0 ? "int8" : "f32");
   return out;
 }
 
@@ -56,6 +62,11 @@ Arch Arch::random(const SearchSpace& space, util::Rng& rng) {
   for (int l = 0; l < L; ++l) {
     arch.ops.push_back(rng.choice(space.allowed_ops(l)));
     arch.factors.push_back(rng.choice(space.allowed_factors(l)));
+  }
+  // Drawn only when the space searches quantization, so seeded streams of
+  // quantization-free runs are byte-identical to the pre-quant code.
+  if (space.config().search_quantization) {
+    arch.quant = rng.bernoulli(0.5) ? 1 : 0;
   }
   return arch;
 }
@@ -71,7 +82,13 @@ Arch Arch::random_with_fixed_op(const SearchSpace& space, util::Rng& rng,
 
 Arch Arch::from_string(const SearchSpace& space, const std::string& s) {
   Arch arch;
-  for (const std::string& raw : util::split(s, '|')) {
+  std::string body = util::trim(s);
+  constexpr const char kQuantPrefix[] = "int8::";
+  if (body.rfind(kQuantPrefix, 0) == 0) {
+    arch.quant = 1;
+    body = body.substr(sizeof(kQuantPrefix) - 1);
+  }
+  for (const std::string& raw : util::split(body, '|')) {
     const std::string token = util::trim(raw);
     if (token.empty()) {
       throw InvalidArgument("Arch::from_string: empty layer token");
@@ -141,10 +158,14 @@ void Arch::validate(const SearchSpace& space) const {
       throw InvalidArgument("Arch: channel factor index out of range");
     }
   }
+  if (quant != 0 && quant != 1) {
+    throw InvalidArgument("Arch: quant gene must be 0 (fp32) or 1 (int8)");
+  }
 }
 
 bool Arch::in_space(const SearchSpace& space) const {
   if (num_layers() != space.num_layers()) return false;
+  if (quant != 0 && !space.config().search_quantization) return false;
   for (int l = 0; l < num_layers(); ++l) {
     const auto& ops_l = space.allowed_ops(l);
     const auto& factors_l = space.allowed_factors(l);

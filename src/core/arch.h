@@ -15,6 +15,11 @@ namespace hsconas::core {
 struct Arch {
   std::vector<int> ops;
   std::vector<int> factors;
+  /// Network-level quantization gene: 0 = fp32 inference, 1 = int8
+  /// post-training-quantized inference. Only sampled/mutated when
+  /// SearchSpaceConfig::search_quantization is set; always representable
+  /// so externally specified int8 archs can be priced.
+  int quant = 0;
 
   int num_layers() const { return static_cast<int>(ops.size()); }
 
@@ -24,6 +29,7 @@ struct Arch {
   std::uint64_t hash() const;
 
   /// Compact human-readable form, e.g. "k3@0.5 | skip@1.0 | ...".
+  /// Quantized archs carry an "int8:: " prefix.
   std::string to_string(const SearchSpace& space) const;
 
   util::Json to_json(const SearchSpace& space) const;

@@ -9,6 +9,7 @@
 #include <unistd.h>
 #endif
 
+#include "nn/quantize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -47,6 +48,20 @@ obs::Histogram& save_histogram() {
 obs::Histogram& load_histogram() {
   static obs::Histogram& h = obs::histogram("hsconas.checkpoint.load_ms");
   return h;
+}
+
+/// Section CRC seed. Version 3 folds the header's version field into every
+/// section CRC: the version byte itself is not CRC-protected, and with two
+/// accepted versions a bit flip between them (3 ↔ 2) would otherwise parse
+/// cleanly — seeding the CRCs with the version makes any such flip fail
+/// every section check. Version 2 files keep their original unseeded CRCs.
+std::uint32_t crc_seed(std::uint32_t version) {
+  if (version < 3) return 0;
+  unsigned char v[4] = {static_cast<unsigned char>(version & 0xff),
+                        static_cast<unsigned char>((version >> 8) & 0xff),
+                        static_cast<unsigned char>((version >> 16) & 0xff),
+                        static_cast<unsigned char>((version >> 24) & 0xff)};
+  return util::crc32(v, sizeof(v));
 }
 
 /// RAII FILE handle so error paths cannot leak the descriptor.
@@ -90,7 +105,8 @@ void CheckpointWriter::save(const std::string& path) const {
     image.u64(payload.size());
     const std::uint32_t crc = util::crc32(
         payload.data(), payload.size(),
-        util::crc32(name.data(), name.size()));
+        util::crc32(name.data(), name.size(),
+                    crc_seed(kCheckpointVersion)));
     image.u32(crc);
     image.bytes(payload.data(), payload.size());
   }
@@ -146,7 +162,7 @@ CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
       throw Error("bad magic");
     }
     const std::uint32_t version = r.u32();
-    if (version != kCheckpointVersion) {
+    if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
       throw Error("unsupported version " + std::to_string(version));
     }
     const std::uint32_t count = r.u32();
@@ -165,7 +181,7 @@ CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
       r.bytes(payload.data(), payload.size());
       const std::uint32_t actual = util::crc32(
           payload.data(), payload.size(),
-          util::crc32(name.data(), name.size()));
+          util::crc32(name.data(), name.size(), crc_seed(version)));
       if (actual != crc) {
         throw Error("CRC mismatch in section '" + name + "'");
       }
@@ -276,6 +292,18 @@ void load_parameters(const std::vector<nn::Parameter*>& params,
   const CheckpointReader reader(path);
   util::ByteReader in(reader.section("params"));
   read_parameters_payload(params, in);
+  in.expect_done();
+}
+
+std::string write_calibration_payload(nn::Module& root) {
+  util::ByteWriter out;
+  nn::export_calibration(root, out);
+  return out.take();
+}
+
+void read_calibration_payload(nn::Module& root, const std::string& payload) {
+  util::ByteReader in(payload);
+  nn::import_calibration(root, in);
   in.expect_done();
 }
 

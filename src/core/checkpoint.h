@@ -11,12 +11,16 @@ namespace hsconas::core {
 
 /// Crash-safe sectioned checkpoint container.
 ///
-/// File layout (version 2, little-endian):
+/// File layout (version 3, little-endian):
 ///
 ///   "HSCK" magic | u32 version | u32 section_count
 ///   per section:  u32 name_len | name bytes
 ///                 u64 payload_size | u32 crc32(name + payload)
 ///                 payload bytes
+///
+/// From version 3 on, section CRCs are seeded with the header's version
+/// field, so a bit flip that turns one accepted version into another still
+/// fails every section check (version 2 files keep their unseeded CRCs).
 ///
 /// Integrity: every section carries a CRC over its name and payload, so a
 /// bit flip anywhere — header fields included, since a corrupted length
@@ -32,7 +36,16 @@ namespace hsconas::core {
 /// never a torn file. A stale `.tmp` from a killed writer is overwritten
 /// by the next save and never read.
 
-constexpr std::uint32_t kCheckpointVersion = 2;
+/// Version 3 introduces the optional "calibration" section (int8
+/// quantization tables). The layout itself is unchanged — sections are
+/// self-describing — so the reader accepts version 2 files as well; the
+/// writer always emits 3.
+constexpr std::uint32_t kCheckpointVersion = 3;
+constexpr std::uint32_t kMinCheckpointVersion = 2;
+
+/// Conventional section name for a model's quantization calibration tables
+/// (see write_calibration_payload).
+inline constexpr const char* kCalibrationSection = "calibration";
 
 /// Accumulates named sections in memory, then writes them atomically.
 class CheckpointWriter {
@@ -84,5 +97,16 @@ void save_parameters(const std::vector<nn::Parameter*>& params,
 /// file are an error too (the two sets must match exactly).
 void load_parameters(const std::vector<nn::Parameter*>& params,
                      const std::string& path);
+
+/// Serialize a model's frozen int8 calibration tables (activation scales /
+/// zero points, per-channel weight scales — see nn::export_calibration)
+/// into a payload for the kCalibrationSection section. The CRC-32 the
+/// container puts on every section covers it like any other payload.
+std::string write_calibration_payload(nn::Module& root);
+
+/// Restore calibration tables from a kCalibrationSection payload and
+/// re-quantize the model's weights from them (nn::import_calibration).
+/// Layer counts and channel shapes are validated against `root`.
+void read_calibration_payload(nn::Module& root, const std::string& payload);
 
 }  // namespace hsconas::core

@@ -117,6 +117,11 @@ Arch EvolutionSearch::crossover(const Arch& a, const Arch& b) {
           b.factors[static_cast<std::size_t>(l)];
     }
   }
+  // The quant gene crosses over like any other — but only in a
+  // quantization-aware space, so classic runs draw the classic RNG stream.
+  if (space_.config().search_quantization && rng_.bernoulli(0.5)) {
+    child.quant = b.quant;
+  }
   return child;
 }
 
@@ -135,6 +140,11 @@ Arch EvolutionSearch::mutate(Arch arch) {
           rng_.choice(space_.allowed_factors(l));
       changed = true;
     }
+  }
+  if (space_.config().search_quantization &&
+      rng_.bernoulli(config_.gene_mutation_prob)) {
+    arch.quant ^= 1;
+    changed = true;
   }
   if (!changed) {
     // Guarantee progress: force one gene.
@@ -285,6 +295,7 @@ void write_candidate(util::ByteWriter& out,
                      const EvolutionSearch::Candidate& c) {
   out.vec_i32(c.arch.ops);
   out.vec_i32(c.arch.factors);
+  out.i32(c.arch.quant);
   out.f64(c.accuracy);
   out.f64(c.latency_ms);
   out.f64(c.energy_mj);
@@ -297,6 +308,7 @@ EvolutionSearch::Candidate read_candidate(util::ByteReader& in,
   const std::size_t L = static_cast<std::size_t>(space.num_layers());
   c.arch.ops = in.vec_i32(L);
   c.arch.factors = in.vec_i32(L);
+  c.arch.quant = in.i32();
   c.accuracy = in.f64();
   c.latency_ms = in.f64();
   c.energy_mj = in.f64();

@@ -60,6 +60,12 @@ void LatencyModel::export_state(util::ByteWriter& out) const {
   out.vec_f64(lut_);
   out.f64(stem_ms_);
   out.f64(head_ms_);
+  out.u8(quantized() ? 1 : 0);
+  if (quantized()) {
+    out.vec_f64(lut_i8_);
+    out.f64(stem_i8_ms_);
+    out.f64(head_i8_ms_);
+  }
   out.f64(bias_);
   out.rng_state(noise_rng_.state());
 }
@@ -94,6 +100,25 @@ std::unique_ptr<LatencyModel> LatencyModel::restore(
   }
   model->stem_ms_ = in.f64();
   model->head_ms_ = in.f64();
+  const bool has_i8 = in.u8() != 0;
+  if (has_i8 != space.config().search_quantization) {
+    throw Error(std::string("LatencyModel: checkpoint ") +
+                (has_i8 ? "has" : "lacks") +
+                " an int8 LUT but the space's search_quantization is " +
+                (space.config().search_quantization ? "on" : "off"));
+  }
+  if (has_i8) {
+    model->lut_i8_ = in.vec_f64(static_cast<std::size_t>(L) *
+                                static_cast<std::size_t>(K) *
+                                static_cast<std::size_t>(F));
+    if (model->lut_i8_.size() != model->lut_.size()) {
+      throw Error("LatencyModel: checkpointed int8 LUT has " +
+                  std::to_string(model->lut_i8_.size()) +
+                  " entries, expected " + std::to_string(model->lut_.size()));
+    }
+    model->stem_i8_ms_ = in.f64();
+    model->head_i8_ms_ = in.f64();
+  }
   model->bias_ = in.f64();
   model->noise_rng_.set_state(in.rng_state());
   return model;
@@ -104,10 +129,15 @@ void LatencyModel::build_lut() {
   const int L = space_.num_layers();
   const int K = space_.config().num_ops;
   const int F = static_cast<int>(space_.config().channel_factors.size());
+  // A quantization-aware space profiles each (layer, op, factor) on both
+  // datapaths — two LUTs, twice the (simulated) profiling bill, exactly as
+  // a real deployment would pay per precision.
+  const bool with_i8 = space_.config().search_quantization;
   obs::counter("hsconas.latency.lut_entries_built")
       .add(static_cast<std::uint64_t>(L) * static_cast<std::uint64_t>(K) *
-           static_cast<std::uint64_t>(F));
+           static_cast<std::uint64_t>(F) * (with_i8 ? 2 : 1));
   lut_.assign(static_cast<std::size_t>(L) * K * F, 0.0);
+  if (with_i8) lut_i8_.assign(lut_.size(), 0.0);
 
   for (int l = 0; l < L; ++l) {
     const LayerInfo& info = space_.layer(l);
@@ -115,10 +145,15 @@ void LatencyModel::build_lut() {
       for (int f = 0; f < F; ++f) {
         const double factor =
             space_.config().channel_factors[static_cast<std::size_t>(f)];
-        const hwsim::LayerDesc layer =
+        hwsim::LayerDesc layer =
             lower_layer(info, space_.config().family, op, factor);
-        lut_[(static_cast<std::size_t>(l) * K + op) * F + f] =
-            device_.layer_latency_ms(layer, config_.batch);
+        const std::size_t idx =
+            (static_cast<std::size_t>(l) * K + op) * F + f;
+        lut_[idx] = device_.layer_latency_ms(layer, config_.batch);
+        if (with_i8) {
+          hwsim::set_layer_dtype(layer, hwsim::DataType::kI8);
+          lut_i8_[idx] = device_.layer_latency_ms(layer, config_.batch);
+        }
       }
     }
   }
@@ -127,10 +162,16 @@ void LatencyModel::build_lut() {
   for (int l = 0; l < L; ++l) {
     if (space_.layer(l).stride == 2) size = (size + 1) / 2;
   }
-  stem_ms_ =
-      device_.layer_latency_ms(lower_stem(space_.config()), config_.batch);
-  head_ms_ = device_.layer_latency_ms(lower_head(space_.config(), size),
-                                      config_.batch);
+  hwsim::LayerDesc stem = lower_stem(space_.config());
+  hwsim::LayerDesc head = lower_head(space_.config(), size);
+  stem_ms_ = device_.layer_latency_ms(stem, config_.batch);
+  head_ms_ = device_.layer_latency_ms(head, config_.batch);
+  if (with_i8) {
+    hwsim::set_layer_dtype(stem, hwsim::DataType::kI8);
+    hwsim::set_layer_dtype(head, hwsim::DataType::kI8);
+    stem_i8_ms_ = device_.layer_latency_ms(stem, config_.batch);
+    head_i8_ms_ = device_.layer_latency_ms(head, config_.batch);
+  }
 }
 
 void LatencyModel::calibrate_bias() {
@@ -158,16 +199,38 @@ double LatencyModel::lut_ms(int layer, int op, int factor) const {
   return lut_[(static_cast<std::size_t>(layer) * K + op) * F + factor];
 }
 
-double LatencyModel::predict_uncorrected_ms(const Arch& arch) const {
-  arch.validate(space_);
+double LatencyModel::lut_i8_ms(int layer, int op, int factor) const {
+  if (!quantized()) {
+    throw Error(
+        "LatencyModel::lut_i8_ms: model built without quantization "
+        "(enable SearchSpaceConfig::search_quantization)");
+  }
   const int K = space_.config().num_ops;
   const int F = static_cast<int>(space_.config().channel_factors.size());
-  double total = stem_ms_ + head_ms_;
+  HSCONAS_CHECK_MSG(layer >= 0 && layer < space_.num_layers() && op >= 0 &&
+                        op < K && factor >= 0 && factor < F,
+                    "LatencyModel::lut_i8_ms: index out of range");
+  return lut_i8_[(static_cast<std::size_t>(layer) * K + op) * F + factor];
+}
+
+double LatencyModel::predict_uncorrected_ms(const Arch& arch) const {
+  arch.validate(space_);
+  const bool i8 = arch.quant != 0;
+  if (i8 && !quantized()) {
+    throw Error(
+        "LatencyModel: cannot price an int8 arch — the model was built "
+        "without quantization (enable "
+        "SearchSpaceConfig::search_quantization)");
+  }
+  const std::vector<double>& lut = i8 ? lut_i8_ : lut_;
+  const int K = space_.config().num_ops;
+  const int F = static_cast<int>(space_.config().channel_factors.size());
+  double total = i8 ? stem_i8_ms_ + head_i8_ms_ : stem_ms_ + head_ms_;
   for (int l = 0; l < space_.num_layers(); ++l) {
-    total += lut_[(static_cast<std::size_t>(l) * K +
-                   arch.ops[static_cast<std::size_t>(l)]) *
-                      F +
-                  arch.factors[static_cast<std::size_t>(l)]];
+    total += lut[(static_cast<std::size_t>(l) * K +
+                  arch.ops[static_cast<std::size_t>(l)]) *
+                     F +
+                 arch.factors[static_cast<std::size_t>(l)]];
   }
   return total;
 }

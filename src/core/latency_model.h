@@ -73,6 +73,13 @@ class LatencyModel {
   double stem_ms() const { return stem_ms_; }
   double head_ms() const { return head_ms_; }
 
+  /// int8 LUT entry — valid only when the space searches quantization
+  /// (quantized() is true); throws Error otherwise.
+  double lut_i8_ms(int layer, int op, int factor) const;
+  /// True when this model also profiled the int8 LUT (the space has
+  /// search_quantization set) and can price Arch::quant == 1 candidates.
+  bool quantized() const { return !lut_i8_.empty(); }
+
  private:
   struct FromStateTag {};
   /// Restore path: skips build_lut()/calibrate_bias(); restore() fills in
@@ -93,6 +100,11 @@ class LatencyModel {
   std::vector<double> lut_;
   double stem_ms_ = 0.0;
   double head_ms_ = 0.0;
+  // Second LUT for the int8 datapath; empty unless the space has
+  // search_quantization. predict_*_ms selects a LUT by Arch::quant.
+  std::vector<double> lut_i8_;
+  double stem_i8_ms_ = 0.0;
+  double head_i8_ms_ = 0.0;
   double bias_ = 0.0;
 };
 

@@ -195,6 +195,9 @@ NetworkDesc lower_network(const Arch& arch, const SearchSpace& space,
                           const LoweringOptions& opts) {
   NetworkDesc net = lower_network(arch, space);
   if (opts.fuse_conv_epilogues) hwsim::fuse_conv_epilogues(net);
+  if (opts.dtype != hwsim::DataType::kF32) {
+    hwsim::set_network_dtype(net, opts.dtype);
+  }
   return net;
 }
 
@@ -216,6 +219,13 @@ NetworkDesc lower_network(const Arch& arch, const SearchSpace& space) {
   }
 
   net.push_back(lower_head(space.config(), size));
+  // The quant gene applies network-wide: the whole graph (stem and head
+  // included) runs int8, matching the nn-layer calibration which quantizes
+  // every conv/linear. MAC counters are dtype-invariant, so arch_macs /
+  // arch_params are unchanged by this.
+  if (arch.quant != 0) {
+    hwsim::set_network_dtype(net, hwsim::DataType::kI8);
+  }
   return net;
 }
 

@@ -44,6 +44,11 @@ struct LoweringOptions {
   /// hwsim::fuse_conv_epilogues. MACs are unchanged; the memory-bound op
   /// count and activation traffic shrink.
   bool fuse_conv_epilogues = false;
+
+  /// Force every lowered op to this dtype, regardless of Arch::quant
+  /// (which lower_network honors on its own: quant == 1 archs lower to
+  /// int8-priced descriptors). kF32 means "no override".
+  hwsim::DataType dtype = hwsim::DataType::kF32;
 };
 
 /// Whole network with explicit lowering options.

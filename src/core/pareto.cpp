@@ -160,6 +160,11 @@ ParetoSearch::Result ParetoSearch::run() {
                 other.arch.factors[static_cast<std::size_t>(l)];
           }
         }
+        // Quant gene crossover — gated so quantization-free runs keep
+        // their classic RNG stream.
+        if (space_.config().search_quantization && rng_.bernoulli(0.5)) {
+          child.quant = other.arch.quant;
+        }
       }
       bool mutated = false;
       if (rng_.bernoulli(config_.mutation_prob)) {
@@ -174,6 +179,11 @@ ParetoSearch::Result ParetoSearch::run() {
                 rng_.choice(space_.allowed_factors(l));
             mutated = true;
           }
+        }
+        if (space_.config().search_quantization &&
+            rng_.bernoulli(config_.gene_mutation_prob)) {
+          child.quant ^= 1;
+          mutated = true;
         }
       }
       if (!mutated && seen.count(child.hash()) > 0) {

@@ -107,7 +107,9 @@ std::string Pipeline::checkpoint_path(const std::string& dir) {
 
 namespace {
 
-constexpr std::uint32_t kPipelineStateVersion = 1;
+// v2: evolution candidates carry the Arch::quant gene and the latency
+// section may hold an int8 LUT; meta grew the search_quantization flag.
+constexpr std::uint32_t kPipelineStateVersion = 2;
 constexpr std::size_t kMaxQualityEntries = 4096;
 constexpr std::size_t kMaxDecisions = 4096;
 
@@ -211,6 +213,7 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
     const int ckpt_generations = meta.i32();
     const int ckpt_population = meta.i32();
     const double ckpt_constraint = meta.f64();
+    const bool ckpt_quant = meta.u8() != 0;
     if (seed != config_.seed || device != config_.device ||
         use_surrogate != config_.use_surrogate || ckpt_layers != L ||
         ckpt_per_stage != per_stage ||
@@ -218,7 +221,8 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
         ckpt_tune_epochs != config_.tune_epochs ||
         ckpt_generations != config_.evolution.generations ||
         ckpt_population != config_.evolution.population ||
-        ckpt_constraint != config_.constraint_ms) {
+        ckpt_constraint != config_.constraint_ms ||
+        ckpt_quant != config_.space.search_quantization) {
       throw Error(
           "pipeline checkpoint: run configuration does not match the "
           "checkpointed run in " + ckpt_path);
@@ -314,6 +318,7 @@ PipelineResult Pipeline::run(const data::SyntheticDataset* dataset) {
     meta.i32(config_.evolution.generations);
     meta.i32(config_.evolution.population);
     meta.f64(config_.constraint_ms);
+    meta.u8(config_.space.search_quantization ? 1 : 0);
     meta.i32(static_cast<int>(at_phase));
     meta.i32(at_epochs_done);
     writer.add_section("meta", meta.take());

@@ -39,6 +39,13 @@ struct SearchSpaceConfig {
   std::vector<double> channel_factors = {0.1, 0.2, 0.3, 0.4, 0.5,
                                          0.6, 0.7, 0.8, 0.9, 1.0};
 
+  /// Add a network-level quantization gene (Arch::quant) to the space:
+  /// candidates may run int8 post-training-quantized inference, trading a
+  /// small accuracy drop for the device's narrow-datapath speedup. Off by
+  /// default — samplers draw no extra RNG when disabled, so existing
+  /// seeded streams are unchanged.
+  bool search_quantization = false;
+
   int num_layers() const;  ///< L = sum of stage_blocks
 
   /// log10 of |A| = (num_ops · |C|)^L.

@@ -1,5 +1,6 @@
 #include "core/supernet.h"
 
+#include "nn/quantize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -187,6 +188,28 @@ void Supernet::visit(const std::function<void(nn::Module&)>& fn) {
   head_conv_->visit(fn);
   gap_.visit(fn);
   classifier_->visit(fn);
+}
+
+std::size_t Supernet::calibrate_quant(
+    const std::vector<tensor::Tensor>& batches) {
+  if (!is_standalone()) {
+    throw Error("Supernet::calibrate_quant: int8 calibration needs a "
+                "standalone (fixed-arch) network");
+  }
+  const bool was_training = stem_->training();
+  set_training(false);
+  std::size_t frozen = 0;
+  try {
+    frozen = nn::calibrate_with(
+        [this](const std::function<void(nn::Module&)>& fn) { visit(fn); },
+        [this](const tensor::Tensor& batch) { forward(batch); },
+        batches);
+  } catch (...) {
+    set_training(was_training);
+    throw;
+  }
+  set_training(was_training);
+  return frozen;
 }
 
 void Supernet::calibrate_bn(const data::SyntheticDataset& dataset,

@@ -54,6 +54,15 @@ class Supernet {
 
   void set_training(bool training);
 
+  /// Post-training int8 calibration of a *standalone* network: stream
+  /// `batches` through the fixed arch in fp32 eval mode with the quant
+  /// observers armed, then freeze per-layer activation/weight quantizers
+  /// (nn::calibrate protocol). Afterwards eval-mode forwards route through
+  /// the int8 GEMM whenever nn::inference_dtype() is kI8. Returns the
+  /// number of layers frozen; throws Error on a supernet (shared blocks
+  /// would calibrate one path's observers against another path's traffic).
+  std::size_t calibrate_quant(const std::vector<tensor::Tensor>& batches);
+
   /// Top-1 accuracy of `arch` on (a prefix of) the validation split.
   /// Runs with batch-statistics BN (standard one-shot practice: candidate
   /// paths never saw calibrated running stats). max_batches == 0 means the

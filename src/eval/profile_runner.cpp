@@ -108,13 +108,23 @@ ProfileReport run_profile(const ProfileConfig& config) {
         "profile: --fused is inference-only (backward through a fused "
         "forward is a contract violation)");
   }
+  const bool int8 = config.dtype == nn::InferenceDType::kI8;
+  if (int8 && config.backward) {
+    throw InvalidArgument(
+        "profile: --dtype=int8 is inference-only (there is no quantized "
+        "backward pass)");
+  }
   config.space.validate();
 
   ProfileReport report;
   report.config = config;
   report.profiler_compiled_in = obs::Profiler::compiled_in();
 
-  const core::SearchSpace space(config.space);
+  // Int8 runs price against the int8 LUT, so the space must carry the
+  // quantization axis and the sampled archs the quant gene.
+  core::SearchSpaceConfig space_cfg = config.space;
+  if (int8) space_cfg.search_quantization = true;
+  const core::SearchSpace space(space_cfg);
   const hwsim::DeviceSimulator device(hwsim::device_by_name(config.device));
   core::LatencyModel::Config model_cfg;
   model_cfg.batch = config.batch;
@@ -125,6 +135,7 @@ ProfileReport run_profile(const ProfileConfig& config) {
 
   util::Rng rng(config.seed);
   const bool fusion_was_on = nn::inference_fusion_enabled();
+  const nn::InferenceDType dtype_was = nn::inference_dtype();
   nn::set_inference_fusion(config.fused);
   obs::Profiler::disable();
 
@@ -133,6 +144,7 @@ ProfileReport run_profile(const ProfileConfig& config) {
     for (int a = 0; a < config.num_archs; ++a) {
       ArchProfile ap;
       ap.arch = core::Arch::random(space, rng);
+      ap.arch.quant = int8 ? 1 : 0;
       ap.arch_string = ap.arch.to_string(space);
       core::Supernet net(space, config.seed + static_cast<std::uint64_t>(a),
                          ap.arch);
@@ -144,6 +156,13 @@ ProfileReport run_profile(const ProfileConfig& config) {
           -1.0f, 1.0f, rng);
       Tensor logits_grad = Tensor::uniform(
           {config.batch, config.space.num_classes}, -0.1f, 0.1f, rng);
+
+      if (int8) {
+        // PTQ against the very batch being profiled: the observers see
+        // exactly the activation ranges the timed loop will produce.
+        net.calibrate_quant({images});
+        nn::set_inference_dtype(nn::InferenceDType::kI8);
+      }
 
       auto run_iteration = [&] {
         Tensor logits = net.forward(images);
@@ -181,9 +200,11 @@ ProfileReport run_profile(const ProfileConfig& config) {
     }
   } catch (...) {
     obs::Profiler::disable();
+    nn::set_inference_dtype(dtype_was);
     nn::set_inference_fusion(fusion_was_on);
     throw;
   }
+  nn::set_inference_dtype(dtype_was);
   nn::set_inference_fusion(fusion_was_on);
 
   std::vector<obs::OpStats> pooled_vec;
@@ -219,6 +240,7 @@ util::Json profile_report_json(const ProfileReport& report) {
   doc["warmup"] = static_cast<double>(report.config.warmup);
   doc["fused"] = report.config.fused;
   doc["backward"] = report.config.backward;
+  doc["dtype"] = std::string(nn::inference_dtype_name(report.config.dtype));
   doc["profiler_compiled_in"] = report.profiler_compiled_in;
 
   util::Json archs = util::Json::array();
@@ -254,10 +276,12 @@ util::Json profile_report_json(const ProfileReport& report) {
 std::string render_profile_report(const ProfileReport& report) {
   std::string out;
   out += util::format(
-      "profile: device=%s batch=%d iters=%d warmup=%d fused=%d backward=%d\n",
+      "profile: device=%s batch=%d iters=%d warmup=%d fused=%d backward=%d "
+      "dtype=%s\n",
       report.config.device.c_str(), report.config.batch, report.config.iters,
       report.config.warmup, report.config.fused ? 1 : 0,
-      report.config.backward ? 1 : 0);
+      report.config.backward ? 1 : 0,
+      nn::inference_dtype_name(report.config.dtype));
   if (!report.profiler_compiled_in) {
     out += "note: profiler compiled out (HSCONAS_ENABLE_TRACING=OFF) — "
            "per-op sections are empty\n";

@@ -7,6 +7,7 @@
 #include "core/arch.h"
 #include "core/search_space.h"
 #include "hwsim/calibration.h"
+#include "nn/quantize.h"
 #include "util/json.h"
 
 namespace hsconas::eval {
@@ -29,6 +30,11 @@ struct ProfileConfig {
   std::uint64_t seed = 1;
   bool fused = false;     ///< eval-mode fused conv/BN/act execution
   bool backward = false;  ///< profile forward+backward (training mode)
+  /// kI8 calibrates each sampled network (PTQ on its own input batch),
+  /// times the int8 inference path, and prices predictions off the int8
+  /// LUT (the sampled archs carry quant = 1). Incompatible with
+  /// --backward: the int8 path is inference-only.
+  nn::InferenceDType dtype = nn::InferenceDType::kF32;
 };
 
 struct ArchProfile {

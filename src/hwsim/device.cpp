@@ -10,7 +10,8 @@ namespace hsconas::hwsim {
 DeviceSimulator::DeviceSimulator(DeviceProfile profile)
     : profile_(std::move(profile)) {
   if (profile_.peak_gflops <= 0 || profile_.mem_bandwidth_gbs <= 0 ||
-      profile_.link_bandwidth_gbs <= 0 || profile_.default_batch < 1) {
+      profile_.link_bandwidth_gbs <= 0 || profile_.default_batch < 1 ||
+      profile_.int8_speedup <= 0) {
     throw InvalidArgument("DeviceSimulator: invalid profile '" +
                           profile_.name + "'");
   }
@@ -45,8 +46,14 @@ double DeviceSimulator::op_latency_ms(const OpDescriptor& op,
     bytes *= 1.0 - profile_.eltwise_fusion;
   }
 
+  // int8 ops run on the device's narrow-datapath pipes (dp4a/VNNI): same
+  // MAC count, multiplied throughput. Byte traffic already shrank through
+  // the descriptor's dtype-aware byte accessors.
+  const double peak_gflops =
+      profile_.peak_gflops *
+      (op.dtype == DataType::kI8 ? profile_.int8_speedup : 1.0);
   const double compute_ms =
-      flops / (profile_.peak_gflops * 1e9 * efficiency(op, batch)) * 1e3;
+      flops / (peak_gflops * 1e9 * efficiency(op, batch)) * 1e3;
   // Channel shuffles are strided permutation copies — they run at the
   // cache-hostile hand-off bandwidth, not streaming DRAM bandwidth.
   const double bw = (op.kind == OpKind::kShuffle)

@@ -31,6 +31,12 @@ struct DeviceProfile {
   double mem_bandwidth_gbs = 100;  ///< DRAM bandwidth, GB/s
   double launch_overhead_us = 5;   ///< per-kernel dispatch cost
 
+  /// Compute-throughput multiplier for int8 ops relative to fp32 (dp4a /
+  /// VNNI-class instructions issue 4 int8 MACs per fp32 lane; achievable
+  /// gains are lower). 1.0 = no dedicated int8 path. Memory-bound ops gain
+  /// from int8 regardless through the 4× smaller byte traffic.
+  double int8_speedup = 1.0;
+
   // Efficiency model.
   double sat_concurrency = 1e5;  ///< work items needed to saturate
   double base_eff_conv = 0.6;

@@ -4,6 +4,18 @@
 
 namespace hsconas::hwsim {
 
+const char* data_type_name(DataType dtype) {
+  switch (dtype) {
+    case DataType::kF32: return "f32";
+    case DataType::kI8: return "int8";
+  }
+  return "?";
+}
+
+double data_type_bytes(DataType dtype) {
+  return dtype == DataType::kI8 ? 1.0 : 4.0;
+}
+
 const char* op_kind_name(OpKind kind) {
   switch (kind) {
     case OpKind::kConv: return "conv";
@@ -69,27 +81,36 @@ double OpDescriptor::params() const {
 }
 
 double OpDescriptor::input_bytes() const {
+  const double b = data_type_bytes(dtype);
   if (kind == OpKind::kLinear) {
-    return 4.0 * static_cast<double>(in_channels);
+    return b * static_cast<double>(in_channels);
   }
-  return 4.0 * static_cast<double>(in_channels) *
+  return b * static_cast<double>(in_channels) *
          static_cast<double>(in_h) * static_cast<double>(in_w);
 }
 
 double OpDescriptor::output_bytes() const {
+  const double b = data_type_bytes(dtype);
   if (kind == OpKind::kLinear) {
-    return 4.0 * static_cast<double>(out_channels);
+    return b * static_cast<double>(out_channels);
   }
-  return 4.0 * static_cast<double>(out_channels) *
+  return b * static_cast<double>(out_channels) *
          static_cast<double>(out_h()) * static_cast<double>(out_w());
 }
 
-double OpDescriptor::weight_bytes() const { return 4.0 * params(); }
+double OpDescriptor::weight_bytes() const {
+  return data_type_bytes(dtype) * params();
+}
 
 std::string OpDescriptor::to_string() const {
-  return util::format("%s(in=%ld out=%ld %ldx%ld k=%ld s=%ld g=%ld)",
-                      op_kind_name(kind), in_channels, out_channels, in_h,
-                      in_w, kernel, stride, groups);
+  std::string s =
+      util::format("%s(in=%ld out=%ld %ldx%ld k=%ld s=%ld g=%ld)",
+                   op_kind_name(kind), in_channels, out_channels, in_h,
+                   in_w, kernel, stride, groups);
+  if (dtype != DataType::kF32) {
+    s += util::format("[%s]", data_type_name(dtype));
+  }
+  return s;
 }
 
 OpDescriptor OpDescriptor::conv(long in_ch, long out_ch, long h, long w,
@@ -165,6 +186,15 @@ std::size_t fuse_conv_epilogues(NetworkDesc& net) {
   std::size_t fused = 0;
   for (LayerDesc& layer : net) fused += fuse_conv_epilogues(layer);
   return fused;
+}
+
+void set_layer_dtype(LayerDesc& layer, DataType dtype) {
+  layer.dtype = dtype;
+  for (OpDescriptor& op : layer.ops) op.dtype = dtype;
+}
+
+void set_network_dtype(NetworkDesc& net, DataType dtype) {
+  for (LayerDesc& layer : net) set_layer_dtype(layer, dtype);
 }
 
 double network_macs(const NetworkDesc& net) {

@@ -6,6 +6,20 @@
 
 namespace hsconas::hwsim {
 
+/// Numeric format an operator executes in. The dtype scales the activation
+/// and weight traffic (4 bytes vs 1) and selects the device's int8 compute
+/// throughput (DeviceProfile::int8_speedup) — the two effects that make a
+/// quantized network genuinely faster on hardware with a narrow datapath.
+enum class DataType {
+  kF32,  ///< 32-bit float (the classic path)
+  kI8,   ///< 8-bit integer (post-training quantized inference)
+};
+
+const char* data_type_name(DataType dtype);
+
+/// Bytes per element of `dtype`.
+double data_type_bytes(DataType dtype);
+
 /// Primitive operator kinds the device simulator prices. Composite NAS
 /// operators (choice blocks) lower to sequences of these.
 enum class OpKind {
@@ -32,6 +46,7 @@ struct OpDescriptor {
   long stride = 1;
   long groups = 1;
   long pad = -1;  ///< -1 = same-padding (kernel/2); >= 0 explicit
+  DataType dtype = DataType::kF32;
 
   long out_h() const;
   long out_w() const;
@@ -42,11 +57,11 @@ struct OpDescriptor {
   double macs() const;
   /// Trainable parameter count (conv/linear weights; 0 for data movement).
   double params() const;
-  /// Activation bytes read per sample (fp32).
+  /// Activation bytes read per sample (scaled by dtype width).
   double input_bytes() const;
-  /// Activation bytes written per sample (fp32).
+  /// Activation bytes written per sample (scaled by dtype width).
   double output_bytes() const;
-  /// Weight bytes touched (fp32).
+  /// Weight bytes touched (scaled by dtype width).
   double weight_bytes() const;
 
   std::string to_string() const;
@@ -73,9 +88,11 @@ struct LayerDesc {
   long out_channels = 0;
   long out_h = 0;
   long out_w = 0;
+  /// Format of the layer's output tensor (inter-layer hand-off width).
+  DataType dtype = DataType::kF32;
 
   double output_bytes() const {
-    return 4.0 * static_cast<double>(out_channels) *
+    return data_type_bytes(dtype) * static_cast<double>(out_channels) *
            static_cast<double>(out_h) * static_cast<double>(out_w);
   }
   double macs() const;
@@ -98,5 +115,12 @@ double network_params(const NetworkDesc& net);
 /// (elementwise ops price at 0 MACs); activation-byte totals shrink.
 std::size_t fuse_conv_epilogues(LayerDesc& layer);
 std::size_t fuse_conv_epilogues(NetworkDesc& net);
+
+/// Retarget every op (and the layer output) to `dtype` — the lowering
+/// post-pass a quantized architecture applies before pricing. Geometry and
+/// MAC counts are untouched; only byte traffic and compute throughput
+/// selection change.
+void set_layer_dtype(LayerDesc& layer, DataType dtype);
+void set_network_dtype(NetworkDesc& net, DataType dtype);
 
 }  // namespace hsconas::hwsim

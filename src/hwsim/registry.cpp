@@ -16,6 +16,7 @@ DeviceProfile gv100_profile() {
   p.base_eff_depthwise = 0.12;  // dw kernels map poorly to tensor pipes
   p.base_eff_linear = 0.45;
   p.base_eff_other = 1.0;
+  p.int8_speedup = 4.0;  // dp4a: 4 int8 MACs per fp32 lane
   p.eltwise_fusion = 0.8;  // cuDNN/TensorRT-era fusion
   p.link_bandwidth_gbs = 200.0;  // L2/DRAM tensor hand-off
   p.sync_overhead_us = 14.0;     // stream sync + scheduler
@@ -38,6 +39,7 @@ DeviceProfile xeon6136_profile() {
   p.base_eff_depthwise = 0.20;
   p.base_eff_linear = 0.35;
   p.base_eff_other = 1.0;
+  p.int8_speedup = 2.0;  // AVX-512BW vpmaddubsw: ~2x over fp32 FMA
   p.eltwise_fusion = 0.3;  // era CPU runtimes fused little
   p.link_bandwidth_gbs = 5.5;   // cache-hostile tensor hand-off at batch 1
   p.sync_overhead_us = 50.0;    // framework per-layer overhead at batch 1
@@ -57,6 +59,7 @@ DeviceProfile xavier_profile() {
   p.base_eff_depthwise = 0.15;
   p.base_eff_linear = 0.40;
   p.base_eff_other = 1.0;
+  p.int8_speedup = 2.0;  // Volta iGPU dp4a under the 30 W power cap
   p.eltwise_fusion = 0.75;  // TensorRT-style fusion on Jetson
   p.link_bandwidth_gbs = 25.0;
   p.sync_overhead_us = 70.0;

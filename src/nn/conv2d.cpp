@@ -5,6 +5,7 @@
 
 #include "nn/op_profile.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_i8.h"
 #include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
@@ -127,6 +128,21 @@ Tensor Conv2d::forward_impl(const Tensor& x, const tensor::GemmEpilogue* ep) {
                           ": output collapses to zero size");
   }
 
+  if (!training_) {
+    // The dtype seam. Calibration observes the fp32 input; the int8 path
+    // takes over only for calibrated layers under the process-wide dtype
+    // switch (and only at reduction depths the int32 accumulators cover —
+    // others keep computing fp32, so mixed-readiness models stay correct).
+    if (calibration_mode()) {
+      quant_.observer.observe(x.data(), static_cast<std::size_t>(x.numel()));
+    }
+    if (inference_dtype() == InferenceDType::kI8 && quant_.ready &&
+        static_cast<std::size_t>(cin_g * kernel_ * kernel_) <=
+            tensor::kGemmI8MaxK) {
+      return forward_quant_impl(x, ep);
+    }
+  }
+
   Tensor y({n, out_channels_, oh, ow});
   const long col_rows = cin_g * kernel_ * kernel_;
   const long ohw = oh * ow;
@@ -224,6 +240,143 @@ Tensor Conv2d::forward_impl(const Tensor& x, const tensor::GemmEpilogue* ep) {
                    static_cast<std::size_t>(col_rows), 1.0f, wgt, cols.data(),
                    0.0f, out_panel.data());
     }
+    pool.parallel_for(static_cast<std::size_t>(cout_g), [&](std::size_t ci) {
+      const long c = static_cast<long>(ci);
+      for (long s = 0; s < n; ++s) {
+        std::copy(out_panel.data() + (c * n + s) * ohw,
+                  out_panel.data() + (c * n + s + 1) * ohw,
+                  y.data() + ((s * out_channels_ + g * cout_g + c) * ohw));
+      }
+    });
+  }
+  return y;
+}
+
+Tensor Conv2d::forward_quant_impl(const Tensor& x,
+                                  const tensor::GemmEpilogue* ep) {
+  const long n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const long cin_g = in_channels_ / groups_;
+  const long cout_g = out_channels_ / groups_;
+  ConvGeom geom{cin_g, h, w, kernel_, stride_, pad_};
+  const long oh = geom.out_h(), ow = geom.out_w();
+  Tensor y({n, out_channels_, oh, ow});
+  const long col_rows = cin_g * kernel_ * kernel_;
+  const long ohw = oh * ow;
+  auto& pool = util::ThreadPool::global();
+
+  const tensor::QuantParams aq = quant_.input;
+  const std::int32_t za = aq.zero_point;
+  const std::int8_t* qw = quant_.qweight.i8_data();
+
+  // Compose the caller's per-channel affine with the dequantization:
+  //   real_acc = s_a * s_w[c] * (int_acc - z_a * wsum[c])
+  // so  act(scale[c] * real_acc + shift[c])
+  //   = act((scale[c] * s_a * s_w[c]) * (int_acc + acc_bias[c]) + shift[c])
+  // with acc_bias[c] = -z_a * wsum[c] — exactly the QuantEpilogue form,
+  // applied in the int8 GEMM's C-writeback.
+  tensor::Workspace& ws = tensor::Workspace::tls();
+  tensor::Scratch qscale = ws.take(static_cast<std::size_t>(out_channels_));
+  tensor::ByteScratch qbias = ws.take_bytes(
+      static_cast<std::size_t>(out_channels_) * sizeof(std::int32_t));
+  // int32 view of 64B-aligned pooled scratch, not wire decoding.
+  // hsconas-lint-allow(serial-pointer-cast)
+  std::int32_t* acc_bias = reinterpret_cast<std::int32_t*>(qbias.u8());
+  for (long c = 0; c < out_channels_; ++c) {
+    const float es =
+        (ep != nullptr && ep->scale != nullptr) ? ep->scale[c] : 1.0f;
+    qscale[static_cast<std::size_t>(c)] =
+        es * aq.scale * quant_.weight_scales[static_cast<std::size_t>(c)];
+    acc_bias[c] = -za * quant_.weight_row_sums[static_cast<std::size_t>(c)];
+  }
+
+  if (cin_g == 1 && cout_g == 1) {
+    // Depthwise: quantize each input plane once and accumulate in int32
+    // directly. Border taps are skipped rather than padded, so the
+    // zero-point correction uses the per-pixel in-range weight sum
+    // instead of the full-row acc_bias.
+    const long k = kernel_;
+    pool.parallel_for(static_cast<std::size_t>(n * out_channels_),
+                      [&](std::size_t t) {
+      const long s = static_cast<long>(t) / out_channels_;
+      const long c = static_cast<long>(t) % out_channels_;
+      tensor::ByteScratch qplane = tensor::Workspace::tls().take_bytes(
+          static_cast<std::size_t>(h * w));
+      quantize_u8(x.data() + ((s * in_channels_ + c) * h * w),
+                  static_cast<std::size_t>(h * w), aq, qplane.u8());
+      const std::uint8_t* qimg = qplane.u8();
+      const std::int8_t* wk = qw + c * k * k;
+      float* out = y.data() + ((s * out_channels_ + c) * ohw);
+      const float qs = qscale[static_cast<std::size_t>(c)];
+      const float et = (ep != nullptr && ep->shift != nullptr)
+                           ? ep->shift[c] : 0.0f;
+      const tensor::EpilogueAct act =
+          ep != nullptr ? ep->act : tensor::EpilogueAct::kNone;
+      for (long oy = 0; oy < oh; ++oy) {
+        const long iy0 = oy * stride_ - pad_;
+        for (long ox = 0; ox < ow; ++ox) {
+          const long ix0 = ox * stride_ - pad_;
+          std::int32_t acc = 0;
+          std::int32_t wsum_in = 0;
+          for (long ky = 0; ky < k; ++ky) {
+            const long iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const std::uint8_t* irow = qimg + iy * w;
+            const std::int8_t* wrow = wk + ky * k;
+            for (long kx = 0; kx < k; ++kx) {
+              const long ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += static_cast<std::int32_t>(wrow[kx]) *
+                     static_cast<std::int32_t>(irow[ix]);
+              wsum_in += wrow[kx];
+            }
+          }
+          // hsconas-lint-allow(quant-dtype-discipline): sanctioned
+          // int32→float dequantization site (depthwise writeback).
+          const float deq = static_cast<float>(acc - za * wsum_in);
+          out[oy * ow + ox] = tensor::epilogue_apply(
+              act, tensor::epilogue_affine(qs, deq, et));
+        }
+      }
+    });
+    return y;
+  }
+
+  // Grouped path: same sample-batched im2col as fp32, but the scattered
+  // column matrix is quantized to u8 per sample (each sample's stripe is
+  // quantized independently, which keeps batched == sequential results
+  // bit-identical), then one int8 GEMM per group dequantizes in its
+  // writeback epilogue.
+  tensor::ByteScratch qcols =
+      ws.take_bytes(static_cast<std::size_t>(col_rows * n * ohw));
+  tensor::Scratch out_panel =
+      ws.take(static_cast<std::size_t>(cout_g * n * ohw));
+
+  for (long g = 0; g < groups_; ++g) {
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t si) {
+      const long s = static_cast<long>(si);
+      tensor::Scratch panel = tensor::Workspace::tls().take(
+          static_cast<std::size_t>(col_rows * ohw));
+      const float* img = x.data() + ((s * in_channels_ + g * cin_g) * h * w);
+      tensor::im2col(img, geom, panel.data());
+      // im2col zero-padding quantizes to exactly z_a (the observer range
+      // always includes 0), so padded taps contribute 0 after the
+      // acc_bias correction — the full-row wsum stays valid.
+      for (long r = 0; r < col_rows; ++r) {
+        quantize_u8(panel.data() + r * ohw, static_cast<std::size_t>(ohw),
+                    aq, qcols.u8() + r * n * ohw + s * ohw);
+      }
+    });
+    const std::int8_t* wgt = qw + g * cout_g * col_rows;
+    tensor::QuantEpilogue qep;
+    qep.scale = qscale.data() + g * cout_g;
+    qep.shift = (ep != nullptr && ep->shift != nullptr)
+                    ? ep->shift + g * cout_g : nullptr;
+    qep.acc_bias = acc_bias + g * cout_g;
+    qep.act = ep != nullptr ? ep->act : tensor::EpilogueAct::kNone;
+    tensor::gemm_i8_requant(static_cast<std::size_t>(cout_g),
+                            static_cast<std::size_t>(n * ohw),
+                            static_cast<std::size_t>(col_rows), wgt,
+                            qcols.u8(), out_panel.data(), qep);
     pool.parallel_for(static_cast<std::size_t>(cout_g), [&](std::size_t ci) {
       const long c = static_cast<long>(ci);
       for (long s = 0; s < n; ++s) {

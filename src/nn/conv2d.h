@@ -1,6 +1,7 @@
 #pragma once
 
 #include "nn/module.h"
+#include "nn/quantize.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 
@@ -45,6 +46,10 @@ class Conv2d : public Module {
   Parameter& weight() { return weight_; }
   Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
 
+  /// Int8 PTQ state: observed during calibration mode, consumed by the
+  /// quantized eval forward when inference_dtype() == kI8 and ready.
+  QuantState* quant_state() override { return &quant_; }
+
   /// Analytic multiply-accumulate count for one sample at the given input
   /// spatial size (used to cross-check the core library's FLOPs counters).
   long macs(long in_h, long in_w) const;
@@ -57,11 +62,19 @@ class Conv2d : public Module {
   tensor::Tensor forward_impl(const tensor::Tensor& x,
                               const tensor::GemmEpilogue* ep);
 
+  /// Int8 eval-mode body: same contract as forward_impl (`ep` spans all
+  /// out_channels and already folds bias/BN), but computes via uint8
+  /// activation quantization + the int8 GEMM, dequantizing inside the
+  /// requant epilogue. Requires quant_.ready.
+  tensor::Tensor forward_quant_impl(const tensor::Tensor& x,
+                                    const tensor::GemmEpilogue* ep);
+
   long in_channels_, out_channels_, kernel_, stride_, pad_, groups_;
   bool has_bias_;
   std::string display_name_;
   Parameter weight_;
   Parameter bias_;
+  QuantState quant_;
   tensor::Tensor cached_input_;
 };
 

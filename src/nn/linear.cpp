@@ -4,6 +4,8 @@
 
 #include "nn/op_profile.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_i8.h"
+#include "tensor/workspace.h"
 
 namespace hsconas::nn {
 
@@ -57,6 +59,15 @@ Tensor Linear::forward(const Tensor& x) {
     throw InvalidArgument("Linear " + display_name_ + ": bad input shape " +
                           x.shape_str());
   }
+  if (!training_) {
+    if (calibration_mode()) {
+      quant_.observer.observe(x.data(), static_cast<std::size_t>(x.numel()));
+    }
+    if (inference_dtype() == InferenceDType::kI8 && quant_.ready &&
+        static_cast<std::size_t>(in_features_) <= tensor::kGemmI8MaxK) {
+      return forward_quant(x);
+    }
+  }
   cached_input_ = x;
   const long n = x.dim(0);
   Tensor y({n, out_features_});
@@ -68,6 +79,54 @@ Tensor Linear::forward(const Tensor& x) {
   for (long s = 0; s < n; ++s) {
     for (long o = 0; o < out_features_; ++o) {
       y.at(s, o) += bias_.value.at(o);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::forward_quant(const Tensor& x) {
+  const long n = x.dim(0);
+  // The int8 GEMM wants the signed operand as A rows, so compute
+  // C = W_q (out×in) · X_qᵀ (in×N) and transpose the (out, N) result
+  // back to (N, out). Each input element is quantized independently and
+  // integer accumulation is exact, so batched == sequential bit-exactly.
+  tensor::Workspace& ws = tensor::Workspace::tls();
+  const tensor::QuantParams aq = quant_.input;
+  tensor::ByteScratch qx =
+      ws.take_bytes(static_cast<std::size_t>(in_features_ * n));
+  for (long s = 0; s < n; ++s) {
+    for (long t = 0; t < in_features_; ++t) {
+      quantize_u8(x.data() + s * in_features_ + t, 1, aq,
+                  qx.u8() + t * n + s);
+    }
+  }
+  tensor::Scratch qscale = ws.take(static_cast<std::size_t>(out_features_));
+  tensor::ByteScratch qbias = ws.take_bytes(
+      static_cast<std::size_t>(out_features_) * sizeof(std::int32_t));
+  // int32 view of 64B-aligned pooled scratch, not wire decoding.
+  // hsconas-lint-allow(serial-pointer-cast)
+  std::int32_t* acc_bias = reinterpret_cast<std::int32_t*>(qbias.u8());
+  for (long o = 0; o < out_features_; ++o) {
+    qscale[static_cast<std::size_t>(o)] =
+        aq.scale * quant_.weight_scales[static_cast<std::size_t>(o)];
+    acc_bias[o] = -aq.zero_point *
+                  quant_.weight_row_sums[static_cast<std::size_t>(o)];
+  }
+  tensor::QuantEpilogue qep;
+  qep.scale = qscale.data();
+  qep.shift = bias_.value.data();
+  qep.acc_bias = acc_bias;
+  tensor::Scratch out_panel =
+      ws.take(static_cast<std::size_t>(out_features_ * n));
+  tensor::gemm_i8_requant(static_cast<std::size_t>(out_features_),
+                          static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(in_features_),
+                          quant_.qweight.i8_data(), qx.u8(),
+                          out_panel.data(), qep);
+  Tensor y({n, out_features_});
+  for (long s = 0; s < n; ++s) {
+    for (long o = 0; o < out_features_; ++o) {
+      y.at(s, o) = out_panel[static_cast<std::size_t>(o * n + s)];
     }
   }
   return y;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "nn/module.h"
+#include "nn/quantize.h"
 
 namespace hsconas::nn {
 
@@ -20,11 +21,21 @@ class Linear : public Module {
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 
+  /// Int8 PTQ state: observed during calibration mode, consumed by the
+  /// quantized eval forward when inference_dtype() == kI8 and ready.
+  QuantState* quant_state() override { return &quant_; }
+
  private:
+  /// Int8 eval body: W (int8, out×in) · Xᵀ (u8, in×N) with the bias and
+  /// dequantization folded into the requant epilogue, transposed back to
+  /// (N, out). Requires quant_.ready.
+  tensor::Tensor forward_quant(const tensor::Tensor& x);
+
   long in_features_, out_features_;
   std::string display_name_;
   Parameter weight_;  // (out, in)
   Parameter bias_;    // (out)
+  QuantState quant_;
   tensor::Tensor cached_input_;
 };
 

@@ -9,6 +9,8 @@
 
 namespace hsconas::nn {
 
+struct QuantState;
+
 /// A trainable tensor plus its gradient accumulator.
 ///
 /// Weight sharing in the supernet works by module *identity*: every subnet
@@ -65,6 +67,12 @@ class Module {
   /// Depth-first traversal over this module and all children; used for
   /// cross-cutting operations (BN-statistics recalibration, diagnostics).
   virtual void visit(const std::function<void(Module&)>& fn) { fn(*this); }
+
+  /// Post-training-quantization state, for modules that have an int8
+  /// datapath (Conv2d, Linear). Null for everything else; the calibration
+  /// driver and serializers discover quantizable layers through visit() +
+  /// this hook, so they need no knowledge of concrete layer types.
+  virtual QuantState* quant_state() { return nullptr; }
 
   virtual std::string name() const = 0;
 

@@ -10,6 +10,7 @@
 #include "tensor/tensor.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace hsconas::serve {
 
@@ -61,6 +62,7 @@ BatchServer::BatchServer(const core::SearchSpace& space,
 
   prev_fusion_ = nn::inference_fusion_enabled();
   nn::set_inference_fusion(config_.fuse);
+  prev_dtype_ = nn::inference_dtype();
 
   nets_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -71,6 +73,23 @@ BatchServer::BatchServer(const core::SearchSpace& space,
     nets_.back()->set_training(false);
   }
 
+  if (config_.dtype == nn::InferenceDType::kI8) {
+    // Identical weights + identical synthetic batches => every replica
+    // freezes bit-identical quantizers, preserving the cross-lane
+    // determinism contract of the fp32 path.
+    if (config_.calibration_batches == 0) config_.calibration_batches = 1;
+    util::Rng calib_rng(config_.seed ^ 0xCA11B);
+    std::vector<tensor::Tensor> batches;
+    batches.reserve(config_.calibration_batches);
+    const long n = static_cast<long>(config_.batch_max);
+    for (std::size_t b = 0; b < config_.calibration_batches; ++b) {
+      batches.push_back(tensor::Tensor::uniform(
+          {n, channels_, height_, width_}, -1.0f, 1.0f, calib_rng));
+    }
+    for (auto& net : nets_) net->calibrate_quant(batches);
+    nn::set_inference_dtype(nn::InferenceDType::kI8);
+  }
+
   ring_.assign(config_.queue_capacity, nullptr);
 
   HSCONAS_LOG_INFO << "serve: batch server up"
@@ -78,7 +97,8 @@ BatchServer::BatchServer(const core::SearchSpace& space,
       << " deadline_us=" << config_.deadline_us
       << " workers=" << config_.workers
       << " queue=" << config_.queue_capacity
-      << " fused=" << (config_.fuse ? 1 : 0);
+      << " fused=" << (config_.fuse ? 1 : 0)
+      << " dtype=" << nn::inference_dtype_name(config_.dtype);
 
   for (std::size_t i = 0; i < config_.workers; ++i) {
     lanes_.submit([this, i] { lane(i); });
@@ -87,6 +107,7 @@ BatchServer::BatchServer(const core::SearchSpace& space,
 
 BatchServer::~BatchServer() {
   shutdown();
+  nn::set_inference_dtype(prev_dtype_);
   nn::set_inference_fusion(prev_fusion_);
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/arch.h"
 #include "core/search_space.h"
+#include "nn/quantize.h"
 #include "util/thread_pool.h"
 
 namespace hsconas::core {
@@ -35,6 +36,13 @@ struct ServerConfig {
   /// Weight-init seed; every lane replica uses the same seed, so all
   /// lanes hold bit-identical weights.
   std::uint64_t seed = 42;
+  /// Numeric type lane forwards compute in. kI8 calibrates every replica
+  /// at construction (synthetic batches, seed-derived, identical across
+  /// lanes) and serves through the int8 GEMM; kF32 is the bit-for-bit
+  /// status quo.
+  nn::InferenceDType dtype = nn::InferenceDType::kF32;
+  /// Calibration batches fed to each replica when dtype == kI8.
+  std::size_t calibration_batches = 2;
 };
 
 /// Where a request ended up, returned by BatchServer::infer. Tickets are
@@ -106,6 +114,7 @@ class BatchServer {
   std::size_t output_size_ = 0;
   long channels_ = 0, height_ = 0, width_ = 0;
   bool prev_fusion_ = false;
+  nn::InferenceDType prev_dtype_ = nn::InferenceDType::kF32;
 
   std::vector<std::unique_ptr<core::Supernet>> nets_;
 

@@ -131,6 +131,10 @@ Scratch Workspace::take_zeroed(std::size_t n) {
   return s;
 }
 
+ByteScratch Workspace::take_bytes(std::size_t n) {
+  return ByteScratch(take((n + sizeof(float) - 1) / sizeof(float)), n);
+}
+
 std::size_t Workspace::pooled_floats() const {
   std::size_t total = 0;
   for (const Block& b : free_) total += b.capacity;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace hsconas::obs {
@@ -42,6 +43,41 @@ class Scratch {
   std::size_t capacity_ = 0;  ///< allocation size in floats
 };
 
+/// RAII lease on a byte-typed scratch buffer for the quantized kernels
+/// (int8 packing panels, u8 activation staging). Backed by the same pooled
+/// float blocks as Scratch — reinterpreted, which byte types may do — so
+/// the int8 path shares one recycling arena with the fp32 path and stays
+/// allocation-free in steady state. Same thread-affinity rules as Scratch.
+class ByteScratch {
+ public:
+  ByteScratch() = default;
+
+  // The views below pun the pooled float block to byte types, which the
+  // aliasing rules permit for char-family pointers; this is buffer
+  // reinterpretation, not wire-format decoding.
+  // hsconas-lint-allow(serial-pointer-cast)
+  std::uint8_t* u8() { return reinterpret_cast<std::uint8_t*>(base_.data()); }
+  const std::uint8_t* u8() const {
+    // hsconas-lint-allow(serial-pointer-cast)
+    return reinterpret_cast<const std::uint8_t*>(base_.data());
+  }
+  // hsconas-lint-allow(serial-pointer-cast)
+  std::int8_t* i8() { return reinterpret_cast<std::int8_t*>(base_.data()); }
+  const std::int8_t* i8() const {
+    // hsconas-lint-allow(serial-pointer-cast)
+    return reinterpret_cast<const std::int8_t*>(base_.data());
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  friend class Workspace;
+  ByteScratch(Scratch base, std::size_t size)
+      : base_(std::move(base)), size_(size) {}
+
+  Scratch base_;
+  std::size_t size_ = 0;  ///< requested bytes
+};
+
 /// Growable pool of cache-line-aligned scratch buffers. The hot compute
 /// paths (GEMM packing, im2col panels, conv scatter staging) lease buffers
 /// from the calling thread's pool via Workspace::tls() instead of
@@ -68,6 +104,11 @@ class Workspace {
 
   /// Lease a buffer of n floats with every element set to 0.0f.
   Scratch take_zeroed(std::size_t n);
+
+  /// Lease at least n bytes, 64-byte aligned, uninitialized — a float
+  /// lease rounded up to whole floats and viewed as bytes, so pool
+  /// accounting and recycling are shared with the float path.
+  ByteScratch take_bytes(std::size_t n);
 
   /// Floats currently parked in the free list (for tests/diagnostics).
   std::size_t pooled_floats() const;

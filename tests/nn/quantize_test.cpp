@@ -1,0 +1,390 @@
+// Post-training-quantization contracts (nn/quantize.h): quantize /
+// dequantize round-trip error bounds, observer zero-inclusion and
+// saturation at the u8 / ±127 extremes, int8-vs-fp32 layer agreement
+// within scale-derived tolerance, exact fallback for uncalibrated
+// layers, calibration-table serialization round-trips (bit-identical
+// int8 outputs after import), batched == sequential bit-identity, and
+// thread-count determinism of the quantized forward.
+
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/fused_conv.h"
+#include "nn/linear.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/thread_pool.h"
+
+namespace hsconas::nn {
+namespace {
+
+using tensor::QuantParams;
+using tensor::Tensor;
+
+/// Restore the process-wide dtype/calibration switches on scope exit so
+/// a failing assertion can't leak int8 mode into later tests.
+class QuantModeGuard {
+ public:
+  QuantModeGuard()
+      : dtype_(inference_dtype()), calib_(calibration_mode()) {}
+  ~QuantModeGuard() {
+    set_inference_dtype(dtype_);
+    set_calibration_mode(calib_);
+  }
+
+ private:
+  InferenceDType dtype_;
+  bool calib_;
+};
+
+class PoolGuard {
+ public:
+  explicit PoolGuard(std::size_t threads)
+      : prev_(util::ThreadPool::global().size()) {
+    util::ThreadPool::configure_global(threads);
+  }
+  ~PoolGuard() { util::ThreadPool::configure_global(prev_); }
+
+ private:
+  std::size_t prev_;
+};
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  float worst = 0.0f;
+  for (long i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+float max_abs(const Tensor& a) {
+  float worst = 0.0f;
+  for (long i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i]));
+  }
+  return worst;
+}
+
+TEST(Quantize, RoundTripWithinHalfScale) {
+  util::Rng rng(31);
+  MinMaxObserver obs;
+  std::vector<float> x(1000);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-3.0, 5.0));
+  obs.observe(x.data(), x.size());
+  const QuantParams p = obs.params();
+  ASSERT_GT(p.scale, 0.0f);
+  std::vector<std::uint8_t> q(x.size());
+  quantize_u8(x.data(), x.size(), p, q.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // In-range values round-trip within half a quantization step.
+    EXPECT_NEAR(x[i], dequantize_u8(q[i], p), 0.5f * p.scale + 1e-6f);
+  }
+}
+
+TEST(Quantize, ObserverRangeAlwaysIncludesZero) {
+  MinMaxObserver obs;
+  // All-positive data (a ReLU output): the range must widen to [0, max]
+  // so that real 0.0 maps exactly to the zero_point code.
+  std::vector<float> x = {2.0f, 4.0f, 8.0f};
+  obs.observe(x.data(), x.size());
+  const QuantParams p = obs.params();
+  EXPECT_EQ(0, p.zero_point);
+  std::uint8_t q = 255;
+  const float zero = 0.0f;
+  quantize_u8(&zero, 1, p, &q);
+  EXPECT_EQ(0.0f, dequantize_u8(q, p));
+}
+
+TEST(Quantize, DegenerateRangeGivesIdentityQuantizer) {
+  MinMaxObserver unseen;
+  EXPECT_EQ(1.0f, unseen.params().scale);
+  EXPECT_EQ(0, unseen.params().zero_point);
+  MinMaxObserver zeros;
+  std::vector<float> x(8, 0.0f);
+  zeros.observe(x.data(), x.size());
+  EXPECT_EQ(1.0f, zeros.params().scale);
+}
+
+TEST(Quantize, SaturatesAtU8Extremes) {
+  QuantParams p{0.1f, 128};
+  const float lo = -1e6f, hi = 1e6f;
+  std::uint8_t q = 7;
+  quantize_u8(&lo, 1, p, &q);
+  EXPECT_EQ(0, q);
+  quantize_u8(&hi, 1, p, &q);
+  EXPECT_EQ(255, q);
+}
+
+TEST(Quantize, WeightCodesSaturateAt127) {
+  // Freeze with deliberately small scales: codes must clamp to ±127,
+  // never reach -128 (which would break the VNNI accumulation bound).
+  util::Rng rng(32);
+  Tensor w = Tensor::uniform({2, 8}, -4.0f, 4.0f, rng);
+  w.at(0, 0) = 100.0f;
+  w.at(1, 0) = -100.0f;
+  QuantState qs;
+  qs.freeze_from(w, 2, QuantParams{1.0f, 0},
+                 std::vector<float>{0.01f, 0.01f});
+  EXPECT_EQ(127, qs.qweight.i8_data()[0]);
+  EXPECT_EQ(-127, qs.qweight.i8_data()[8]);
+  for (long i = 0; i < qs.qweight.numel(); ++i) {
+    EXPECT_GE(qs.qweight.i8_data()[i], -127);
+    EXPECT_LE(qs.qweight.i8_data()[i], 127);
+  }
+}
+
+TEST(Quantize, FreezeRecordsRowSums) {
+  util::Rng rng(33);
+  Tensor w = Tensor::uniform({3, 16}, -1.0f, 1.0f, rng);
+  QuantState qs;
+  qs.freeze(w, 3);
+  ASSERT_TRUE(qs.ready);
+  ASSERT_EQ(3u, qs.weight_scales.size());
+  for (long c = 0; c < 3; ++c) {
+    std::int32_t sum = 0;
+    for (long t = 0; t < 16; ++t) sum += qs.qweight.i8_data()[c * 16 + t];
+    EXPECT_EQ(sum, qs.weight_row_sums[static_cast<std::size_t>(c)]);
+    // Symmetric per-channel scale: the largest-magnitude weight maps to
+    // ±127 exactly.
+    EXPECT_GT(qs.weight_scales[static_cast<std::size_t>(c)], 0.0f);
+  }
+}
+
+struct ConvCase {
+  long in_ch, out_ch, kernel, stride, pad, groups;
+  bool bias;
+};
+
+TEST(QuantizedConv, AgreesWithFp32WithinScaleTolerance) {
+  QuantModeGuard guard;
+  const ConvCase cases[] = {
+      {8, 12, 3, 1, 1, 1, true},   // dense
+      {8, 8, 3, 2, 1, 8, false},   // depthwise, strided
+      {12, 8, 1, 1, 0, 4, true},   // grouped pointwise
+      {6, 6, 5, 1, 2, 6, true},    // depthwise 5x5 with bias
+  };
+  int idx = 0;
+  for (const ConvCase& c : cases) {
+    util::Rng rng(40 + idx++);
+    Conv2d conv(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad, c.groups,
+                c.bias, rng);
+    conv.set_training(false);
+    std::vector<Tensor> batches;
+    batches.push_back(Tensor::uniform({2, c.in_ch, 9, 9}, -1.5f, 1.5f, rng));
+    batches.push_back(Tensor::uniform({2, c.in_ch, 9, 9}, -1.0f, 2.0f, rng));
+    ASSERT_EQ(1u, calibrate(conv, batches));
+
+    const Tensor x = Tensor::uniform({3, c.in_ch, 9, 9}, -1.2f, 1.2f, rng);
+    const Tensor y32 = conv.forward(x);
+    set_inference_dtype(InferenceDType::kI8);
+    const Tensor y8 = conv.forward(x);
+    set_inference_dtype(InferenceDType::kF32);
+    // Error budget: activation rounding (scale/2 per tap) plus weight
+    // rounding, accumulated over the reduction. 2% of the output range
+    // is far above what the 3x3/1x1 windows here can accumulate, and far
+    // below any real disagreement (wrong zero-point correction shifts
+    // outputs by whole units).
+    const float tol = 0.02f * (max_abs(y32) + 1.0f);
+    EXPECT_LT(max_abs_diff(y32, y8), tol)
+        << "case " << idx - 1 << ": int8 conv diverged from fp32";
+  }
+}
+
+TEST(QuantizedConv, UncalibratedLayerFallsBackToFp32Exactly) {
+  QuantModeGuard guard;
+  util::Rng rng(45);
+  Conv2d conv(4, 6, 3, 1, 1, 1, true, rng);
+  conv.set_training(false);
+  const Tensor x = Tensor::uniform({2, 4, 7, 7}, -1.0f, 1.0f, rng);
+  const Tensor y32 = conv.forward(x);
+  set_inference_dtype(InferenceDType::kI8);  // no calibration ran
+  const Tensor y8 = conv.forward(x);
+  ASSERT_EQ(0, std::memcmp(y32.data(), y8.data(),
+                           static_cast<std::size_t>(y32.numel()) *
+                               sizeof(float)));
+}
+
+TEST(QuantizedConv, FusedPeepholeComposesWithInt8) {
+  QuantModeGuard guard;
+  util::Rng rng(46);
+  auto seq = std::make_unique<Sequential>("block");
+  auto* conv = seq->add(std::make_unique<Conv2d>(6, 10, 3, 1, 1, 1, true,
+                                                 rng));
+  auto* bn = seq->add(std::make_unique<BatchNorm2d>(10));
+  seq->add(std::make_unique<ReLU>());
+  (void)conv;
+  // Push real statistics through BN, then freeze into eval mode.
+  seq->set_training(true);
+  (void)seq->forward(Tensor::uniform({4, 6, 9, 9}, -1.0f, 1.0f, rng));
+  seq->set_training(false);
+  for (long c = 0; c < bn->channels(); ++c) {
+    bn->gamma().value.at(c) = static_cast<float>(rng.uniform(0.5, 1.5));
+    bn->beta().value.at(c) = static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({2, 6, 9, 9}, -1.0f, 1.0f, rng));
+  ASSERT_EQ(1u, calibrate(*seq, batches));
+
+  const Tensor x = Tensor::uniform({2, 6, 9, 9}, -1.0f, 1.0f, rng);
+  const bool prev_fusion = inference_fusion_enabled();
+  set_inference_fusion(true);
+  const Tensor y32 = seq->forward(x);
+  set_inference_dtype(InferenceDType::kI8);
+  const Tensor y8 = seq->forward(x);
+  set_inference_dtype(InferenceDType::kF32);
+  set_inference_fusion(prev_fusion);
+  const float tol = 0.02f * (max_abs(y32) + 1.0f);
+  EXPECT_LT(max_abs_diff(y32, y8), tol)
+      << "int8 under the conv/BN/act fusion peephole diverged";
+}
+
+TEST(QuantizedLinear, AgreesWithFp32WithinScaleTolerance) {
+  QuantModeGuard guard;
+  util::Rng rng(47);
+  Linear lin(32, 10, rng);
+  lin.set_training(false);
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({4, 32}, -2.0f, 2.0f, rng));
+  ASSERT_EQ(1u, calibrate(lin, batches));
+  const Tensor x = Tensor::uniform({5, 32}, -1.5f, 1.5f, rng);
+  const Tensor y32 = lin.forward(x);
+  set_inference_dtype(InferenceDType::kI8);
+  const Tensor y8 = lin.forward(x);
+  set_inference_dtype(InferenceDType::kF32);
+  const float tol = 0.02f * (max_abs(y32) + 1.0f);
+  EXPECT_LT(max_abs_diff(y32, y8), tol);
+}
+
+TEST(QuantizedLinear, BatchedEqualsSequentialBitExactly) {
+  QuantModeGuard guard;
+  util::Rng rng(48);
+  Linear lin(16, 6, rng);
+  lin.set_training(false);
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({3, 16}, -1.0f, 1.0f, rng));
+  calibrate(lin, batches);
+  set_inference_dtype(InferenceDType::kI8);
+  const Tensor x = Tensor::uniform({4, 16}, -1.0f, 1.0f, rng);
+  const Tensor batched = lin.forward(x);
+  for (long s = 0; s < 4; ++s) {
+    Tensor one({1, 16});
+    std::memcpy(one.data(), x.data() + s * 16, 16 * sizeof(float));
+    const Tensor ys = lin.forward(one);
+    ASSERT_EQ(0, std::memcmp(batched.data() + s * 6, ys.data(),
+                             6 * sizeof(float)))
+        << "sample " << s << " differs between batched and sequential";
+  }
+}
+
+TEST(Calibration, RestoresModeAndDtypeSwitches) {
+  QuantModeGuard guard;
+  util::Rng rng(49);
+  Conv2d conv(4, 4, 3, 1, 1, 1, false, rng);
+  conv.set_training(true);
+  set_inference_dtype(InferenceDType::kI8);
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({1, 4, 7, 7}, -1.0f, 1.0f, rng));
+  calibrate(conv, batches);
+  EXPECT_TRUE(conv.training());
+  EXPECT_FALSE(calibration_mode());
+  EXPECT_EQ(InferenceDType::kI8, inference_dtype());
+  EXPECT_THROW(calibrate(conv, {}), InvalidArgument);
+}
+
+TEST(Calibration, ExportImportRoundTripsBitExactly) {
+  QuantModeGuard guard;
+  util::Rng rng(50);
+  auto build = [] {
+    util::Rng wrng(777);  // identical weights for both models
+    auto seq = std::make_unique<Sequential>("net");
+    seq->add(std::make_unique<Conv2d>(4, 8, 3, 1, 1, 1, true, wrng));
+    seq->add(std::make_unique<ReLU>());
+    seq->add(std::make_unique<Conv2d>(8, 8, 3, 1, 1, 8, false, wrng));
+    return seq;
+  };
+  auto a = build();
+  a->set_training(false);
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({2, 4, 9, 9}, -1.0f, 1.0f, rng));
+  ASSERT_EQ(2u, calibrate(*a, batches));
+
+  util::ByteWriter w;
+  export_calibration(*a, w);
+  auto b = build();
+  b->set_training(false);
+  util::ByteReader r(w.data());
+  import_calibration(*b, r);
+  r.expect_done();
+
+  set_inference_dtype(InferenceDType::kI8);
+  const Tensor x = Tensor::uniform({2, 4, 9, 9}, -1.0f, 1.0f, rng);
+  const Tensor ya = a->forward(x);
+  const Tensor yb = b->forward(x);
+  ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(),
+                           static_cast<std::size_t>(ya.numel()) *
+                               sizeof(float)))
+      << "imported calibration produced different int8 outputs";
+}
+
+TEST(Calibration, ImportRejectsMismatchedModel) {
+  QuantModeGuard guard;
+  util::Rng rng(51);
+  Conv2d conv(4, 8, 3, 1, 1, 1, true, rng);
+  conv.set_training(false);
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({1, 4, 7, 7}, -1.0f, 1.0f, rng));
+  calibrate(conv, batches);
+  util::ByteWriter w;
+  export_calibration(conv, w);
+
+  // Two quantizable layers where the table has one.
+  Sequential two("two");
+  two.add(std::make_unique<Conv2d>(4, 8, 3, 1, 1, 1, true, rng));
+  two.add(std::make_unique<Conv2d>(8, 8, 3, 1, 1, 1, true, rng));
+  util::ByteReader r1(w.data());
+  EXPECT_THROW(import_calibration(two, r1), InvalidArgument);
+
+  // Right layer count, wrong channel count.
+  Conv2d other(4, 6, 3, 1, 1, 1, true, rng);
+  util::ByteReader r2(w.data());
+  EXPECT_THROW(import_calibration(other, r2), InvalidArgument);
+}
+
+TEST(QuantizedConv, BitIdenticalAcrossThreadCounts) {
+  QuantModeGuard guard;
+  util::Rng rng(52);
+  Conv2d conv(16, 24, 3, 1, 1, 2, true, rng);
+  conv.set_training(false);
+  std::vector<Tensor> batches;
+  batches.push_back(Tensor::uniform({2, 16, 14, 14}, -1.0f, 1.0f, rng));
+  calibrate(conv, batches);
+  set_inference_dtype(InferenceDType::kI8);
+  const Tensor x = Tensor::uniform({4, 16, 14, 14}, -1.0f, 1.0f, rng);
+  Tensor y1;
+  {
+    PoolGuard pool(1);
+    y1 = conv.forward(x);
+  }
+  for (const std::size_t threads : {2u, 8u}) {
+    PoolGuard pool(threads);
+    const Tensor yt = conv.forward(x);
+    ASSERT_EQ(0, std::memcmp(y1.data(), yt.data(),
+                             static_cast<std::size_t>(y1.numel()) *
+                                 sizeof(float)))
+        << "thread count " << threads << " changed the quantized result";
+  }
+}
+
+}  // namespace
+}  // namespace hsconas::nn

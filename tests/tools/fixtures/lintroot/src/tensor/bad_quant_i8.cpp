@@ -1,0 +1,25 @@
+// Fixture: deliberate quant-dtype-discipline violations in an int8
+// kernel TU. The int32 accumulator leaks into float arithmetic outside
+// any sanctioned requant helper.
+#include <cmath>
+#include <cstdint>
+
+namespace fixture {
+
+float dequant_inline(std::int32_t acc, float scale) {
+  return scale * static_cast<float>(acc);        // line 10: float cast
+}
+
+std::int32_t requant_inline(float x) {
+  return (std::int32_t)std::lrintf(x);           // line 14: rounding family
+}
+
+float c_style(std::int32_t acc) {
+  return (float)acc;                             // line 18: C-style cast
+}
+
+// A sanctioned crossing: the allow marker silences the rule here.
+// hsconas-lint-allow(quant-dtype-discipline)
+float sanctioned(std::int32_t acc) { return static_cast<float>(acc); }
+
+}  // namespace fixture

@@ -58,6 +58,9 @@ const RuleFixture kRuleFixtures[] = {
     {"timing-discipline", "src/tensor/bad_chrono.cpp", 9},
     {"timing-discipline", "src/serve/bad_lane.cpp", 10},
     {"rng-discipline", "src/core/bad_rng.cpp", 8},
+    {"quant-dtype-discipline", "src/tensor/bad_quant_i8.cpp", 10},
+    {"quant-dtype-discipline", "src/tensor/bad_quant_i8.cpp", 14},
+    {"quant-dtype-discipline", "src/tensor/bad_quant_i8.cpp", 18},
     {"log-no-stdio", "src/core/bad_log.cpp", 8},
     {"trace-scope-in-header", "src/nn/bad_trace.h", 7},
     {"include-pragma-once", "src/util/no_pragma.h", 3},
@@ -189,6 +192,33 @@ TEST(LintFile, ServingLanesObeyThreadAndTimingDiscipline) {
   // serving code are by design.
   const std::string buffers = "std::vector<float> input(64);\n";
   EXPECT_TRUE(lint::lint_file("src/serve/load_gen.cpp", buffers).empty());
+}
+
+TEST(LintFile, QuantDtypeDisciplineScopeAndSanctionedHelpers) {
+  // Float crossings are only policed in src/tensor quant kernel TUs
+  // (*_i8* / *quant*): the fp32 GEMM and non-tensor code may cast freely.
+  const std::string cast = "float f(int x) { return static_cast<float>(x); }\n";
+  EXPECT_TRUE(lint::lint_file("src/tensor/gemm.cpp", cast).empty());
+  EXPECT_TRUE(lint::lint_file("src/nn/quantize.cpp", cast).empty());
+  auto vs = lint::lint_file("src/tensor/gemm_i8.cpp", cast);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "quant-dtype-discipline");
+  // The rounding family (float -> int requantization) is a crossing too.
+  const std::string rounder =
+      "#include <cmath>\n"
+      "int q(float x) { return static_cast<int>(std::lrintf(x)); }\n";
+  vs = lint::lint_file("src/tensor/dequant_util.cpp", rounder);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 2u);
+  // Integer-width casts (int8 -> int32 widening) are not crossings.
+  const std::string widen =
+      "int w(signed char a) { return static_cast<int>(a) * 2; }\n";
+  EXPECT_TRUE(lint::lint_file("src/tensor/gemm_i8.cpp", widen).empty());
+  // The sanctioned helper carries the allow marker.
+  const std::string sanctioned =
+      "// hsconas-lint-allow(quant-dtype-discipline)\n"
+      "float r(int acc) { return static_cast<float>(acc); }\n";
+  EXPECT_TRUE(lint::lint_file("src/tensor/gemm_i8.cpp", sanctioned).empty());
 }
 
 TEST(LintFile, SerialItselfIsExempt) {

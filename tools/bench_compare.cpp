@@ -5,11 +5,14 @@
 // Both inputs may be either a raw `bench_kernels --json` dump
 // ({"results": [{"op", "shape", "ns_per_iter", ...}, ...]}) or the checked-in
 // BENCH_kernels.json ledger (whose freshest column is "current"). Rows are
-// matched by (op, shape); for each match the relative change in ns_per_iter
-// is printed, and any slowdown beyond the tolerance (default +10%) makes the
-// exit code nonzero so tools/ci_checks.sh can gate on it. Rows present on
-// only one side are reported but never fail the run — benches come and go.
+// matched by (op, shape, dtype) — a missing "dtype" field means "f32", so
+// ledgers from before the int8 path compare cleanly. For each match the
+// relative change in ns_per_iter is printed, and any slowdown beyond the
+// tolerance (default +10%) makes the exit code nonzero so
+// tools/ci_checks.sh can gate on it. Rows present on only one side are
+// reported but never fail the run — benches come and go.
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -27,9 +30,19 @@ namespace {
 
 using hsconas::util::Json;
 
-/// (op, shape) -> ns_per_iter for whichever result array the file carries.
-std::map<std::pair<std::string, std::string>, double> load_results(
-    const std::string& path) {
+/// Row identity: (op, shape, dtype). dtype defaults to "f32" when the row
+/// predates the quantized-kernel column.
+using BenchKey = std::array<std::string, 3>;
+
+std::string key_name(const BenchKey& key) {
+  std::string name = key[1].empty() ? key[0] : key[0] + "/" + key[1];
+  if (key[2] != "f32") name += " [" + key[2] + "]";
+  return name;
+}
+
+/// (op, shape, dtype) -> ns_per_iter for whichever result array the file
+/// carries.
+std::map<BenchKey, double> load_results(const std::string& path) {
   const Json doc = Json::load(path);
   const Json* rows = doc.find("results");
   if (rows == nullptr) rows = doc.find("current");
@@ -39,7 +52,7 @@ std::map<std::pair<std::string, std::string>, double> load_results(
         "benchmark array",
         path.c_str()));
   }
-  std::map<std::pair<std::string, std::string>, double> out;
+  std::map<BenchKey, double> out;
   for (const Json& row : rows->items()) {
     const Json* op = row.find("op");
     const Json* ns = row.find("ns_per_iter");
@@ -51,7 +64,11 @@ std::map<std::pair<std::string, std::string>, double> load_results(
     if (const Json* s = row.find("shape"); s != nullptr && s->is_string()) {
       shape = s->as_string();
     }
-    out[{op->as_string(), shape}] = ns->as_double();
+    std::string dtype = "f32";
+    if (const Json* d = row.find("dtype"); d != nullptr && d->is_string()) {
+      dtype = d->as_string();
+    }
+    out[{op->as_string(), shape, dtype}] = ns->as_double();
   }
   if (out.empty()) {
     throw hsconas::Error(hsconas::util::format(
@@ -111,8 +128,7 @@ int main(int argc, char** argv) {
     std::size_t incomparable = 0;
     for (const auto& [key, old_ns] : old_results) {
       const auto it = new_results.find(key);
-      const std::string name =
-          key.second.empty() ? key.first : key.first + "/" + key.second;
+      const std::string name = key_name(key);
       if (it == new_results.end()) {
         table.add_row({name, hsconas::util::format("%.0f", old_ns), "-", "-",
                        "removed"});
@@ -147,10 +163,8 @@ int main(int argc, char** argv) {
     }
     for (const auto& [key, new_ns] : new_results) {
       if (old_results.count(key) != 0) continue;
-      const std::string name =
-          key.second.empty() ? key.first : key.first + "/" + key.second;
-      table.add_row({name, "-", hsconas::util::format("%.0f", new_ns), "-",
-                     "new"});
+      table.add_row({key_name(key), "-",
+                     hsconas::util::format("%.0f", new_ns), "-", "new"});
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("%zu shared benchmarks, tolerance +%.0f%%: %d regression%s",

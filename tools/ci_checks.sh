@@ -11,7 +11,10 @@
 #      ledger diffed against itself must report zero regressions.
 #   3. hsconas_lint over the tree against the checked-in baseline.
 #   4. clang-tidy over src/ and tools/ (skipped when not installed).
-#   5. ASan+UBSan build + full ctest (skipped with --fast).
+#   5. ASan+UBSan build + full ctest, then an explicit `ctest -L quant`
+#      re-run: the int8 GEMM, PTQ calibration, and quantized-search
+#      suites exercise every integer accumulation/requantize path under
+#      the overflow checkers (skipped with --fast).
 #   6. TSan build + full ctest, then explicit `ctest -L kernels`,
 #      `ctest -L obs`, and `ctest -L serving` re-runs (GEMM/fused-conv
 #      determinism, tracer/profiler, and batch-serving suites) under TSan
@@ -62,6 +65,14 @@ cmake -S "$root" -B "$root/ci-build-asan" \
   -DHSCONAS_BUILD_BENCHES=OFF -DHSCONAS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$root/ci-build-asan" -j "$jobs"
 (cd "$root/ci-build-asan" && ctest --output-on-failure -j "$jobs")
+
+stage "quantization suites under ASan/UBSan (ctest -L quant)"
+# The int8 GEMM microkernel, the PTQ observer/freeze path, and the
+# quantized search/checkpoint suites all run integer accumulations and
+# requantize epilogues; the dedicated -L quant pass re-runs them serially
+# under the address/overflow checkers so a UB shift or accumulator
+# overflow cannot hide behind concurrent test noise.
+(cd "$root/ci-build-asan" && ctest --output-on-failure -L quant)
 
 stage "thread sanitizer build + full test suite"
 cmake -S "$root" -B "$root/ci-build-tsan" \

@@ -36,6 +36,7 @@
 #include "eval/profile_runner.h"
 #include "hwsim/energy.h"
 #include "hwsim/registry.h"
+#include "nn/quantize.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "serve/batch_server.h"
@@ -113,6 +114,10 @@ int cmd_search(int argc, char** argv) {
   cli.add_option("resume", "0",
                  "1 = continue from checkpoint-dir's pipeline.ckpt if "
                  "present");
+  cli.add_flag("quant",
+               "add the int8 quantization gene to the search space: "
+               "candidates may trade the surrogate's PTQ accuracy drop for "
+               "the device's int8 datapath speedup");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string accuracy = cli.get("accuracy");
@@ -159,6 +164,7 @@ int cmd_search(int argc, char** argv) {
     ds.seed = 77;
     dataset = std::make_unique<data::SyntheticDataset>(ds);
   }
+  cfg.space.search_quantization = cli.get_bool("quant");
 
   core::Pipeline pipeline(cfg);
   const core::PipelineResult result = pipeline.run(dataset.get());
@@ -230,10 +236,14 @@ int cmd_pareto(int argc, char** argv) {
   cli.add_option("generations", "25", "generations");
   cli.add_option("population", "60", "population");
   cli.add_option("seed", "19", "seed");
+  cli.add_flag("quant", "search over fp32 and int8 candidates; the front "
+                        "then spans both dtypes");
   if (!cli.parse(argc, argv)) return 0;
 
-  const core::SearchSpace space(
-      layout_config(cli.get("layout"), cli.get("family")));
+  core::SearchSpaceConfig space_cfg =
+      layout_config(cli.get("layout"), cli.get("family"));
+  space_cfg.search_quantization = cli.get_bool("quant");
+  const core::SearchSpace space(space_cfg);
   const hwsim::DeviceSimulator device(
       hwsim::device_by_name(cli.get("device")));
   const core::LatencyModel latency(
@@ -275,6 +285,9 @@ int cmd_profile(int argc, char** argv) {
   cli.add_option("batch", "4", "batch size");
   cli.add_option("seed", "1", "sampling seed");
   cli.add_option("out", "profile.json", "per-op roofline report path");
+  cli.add_option("dtype", "f32",
+                 "inference datapath: f32 | int8 (int8 calibrates each "
+                 "sampled net and prices against the int8 LUT)");
   cli.add_flag("fused", "eval-mode fused conv/BN/act execution");
   cli.add_flag("backward", "profile forward+backward (training mode)");
   if (!cli.parse(argc, argv)) return 0;
@@ -288,6 +301,7 @@ int cmd_profile(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   cfg.fused = cli.get_bool("fused");
   cfg.backward = cli.get_bool("backward");
+  cfg.dtype = nn::parse_inference_dtype(cli.get("dtype"));
 
   const eval::ProfileReport report = eval::run_profile(cfg);
   std::fputs(eval::render_profile_report(report).c_str(), stdout);
@@ -338,6 +352,11 @@ int cmd_serve(int argc, char** argv) {
   cli.add_option("warmup", "5", "warm-up requests per client");
   cli.add_option("seed", "42", "weight-init / sampling seed");
   cli.add_option("out", "", "write the hsconas.serving.v1 report JSON here");
+  cli.add_option("dtype", "f32",
+                 "lane datapath: f32 | int8 (int8 calibrates every replica "
+                 "at startup and serves through the quantized GEMM)");
+  cli.add_option("calib-batches", "2",
+                 "synthetic calibration batches per replica (int8 only)");
   cli.add_flag("no-fuse", "disable the fused conv/BN/act inference path");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -352,6 +371,9 @@ int cmd_serve(int argc, char** argv) {
   server_cfg.workers = static_cast<std::size_t>(cli.get_int("workers"));
   server_cfg.fuse = !cli.get_bool("no-fuse");
   server_cfg.seed = seed;
+  server_cfg.dtype = nn::parse_inference_dtype(cli.get("dtype"));
+  server_cfg.calibration_batches =
+      static_cast<std::size_t>(cli.get_int("calib-batches"));
 
   serve::LoadGenConfig load_cfg;
   load_cfg.clients = static_cast<std::size_t>(cli.get_int("clients"));
@@ -367,6 +389,7 @@ int cmd_serve(int argc, char** argv) {
 
   util::Table table({"metric", "value"});
   table.add_row({"arch", arch.to_string(space)});
+  table.add_row({"dtype", nn::inference_dtype_name(server_cfg.dtype)});
   table.add_row({"requests", util::format("%zu", report.total_requests)});
   table.add_row({"errors", util::format("%zu", report.errors)});
   table.add_row({"throughput (req/s)",

@@ -250,6 +250,7 @@ constexpr const char* kScratchDiscipline = "scratch-discipline";
 constexpr const char* kThreadDiscipline = "thread-discipline";
 constexpr const char* kRngDiscipline = "rng-discipline";
 constexpr const char* kTimingDiscipline = "timing-discipline";
+constexpr const char* kQuantDtypeDiscipline = "quant-dtype-discipline";
 constexpr const char* kLogNoStdio = "log-no-stdio";
 constexpr const char* kTraceScopeInHeader = "trace-scope-in-header";
 constexpr const char* kIncludePragmaOnce = "include-pragma-once";
@@ -394,6 +395,60 @@ void rule_rng_discipline(const FileContext& ctx, const Options& opts,
   }
 }
 
+/// Quantized kernel translation units in src/tensor: the int8 GEMM today,
+/// plus any future *_i8 / *quant* kernels dropped next to it.
+bool is_quant_kernel(const std::string& p) {
+  if (!starts_with(p, "src/tensor/")) return false;
+  return p.find("i8") != std::string::npos ||
+         p.find("quant") != std::string::npos;
+}
+
+/// C-style `(float)` / `(double)` cast: the token in parentheses followed
+/// by the start of an expression. A declaration parameter list ending in
+/// `(float);` does not match.
+bool has_c_float_cast(const std::string& line) {
+  for (const char* tok : {"(float)", "(double)"}) {
+    const std::size_t n = std::char_traits<char>::length(tok);
+    for (std::size_t pos = line.find(tok); pos != std::string::npos;
+         pos = line.find(tok, pos + 1)) {
+      const std::size_t after = skip_spaces(line, pos + n);
+      if (after < line.size() &&
+          (is_ident_char(line[after]) || line[after] == '(')) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void rule_quant_dtype_discipline(const FileContext& ctx, const Options& opts,
+                                 std::vector<Violation>* out) {
+  // Quantized kernels must stay in integer arithmetic end to end; the only
+  // int<->float crossings allowed are the sanctioned requant helpers
+  // (gemm_i8.cpp requant_value), which carry an explicit
+  // hsconas-lint-allow(quant-dtype-discipline) marker. Everything this
+  // rule catches — float casts and the float->int rounding family — is a
+  // dtype crossing that would silently fork the requantization math.
+  if (!is_quant_kernel(ctx.path)) return;
+  static const char* kRounders[] = {"lrint",      "lrintf",  "llrint",
+                                    "llrintf",    "lround",  "lroundf",
+                                    "nearbyint",  "nearbyintf"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    bool hit = line.find("static_cast<float>") != std::string::npos ||
+               line.find("static_cast<double>") != std::string::npos ||
+               has_c_float_cast(line) || has_call(line, "float") ||
+               has_call(line, "double");
+    for (const char* fn : kRounders) hit = hit || has_call(line, fn);
+    if (hit) {
+      report(ctx, out, opts, i + 1, kQuantDtypeDiscipline,
+             "int<->float conversion in a quantized kernel; dtype "
+             "crossings belong in the sanctioned requant helpers "
+             "(marked hsconas-lint-allow(quant-dtype-discipline))");
+    }
+  }
+}
+
 void rule_log_no_stdio(const FileContext& ctx, const Options& opts,
                        std::vector<Violation>* out) {
   if (!starts_with(ctx.path, "src/")) return;  // CLIs/tests may print
@@ -493,6 +548,9 @@ const std::vector<Rule>& rules() {
       {kTimingDiscipline,
        "no direct std::chrono/clock_gettime in tensor/nn kernels "
        "(obs/timing.h clocks only)"},
+      {kQuantDtypeDiscipline,
+       "no int<->float conversions in src/tensor quant kernels outside the "
+       "sanctioned requant helpers"},
       {kLogNoStdio,
        "no stdout/stderr printing in library code (structured logging only)"},
       {kTraceScopeInHeader, "no HSCONAS_TRACE_SCOPE in headers"},
@@ -537,6 +595,7 @@ std::vector<Violation> lint_file(const std::string& path,
   rule_thread_discipline(ctx, opts, &out);
   rule_timing_discipline(ctx, opts, &out);
   rule_rng_discipline(ctx, opts, &out);
+  rule_quant_dtype_discipline(ctx, opts, &out);
   rule_log_no_stdio(ctx, opts, &out);
   rule_trace_scope_in_header(ctx, opts, &out);
   rule_include_pragma_once(ctx, opts, &out);
