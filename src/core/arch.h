@@ -47,7 +47,8 @@ struct Arch {
   /// "shuffle_k3@0.5 | skip@1.0 | ...". Factors must match one of the
   /// space's channel factors (within 1e-9). Throws InvalidArgument on any
   /// malformed or unknown token.
-  static Arch from_string(const SearchSpace& space, const std::string& s);
+  [[nodiscard]] static Arch from_string(const SearchSpace& space,
+                                        const std::string& s);
 
   /// Throws InvalidArgument unless the arch is well-formed for the space
   /// (right length, indices in range). Does NOT require it to respect the

@@ -142,6 +142,47 @@ void CheckpointWriter::save(const std::string& path) const {
   save_histogram().record(timer.millis());
 }
 
+std::map<std::string, std::string> parse_checkpoint_image(
+    const std::string& image) {
+  std::map<std::string, std::string> sections;
+  util::ByteReader r(image);
+  char magic[4];
+  r.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
+    throw Error("unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t count = r.u32();
+  if (count > kMaxSections) {
+    throw Error("section count " + std::to_string(count) + " too large");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.str(kMaxSectionName);
+    if (name.empty()) throw Error("empty section name");
+    const std::uint64_t size = r.u64();
+    const std::uint32_t crc = r.u32();
+    if (size > r.remaining()) {
+      throw Error("section '" + name + "' exceeds file size");
+    }
+    std::string payload(static_cast<std::size_t>(size), '\0');
+    r.bytes(payload.data(), payload.size());
+    const std::uint32_t actual = util::crc32(
+        payload.data(), payload.size(),
+        util::crc32(name.data(), name.size(), crc_seed(version)));
+    if (actual != crc) {
+      throw Error("CRC mismatch in section '" + name + "'");
+    }
+    if (!sections.emplace(name, std::move(payload)).second) {
+      throw Error("duplicate section '" + name + "'");
+    }
+  }
+  r.expect_done();
+  return sections;
+}
+
 CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
   HSCONAS_TRACE_SCOPE("checkpoint.load");
   util::Timer timer;
@@ -152,44 +193,9 @@ CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
   }
   std::ostringstream os;
   os << in.rdbuf();
-  const std::string file = os.str();
 
   try {
-    util::ByteReader r(file);
-    char magic[4];
-    r.bytes(magic, sizeof(magic));
-    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-      throw Error("bad magic");
-    }
-    const std::uint32_t version = r.u32();
-    if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
-      throw Error("unsupported version " + std::to_string(version));
-    }
-    const std::uint32_t count = r.u32();
-    if (count > kMaxSections) {
-      throw Error("section count " + std::to_string(count) + " too large");
-    }
-    for (std::uint32_t i = 0; i < count; ++i) {
-      const std::string name = r.str(kMaxSectionName);
-      if (name.empty()) throw Error("empty section name");
-      const std::uint64_t size = r.u64();
-      const std::uint32_t crc = r.u32();
-      if (size > r.remaining()) {
-        throw Error("section '" + name + "' exceeds file size");
-      }
-      std::string payload(static_cast<std::size_t>(size), '\0');
-      r.bytes(payload.data(), payload.size());
-      const std::uint32_t actual = util::crc32(
-          payload.data(), payload.size(),
-          util::crc32(name.data(), name.size(), crc_seed(version)));
-      if (actual != crc) {
-        throw Error("CRC mismatch in section '" + name + "'");
-      }
-      if (!sections_.emplace(name, std::move(payload)).second) {
-        throw Error("duplicate section '" + name + "'");
-      }
-    }
-    r.expect_done();
+    sections_ = parse_checkpoint_image(os.str());
   } catch (const Error& e) {
     load_failure_counter().add();
     throw Error("checkpoint: " + std::string(e.what()) + " in " + path);

@@ -62,6 +62,15 @@ class CheckpointWriter {
   std::map<std::string, std::string> sections_;
 };
 
+/// Validate and decode an in-memory checkpoint image (the exact byte
+/// sequence CheckpointWriter::save writes to disk): magic, version,
+/// bounds, per-section CRC. Returns the verified name -> payload map;
+/// throws Error on any malformation. This is the whole parser —
+/// CheckpointReader is a thin file-loading wrapper around it — and it is
+/// the surface the checkpoint fuzz harness drives (tools/fuzz).
+[[nodiscard]] std::map<std::string, std::string> parse_checkpoint_image(
+    const std::string& image);
+
 /// Loads and validates a sectioned checkpoint. The constructor performs
 /// the full integrity pass (magic, version, bounds, per-section CRC); a
 /// successfully constructed reader holds only verified payloads.

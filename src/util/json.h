@@ -68,10 +68,10 @@ class Json {
   /// including "nan"/"inf" spellings and values that overflow to
   /// infinity (e.g. "1e999"). Non-finite doubles serialize as null, so
   /// every dump() output parses back.
-  static Json parse(const std::string& text);
+  [[nodiscard]] static Json parse(const std::string& text);
 
   /// Parse the file at `path`; throws hsconas::Error on I/O failure.
-  static Json load(const std::string& path);
+  [[nodiscard]] static Json load(const std::string& path);
 
   /// Serialize with 2-space indentation.
   std::string dump(int indent = 2) const;

@@ -1,0 +1,3 @@
+// Fixture: intra-module include (never a module edge).
+#include "alpha/a.h"
+namespace fx { int alpha_value() { return 1; } }

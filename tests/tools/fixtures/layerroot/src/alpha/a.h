@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: bottom-layer header (no includes).
+namespace fx { int alpha_value(); }

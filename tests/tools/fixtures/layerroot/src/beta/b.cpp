@@ -1,0 +1,2 @@
+#include "beta/b.h"
+namespace fx { int beta_value() { return alpha_value() + 1; } }

@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: sanctioned edge beta -> alpha.
+#include "alpha/a.h"
+namespace fx { int beta_value(); }

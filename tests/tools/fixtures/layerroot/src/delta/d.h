@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: one half of the delta <-> epsilon cycle (both edges are
+// `allow`ed — cycles are reported even across sanctioned edges).
+#include "epsilon/e.h"

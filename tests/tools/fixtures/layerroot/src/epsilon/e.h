@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: the other half of the cycle.
+#include "delta/d.h"

@@ -1,0 +1,4 @@
+// Fixture: gamma -> beta is allowed; gamma -> alpha is only waived.
+#include "beta/b.h"
+#include "alpha/a.h"
+namespace fx { int gamma_value() { return beta_value() + alpha_value(); } }

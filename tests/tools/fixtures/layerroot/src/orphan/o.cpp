@@ -1,0 +1,2 @@
+// Fixture: no module in layers.txt covers src/orphan.
+namespace fx { int orphan_value() { return 0; } }

@@ -1,0 +1,3 @@
+// Fixture: forbidden edge — the spec has no `allow zeta -> alpha`.
+#include "alpha/a.h"
+namespace fx { int zeta_value() { return alpha_value() * 2; } }

@@ -1,0 +1,18 @@
+// Fixture: unchecked-error-discipline. Every callee is declared in
+// error_api.h, not here — a per-line matcher cannot see the [[nodiscard]]
+// or Error return; the cross-file index can.
+
+#include "core/error_api.h"
+
+namespace fx {
+
+void tick() {
+  flush_journal();     // discarded Error return
+  reserve_slot(4);     // discarded [[nodiscard]]
+  fx::try_publish(1);  // discarded [[nodiscard]] (multi-line declaration)
+  (void)flush_journal();              // sanctioned explicit discard
+  const int slot = reserve_slot(1);   // used result
+  if (try_publish(slot)) return;      // used result
+}
+
+}  // namespace fx

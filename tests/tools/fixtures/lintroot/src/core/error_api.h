@@ -1,0 +1,18 @@
+#pragma once
+
+// Fixture: declarations feeding the semantic index. The discarding calls
+// live in bad_discard.cpp — a different file — which is exactly what the
+// cross-file declaration index exists to catch.
+
+namespace fx {
+
+struct Error {};
+
+Error flush_journal();
+
+[[nodiscard]] int reserve_slot(int n);
+
+[[nodiscard]] bool
+try_publish(int epoch);
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture: lock-discipline. Raw lock()/unlock() on a declared mutex is
+// flagged; RAII guards — including unique_lock's own unlock(), the
+// condition-variable idiom — are not.
+
+#include <mutex>
+
+namespace fx {
+
+std::mutex queue_mutex;
+
+void enqueue() {
+  queue_mutex.lock();    // raw lock outside a guard
+  queue_mutex.unlock();  // raw unlock
+}
+
+void drain() {
+  std::lock_guard<std::mutex> hold(queue_mutex);
+  std::unique_lock relock(queue_mutex);
+  relock.unlock();  // guard method: fine
+}
+
+}  // namespace fx

@@ -1,0 +1,216 @@
+// Include-graph layering gate tests: spec parsing, module assignment,
+// graph extraction, and the three layer rules, pinned against the fixture
+// tree under tests/tools/fixtures/layerroot (a forbidden edge, an allowed
+// two-module cycle, a waived edge, and an unmapped file). The Graphviz
+// export is compared against a checked-in golden file.
+
+#include "lint/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lint = hsconas::lint;
+
+namespace {
+
+std::string layer_root() { return HSCONAS_LINT_FIXTURES_DIR "/layerroot"; }
+std::string spec_path() { return layer_root() + "/layers.txt"; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+const lint::Violation* find_rule(const std::vector<lint::Violation>& vs,
+                                 const std::string& rule) {
+  const auto it =
+      std::find_if(vs.begin(), vs.end(),
+                   [&](const lint::Violation& v) { return v.rule == rule; });
+  return it == vs.end() ? nullptr : &*it;
+}
+
+lint::LayerReport fixture_report(const lint::Options& opts = {}) {
+  return lint::check_layers(lint::scan_include_graph(layer_root()),
+                            lint::load_layer_spec(spec_path()), opts);
+}
+
+TEST(LayerSpec, ParsesModulesEdgesAndWaivers) {
+  const lint::LayerSpec spec = lint::load_layer_spec(spec_path());
+  EXPECT_EQ(spec.modules.size(), 6u);
+  EXPECT_EQ(spec.path, spec_path());
+  EXPECT_EQ(spec.allowed.count({"beta", "alpha"}), 1u);
+  EXPECT_EQ(spec.allowed.count({"alpha", "beta"}), 0u);
+  ASSERT_EQ(spec.waivers.size(), 1u);
+  const auto& [edge, rationale] = *spec.waivers.begin();
+  EXPECT_EQ(edge.first, "gamma");
+  EXPECT_EQ(edge.second, "alpha");
+  EXPECT_NE(rationale.find("legacy"), std::string::npos)
+      << "waiver must keep its rationale: " << rationale;
+}
+
+TEST(LayerSpec, MalformedSpecsThrow) {
+  using hsconas::Error;
+  EXPECT_THROW(lint::parse_layer_spec(""), Error);
+  EXPECT_THROW(lint::parse_layer_spec("# only comments\n"), Error);
+  EXPECT_THROW(lint::parse_layer_spec("module lonely\n"), Error);
+  EXPECT_THROW(
+      lint::parse_layer_spec("module a src/a\nmodule a src/b\n"), Error);
+  EXPECT_THROW(
+      lint::parse_layer_spec("module a src/a\nallow a -> ghost\n"), Error);
+  EXPECT_THROW(lint::parse_layer_spec(
+                   "module a src/a\nmodule b src/b\nwaiver a -> b\n"),
+               Error);
+  EXPECT_THROW(
+      lint::parse_layer_spec("module a src/a\nfrobnicate a b\n"), Error);
+  // Both arrow spellings parse.
+  const lint::LayerSpec spec = lint::parse_layer_spec(
+      "module a src/a\nmodule b src/b\nallow a->b\nallow b -> a\n");
+  EXPECT_EQ(spec.allowed.size(), 2u);
+}
+
+TEST(LayerSpec, ModuleOfLongestPrefixWinsAndExactFilesCarveOut) {
+  // Mirrors the real spec's obs/obs_export split: a file-granular module
+  // carves two files out of the directory module.
+  const lint::LayerSpec spec = lint::parse_layer_spec(
+      "module obs src/obs\n"
+      "module obs_export src/obs/export.h src/obs/export.cpp\n");
+  EXPECT_EQ(lint::module_of(spec, "src/obs/metrics.h"), "obs");
+  EXPECT_EQ(lint::module_of(spec, "src/obs/export.h"), "obs_export");
+  EXPECT_EQ(lint::module_of(spec, "src/obs/export.cpp"), "obs_export");
+  // Prefixes are path components, not string prefixes.
+  EXPECT_EQ(lint::module_of(spec, "src/obs_export_v2/x.h"), "");
+  EXPECT_EQ(lint::module_of(spec, "src/util/json.h"), "");
+}
+
+TEST(LayerGraph, ResolvesQuotedIncludesAndDropsExternal) {
+  const lint::IncludeGraph graph = lint::scan_include_graph(layer_root());
+  EXPECT_EQ(graph.files.size(), 9u);
+  const auto has_edge = [&](const char* from, const char* to) {
+    return std::any_of(graph.edges.begin(), graph.edges.end(),
+                       [&](const lint::IncludeEdge& e) {
+                         return e.from_file == from && e.to_file == to;
+                       });
+  };
+  EXPECT_TRUE(has_edge("src/beta/b.h", "src/alpha/a.h"));
+  EXPECT_TRUE(has_edge("src/alpha/a.cpp", "src/alpha/a.h"));  // intra-module
+  EXPECT_TRUE(has_edge("src/delta/d.h", "src/epsilon/e.h"));
+  // <mutex>-style system includes never appear as edges.
+  for (const lint::IncludeEdge& e : graph.edges) {
+    EXPECT_EQ(e.to_file.rfind("src/", 0), 0u) << e.to_file;
+    EXPECT_GT(e.line, 0u);
+  }
+}
+
+TEST(LayerCheck, ReportsForbiddenCycleAndUnmappedExactly) {
+  const lint::LayerReport report = fixture_report();
+  ASSERT_EQ(report.violations.size(), 3u);
+
+  const lint::Violation* forbidden =
+      find_rule(report.violations, "layer-forbidden-edge");
+  ASSERT_NE(forbidden, nullptr);
+  EXPECT_EQ(forbidden->file, "src/zeta/z.cpp");
+  EXPECT_EQ(forbidden->line, 2u);  // the #include site
+  EXPECT_NE(forbidden->message.find("allow zeta -> alpha"),
+            std::string::npos)
+      << "fix suggestion must name the exact spec edge: "
+      << forbidden->message;
+
+  const lint::Violation* cycle = find_rule(report.violations, "layer-cycle");
+  ASSERT_NE(cycle, nullptr);
+  EXPECT_EQ(cycle->file, spec_path());  // attributed to the spec, line 1
+  EXPECT_NE(cycle->message.find("delta"), std::string::npos);
+  EXPECT_NE(cycle->message.find("epsilon"), std::string::npos);
+
+  const lint::Violation* unmapped =
+      find_rule(report.violations, "layer-unmapped-file");
+  ASSERT_NE(unmapped, nullptr);
+  EXPECT_EQ(unmapped->file, "src/orphan/o.cpp");
+}
+
+TEST(LayerCheck, WaiverSuppressesForbiddenButStaysVisible) {
+  const lint::LayerReport report = fixture_report();
+  // gamma -> alpha is waived: no violation, but the edge is in the report
+  // (rendered dashed in the DOT export).
+  for (const lint::Violation& v : report.violations) {
+    EXPECT_EQ(v.file.find("gamma"), std::string::npos) << v.message;
+  }
+  const auto it = std::find_if(
+      report.edges.begin(), report.edges.end(), [](const lint::ModuleEdge& e) {
+        return e.from == "gamma" && e.to == "alpha";
+      });
+  ASSERT_NE(it, report.edges.end());
+  EXPECT_TRUE(it->waived);
+  EXPECT_FALSE(it->allowed);
+  // The allowed-but-cyclic edges are still allowed, not waived.
+  const auto de = std::find_if(
+      report.edges.begin(), report.edges.end(), [](const lint::ModuleEdge& e) {
+        return e.from == "delta" && e.to == "epsilon";
+      });
+  ASSERT_NE(de, report.edges.end());
+  EXPECT_TRUE(de->allowed);
+}
+
+TEST(LayerCheck, OptionsDisableAndOnlyApply) {
+  lint::Options only_cycle;
+  only_cycle.only = {"layer-cycle"};
+  const lint::LayerReport cycles = fixture_report(only_cycle);
+  ASSERT_EQ(cycles.violations.size(), 1u);
+  EXPECT_EQ(cycles.violations[0].rule, "layer-cycle");
+
+  lint::Options no_unmapped;
+  no_unmapped.disabled = {"layer-unmapped-file"};
+  const lint::LayerReport rest = fixture_report(no_unmapped);
+  EXPECT_EQ(rest.violations.size(), 2u);
+  EXPECT_EQ(find_rule(rest.violations, "layer-unmapped-file"), nullptr);
+}
+
+TEST(LayerDot, MatchesGoldenFile) {
+  const std::string dot = lint::layers_to_dot(fixture_report());
+  EXPECT_EQ(dot, slurp(layer_root() + "/expected.dot"))
+      << "regenerate with: hsconas_lint --root tests/tools/fixtures/"
+         "layerroot --layers=.../layers.txt --include-graph=expected.dot";
+}
+
+TEST(LayerMetrics, TransitiveFanInAndWeight) {
+  const std::vector<lint::IncludeMetrics> rows =
+      lint::include_metrics(lint::scan_include_graph(layer_root()));
+  ASSERT_EQ(rows.size(), 9u);
+  // alpha/a.h: included directly by a.cpp, b.h, g.cpp, z.cpp and
+  // transitively by b.cpp (via b.h) — the tree's hottest header.
+  EXPECT_EQ(rows[0].file, "src/alpha/a.h");
+  EXPECT_EQ(rows[0].direct_fan_in, 4u);
+  EXPECT_EQ(rows[0].fan_in, 5u);
+  EXPECT_EQ(rows[0].weight, 0u);
+  // The cycle does not blow up the closure: each of d.h/e.h reaches the
+  // other exactly once and never counts itself.
+  for (const lint::IncludeMetrics& m : rows) {
+    if (m.file == "src/delta/d.h" || m.file == "src/epsilon/e.h") {
+      EXPECT_EQ(m.fan_in, 1u) << m.file;
+      EXPECT_EQ(m.weight, 1u) << m.file;
+    }
+  }
+}
+
+TEST(LayerMetrics, FormatTableIsAlignedAndBounded) {
+  const auto rows =
+      lint::include_metrics(lint::scan_include_graph(layer_root()));
+  const std::string all = lint::format_include_metrics(rows, 0);
+  EXPECT_NE(all.find("src/alpha/a.h"), std::string::npos);
+  EXPECT_NE(all.find("fan-in"), std::string::npos);
+  const std::string top1 = lint::format_include_metrics(rows, 1);
+  EXPECT_NE(top1.find("1 of 9"), std::string::npos);
+  EXPECT_NE(top1.find("src/alpha/a.h"), std::string::npos);
+  EXPECT_EQ(top1.find("src/beta/b.h"), std::string::npos);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/json.h"
 
 namespace lint = hsconas::lint;
 
@@ -66,6 +67,13 @@ const RuleFixture kRuleFixtures[] = {
     {"include-pragma-once", "src/util/no_pragma.h", 3},
     {"include-relative-parent", "src/core/bad_include.cpp", 2},
     {"include-iostream-in-header", "src/util/bad_iostream.h", 3},
+    // Semantic pass: the declarations live in error_api.h, the discards in
+    // bad_discard.cpp — the cross-file index connects them.
+    {"unchecked-error-discipline", "src/core/bad_discard.cpp", 10},
+    {"unchecked-error-discipline", "src/core/bad_discard.cpp", 11},
+    {"unchecked-error-discipline", "src/core/bad_discard.cpp", 12},
+    {"lock-discipline", "src/serve/bad_lock.cpp", 12},
+    {"lock-discipline", "src/serve/bad_lock.cpp", 13},
 };
 
 TEST(LintRules, EveryRuleHasAFixtureViolation) {
@@ -149,6 +157,29 @@ TEST(LintFile, RawStringsAreStripped) {
       "#pragma once\n"
       "const char* kBlob = R\"json({\"cmd\": \"rand()\"})json\";\n";
   EXPECT_TRUE(lint::lint_file("src/core/x.h", src).empty());
+}
+
+TEST(LintFile, PrefixedAndMultiLineRawStringsAreStripped) {
+  // Encoding-prefixed raw strings (u8R, uR, UR, LR) with multi-line
+  // bodies: the lexer used to detect only the plain R form, so these
+  // bodies leaked into rule matching line by line.
+  const std::string src =
+      "#pragma once\n"
+      "const char* kCfg = u8R\"cfg(\n"
+      "  rand() std::mt19937 memcpy(dst, src, n)\n"
+      "  reinterpret_cast<double*>(p)\n"
+      ")cfg\";\n"
+      "const wchar_t* kMsg = LR\"(std::random_device seed)\";\n"
+      "inline int after() { return 0; }\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.h", src).empty());
+  // Code AFTER the closing delimiter on the same line is still scanned.
+  const std::string tail =
+      "#pragma once\n"
+      "const char* kB = uR\"(quiet)\"; std::mt19937 gen;\n";
+  const auto vs = lint::lint_file("src/core/y.h", tail);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "rng-discipline");
+  EXPECT_EQ(vs[0].line, 2u);
 }
 
 TEST(LintFile, IdentifierBoundariesRespected) {
@@ -282,6 +313,38 @@ TEST(LintBaseline, MalformedLinesThrow) {
   EXPECT_THROW(lint::parse_baseline("0 rule path\n"), hsconas::Error);
   // Comments and blanks are fine.
   EXPECT_TRUE(lint::parse_baseline("# header\n\n").empty());
+}
+
+TEST(LintJson, MachineReadableOutputParsesWithOwnJsonParser) {
+  const std::vector<lint::Violation> vs = {
+      {"src/a.cpp", 3, "rng-discipline",
+       "message with \"quotes\", a \\ and a\ttab"},
+  };
+  const std::string json =
+      lint::format_violations_json(vs, 2, {"ratchet note"});
+  // Escaping is correct by construction if the project's own (strict)
+  // parser round-trips it.
+  const hsconas::util::Json doc = hsconas::util::Json::parse(json);
+  EXPECT_EQ(doc.find("schema")->as_string(), "hsconas.lint.v1");
+  ASSERT_EQ(doc.find("violations")->items().size(), 1u);
+  const hsconas::util::Json& v = doc.find("violations")->items()[0];
+  EXPECT_EQ(v.find("file")->as_string(), "src/a.cpp");
+  EXPECT_EQ(v.find("line")->as_double(), 3.0);
+  EXPECT_EQ(v.find("rule")->as_string(), "rng-discipline");
+  EXPECT_EQ(v.find("message")->as_string(),
+            "message with \"quotes\", a \\ and a\ttab");
+  EXPECT_EQ(doc.find("violation_count")->as_double(), 1.0);
+  EXPECT_EQ(doc.find("baselined_count")->as_double(), 2.0);
+  ASSERT_EQ(doc.find("notes")->items().size(), 1u);
+  EXPECT_EQ(doc.find("notes")->items()[0].as_string(), "ratchet note");
+}
+
+TEST(LintJson, EmptyRunIsValidJson) {
+  const hsconas::util::Json doc =
+      hsconas::util::Json::parse(lint::format_violations_json({}, 0, {}));
+  EXPECT_TRUE(doc.find("violations")->items().empty());
+  EXPECT_TRUE(doc.find("notes")->items().empty());
+  EXPECT_EQ(doc.find("violation_count")->as_double(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// Semantic lint pass tests: the cross-line/cross-file rules
+// (unchecked-error-discipline, lock-discipline) and the declaration
+// index feeding them. Cross-file behavior (declaration in one header,
+// violation in another file) is pinned by the lintroot fixtures in
+// lint_test.cpp; these tests exercise the matcher edges in isolation.
+
+#include "lint/semantic.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/source_model.h"
+
+namespace lint = hsconas::lint;
+
+namespace {
+
+std::vector<lint::Violation> semantic(const std::string& path,
+                                      const std::string& src) {
+  lint::Options opts;
+  opts.only = {"unchecked-error-discipline", "lock-discipline"};
+  return lint::lint_file(path, src, opts);
+}
+
+TEST(SemanticIndex, IndexesDeclarationsAcrossFiles) {
+  const lint::FileContext header = lint::make_file_context(
+      "src/a/api.h",
+      "#pragma once\n"
+      "[[nodiscard]] int claim();\n"
+      "[[nodiscard]] bool\n"
+      "try_poll(int fd);\n"
+      "Error flush();\n"
+      "Status sync_all(bool hard);\n"
+      "struct S { std::mutex m_; std::shared_mutex table_lock_; };\n");
+  const lint::FileContext user = lint::make_file_context(
+      "src/a/user.cpp",
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> held(gate);\n"
+      "  std::unique_lock probe(gate);\n"
+      "}\n");
+  const lint::SemanticIndex index =
+      lint::build_semantic_index({header, user});
+  EXPECT_EQ(index.must_use.count("claim"), 1u);
+  EXPECT_EQ(index.must_use.count("try_poll"), 1u);
+  EXPECT_EQ(index.must_use.count("flush"), 1u);
+  EXPECT_EQ(index.must_use.count("sync_all"), 1u);
+  EXPECT_EQ(index.mutexes.count("m_"), 1u);
+  EXPECT_EQ(index.mutexes.count("table_lock_"), 1u);
+  // Template arguments never index a variable: lock_guard<std::mutex>
+  // must not put "held" (or anything) into the mutex set.
+  EXPECT_EQ(index.mutexes.count("held"), 0u);
+  EXPECT_EQ(index.guards.count("held"), 1u);
+  EXPECT_EQ(index.guards.count("probe"), 1u);  // CTAD form
+}
+
+TEST(UncheckedError, DiscardedCallsFlaggedUsedAndVoidCastPass) {
+  const std::string src =
+      "#pragma once\n"
+      "[[nodiscard]] int claim();\n"
+      "Error flush();\n"
+      "void f() {\n"
+      "  claim();\n"              // line 5: flagged
+      "  flush();\n"              // line 6: flagged
+      "  (void)claim();\n"        // explicit discard
+      "  int got = claim();\n"    // used
+      "  (void)got;\n"
+      "  if (claim() > 0) { flush(); }\n"  // line 10: inner flush flagged
+      "}\n";
+  const auto vs = semantic("src/core/x.cpp", src);
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_EQ(vs[0].line, 5u);
+  EXPECT_EQ(vs[1].line, 6u);
+  EXPECT_EQ(vs[2].line, 10u);
+  EXPECT_EQ(vs[0].rule, "unchecked-error-discipline");
+}
+
+TEST(UncheckedError, QualifiedAndMemberCallsMatch) {
+  const std::string src =
+      "[[nodiscard]] bool commit();\n"
+      "void f(App& app) {\n"
+      "  app.journal.commit();\n"
+      "  core::commit();\n"
+      "}\n";
+  const auto vs = semantic("src/core/x.cpp", src);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].line, 3u);
+  EXPECT_EQ(vs[1].line, 4u);
+  // A chained call (`app.journal().commit()`) is not a plain identifier
+  // chain; the lexical matcher deliberately stays out of that territory.
+  const std::string chained =
+      "[[nodiscard]] bool commit();\n"
+      "void g(App& app) { app.journal().commit(); }\n";
+  EXPECT_TRUE(semantic("src/core/y.cpp", chained).empty());
+}
+
+TEST(UncheckedError, StatementShapesThatAreNotDiscards) {
+  const std::string src =
+      "[[nodiscard]] int claim();\n"
+      "int g() {\n"
+      "  return claim();\n"            // result used
+      "  while (claim()) { }\n"        // keyword statement
+      "  auto fn = [] { claim(); };\n" // assignment shape... inner flagged
+      "}\n";
+  // The lambda body's bare claim() IS a discard and must be flagged; the
+  // return/while uses must not be.
+  const auto vs = semantic("src/core/x.cpp", src);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 5u);
+}
+
+TEST(UncheckedError, PolicesSrcOnly) {
+  const std::string src =
+      "[[nodiscard]] int claim();\n"
+      "void f() { claim(); }\n";
+  EXPECT_EQ(semantic("src/core/x.cpp", src).size(), 1u);
+  EXPECT_TRUE(semantic("tests/core/x_test.cpp", src).empty());
+  EXPECT_TRUE(semantic("tools/bench_compare.cpp", src).empty());
+}
+
+TEST(UncheckedError, InlineAllowSuppresses) {
+  const std::string src =
+      "[[nodiscard]] int claim();\n"
+      "void f() {\n"
+      "  // hsconas-lint-allow(unchecked-error-discipline)\n"
+      "  claim();\n"
+      "}\n";
+  EXPECT_TRUE(semantic("src/core/x.cpp", src).empty());
+}
+
+TEST(LockDiscipline, RawLockAndUnlockOnDeclaredMutexFlagged) {
+  const std::string src =
+      "#include <mutex>\n"
+      "std::mutex gate;\n"
+      "void f() {\n"
+      "  gate.lock();\n"
+      "  gate.unlock();\n"
+      "}\n";
+  const auto vs = semantic("src/serve/x.cpp", src);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "lock-discipline");
+  EXPECT_EQ(vs[0].line, 4u);
+  EXPECT_EQ(vs[1].line, 5u);
+}
+
+TEST(LockDiscipline, GuardMethodsAndWeakPtrLockPass) {
+  const std::string src =
+      "#include <mutex>\n"
+      "std::mutex gate;\n"
+      "void f(std::weak_ptr<int> wp) {\n"
+      "  std::unique_lock lk(gate);\n"
+      "  lk.unlock();\n"               // condition-variable idiom
+      "  lk.lock();\n"
+      "  auto strong = wp.lock();\n"   // weak_ptr::lock is not a mutex op
+      "  (void)strong;\n"
+      "}\n";
+  EXPECT_TRUE(semantic("src/serve/x.cpp", src).empty());
+}
+
+TEST(LockDiscipline, MutexNamedReceiverFlaggedWithoutDeclaration) {
+  // Members reached through pointers (this->state_mtx) may be declared in
+  // a header the single-file scan cannot see; mutex-ish names still flag.
+  const std::string src = "void f(S* s) { s->state_mtx->lock(); }\n";
+  const auto vs = semantic("src/core/x.cpp", src);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "lock-discipline");
+}
+
+TEST(LockDiscipline, CrossFileMutexDeclarationIsSeen) {
+  // The member mutex is declared in the header; the raw lock lives in the
+  // .cpp. Only a tree-wide index catches it — this is the lint_tree path.
+  const lint::FileContext header = lint::make_file_context(
+      "src/serve/state.h",
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "struct State { std::mutex admission_; };\n");
+  const lint::FileContext impl = lint::make_file_context(
+      "src/serve/state.cpp",
+      "#include \"serve/state.h\"\n"
+      "void touch(State& s) { s.admission_.lock(); }\n");
+  const lint::SemanticIndex index =
+      lint::build_semantic_index({header, impl});
+  std::vector<lint::Violation> out;
+  lint::run_semantic_rules(impl, index, {}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "lock-discipline");
+  EXPECT_EQ(out[0].file, "src/serve/state.cpp");
+  EXPECT_EQ(out[0].line, 2u);
+}
+
+}  // namespace

@@ -10,16 +10,22 @@
 #   2. bench_compare self-diff smoke: the checked-in BENCH_kernels.json
 #      ledger diffed against itself must report zero regressions.
 #   3. hsconas_lint over the tree against the checked-in baseline.
-#   4. clang-tidy over src/ and tools/ (skipped when not installed).
-#   5. ASan+UBSan build + full ctest, then an explicit `ctest -L quant`
+#   4. layering gate: the src/ include graph checked against
+#      tools/lint/layers.txt (forbidden edges, cycles, unmapped files).
+#   5. fuzz smoke: when the toolchain links -fsanitize=fuzzer (clang),
+#      each libFuzzer harness runs coverage-guided for ~30s over its
+#      corpus; otherwise the always-built replay drivers re-run the
+#      checked-in corpora once (the live path on gcc-only hosts).
+#   6. clang-tidy over src/ and tools/ (skipped when not installed).
+#   7. ASan+UBSan build + full ctest, then an explicit `ctest -L quant`
 #      re-run: the int8 GEMM, PTQ calibration, and quantized-search
 #      suites exercise every integer accumulation/requantize path under
 #      the overflow checkers (skipped with --fast).
-#   6. TSan build + full ctest, then explicit `ctest -L kernels`,
+#   8. TSan build + full ctest, then explicit `ctest -L kernels`,
 #      `ctest -L obs`, and `ctest -L serving` re-runs (GEMM/fused-conv
 #      determinism, tracer/profiler, and batch-serving suites) under TSan
 #      (skipped with --fast).
-#   7. bench_serving closed-loop smoke: a reduced load-generation run
+#   9. bench_serving closed-loop smoke: a reduced load-generation run
 #      through the batch server must finish error-free (skipped with
 #      --fast).
 #
@@ -36,8 +42,11 @@ fast=0
 stage() { printf '\n==== ci_checks: %s ====\n' "$1"; }
 
 stage "dev-warnings build (-Werror) + full test suite"
+# HSCONAS_FUZZ=ON builds the coverage-guided fuzz binaries when the
+# compiler can link -fsanitize=fuzzer; on gcc the option degrades to the
+# (always-built) corpus replay drivers, so it is safe to request here.
 cmake -S "$root" -B "$root/ci-build-warn" -DHSCONAS_DEV_WARNINGS=ON \
-  -DCMAKE_BUILD_TYPE=Release >/dev/null
+  -DHSCONAS_FUZZ=ON -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$root/ci-build-warn" -j "$jobs"
 (cd "$root/ci-build-warn" && ctest --output-on-failure -j "$jobs")
 
@@ -51,8 +60,31 @@ stage "hsconas_lint invariant check"
 "$root/ci-build-warn/tools/hsconas_lint" --root "$root" \
   --baseline "$root/tools/lint/baseline.txt"
 
+stage "include-graph layering gate (tools/lint/layers.txt)"
+# Layer rules only — the invariant check above already covered the line
+# and semantic rules; this stage fails on any forbidden edge, module
+# cycle, or file missing from the layer spec (zero baseline by policy).
+"$root/ci-build-warn/tools/hsconas_lint" --root "$root" --layers \
+  --only=layer-forbidden-edge,layer-cycle,layer-unmapped-file
+
+stage "parser fuzz smoke (30s/target when libFuzzer links)"
+fuzz_budget="${HSCONAS_FUZZ_SMOKE_SECS:-30}"
+for t in json checkpoint genome calibration; do
+  if [ -x "$root/ci-build-warn/tools/fuzz/fuzz_$t" ]; then
+    # Coverage-guided run seeded from the checked-in corpus; any crash or
+    # sanitizer report exits nonzero and fails the gate.
+    "$root/ci-build-warn/tools/fuzz/fuzz_$t" \
+      -max_total_time="$fuzz_budget" -print_final_stats=1 \
+      "$root/tests/fuzz/corpus/$t"
+  else
+    echo "ci_checks: libFuzzer unavailable; replaying corpus for $t"
+    "$root/ci-build-warn/tools/fuzz/fuzz_${t}_replay" \
+      "$root/tests/fuzz/corpus/$t"
+  fi
+done
+
 stage "clang-tidy (if installed)"
-"$root/tools/run_clang_tidy.sh" "$root/ci-build-warn"
+"$root/tools/run_clang_tidy.sh" -j "$jobs" "$root/ci-build-warn"
 
 if [ "$fast" -eq 1 ]; then
   stage "done (--fast: sanitizer stages skipped)"

@@ -1,0 +1,25 @@
+// Fuzz target: core::parse_checkpoint_image — the sectioned checkpoint
+// container parser (magic/version/bounds/CRC). This is the surface that
+// reads files back after a crash, so it must reject arbitrary corruption
+// with a clean hsconas::Error: no over-allocation (every length is
+// bounds-checked against the remaining image before use), no
+// out-of-bounds reads, no exception type other than Error.
+
+#include <string>
+
+#include "core/checkpoint.h"
+#include "fuzz/fuzz_common.h"
+#include "util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string image(data, data + size);
+  try {
+    (void)hsconas::core::parse_checkpoint_image(image);
+  } catch (const hsconas::Error&) {
+    // Corrupt containers must fail with Error — that is the crash-safety
+    // story the checkpoint tests pin; the fuzzer hunts for everything
+    // else.
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared scaffolding for the fuzz harnesses (docs/STATIC_ANALYSIS.md,
+// "Fuzzing"). Every harness defines the libFuzzer entry point
+// `LLVMFuzzerTestOneInput` and is built twice:
+//
+//  - `fuzz_<target>_replay` — always built: this header supplies a
+//    standalone main() (HSCONAS_FUZZ_STANDALONE) that replays the files
+//    or directories named on the command line through the harness once
+//    each. The `ctest -L fuzz` suite runs the checked-in corpora under
+//    tests/fuzz/corpus/ through these, so the harnesses stay compiled
+//    and the corpora stay green on every toolchain — no libFuzzer
+//    needed.
+//  - `fuzz_<target>` — only when -DHSCONAS_FUZZ=ON and the compiler
+//    supports -fsanitize=fuzzer (clang): the coverage-guided binary for
+//    actual exploration.
+//
+// Harness contract: feed the input to one parser entry point; malformed
+// input must be rejected with hsconas::Error (caught and ignored), and
+// on accepted input cheap invariants (round-trips) are asserted with
+// std::abort() so both libFuzzer and the replay driver flag them.
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if defined(HSCONAS_FUZZ_STANDALONE)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::directory_iterator(p)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      inputs.push_back(p);
+    } else {
+      std::fprintf(stderr, "fuzz-replay: no such input: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& p : inputs) {
+    std::ifstream f(p, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "fuzz-replay: cannot read %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+    const std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(f),
+                                          std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("fuzz-replay: %zu input(s) replayed clean\n", inputs.size());
+  return 0;
+}
+
+#endif  // HSCONAS_FUZZ_STANDALONE

@@ -1,0 +1,45 @@
+// Fuzz target: core::Arch::from_string — the genome parser that turns
+// "k3@0.5 | skip@1.0 | ..." strings (CLI flags, experiment manifests,
+// and — next on the roadmap — distributed-search wire messages) back
+// into architecture genes.
+//
+// Invariants: malformed input throws hsconas::Error; accepted input
+// round-trips — to_string() of the parsed arch parses back to an equal
+// arch against the same space.
+
+#include <cstdlib>
+#include <string>
+
+#include "core/arch.h"
+#include "core/search_space.h"
+#include "fuzz/fuzz_common.h"
+#include "util/error.h"
+
+namespace {
+
+const hsconas::core::SearchSpace& space() {
+  // The proxy space exercises every token family the grammar has
+  // (all block kinds, several channel factors, the int8 prefix).
+  static const hsconas::core::SearchSpace s(
+      hsconas::core::SearchSpaceConfig::proxy());
+  return s;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(data, data + size);
+  try {
+    const hsconas::core::Arch arch =
+        hsconas::core::Arch::from_string(space(), text);
+    const std::string printed = arch.to_string(space());
+    const hsconas::core::Arch again =
+        hsconas::core::Arch::from_string(space(), printed);
+    if (!(again == arch)) std::abort();
+  } catch (const hsconas::Error&) {
+    // Unknown ops, bad factors, wrong layer counts: Error is the
+    // contract.
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz target: util::Json::parse — the parser behind every manifest,
+// latency table, bench dump and obs snapshot the project reads back.
+//
+// Invariants: malformed input throws hsconas::Error (never crashes or
+// leaks another exception type); accepted input reaches the emit/parse
+// fixpoint — dump() output re-parses to a value that dumps identically
+// (the documented "every dump() output parses back" contract).
+
+#include <cstdlib>
+#include <string>
+
+#include "fuzz/fuzz_common.h"
+#include "util/error.h"
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(data, data + size);
+  try {
+    const hsconas::util::Json parsed = hsconas::util::Json::parse(text);
+    const std::string dumped = parsed.dump();
+    const hsconas::util::Json again = hsconas::util::Json::parse(dumped);
+    if (again.dump() != dumped) std::abort();
+  } catch (const hsconas::Error&) {
+    // Rejection with Error is the contract for malformed input.
+  }
+  return 0;
+}

@@ -3,9 +3,14 @@
 //
 //   hsconas_lint --root <repo> [--baseline <file>] [--disable a,b]
 //                [--only a,b] [--write-baseline <file>] [--list-rules]
+//                [--layers[=spec]] [--include-graph=<out.dot>]
+//                [--include-metrics[=N]] [--format=text|json]
 //
-// Exit status: 0 clean, 1 non-baselined violations found, 2 usage/IO
-// error. Output format: `file:line rule-id message`, one per line. See
+// --layers adds the include-graph layering pass (spec defaults to
+// <root>/tools/lint/layers.txt); --include-graph and --include-metrics
+// imply it. Exit status: 0 clean, 1 non-baselined violations found, 2
+// usage/IO error. Output format: `file:line rule-id message`, one per
+// line, or a JSON document with --format=json. See
 // docs/STATIC_ANALYSIS.md for the rule catalog and suppression syntax.
 
 #include <cstdio>
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/layers.h"
 #include "lint/lint.h"
 #include "util/error.h"
 
@@ -31,10 +37,13 @@ void split_csv(const std::string& csv, std::vector<std::string>* out) {
 }
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --root <dir> [--baseline <file>] [--disable a,b]\n"
-               "       [--only a,b] [--write-baseline <file>] [--list-rules]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s --root <dir> [--baseline <file>] [--disable a,b]\n"
+      "       [--only a,b] [--write-baseline <file>] [--list-rules]\n"
+      "       [--layers[=spec]] [--include-graph=<out.dot>]\n"
+      "       [--include-metrics[=N]] [--format=text|json]\n",
+      argv0);
   return 2;
 }
 
@@ -44,6 +53,12 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string layers_spec_path;
+  std::string include_graph_path;
+  std::string format = "text";
+  bool run_layers = false;
+  bool print_metrics = false;
+  std::size_t metrics_top_n = 15;
   hsconas::lint::Options opts;
   bool list_rules = false;
 
@@ -68,6 +83,25 @@ int main(int argc, char** argv) {
       split_csv(value("--disable"), &opts.disabled);
     } else if (arg == "--only" || arg.rfind("--only=", 0) == 0) {
       split_csv(value("--only"), &opts.only);
+    } else if (arg == "--layers") {
+      run_layers = true;
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      run_layers = true;
+      layers_spec_path = arg.substr(9);
+    } else if (arg.rfind("--include-graph=", 0) == 0) {
+      run_layers = true;
+      include_graph_path = arg.substr(16);
+    } else if (arg == "--include-metrics") {
+      run_layers = true;
+      print_metrics = true;
+    } else if (arg.rfind("--include-metrics=", 0) == 0) {
+      run_layers = true;
+      print_metrics = true;
+      metrics_top_n =
+          static_cast<std::size_t>(std::stoul(arg.substr(18)));
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      format = value("--format");
+      if (format != "text" && format != "json") return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -81,8 +115,41 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const std::vector<hsconas::lint::Violation> all =
+    std::vector<hsconas::lint::Violation> all =
         hsconas::lint::lint_tree(root, opts);
+
+    if (run_layers) {
+      if (layers_spec_path.empty()) {
+        layers_spec_path = root + "/tools/lint/layers.txt";
+      }
+      const hsconas::lint::LayerSpec spec =
+          hsconas::lint::load_layer_spec(layers_spec_path);
+      const hsconas::lint::IncludeGraph graph =
+          hsconas::lint::scan_include_graph(root);
+      const hsconas::lint::LayerReport report =
+          hsconas::lint::check_layers(graph, spec, opts);
+      all.insert(all.end(), report.violations.begin(),
+                 report.violations.end());
+
+      if (!include_graph_path.empty()) {
+        std::ofstream f(include_graph_path);
+        if (!f) {
+          std::fprintf(stderr, "hsconas_lint: cannot write %s\n",
+                       include_graph_path.c_str());
+          return 2;
+        }
+        f << hsconas::lint::layers_to_dot(report);
+        std::fprintf(stderr, "hsconas_lint: wrote include graph to %s\n",
+                     include_graph_path.c_str());
+      }
+      if (print_metrics) {
+        const auto rows = hsconas::lint::include_metrics(graph);
+        std::fputs(
+            hsconas::lint::format_include_metrics(rows, metrics_top_n)
+                .c_str(),
+            stdout);
+      }
+    }
 
     if (!write_baseline_path.empty()) {
       std::ofstream f(write_baseline_path);
@@ -103,6 +170,14 @@ int main(int argc, char** argv) {
     std::vector<std::string> ratchet_notes;
     const std::vector<hsconas::lint::Violation> active =
         hsconas::lint::apply_baseline(all, baseline, &ratchet_notes);
+
+    if (format == "json") {
+      std::fputs(hsconas::lint::format_violations_json(
+                     active, all.size() - active.size(), ratchet_notes)
+                     .c_str(),
+                 stdout);
+      return active.empty() ? 0 : 1;
+    }
 
     for (const auto& v : active) {
       std::printf("%s\n", hsconas::lint::format_violation(v).c_str());

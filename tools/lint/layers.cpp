@@ -1,0 +1,403 @@
+#include "lint/layers.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hsconas::lint {
+
+namespace {
+
+constexpr const char* kForbiddenEdge = "layer-forbidden-edge";
+constexpr const char* kCycle = "layer-cycle";
+constexpr const char* kUnmappedFile = "layer-unmapped-file";
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string field;
+  while (in >> field) fields.push_back(field);
+  return fields;
+}
+
+bool known_module(const LayerSpec& spec, const std::string& name) {
+  return std::any_of(spec.modules.begin(), spec.modules.end(),
+                     [&](const LayerModule& m) { return m.name == name; });
+}
+
+/// Parse `<from> -> <to>` out of fields[1..2 or 1..3]; supports both
+/// "a -> b" (three fields) and "a->b" (one field).
+std::pair<std::string, std::string> parse_edge(
+    const std::vector<std::string>& fields, std::size_t from_index,
+    std::size_t* consumed, const std::string& line) {
+  const auto malformed = [&]() -> Error {
+    return Error("layers: malformed edge in '" + line +
+                 "' (want '<from> -> <to>')");
+  };
+  if (from_index >= fields.size()) throw malformed();
+  const std::string& first = fields[from_index];
+  const std::size_t arrow = first.find("->");
+  if (arrow != std::string::npos) {
+    const std::string from = first.substr(0, arrow);
+    const std::string to = first.substr(arrow + 2);
+    if (from.empty() || to.empty()) throw malformed();
+    *consumed = from_index + 1;
+    return {from, to};
+  }
+  if (from_index + 2 >= fields.size() || fields[from_index + 1] != "->") {
+    throw malformed();
+  }
+  *consumed = from_index + 3;
+  return {first, fields[from_index + 2]};
+}
+
+}  // namespace
+
+LayerSpec parse_layer_spec(const std::string& text) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::size_t hash = line.find('#');
+    const std::vector<std::string> fields =
+        split_fields(hash == std::string::npos ? line : line.substr(0, hash));
+    if (fields.empty()) continue;
+    const std::string& directive = fields[0];
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (directive == "module") {
+      if (fields.size() < 3) {
+        throw Error("layers: 'module' wants a name and at least one path "
+                    "prefix" + where);
+      }
+      if (known_module(spec, fields[1])) {
+        throw Error("layers: duplicate module '" + fields[1] + "'" + where);
+      }
+      LayerModule m;
+      m.name = fields[1];
+      m.prefixes.assign(fields.begin() + 2, fields.end());
+      spec.modules.push_back(std::move(m));
+    } else if (directive == "allow" || directive == "waiver") {
+      std::size_t consumed = 0;
+      const auto edge = parse_edge(fields, 1, &consumed, line);
+      if (!known_module(spec, edge.first) || !known_module(spec, edge.second)) {
+        throw Error("layers: edge '" + edge.first + " -> " + edge.second +
+                    "' names an undeclared module (declare modules before "
+                    "edges)" + where);
+      }
+      if (directive == "allow") {
+        spec.allowed.insert(edge);
+      } else {
+        std::string rationale;
+        for (std::size_t i = consumed; i < fields.size(); ++i) {
+          if (!rationale.empty()) rationale += ' ';
+          rationale += fields[i];
+        }
+        if (rationale.empty()) {
+          throw Error("layers: waiver '" + edge.first + " -> " + edge.second +
+                      "' needs a rationale" + where);
+        }
+        spec.waivers[edge] = rationale;
+      }
+    } else {
+      throw Error("layers: unknown directive '" + directive + "'" + where);
+    }
+  }
+  if (spec.modules.empty()) {
+    throw Error("layers: spec declares no modules");
+  }
+  return spec;
+}
+
+LayerSpec load_layer_spec(const std::string& path) {
+  LayerSpec spec = parse_layer_spec(read_source_file(path));
+  spec.path = path;
+  return spec;
+}
+
+std::string module_of(const LayerSpec& spec, const std::string& path) {
+  std::string best;
+  std::size_t best_len = 0;
+  for (const LayerModule& m : spec.modules) {
+    for (const std::string& prefix : m.prefixes) {
+      const bool exact_file = prefix.find('.') != std::string::npos;
+      const bool hit = exact_file ? path == prefix
+                                  : path_starts_with(path, (prefix + "/").c_str());
+      if (hit && prefix.size() >= best_len) {
+        best = m.name;
+        best_len = prefix.size();
+      }
+    }
+  }
+  return best;
+}
+
+IncludeGraph build_include_graph(const std::vector<FileContext>& files) {
+  IncludeGraph graph;
+  std::set<std::string> known;
+  for (const FileContext& ctx : files) {
+    graph.files.push_back(ctx.path);
+    known.insert(ctx.path);
+  }
+  std::sort(graph.files.begin(), graph.files.end());
+
+  for (const FileContext& ctx : files) {
+    // The scanned trees are rooted one level under the repo root
+    // ("src/obs/metrics.h"); quoted includes are root-relative to that
+    // level ("obs/metrics.h"), so the tree prefix is re-applied first and
+    // the including file's own directory tried second.
+    const std::size_t top_slash = ctx.path.find('/');
+    const std::string top =
+        top_slash == std::string::npos ? "" : ctx.path.substr(0, top_slash + 1);
+    const std::size_t dir_slash = ctx.path.rfind('/');
+    const std::string dir =
+        dir_slash == std::string::npos ? "" : ctx.path.substr(0, dir_slash + 1);
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+      const std::string& code = ctx.code[i];
+      const std::size_t inc = code.find("#include");
+      if (inc == std::string::npos) continue;
+      // The target string was blanked by the lexer; read it from raw.
+      const std::string& raw = ctx.raw[i];
+      const std::size_t open = raw.find('"', inc);
+      if (open == std::string::npos) continue;  // <system> include
+      const std::size_t close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string target = raw.substr(open + 1, close - open - 1);
+      std::string resolved;
+      if (known.count(top + target) != 0) {
+        resolved = top + target;
+      } else if (known.count(dir + target) != 0) {
+        resolved = dir + target;
+      } else {
+        continue;  // external header
+      }
+      graph.edges.push_back(IncludeEdge{ctx.path, i + 1, resolved});
+    }
+  }
+  return graph;
+}
+
+IncludeGraph scan_include_graph(const std::string& root) {
+  return build_include_graph(load_tree(root, {"src"}));
+}
+
+LayerReport check_layers(const IncludeGraph& graph, const LayerSpec& spec,
+                         const Options& opts) {
+  LayerReport report;
+
+  std::map<std::string, std::string> file_module;
+  for (const std::string& file : graph.files) {
+    const std::string module = module_of(spec, file);
+    file_module[file] = module;
+    if (module.empty()) {
+      if (rule_enabled(opts, kUnmappedFile)) {
+        report.violations.push_back(Violation{
+            file, 1, kUnmappedFile,
+            "file is not covered by any module in " + spec.path +
+                "; add it to a module (or a new one) so the layering gate "
+                "can police its dependencies"});
+      }
+    } else {
+      ++report.module_files[module];
+    }
+  }
+
+  // Collapse file edges onto module edges.
+  std::map<std::pair<std::string, std::string>, ModuleEdge> edges;
+  for (const IncludeEdge& e : graph.edges) {
+    const std::string& from = file_module[e.from_file];
+    const std::string& to = file_module[e.to_file];
+    if (from.empty() || to.empty() || from == to) continue;
+    ModuleEdge& me = edges[{from, to}];
+    me.from = from;
+    me.to = to;
+    ++me.count;
+    me.allowed = spec.allowed.count({from, to}) != 0;
+    me.waived = spec.waivers.count({from, to}) != 0;
+    if (!me.allowed && !me.waived && rule_enabled(opts, kForbiddenEdge)) {
+      report.violations.push_back(Violation{
+          e.from_file, e.line, kForbiddenEdge,
+          "module '" + from + "' may not include module '" + to + "' (" +
+              e.to_file + "); sanction it with `allow " + from + " -> " + to +
+              "` in " + spec.path + ", record a waiver with rationale, or "
+              "move the helper to the right layer"});
+    }
+  }
+  for (const auto& [key, edge] : edges) report.edges.push_back(edge);
+
+  // Cycle detection over the observed module graph (waived edges count:
+  // a waiver tolerates an edge, not a cycle). Iterative Kahn peeling —
+  // whatever survives sits on at least one cycle; the residual graph is
+  // then split into its strongly connected components for reporting.
+  if (rule_enabled(opts, kCycle)) {
+    std::map<std::string, std::set<std::string>> adj;
+    std::map<std::string, std::size_t> indegree;
+    for (const auto& [key, edge] : edges) {
+      if (adj[edge.from].insert(edge.to).second) ++indegree[edge.to];
+      indegree.emplace(edge.from, indegree[edge.from]);
+    }
+    std::vector<std::string> queue;
+    for (const auto& [node, deg] : indegree) {
+      if (deg == 0) queue.push_back(node);
+    }
+    std::set<std::string> removed;
+    while (!queue.empty()) {
+      const std::string node = queue.back();
+      queue.pop_back();
+      removed.insert(node);
+      for (const std::string& next : adj[node]) {
+        if (--indegree[next] == 0) queue.push_back(next);
+      }
+    }
+    std::set<std::string> cyclic;
+    for (const auto& [node, deg] : indegree) {
+      if (removed.count(node) == 0) cyclic.insert(node);
+    }
+    // Split the cyclic residue into components (undirected reachability is
+    // enough here: every residual node is on a cycle, and the message
+    // names the member modules rather than one specific walk).
+    std::set<std::string> seen;
+    for (const std::string& start : cyclic) {
+      if (seen.count(start) != 0) continue;
+      std::vector<std::string> component, stack{start};
+      seen.insert(start);
+      while (!stack.empty()) {
+        const std::string node = stack.back();
+        stack.pop_back();
+        component.push_back(node);
+        for (const std::string& next : adj[node]) {
+          if (cyclic.count(next) != 0 && seen.insert(next).second) {
+            stack.push_back(next);
+          }
+        }
+        for (const auto& [other, targets] : adj) {
+          if (cyclic.count(other) != 0 && targets.count(node) != 0 &&
+              seen.insert(other).second) {
+            stack.push_back(other);
+          }
+        }
+      }
+      std::sort(component.begin(), component.end());
+      std::string names;
+      for (const std::string& name : component) {
+        if (!names.empty()) names += " <-> ";
+        names += name;
+      }
+      report.violations.push_back(Violation{
+          spec.path, 1, kCycle,
+          "dependency cycle among modules: " + names +
+              "; break it by moving the shared helper down a layer or "
+              "inverting one dependency (fn-pointer registration, "
+              "forward declaration)"});
+    }
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+std::string layers_to_dot(const LayerReport& report) {
+  std::string out;
+  out += "digraph hsconas_modules {\n";
+  out += "  rankdir=BT;\n";
+  out += "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const auto& [name, files] : report.module_files) {
+    out += "  \"" + name + "\" [label=\"" + name + "\\n" +
+           std::to_string(files) + " files\"];\n";
+  }
+  for (const ModuleEdge& e : report.edges) {
+    out += "  \"" + e.from + "\" -> \"" + e.to + "\" [label=\"" +
+           std::to_string(e.count) + "\"";
+    if (!e.allowed && !e.waived) {
+      out += ", color=red, penwidth=2.0";
+    } else if (e.waived) {
+      out += ", style=dashed";
+    }
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<IncludeMetrics> include_metrics(const IncludeGraph& graph) {
+  std::map<std::string, std::set<std::string>> fwd, rev;
+  for (const IncludeEdge& e : graph.edges) {
+    fwd[e.from_file].insert(e.to_file);
+    rev[e.to_file].insert(e.from_file);
+  }
+  const auto reachable =
+      [](const std::map<std::string, std::set<std::string>>& adj,
+         const std::string& start) {
+        std::set<std::string> seen;
+        std::vector<std::string> stack{start};
+        while (!stack.empty()) {
+          const std::string node = stack.back();
+          stack.pop_back();
+          const auto it = adj.find(node);
+          if (it == adj.end()) continue;
+          for (const std::string& next : it->second) {
+            if (next != start && seen.insert(next).second) {
+              stack.push_back(next);
+            }
+          }
+        }
+        return seen.size();
+      };
+
+  std::vector<IncludeMetrics> rows;
+  rows.reserve(graph.files.size());
+  for (const std::string& file : graph.files) {
+    IncludeMetrics m;
+    m.file = file;
+    const auto direct = rev.find(file);
+    m.direct_fan_in = direct == rev.end() ? 0 : direct->second.size();
+    m.fan_in = reachable(rev, file);
+    m.weight = reachable(fwd, file);
+    rows.push_back(std::move(m));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const IncludeMetrics& a, const IncludeMetrics& b) {
+              if (a.fan_in != b.fan_in) return a.fan_in > b.fan_in;
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.file < b.file;
+            });
+  return rows;
+}
+
+std::string format_include_metrics(const std::vector<IncludeMetrics>& rows,
+                                   std::size_t top_n) {
+  std::size_t width = std::string("file").size();
+  const std::size_t shown =
+      top_n == 0 ? rows.size() : std::min(top_n, rows.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    width = std::max(width, rows[i].file.size());
+  }
+  std::ostringstream out;
+  out << "include fan-in / weight (" << shown << " of " << rows.size()
+      << " files)\n";
+  out.width(0);
+  std::string header = "file";
+  header.resize(width, ' ');
+  out << header << "  fan-in  direct  weight\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::string file = rows[i].file;
+    file.resize(width, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %6zu  %6zu  %6zu\n", rows[i].fan_in,
+                  rows[i].direct_fan_in, rows[i].weight);
+    out << file << buf;
+  }
+  return out.str();
+}
+
+}  // namespace hsconas::lint

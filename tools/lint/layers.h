@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/source_model.h"
+
+namespace hsconas::lint {
+
+/// Pass 1 — include-graph layering gate.
+///
+/// Extracts every quoted `#include` under `root`/src, maps each file to a
+/// module via the checked-in layering spec (tools/lint/layers.txt), and
+/// checks the module-level dependency graph against the spec's allowed
+/// edges: forbidden edges, dependency cycles and files the spec does not
+/// cover are reported as ordinary violations (`layer-forbidden-edge`,
+/// `layer-cycle`, `layer-unmapped-file`). The same graph backs the
+/// Graphviz export (`--include-graph=out.dot`) and the per-header
+/// transitive fan-in / include-weight report (`--include-metrics`).
+///
+/// Spec grammar, one directive per line ('#' comments, blank lines ok):
+///
+///   module <name> <prefix> [<prefix>...]   # dir prefix or exact file;
+///                                          # longest prefix wins, so a
+///                                          # file-granular submodule can
+///                                          # carve files out of its dir
+///   allow <from> -> <to>                   # sanctioned dependency
+///   waiver <from> -> <to> <rationale...>   # tolerated debt; rationale
+///                                          # is mandatory and rendered
+///                                          # in reports and the DOT dump
+
+struct LayerModule {
+  std::string name;
+  std::vector<std::string> prefixes;
+};
+
+struct LayerSpec {
+  std::vector<LayerModule> modules;  ///< in declaration order
+  std::set<std::pair<std::string, std::string>> allowed;
+  std::map<std::pair<std::string, std::string>, std::string> waivers;
+  std::string path = "<spec>";  ///< for report attribution
+};
+
+/// Parse a spec from text; throws hsconas::Error on malformed directives,
+/// duplicate module names, edges naming unknown modules, or a waiver
+/// without a rationale.
+LayerSpec parse_layer_spec(const std::string& text);
+
+/// Load a spec from disk; throws hsconas::Error when unreadable.
+LayerSpec load_layer_spec(const std::string& path);
+
+/// Module owning `path` (longest-prefix match over every module's
+/// prefixes); empty string when no module covers it. A prefix containing
+/// a '.' matches exactly one file; otherwise it matches the directory
+/// subtree `prefix + "/"`.
+std::string module_of(const LayerSpec& spec, const std::string& path);
+
+struct IncludeEdge {
+  std::string from_file;  ///< root-relative includer
+  std::size_t line = 0;   ///< 1-based line of the #include
+  std::string to_file;    ///< root-relative resolved target
+};
+
+struct IncludeGraph {
+  std::vector<std::string> files;  ///< sorted, root-relative
+  std::vector<IncludeEdge> edges;  ///< one per resolved include site
+};
+
+/// Build the graph from already-loaded file contexts: a quoted include is
+/// resolved against `src/` first, then against the including file's own
+/// directory; unresolvable targets (external headers) are dropped.
+IncludeGraph build_include_graph(const std::vector<FileContext>& files);
+
+/// Convenience: load `root`/src (same skip rules as the other passes) and
+/// build its graph.
+IncludeGraph scan_include_graph(const std::string& root);
+
+struct ModuleEdge {
+  std::string from;
+  std::string to;
+  std::size_t count = 0;  ///< number of include sites
+  bool allowed = false;
+  bool waived = false;
+};
+
+struct LayerReport {
+  std::vector<Violation> violations;
+  std::vector<ModuleEdge> edges;  ///< cross-module only, sorted (from, to)
+  std::map<std::string, std::size_t> module_files;  ///< files per module
+};
+
+/// Check the graph against the spec. Violations honor Options
+/// (--only/--disable) like every other rule; waived edges are never
+/// violations but stay visible in the report and DOT output.
+LayerReport check_layers(const IncludeGraph& graph, const LayerSpec& spec,
+                         const Options& opts = {});
+
+/// Deterministic Graphviz digraph of the module-level report: nodes carry
+/// file counts, edges carry include-site counts; forbidden edges render
+/// red and bold, waived edges dashed with the rationale as a tooltip.
+std::string layers_to_dot(const LayerReport& report);
+
+struct IncludeMetrics {
+  std::string file;
+  std::size_t direct_fan_in = 0;  ///< files including it directly
+  std::size_t fan_in = 0;   ///< files that transitively include it
+  std::size_t weight = 0;   ///< headers it transitively includes
+};
+
+/// Per-file metrics over the transitive closure of `graph`, sorted by
+/// fan-in descending, then weight descending, then path.
+std::vector<IncludeMetrics> include_metrics(const IncludeGraph& graph);
+
+/// Render the top `top_n` rows (0 = all) as an aligned text table.
+std::string format_include_metrics(const std::vector<IncludeMetrics>& rows,
+                                   std::size_t top_n);
+
+}  // namespace hsconas::lint

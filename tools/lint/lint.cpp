@@ -1,12 +1,12 @@
 #include "lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
+#include <cstdio>
 #include <fstream>
-#include <iterator>
 #include <sstream>
 
+#include "lint/semantic.h"
+#include "lint/source_model.h"
 #include "util/error.h"
 
 namespace hsconas::lint {
@@ -14,52 +14,10 @@ namespace hsconas::lint {
 namespace {
 
 bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
+  return path_starts_with(s, prefix);
 }
 
-bool ends_with(const std::string& s, const char* suffix) {
-  const std::size_t n = std::char_traits<char>::length(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-bool is_header(const std::string& path) { return ends_with(path, ".h"); }
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Find `ident` as a whole identifier in `line` starting at `from`;
-/// npos when absent. "rand" does not match inside "operand".
-std::size_t find_identifier(const std::string& line, const std::string& ident,
-                            std::size_t from = 0) {
-  for (std::size_t pos = line.find(ident, from); pos != std::string::npos;
-       pos = line.find(ident, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    const std::size_t end = pos + ident.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& line, std::size_t pos) {
-  while (pos < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
-    ++pos;
-  }
-  return pos;
-}
-
-/// `ident` used as a call: identifier immediately (modulo spaces)
-/// followed by '('.
-bool has_call(const std::string& line, const std::string& ident) {
-  for (std::size_t pos = find_identifier(line, ident); pos != std::string::npos;
-       pos = find_identifier(line, ident, pos + 1)) {
-    const std::size_t after = skip_spaces(line, pos + ident.size());
-    if (after < line.size() && line[after] == '(') return true;
-  }
-  return false;
-}
+bool is_header(const std::string& path) { return is_header_path(path); }
 
 /// `fprintf`/`fputs`-style call whose first argument is `stdout`.
 bool has_stdout_call(const std::string& line, const std::string& ident) {
@@ -87,150 +45,8 @@ bool has_array_new(const std::string& line) {
   return false;
 }
 
-/// Split text into lines (without terminators). A trailing newline does
-/// not produce an empty final line.
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) {
-      if (start < text.size()) lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-/// Replace comments, string literals and char literals with spaces so the
-/// rule matchers only ever see code. Handles // and /* */ across lines,
-/// escape sequences, and R"delim(...)delim" raw strings. Line structure
-/// (count and lengths) is preserved.
-std::vector<std::string> strip_to_code(const std::vector<std::string>& raw) {
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: )delim"
-
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  for (const std::string& line : raw) {
-    std::string code(line.size(), ' ');
-    std::size_t i = 0;
-    while (i < line.size()) {
-      const char c = line[i];
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-            i = line.size();  // rest of line is a comment
-          } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-            state = State::kBlockComment;
-            i += 2;
-          } else if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
-                     (i == 0 || !is_ident_char(line[i - 1]))) {
-            const std::size_t open = line.find('(', i + 2);
-            if (open == std::string::npos) {
-              i = line.size();  // malformed; treat rest as literal
-            } else {
-              raw_delim.assign(1, ')');
-              raw_delim.append(line, i + 2, open - (i + 2));
-              raw_delim += '"';
-              state = State::kRawString;
-              i = open + 1;
-            }
-          } else if (c == '"') {
-            state = State::kString;
-            ++i;
-          } else if (c == '\'') {
-            state = State::kChar;
-            ++i;
-          } else {
-            code[i] = c;
-            ++i;
-          }
-          break;
-        case State::kBlockComment: {
-          const std::size_t close = line.find("*/", i);
-          if (close == std::string::npos) {
-            i = line.size();
-          } else {
-            state = State::kCode;
-            i = close + 2;
-          }
-          break;
-        }
-        case State::kString:
-        case State::kChar: {
-          const char quote = state == State::kString ? '"' : '\'';
-          if (c == '\\') {
-            i += 2;
-          } else if (c == quote) {
-            state = State::kCode;
-            ++i;
-          } else {
-            ++i;
-          }
-          break;
-        }
-        case State::kRawString: {
-          const std::size_t close = line.find(raw_delim, i);
-          if (close == std::string::npos) {
-            i = line.size();
-          } else {
-            state = State::kCode;
-            i = close + raw_delim.size();
-          }
-          break;
-        }
-      }
-    }
-    // Unterminated ordinary string/char literals do not span lines.
-    if (state == State::kString || state == State::kChar) state = State::kCode;
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
 bool line_is_blank_or_stripped(const std::string& code_line) {
   return code_line.find_first_not_of(" \t") == std::string::npos;
-}
-
-/// Parse every rule id named by `hsconas-lint-allow(a,b,...)` occurrences
-/// in `line` into `out`.
-void collect_allows(const std::string& line, std::vector<std::string>* out) {
-  static const std::string kTag = "hsconas-lint-allow(";
-  for (std::size_t pos = line.find(kTag); pos != std::string::npos;
-       pos = line.find(kTag, pos + 1)) {
-    const std::size_t open = pos + kTag.size();
-    const std::size_t close = line.find(')', open);
-    if (close == std::string::npos) continue;
-    std::string id;
-    for (std::size_t i = open; i <= close; ++i) {
-      if (i == close || line[i] == ',') {
-        if (!id.empty()) out->push_back(id);
-        id.clear();
-      } else if (!std::isspace(static_cast<unsigned char>(line[i]))) {
-        id += line[i];
-      }
-    }
-  }
-}
-
-struct FileContext {
-  std::string path;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  /// allows[i]: rule ids suppressed for raw line i+1 (same line or the
-  /// line directly above carries the comment).
-  std::vector<std::vector<std::string>> allows;
-};
-
-bool is_suppressed(const FileContext& ctx, std::size_t line,
-                   const std::string& rule) {
-  if (line == 0 || line > ctx.allows.size()) return false;
-  const auto& ids = ctx.allows[line - 1];
-  return std::find(ids.begin(), ids.end(), rule) != ids.end();
 }
 
 void report(const FileContext& ctx, std::vector<Violation>* out,
@@ -242,7 +58,7 @@ void report(const FileContext& ctx, std::vector<Violation>* out,
 }
 
 // ---------------------------------------------------------------------------
-// Rules. Each takes the preprocessed file and appends violations.
+// Line rules. Each takes the preprocessed file and appends violations.
 
 constexpr const char* kSerialRawMemcpy = "serial-raw-memcpy";
 constexpr const char* kSerialPointerCast = "serial-pointer-cast";
@@ -529,6 +345,22 @@ void rule_include_iostream_in_header(const FileContext& ctx,
   }
 }
 
+void run_line_rules(const FileContext& ctx, const Options& opts,
+                    std::vector<Violation>* out) {
+  rule_serial_raw_memcpy(ctx, opts, out);
+  rule_serial_pointer_cast(ctx, opts, out);
+  rule_scratch_discipline(ctx, opts, out);
+  rule_thread_discipline(ctx, opts, out);
+  rule_timing_discipline(ctx, opts, out);
+  rule_rng_discipline(ctx, opts, out);
+  rule_quant_dtype_discipline(ctx, opts, out);
+  rule_log_no_stdio(ctx, opts, out);
+  rule_trace_scope_in_header(ctx, opts, out);
+  rule_include_pragma_once(ctx, opts, out);
+  rule_include_relative_parent(ctx, opts, out);
+  rule_include_iostream_in_header(ctx, opts, out);
+}
+
 }  // namespace
 
 const std::vector<Rule>& rules() {
@@ -557,6 +389,19 @@ const std::vector<Rule>& rules() {
       {kIncludePragmaOnce, "headers must open with #pragma once"},
       {kIncludeRelativeParent, "no parent-relative #include paths"},
       {kIncludeIostreamInHeader, "no <iostream> in library headers"},
+      // Pass 2 — semantic rules (cross-line/cross-file; see semantic.h).
+      {"unchecked-error-discipline",
+       "no discarded results of [[nodiscard]]/Error/Status-returning "
+       "functions in src/ ((void) marks an explicit discard)"},
+      {"lock-discipline",
+       "no raw .lock()/.unlock() on mutexes outside RAII guards in src/"},
+      // Pass 3 — include-graph layering (see layers.h; needs --layers).
+      {"layer-forbidden-edge",
+       "module-level #include edges must be sanctioned by "
+       "tools/lint/layers.txt"},
+      {"layer-cycle", "the module dependency graph must stay acyclic"},
+      {"layer-unmapped-file",
+       "every src/ file must belong to a module in the layering spec"},
   };
   return kRules;
 }
@@ -574,78 +419,25 @@ bool rule_enabled(const Options& opts, const std::string& rule) {
 std::vector<Violation> lint_file(const std::string& path,
                                  const std::string& contents,
                                  const Options& opts) {
-  FileContext ctx;
-  ctx.path = path;
-  ctx.raw = split_lines(contents);
-  ctx.code = strip_to_code(ctx.raw);
-  ctx.allows.resize(ctx.raw.size());
-  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
-    std::vector<std::string> ids;
-    collect_allows(ctx.raw[i], &ids);
-    for (const std::string& id : ids) {
-      ctx.allows[i].push_back(id);                          // same line
-      if (i + 1 < ctx.raw.size()) ctx.allows[i + 1].push_back(id);  // next
-    }
-  }
-
+  const FileContext ctx = make_file_context(path, contents);
   std::vector<Violation> out;
-  rule_serial_raw_memcpy(ctx, opts, &out);
-  rule_serial_pointer_cast(ctx, opts, &out);
-  rule_scratch_discipline(ctx, opts, &out);
-  rule_thread_discipline(ctx, opts, &out);
-  rule_timing_discipline(ctx, opts, &out);
-  rule_rng_discipline(ctx, opts, &out);
-  rule_quant_dtype_discipline(ctx, opts, &out);
-  rule_log_no_stdio(ctx, opts, &out);
-  rule_trace_scope_in_header(ctx, opts, &out);
-  rule_include_pragma_once(ctx, opts, &out);
-  rule_include_relative_parent(ctx, opts, &out);
-  rule_include_iostream_in_header(ctx, opts, &out);
+  run_line_rules(ctx, opts, &out);
+  // Single-file mode indexes declarations from this file alone; the tree
+  // walk below builds the index across every header first.
+  const SemanticIndex index = build_semantic_index({ctx});
+  run_semantic_rules(ctx, index, opts, &out);
   return out;
 }
 
-namespace {
-
-bool lintable_file(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cpp";
-}
-
-bool skip_directory(const std::string& name) {
-  return name == "fixtures" || starts_with(name, "build") || name[0] == '.';
-}
-
-std::string read_file(const std::filesystem::path& p) {
-  std::ifstream f(p, std::ios::binary);
-  if (!f) throw Error("hsconas_lint: cannot read " + p.string());
-  return std::string(std::istreambuf_iterator<char>(f),
-                     std::istreambuf_iterator<char>());
-}
-
-}  // namespace
-
 std::vector<Violation> lint_tree(const std::string& root,
                                  const Options& opts) {
-  namespace fs = std::filesystem;
+  const std::vector<FileContext> files =
+      load_tree(root, {"src", "tools", "tests"});
+  const SemanticIndex index = build_semantic_index(files);
   std::vector<Violation> out;
-  for (const char* top : {"src", "tools", "tests"}) {
-    const fs::path dir = fs::path(root) / top;
-    if (!fs::exists(dir)) continue;
-    fs::recursive_directory_iterator it(dir), end;
-    for (; it != end; ++it) {
-      if (it->is_directory()) {
-        if (skip_directory(it->path().filename().string())) {
-          it.disable_recursion_pending();
-        }
-        continue;
-      }
-      if (!it->is_regular_file() || !lintable_file(it->path())) continue;
-      const std::string rel =
-          fs::relative(it->path(), fs::path(root)).generic_string();
-      const std::vector<Violation> file_violations =
-          lint_file(rel, read_file(it->path()), opts);
-      out.insert(out.end(), file_violations.begin(), file_violations.end());
-    }
+  for (const FileContext& ctx : files) {
+    run_line_rules(ctx, opts, &out);
+    run_semantic_rules(ctx, index, opts, &out);
   }
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {
@@ -730,6 +522,65 @@ std::vector<Violation> apply_baseline(
 std::string format_violation(const Violation& v) {
   return v.file + ":" + std::to_string(v.line) + " " + v.rule + " " +
          v.message;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_violations_json(const std::vector<Violation>& active,
+                                   std::size_t baselined,
+                                   const std::vector<std::string>& notes) {
+  // Hand-rolled so the lint library stays layered below hsconas_util
+  // (schema "hsconas.lint.v1", consumed by obs_report-style tooling).
+  std::string out = "{\n  \"schema\": \"hsconas.lint.v1\",\n";
+  out += "  \"violations\": [";
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const Violation& v = active[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": ";
+    append_json_escaped(out, v.file);
+    out += ", \"line\": " + std::to_string(v.line) + ", \"rule\": ";
+    append_json_escaped(out, v.rule);
+    out += ", \"message\": ";
+    append_json_escaped(out, v.message);
+    out += "}";
+  }
+  out += active.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"violation_count\": " + std::to_string(active.size()) + ",\n";
+  out += "  \"baselined_count\": " + std::to_string(baselined) + ",\n";
+  out += "  \"notes\": [";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_json_escaped(out, notes[i]);
+  }
+  out += notes.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace hsconas::lint

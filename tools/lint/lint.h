@@ -95,4 +95,11 @@ std::vector<Violation> apply_baseline(
 /// Render one violation as `file:line rule-id message`.
 std::string format_violation(const Violation& v);
 
+/// Render a run as machine-readable JSON (schema "hsconas.lint.v1"):
+/// post-baseline violations, the number suppressed by the baseline, and
+/// any ratchet notes. Used by `hsconas_lint --format=json`.
+std::string format_violations_json(const std::vector<Violation>& active,
+                                   std::size_t baselined,
+                                   const std::vector<std::string>& notes);
+
 }  // namespace hsconas::lint

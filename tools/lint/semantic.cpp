@@ -1,0 +1,322 @@
+#include "lint/semantic.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hsconas::lint {
+
+namespace {
+
+constexpr const char* kUncheckedError = "unchecked-error-discipline";
+constexpr const char* kLockDiscipline = "lock-discipline";
+
+void report(const FileContext& ctx, std::vector<Violation>* out,
+            const Options& opts, std::size_t line, const char* rule,
+            const std::string& message) {
+  if (!rule_enabled(opts, rule)) return;
+  if (is_suppressed(ctx, line, rule)) return;
+  out->push_back(Violation{ctx.path, line, rule, message});
+}
+
+/// Identifier (with no qualifier glue) ending at `end` in `line`; empty
+/// when the preceding token is not an identifier.
+std::string ident_before(const std::string& line, std::size_t end) {
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+/// Identifier starting at `pos`; empty when line[pos] does not open one.
+std::string ident_at(const std::string& line, std::size_t pos) {
+  if (pos >= line.size() || !is_ident_char(line[pos]) ||
+      std::isdigit(static_cast<unsigned char>(line[pos])) != 0) {
+    return {};
+  }
+  std::size_t end = pos;
+  while (end < line.size() && is_ident_char(line[end])) ++end;
+  return line.substr(pos, end - pos);
+}
+
+bool is_std_qualified(const std::string& line, std::size_t pos) {
+  return pos >= 5 && line.compare(pos - 5, 5, "std::") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration indexing.
+
+/// Record the function name declared after a `[[nodiscard]]` attribute:
+/// the identifier directly before the first '(' within the attribute's
+/// line or the next two (multi-line signatures).
+void index_nodiscard(const std::vector<std::string>& code, std::size_t i,
+                     std::size_t attr_end, SemanticIndex* index) {
+  std::string joined = code[i].substr(attr_end);
+  for (std::size_t k = i + 1; k < code.size() && k <= i + 2; ++k) {
+    joined += ' ';
+    joined += code[k];
+  }
+  const std::size_t open = joined.find('(');
+  if (open == std::string::npos) return;
+  std::size_t end = open;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(joined[end - 1])) != 0) {
+    --end;
+  }
+  const std::string name = ident_before(joined, end);
+  if (!name.empty()) index->must_use.insert(name);
+}
+
+/// Record functions declared to return an Error/Status type:
+/// `<qualifiers> Error name(...)`. The occurrence must be a return type,
+/// not a qualifier (`Error::x`), a throw (`throw Error(...)`), or a
+/// variable initialization (no '(' directly after the next identifier
+/// fails the match anyway; `Error e(msg)` is accepted as the cost of a
+/// lexical indexer and is harmless unless `e(...)` is later discarded).
+void index_error_returns(const std::string& line, SemanticIndex* index) {
+  static const char* kErrorTypes[] = {"Error", "InvalidArgument",
+                                      "InternalError", "Status"};
+  for (const char* type : kErrorTypes) {
+    for (std::size_t pos = find_identifier(line, type);
+         pos != std::string::npos;
+         pos = find_identifier(line, type, pos + 1)) {
+      std::size_t after = pos + std::string(type).size();
+      if (line.compare(after, 2, "::") == 0) continue;  // qualifier use
+      after = skip_spaces(line, after);
+      const std::string name = ident_at(line, after);
+      if (name.empty()) continue;
+      const std::size_t paren = skip_spaces(line, after + name.size());
+      if (paren < line.size() && line[paren] == '(') {
+        index->must_use.insert(name);
+      }
+    }
+  }
+}
+
+void index_mutex_decls(const std::string& line, SemanticIndex* index) {
+  static const char* kMutexTypes[] = {"mutex", "recursive_mutex",
+                                      "shared_mutex", "timed_mutex",
+                                      "recursive_timed_mutex"};
+  for (const char* type : kMutexTypes) {
+    for (std::size_t pos = find_identifier(line, type);
+         pos != std::string::npos;
+         pos = find_identifier(line, type, pos + 1)) {
+      if (!is_std_qualified(line, pos)) continue;
+      std::size_t after = skip_spaces(line, pos + std::string(type).size());
+      // `std::mutex` inside template arguments (std::lock_guard<std::mutex>)
+      // is a type argument, not a declaration.
+      if (after < line.size() && (line[after] == '>' || line[after] == ',')) {
+        continue;
+      }
+      while (after < line.size() && (line[after] == '&' || line[after] == '*')) {
+        after = skip_spaces(line, after + 1);
+      }
+      const std::string name = ident_at(line, after);
+      if (!name.empty()) index->mutexes.insert(name);
+    }
+  }
+}
+
+void index_guard_decls(const std::string& line, SemanticIndex* index) {
+  static const char* kGuardTypes[] = {"lock_guard", "unique_lock",
+                                      "scoped_lock", "shared_lock"};
+  for (const char* type : kGuardTypes) {
+    for (std::size_t pos = find_identifier(line, type);
+         pos != std::string::npos;
+         pos = find_identifier(line, type, pos + 1)) {
+      if (!is_std_qualified(line, pos)) continue;
+      std::size_t after = skip_spaces(line, pos + std::string(type).size());
+      if (after < line.size() && line[after] == '<') {
+        int depth = 0;
+        while (after < line.size()) {
+          if (line[after] == '<') ++depth;
+          if (line[after] == '>' && --depth == 0) {
+            ++after;
+            break;
+          }
+          ++after;
+        }
+      }
+      after = skip_spaces(line, after);
+      while (after < line.size() && (line[after] == '&' || line[after] == '*')) {
+        after = skip_spaces(line, after + 1);
+      }
+      const std::string name = ident_at(line, after);
+      if (!name.empty()) index->guards.insert(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline.
+
+void rule_lock_discipline(const FileContext& ctx, const SemanticIndex& index,
+                          const Options& opts, std::vector<Violation>* out) {
+  static const char* kOps[] = {"lock", "unlock"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    for (const char* op : kOps) {
+      for (std::size_t pos = find_identifier(line, op);
+           pos != std::string::npos;
+           pos = find_identifier(line, op, pos + 1)) {
+        const std::size_t paren = skip_spaces(line, pos + std::string(op).size());
+        if (paren >= line.size() || line[paren] != '(') continue;
+        // Receiver: `recv.lock()` or `recv->lock()`.
+        std::string recv;
+        if (pos >= 1 && line[pos - 1] == '.') {
+          recv = ident_before(line, pos - 1);
+        } else if (pos >= 2 && line.compare(pos - 2, 2, "->") == 0) {
+          recv = ident_before(line, pos - 2);
+        }
+        if (recv.empty()) continue;  // free lock(...), std::lock — not ours
+        if (index.guards.count(recv) != 0) continue;  // unique_lock::unlock
+        std::string lower = recv;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) {
+                         return static_cast<char>(std::tolower(c));
+                       });
+        const bool mutexish = index.mutexes.count(recv) != 0 ||
+                              lower.find("mutex") != std::string::npos ||
+                              lower.find("mtx") != std::string::npos;
+        if (!mutexish) continue;  // weak_ptr::lock() and friends
+        report(ctx, out, opts, i + 1, kLockDiscipline,
+               std::string("raw .") + op + "() on mutex '" + recv +
+                   "' outside an RAII guard; hold it via "
+                   "std::lock_guard/std::unique_lock so every exit path "
+                   "releases it (static complement to the TSan CI stages)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-error-discipline.
+
+const char* kStatementKeywords[] = {
+    "if",     "while",  "for",    "switch",  "return",        "throw",
+    "new",    "delete", "case",   "goto",    "do",            "else",
+    "sizeof", "using",  "typedef", "co_return", "static_assert"};
+
+bool is_statement_keyword(const std::string& ident) {
+  for (const char* k : kStatementKeywords) {
+    if (ident == k) return true;
+  }
+  return false;
+}
+
+struct Statement {
+  std::string text;       ///< stripped code, newlines preserved as spaces
+  std::size_t line = 0;   ///< 1-based line of the statement's first token
+};
+
+/// Split the stripped code into statements at ';', '{' and '}'.
+/// Preprocessor lines are dropped whole. Good enough for the discard
+/// matcher: a `for(;;)` header splits into fragments that simply fail the
+/// call-statement shape.
+std::vector<Statement> split_statements(const FileContext& ctx) {
+  std::vector<Statement> out;
+  Statement cur;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (std::size_t j = 0; j < line.size(); ++j) {
+      const char c = line[j];
+      if (c == ';' || c == '{' || c == '}') {
+        if (!cur.text.empty()) out.push_back(std::move(cur));
+        cur = Statement{};
+        continue;
+      }
+      if (cur.text.empty() &&
+          std::isspace(static_cast<unsigned char>(c)) != 0) {
+        continue;
+      }
+      if (cur.text.empty()) cur.line = i + 1;
+      cur.text += c;
+    }
+    if (!cur.text.empty()) cur.text += ' ';
+  }
+  if (!cur.text.empty() &&
+      cur.text.find_first_not_of(" \t") != std::string::npos) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+/// When `stmt` is exactly a call whose result is discarded —
+/// `name(...)`, `ns::obj.name(...)`, etc., with nothing after the closing
+/// paren — returns the called function's name; empty otherwise.
+/// `(void)name(...)` is the sanctioned explicit discard and never matches.
+std::string discarded_call_name(const std::string& stmt) {
+  std::size_t pos = skip_spaces(stmt, 0);
+  if (stmt.compare(pos, 6, "(void)") == 0) return {};
+  std::string last;
+  while (true) {
+    const std::string ident = ident_at(stmt, pos);
+    if (ident.empty()) return {};
+    if (last.empty() && is_statement_keyword(ident)) return {};
+    last = ident;
+    pos = skip_spaces(stmt, pos + ident.size());
+    if (pos >= stmt.size()) return {};
+    if (stmt.compare(pos, 2, "::") == 0 || stmt.compare(pos, 2, "->") == 0) {
+      pos = skip_spaces(stmt, pos + 2);
+      continue;
+    }
+    if (stmt[pos] == '.') {
+      pos = skip_spaces(stmt, pos + 1);
+      continue;
+    }
+    if (stmt[pos] == '(') break;
+    return {};
+  }
+  int depth = 0;
+  for (; pos < stmt.size(); ++pos) {
+    if (stmt[pos] == '(') ++depth;
+    if (stmt[pos] == ')' && --depth == 0) {
+      ++pos;
+      break;
+    }
+  }
+  if (depth != 0) return {};  // call spans a dropped '#' line; bail out
+  return skip_spaces(stmt, pos) >= stmt.size() ? last : std::string{};
+}
+
+void rule_unchecked_error(const FileContext& ctx, const SemanticIndex& index,
+                          const Options& opts, std::vector<Violation>* out) {
+  for (const Statement& stmt : split_statements(ctx)) {
+    const std::string name = discarded_call_name(stmt.text);
+    if (name.empty() || index.must_use.count(name) == 0) continue;
+    report(ctx, out, opts, stmt.line, kUncheckedError,
+           "result of '" + name +
+               "' is discarded, but its declaration is [[nodiscard]] or "
+               "returns an Error/Status; check it or discard explicitly "
+               "with (void)");
+  }
+}
+
+}  // namespace
+
+SemanticIndex build_semantic_index(const std::vector<FileContext>& files) {
+  SemanticIndex index;
+  for (const FileContext& ctx : files) {
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+      const std::string& line = ctx.code[i];
+      for (std::size_t pos = line.find("[[nodiscard]]");
+           pos != std::string::npos;
+           pos = line.find("[[nodiscard]]", pos + 1)) {
+        index_nodiscard(ctx.code, i, pos + 13, &index);
+      }
+      index_error_returns(line, &index);
+      index_mutex_decls(line, &index);
+      index_guard_decls(line, &index);
+    }
+  }
+  return index;
+}
+
+void run_semantic_rules(const FileContext& ctx, const SemanticIndex& index,
+                        const Options& opts, std::vector<Violation>* out) {
+  if (!path_starts_with(ctx.path, "src/")) return;
+  rule_unchecked_error(ctx, index, opts, out);
+  rule_lock_discipline(ctx, index, opts, out);
+}
+
+}  // namespace hsconas::lint

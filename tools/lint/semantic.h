@@ -1,0 +1,52 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/source_model.h"
+
+namespace hsconas::lint {
+
+/// Pass 2 — semantic rules that need cross-line and cross-file context.
+///
+/// Unlike the line rules, these first build a declaration index over the
+/// whole scanned tree (headers included), then re-walk each file with that
+/// index in hand:
+///
+///  - `unchecked-error-discipline`: a statement that calls a function
+///    declared `[[nodiscard]]` or declared to return an Error/Status type
+///    and discards the result. The declaration may live in a different
+///    header than the call — that is the point of the index; a per-line
+///    regex cannot see it. `(void)f(...)` is the sanctioned explicit
+///    discard.
+///  - `lock-discipline`: a raw `.lock()` / `.unlock()` call whose receiver
+///    is a declared mutex (or mutex-named) variable rather than an RAII
+///    guard. Guard variables (`std::unique_lock lk; ... lk.unlock();`) are
+///    recognized through the same index, so condition-variable idioms stay
+///    clean. Complements the TSan CI stages with a static check.
+
+struct SemanticIndex {
+  /// Function names whose result must be used: declared [[nodiscard]] or
+  /// with an Error/Status return type anywhere in the indexed tree.
+  std::set<std::string> must_use;
+  /// Identifiers declared with a std mutex type (std::mutex,
+  /// std::shared_mutex, ...), including members declared in headers.
+  std::set<std::string> mutexes;
+  /// Identifiers declared as RAII guards (std::lock_guard,
+  /// std::unique_lock, std::scoped_lock, std::shared_lock), including
+  /// guard reference parameters.
+  std::set<std::string> guards;
+};
+
+/// Index declarations across every file (headers and translation units).
+SemanticIndex build_semantic_index(const std::vector<FileContext>& files);
+
+/// Run the semantic rules over one file with a (usually tree-wide) index.
+/// Both rules police `src/` only — tests and tools may discard results
+/// and poke mutexes in fixtures.
+void run_semantic_rules(const FileContext& ctx, const SemanticIndex& index,
+                        const Options& opts, std::vector<Violation>* out);
+
+}  // namespace hsconas::lint

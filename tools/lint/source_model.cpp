@@ -1,0 +1,286 @@
+#include "lint/source_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/error.h"
+
+namespace hsconas::lint {
+
+bool path_starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool path_ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool is_header_path(const std::string& path) {
+  return path_ends_with(path, ".h");
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t find_identifier(const std::string& line, const std::string& ident,
+                            std::size_t from) {
+  for (std::size_t pos = line.find(ident, from); pos != std::string::npos;
+       pos = line.find(ident, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& line, std::size_t pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+bool has_call(const std::string& line, const std::string& ident) {
+  for (std::size_t pos = find_identifier(line, ident); pos != std::string::npos;
+       pos = find_identifier(line, ident, pos + 1)) {
+    const std::size_t after = skip_spaces(line, pos + ident.size());
+    if (after < line.size() && line[after] == '(') return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+namespace {
+
+/// Length of the raw-string prefix ending just before `line[quote]` — `R`
+/// or an encoding-prefixed `u8R`/`uR`/`UR`/`LR` — or 0 when the quote
+/// opens an ordinary string. The prefix must not itself be the tail of a
+/// longer identifier ("FOOR" is not a raw-string prefix).
+std::size_t raw_prefix_len(const std::string& line, std::size_t quote) {
+  static const char* kPrefixes[] = {"u8R", "uR", "UR", "LR", "R"};
+  for (const char* p : kPrefixes) {
+    const std::size_t n = std::char_traits<char>::length(p);
+    if (quote >= n && line.compare(quote - n, n, p) == 0 &&
+        (quote == n || !is_ident_char(line[quote - n - 1]))) {
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> strip_to_code(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: )delim"
+
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            i = line.size();  // rest of line is a comment
+          } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+          } else if (c == '"') {
+            // Raw strings are detected at the quote so the encoding-prefixed
+            // forms (u8R"…") are caught too; matching at the 'R' alone let
+            // their multi-line bodies leak into rule matching as code.
+            const std::size_t prefix = raw_prefix_len(line, i);
+            if (prefix > 0) {
+              // The prefix characters were emitted as code on earlier
+              // iterations; they are literal syntax, so blank them.
+              for (std::size_t j = i - prefix; j < i; ++j) code[j] = ' ';
+              const std::size_t open = line.find('(', i + 1);
+              if (open == std::string::npos) {
+                i = line.size();  // malformed; treat rest as literal
+              } else {
+                raw_delim.assign(1, ')');
+                raw_delim.append(line, i + 1, open - (i + 1));
+                raw_delim += '"';
+                state = State::kRawString;
+                i = open + 1;
+              }
+            } else {
+              state = State::kString;
+              ++i;
+            }
+          } else if (c == '\'') {
+            state = State::kChar;
+            ++i;
+          } else {
+            code[i] = c;
+            ++i;
+          }
+          break;
+        case State::kBlockComment: {
+          const std::size_t close = line.find("*/", i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = close + 2;
+          }
+          break;
+        }
+        case State::kString:
+        case State::kChar: {
+          const char quote = state == State::kString ? '"' : '\'';
+          if (c == '\\') {
+            i += 2;
+          } else if (c == quote) {
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kRawString: {
+          const std::size_t close = line.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated ordinary string/char literals do not span lines.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+namespace {
+
+/// Parse every rule id named by `hsconas-lint-allow(a,b,...)` occurrences
+/// in `line` into `out`.
+void collect_allows(const std::string& line, std::vector<std::string>* out) {
+  static const std::string kTag = "hsconas-lint-allow(";
+  for (std::size_t pos = line.find(kTag); pos != std::string::npos;
+       pos = line.find(kTag, pos + 1)) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string id;
+    for (std::size_t i = open; i <= close; ++i) {
+      if (i == close || line[i] == ',') {
+        if (!id.empty()) out->push_back(id);
+        id.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(line[i]))) {
+        id += line[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FileContext make_file_context(const std::string& path,
+                              const std::string& contents) {
+  FileContext ctx;
+  ctx.path = path;
+  ctx.raw = split_lines(contents);
+  ctx.code = strip_to_code(ctx.raw);
+  ctx.allows.resize(ctx.raw.size());
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    std::vector<std::string> ids;
+    collect_allows(ctx.raw[i], &ids);
+    for (const std::string& id : ids) {
+      ctx.allows[i].push_back(id);  // same line
+      if (i + 1 < ctx.raw.size()) ctx.allows[i + 1].push_back(id);  // next
+    }
+  }
+  return ctx;
+}
+
+bool is_suppressed(const FileContext& ctx, std::size_t line,
+                   const std::string& rule) {
+  if (line == 0 || line > ctx.allows.size()) return false;
+  const auto& ids = ctx.allows[line - 1];
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+namespace {
+
+bool lintable_file(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+bool skip_directory(const std::string& name) {
+  return name == "fixtures" || path_starts_with(name, "build") ||
+         name[0] == '.';
+}
+
+}  // namespace
+
+std::string read_source_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("hsconas_lint: cannot read " + path);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<FileContext> load_tree(const std::string& root,
+                                   const std::vector<std::string>& tops) {
+  namespace fs = std::filesystem;
+  std::vector<FileContext> out;
+  for (const std::string& top : tops) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    fs::recursive_directory_iterator it(dir), end;
+    for (; it != end; ++it) {
+      if (it->is_directory()) {
+        if (skip_directory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (!it->is_regular_file() || !lintable_file(it->path())) continue;
+      const std::string rel =
+          fs::relative(it->path(), fs::path(root)).generic_string();
+      out.push_back(
+          make_file_context(rel, read_source_file(it->path().string())));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FileContext& a, const FileContext& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+}  // namespace hsconas::lint

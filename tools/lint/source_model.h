@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hsconas::lint {
+
+/// Shared lexing model for every hsconas_lint pass.
+///
+/// The analyzer grew from a single-file line lexer into three passes —
+/// line rules (lint.cpp), cross-file semantic rules (semantic.cpp) and
+/// the include-graph layering gate (layers.cpp) — which all consume the
+/// same preprocessed view of a source file: the raw lines, a
+/// comment/string-stripped "code" shadow with identical line structure,
+/// and the per-line `hsconas-lint-allow(...)` suppression sets. This
+/// header is that common substrate; it is internal to tools/lint and
+/// tests, not part of the library API.
+
+struct FileContext {
+  std::string path;               ///< root-relative, '/'-separated
+  std::vector<std::string> raw;   ///< verbatim lines
+  std::vector<std::string> code;  ///< comments/strings blanked to spaces
+  /// allows[i]: rule ids suppressed for raw line i+1 (same line or the
+  /// line directly above carries the comment).
+  std::vector<std::vector<std::string>> allows;
+};
+
+/// Split text into lines (without terminators). A trailing newline does
+/// not produce an empty final line.
+std::vector<std::string> split_lines(const std::string& text);
+
+/// Replace comments, string literals and char literals with spaces so the
+/// rule matchers only ever see code. Handles // and /* */ across lines,
+/// escape sequences, and raw strings — including multi-line bodies and
+/// the encoding-prefixed forms (u8R"…", uR"…", UR"…", LR"…"), whose
+/// bodies previously leaked into rule matching line by line. Line
+/// structure (count and lengths) is preserved.
+std::vector<std::string> strip_to_code(const std::vector<std::string>& raw);
+
+/// Build the full per-file context (raw + code + suppression sets).
+FileContext make_file_context(const std::string& path,
+                              const std::string& contents);
+
+/// True when `rule` is suppressed at 1-based `line` by an inline
+/// `hsconas-lint-allow(...)` comment on that line or the line above.
+bool is_suppressed(const FileContext& ctx, std::size_t line,
+                   const std::string& rule);
+
+// ---------------------------------------------------------------------------
+// Token helpers shared by the rule matchers.
+
+bool is_ident_char(char c);
+
+/// Find `ident` as a whole identifier in `line` starting at `from`;
+/// npos when absent. "rand" does not match inside "operand".
+std::size_t find_identifier(const std::string& line, const std::string& ident,
+                            std::size_t from = 0);
+
+std::size_t skip_spaces(const std::string& line, std::size_t pos);
+
+/// `ident` used as a call: identifier immediately (modulo spaces)
+/// followed by '('.
+bool has_call(const std::string& line, const std::string& ident);
+
+bool path_starts_with(const std::string& s, const char* prefix);
+bool path_ends_with(const std::string& s, const char* suffix);
+bool is_header_path(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Tree loading shared by the passes.
+
+/// Read one file; throws hsconas::Error when unreadable.
+std::string read_source_file(const std::string& path);
+
+/// Walk `root`/<top> for each top in `tops` and load every .h/.cpp into a
+/// FileContext keyed by root-relative path. Directories named `fixtures`
+/// or starting with `build`, and dot-directories, are skipped (lint-test
+/// fixture trees contain deliberate violations). Results are sorted by
+/// path so every pass sees a deterministic order.
+std::vector<FileContext> load_tree(const std::string& root,
+                                   const std::vector<std::string>& tops);
+
+}  // namespace hsconas::lint

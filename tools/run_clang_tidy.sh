@@ -2,12 +2,20 @@
 # Run clang-tidy over the library and tool sources using the compilation
 # database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS is always ON).
 #
-#   tools/run_clang_tidy.sh [build-dir] [clang-tidy-binary]
+#   tools/run_clang_tidy.sh [-j N] [build-dir] [clang-tidy-binary]
 #
-# Exits nonzero if clang-tidy reports an error-severity diagnostic (see
-# WarningsAsErrors in .clang-tidy). Skips cleanly when clang-tidy is not
-# installed so the `lint` target still works on minimal toolchains.
+# -j N fans the files out over N parallel clang-tidy processes (default:
+# nproc). Exits nonzero if clang-tidy reports an error-severity
+# diagnostic (see WarningsAsErrors in .clang-tidy). Skips cleanly when
+# clang-tidy is not installed so the `lint` target still works on minimal
+# toolchains.
 set -eu
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+case "${1:-}" in
+  -j) jobs="$2"; shift 2 ;;
+  -j*) jobs="${1#-j}"; shift ;;
+esac
 
 build_dir="${1:-build}"
 tidy="${2:-clang-tidy}"
@@ -24,6 +32,8 @@ fi
 
 # Library + tools only: tests and benches follow gtest/benchmark idioms
 # that trip style checks without telling us anything about the library.
+# xargs -P fans out one clang-tidy process per batch; -n bounds the batch
+# size so all $jobs slots actually fill.
 find "$root/src" "$root/tools" -name '*.cpp' \
   ! -path '*/fixtures/*' -print | sort | \
-  xargs "$tidy" -p "$build_dir" --quiet
+  xargs -P "$jobs" -n 8 "$tidy" -p "$build_dir" --quiet
